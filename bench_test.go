@@ -1,0 +1,313 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper under testing.B. One benchmark per artifact:
+//
+//	BenchmarkTable1Mapping         Table 1 (object mapping round-trip)
+//	BenchmarkFigure1JCFModel       Figure 1 (JCF information architecture)
+//	BenchmarkFigure2FMCADModel     Figure 2 (FMCAD information architecture)
+//	BenchmarkE31LockContention*    section 3.1 (concurrency control)
+//	BenchmarkE32ConsistencyCheck   section 3.2 (design management)
+//	BenchmarkE33HierarchySubmit    section 3.3 (hierarchy handling)
+//	BenchmarkE35FlowEnforcement    section 3.5 (flow management)
+//	BenchmarkE36MetadataOps        section 3.6 (metadata performance)
+//	BenchmarkE36DesignData*        section 3.6 (design-data performance)
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/jcf"
+	"repro/internal/otod"
+)
+
+// BenchmarkTable1Mapping regenerates Table 1 and verifies the live
+// mapping round-trips (experiment T1).
+func BenchmarkTable1Mapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunT1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1JCFModel rebuilds and renders the Figure 1 model.
+func BenchmarkFigure1JCFModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := otod.JCFModel()
+		if _, err := m.Schema(); err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Render()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkFigure2FMCADModel rebuilds and renders the Figure 2 model.
+func BenchmarkFigure2FMCADModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := otod.FMCADModel()
+		if _, err := m.Schema(); err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Render()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkE31LockContentionFMCAD runs the section 3.1 contention
+// workload against one shared FMCAD library.
+func BenchmarkE31LockContentionFMCAD(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("designers=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiments.FMCADContention(n, 4, 25); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE31LockContentionHybrid runs the same workload through the
+// hybrid framework's workspaces and parallel versions.
+func BenchmarkE31LockContentionHybrid(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("designers=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := experiments.HybridContention(n, 4, 25); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE32ConsistencyCheck measures the master's consistency sweep on
+// a populated project (section 3.2).
+func BenchmarkE32ConsistencyCheck(b *testing.B) {
+	fw, err := jcf.New(jcf.Release30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fw.CreateUser("u"); err != nil {
+		b.Fatal(err)
+	}
+	team, err := fw.CreateTeam("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	uid, _ := fw.User("u")
+	if err := fw.AddMember(team, uid); err != nil {
+		b.Fatal(err)
+	}
+	f := flow.New("f")
+	if err := f.AddActivity(flow.Activity{Name: "a"}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fw.RegisterFlow(f); err != nil {
+		b.Fatal(err)
+	}
+	project, err := fw.CreateProject("p", team)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 50 cells x 2 versions, hierarchies with injected staleness.
+	var parents []int64
+	for c := 0; c < 50; c++ {
+		cell, err := fw.CreateCell(project, fmt.Sprintf("c%d", c))
+		if err != nil {
+			b.Fatal(err)
+		}
+		v1, err := fw.CreateCellVersion(cell, "f", team)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v2, err := fw.CreateCellVersion(cell, "f", team)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c > 0 {
+			if err := fw.SubmitHierarchy(v1, v2); err != nil {
+				b.Fatal(err)
+			}
+		}
+		parents = append(parents, int64(v1))
+	}
+	_ = parents
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fw.CheckConsistency()
+	}
+}
+
+// BenchmarkE33HierarchySubmit measures the manual-desktop hierarchy
+// workload of section 3.3 under both releases.
+func BenchmarkE33HierarchySubmit(b *testing.B) {
+	for _, rel := range []jcf.Release{jcf.Release30, jcf.Release40} {
+		b.Run(fmt.Sprintf("release=%s", rel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := experiments.HierarchyManualSteps(rel, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE35FlowEnforcement measures the flow engine's enforcement
+// decision (section 3.5): a Start that must be rejected plus a legal
+// Start/Finish pair.
+func BenchmarkE35FlowEnforcement(b *testing.B) {
+	f := core.DefaultFlow()
+	if err := f.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	e, err := flow.NewEnactment(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Out-of-order attempt: must be rejected.
+		if err := e.Start(core.ActLayoutEntry); err == nil {
+			b.Fatal("out-of-order start accepted")
+		}
+		// Legal iteration on the entry activity.
+		if err := e.Start(core.ActSchematicEntry); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Finish(core.ActSchematicEntry, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE36MetadataOps measures desktop metadata operations (section
+// 3.6: "sufficiently high").
+func BenchmarkE36MetadataOps(b *testing.B) {
+	world, err := experiments.NewE36World(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer world.Cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		world.MetadataOpOnce()
+	}
+}
+
+// BenchmarkE36DesignDataNative measures direct FMCAD file access at two
+// design sizes.
+func BenchmarkE36DesignDataNative(b *testing.B) {
+	for _, bits := range []int{8, 128} {
+		b.Run(fmt.Sprintf("adder=%d", bits), func(b *testing.B) {
+			world, err := experiments.NewE36World(bits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer world.Cleanup()
+			b.SetBytes(world.FileBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := world.NativeReadOnce(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE36DesignDataHybrid measures the same bytes through the master
+// database — the copy-even-for-read-only path of section 3.6.
+func BenchmarkE36DesignDataHybrid(b *testing.B) {
+	for _, bits := range []int{8, 128} {
+		b.Run(fmt.Sprintf("adder=%d", bits), func(b *testing.B) {
+			world, err := experiments.NewE36World(bits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer world.Cleanup()
+			b.SetBytes(world.FileBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := world.HybridReadOnce(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE36DesignDataWriteNative measures one native FMCAD edit cycle
+// (checkout, write, checkin) — no master involvement.
+func BenchmarkE36DesignDataWriteNative(b *testing.B) {
+	world, err := experiments.NewE36World(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer world.Cleanup()
+	b.SetBytes(world.FileBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := world.NativeWriteOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE36DesignDataWriteHybrid measures one full encapsulated edit
+// cycle: flow check, staging, slave checkout/checkin, database copy-in,
+// derivation recording.
+func BenchmarkE36DesignDataWriteHybrid(b *testing.B) {
+	world, err := experiments.NewE36World(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer world.Cleanup()
+	b.SetBytes(world.FileBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := world.HybridWriteOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE34UIContexts and BenchmarkM1FeatureMatrix regenerate the
+// remaining qualitative artifacts so every section has a bench target.
+func BenchmarkE34UIContexts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, env := range []string{"fmcad", "jcf", "hybrid"} {
+			if _, err := core.UIContexts(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkM1FeatureMatrix renders the capability matrix.
+func BenchmarkM1FeatureMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(core.RenderFeatureMatrix()) == 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+}
+
+// BenchmarkA1MenuLockAblation runs the rogue workload of the section 2.4
+// menu-locking ablation (locks on + locks off).
+func BenchmarkA1MenuLockAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunA1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

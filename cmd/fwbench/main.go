@@ -1,0 +1,52 @@
+// Command fwbench regenerates the paper's tables and figures. Each
+// experiment reproduces one artifact of the evaluation (Table 1, Figures
+// 1-2, sections 3.1-3.6, and the capability matrix).
+//
+// Usage:
+//
+//	fwbench -list          # list experiments
+//	fwbench -exp E31       # run one experiment
+//	fwbench -all           # run everything in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "", "run a single experiment by id (e.g. T1, E31)")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-6s %-60s %s\n", "id", "title", "paper")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-6s %-60s %s\n", e.ID, e.Title, e.Paper)
+		}
+	case *exp != "":
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fwbench: unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s: %s (%s) ====\n", e.ID, e.Title, e.Paper)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "fwbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	case *all:
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "fwbench: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,187 @@
+// Command hybridfw drives the hybrid JCF-FMCAD framework end to end: it
+// sets up master and slave, runs the full encapsulated design flow
+// (schematic entry -> simulation -> layout entry) on a generated design,
+// and prints what each framework recorded. This is the prototype's
+// "demonstration" scenario (section 4).
+//
+// Usage:
+//
+//	hybridfw -dir /tmp/hybrid -bits 8           # run under JCF 3.0
+//	hybridfw -dir /tmp/hybrid -release 40       # run under JCF 4.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/jcf"
+	"repro/internal/tools/dsim"
+	"repro/internal/tools/schematic"
+)
+
+func main() {
+	dir := flag.String("dir", "", "working directory for the hybrid framework (required)")
+	release := flag.Int("release", 30, "JCF release level: 30 or 40")
+	bits := flag.Int("bits", 8, "ripple-adder width of the demo design")
+	resume := flag.Bool("resume", false, "reload a previously saved hybrid from -dir and print its state")
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *resume {
+		if err := resumeRun(*dir); err != nil {
+			fmt.Fprintf(os.Stderr, "hybridfw: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*dir, jcf.Release(*release), *bits); err != nil {
+		fmt.Fprintf(os.Stderr, "hybridfw: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// resumeRun reloads a saved hybrid and reports what survived the restart.
+func resumeRun(dir string) error {
+	h, err := core.LoadHybrid(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hybrid JCF %s reloaded from %s\n", h.JCF.Release(), dir)
+	fmt.Printf("bound FMCAD cells: %v\n", h.Bindings())
+	if problems := h.VerifyMapping(); len(problems) != 0 {
+		return fmt.Errorf("mapping problems after reload: %v", problems)
+	}
+	sync, err := h.SlaveSyncCheck()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mapping verified; slave sync problems: %d\n", len(sync))
+	project, err := h.JCF.Project("demo")
+	if err != nil {
+		return err
+	}
+	summary, err := h.JCF.DesktopSummary(project)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s", summary)
+	return nil
+}
+
+func run(dir string, release jcf.Release, bits int) error {
+	h, err := core.NewHybrid(release, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hybrid JCF %s + FMCAD framework at %s\n", h.JCF.Release(), dir)
+	fmt.Printf("locked FMCAD menus: %v\n\n", h.Hooks.LockedMenus())
+
+	if _, err := h.JCF.CreateUser("anna"); err != nil {
+		return err
+	}
+	team, err := h.JCF.CreateTeam("demo-team")
+	if err != nil {
+		return err
+	}
+	uid, err := h.JCF.User("anna")
+	if err != nil {
+		return err
+	}
+	if err := h.JCF.AddMember(team, uid); err != nil {
+		return err
+	}
+	project, err := h.JCF.CreateProject("demo", team)
+	if err != nil {
+		return err
+	}
+	cv, err := h.NewDesignCell(project, "adder", h.DefaultFlowName(), team)
+	if err != nil {
+		return err
+	}
+	if err := h.JCF.Reserve("anna", cv); err != nil {
+		return err
+	}
+	binding, err := h.BindingFor(cv)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("JCF cell version bound to FMCAD cell %q\n", binding.FMCADCell)
+
+	// 1. Schematic entry.
+	gen, err := schematic.GenRippleAdder(binding.FMCADCell, bits)
+	if err != nil {
+		return err
+	}
+	sres, err := h.RunSchematicEntry("anna", cv, func(s *schematic.Schematic) error {
+		return s.CopyFrom(gen)
+	}, core.RunOpts{})
+	if err != nil {
+		return err
+	}
+	_, _, gates, _ := gen.Stats()
+	fmt.Printf("schematic entry: %d gates, slave v%d, JCF version %d\n", gates, sres.SlaveVersion, sres.OutputDOV)
+
+	// 2. Simulation: add a few operand patterns and a clock-free run.
+	stim := []byte(fmt.Sprintf("at 0 set cin 0\nat 0 set a0 1\nat 0 set b0 1\nrun %d\n", 100*bits))
+	mres, waves, err := h.RunSimulation("anna", cv, stim, core.RunOpts{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation: %d wave lines, derived from schematic version %d\n",
+		countLines(waves), mres.InputDOV)
+
+	// 3. Layout entry (generated from the schematic).
+	lres, err := h.RunLayoutEntry("anna", cv, nil, core.RunOpts{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("layout entry: slave v%d, derived from schematic version %d\n\n",
+		lres.SlaveVersion, lres.InputDOV)
+
+	// What the master recorded.
+	done, err := h.JCF.FlowComplete(cv)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flow complete: %t\n", done)
+	closure := h.JCF.DerivationClosure(sres.OutputDOV)
+	fmt.Printf("derivation closure of the schematic: %d versions (what-belongs-to-what)\n", len(closure))
+	in, out := h.JCF.BlobTraffic()
+	fmt.Printf("database design-data traffic: %d bytes in, %d bytes out\n", in, out)
+
+	// Cross-probe one net through the wrappers.
+	probe := h.EnableCrossProbe("anna")
+	res, err := probe(cv, "s0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cross-probe net %q: %d layout shapes highlighted\n", res.Net, len(res.Shapes))
+
+	summary, err := h.JCF.DesktopSummary(project)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s", summary)
+
+	// Persist the whole coupled environment for -resume.
+	if err := h.Save(dir); err != nil {
+		return err
+	}
+	fmt.Printf("\nstate saved; reload with: hybridfw -dir %s -resume\n", dir)
+	_ = dsim.GateDelay
+	return nil
+}
+
+func countLines(b []byte) int {
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

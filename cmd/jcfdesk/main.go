@@ -1,0 +1,191 @@
+// Command jcfdesk is the JCF desktop: the framework's only user
+// interface (section 2.1 — metadata is fully under framework control and
+// reachable solely through desktop methods).
+//
+// Usage:
+//
+//	jcfdesk -model              # print the Figure 1 information model
+//	jcfdesk -demo               # run a scripted multi-user desktop session
+//	jcfdesk -release 40 -demo   # same session on the future JCF release
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/flow"
+	"repro/internal/jcf"
+	"repro/internal/otod"
+)
+
+func main() {
+	model := flag.Bool("model", false, "print the JCF 3.0 information architecture (Figure 1)")
+	demo := flag.Bool("demo", false, "run a scripted desktop session")
+	release := flag.Int("release", 30, "JCF release level: 30 or 40")
+	state := flag.String("state", "", "framework state directory (persists the session)")
+	show := flag.String("show", "", "load -state and print the desktop summary of the named project")
+	flag.Parse()
+
+	switch {
+	case *model:
+		fmt.Print(otod.JCFModel().Render())
+	case *show != "":
+		if *state == "" {
+			fmt.Fprintln(os.Stderr, "jcfdesk: -show requires -state")
+			os.Exit(2)
+		}
+		if err := showProject(*state, *show); err != nil {
+			fmt.Fprintf(os.Stderr, "jcfdesk: %v\n", err)
+			os.Exit(1)
+		}
+	case *demo:
+		if err := runDemoPersisted(jcf.Release(*release), *state); err != nil {
+			fmt.Fprintf(os.Stderr, "jcfdesk: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// showProject reloads a persisted framework and prints one project.
+func showProject(stateDir, projectName string) error {
+	fw, err := jcf.Load(stateDir)
+	if err != nil {
+		return err
+	}
+	project, err := fw.Project(projectName)
+	if err != nil {
+		return err
+	}
+	summary, err := fw.DesktopSummary(project)
+	if err != nil {
+		return err
+	}
+	fmt.Print(summary)
+	return nil
+}
+
+// runDemoPersisted runs the demo and, when a state directory is given,
+// saves the framework there so later invocations can -show it.
+func runDemoPersisted(release jcf.Release, stateDir string) error {
+	fw, err := runDemo(release)
+	if err != nil {
+		return err
+	}
+	if stateDir != "" {
+		if err := fw.Save(stateDir); err != nil {
+			return err
+		}
+		fmt.Printf("\nstate saved to %s (reload with -state %s -show chip1)\n", stateDir, stateDir)
+	}
+	return nil
+}
+
+// runDemo drives a complete desktop session: resources, a project, team
+// work with workspaces, a flow enactment and the consistency check. It
+// returns the framework so the caller can persist it.
+func runDemo(release jcf.Release) (*jcf.Framework, error) {
+	fw, err := jcf.New(release)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("JCF %s desktop session\n\n", fw.Release())
+
+	// Administrator: resources.
+	for _, u := range []string{"anna", "bert"} {
+		if _, err := fw.CreateUser(u); err != nil {
+			return nil, err
+		}
+	}
+	team, err := fw.CreateTeam("vlsi")
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range []string{"anna", "bert"} {
+		uid, err := fw.User(u)
+		if err != nil {
+			return nil, err
+		}
+		if err := fw.AddMember(team, uid); err != nil {
+			return nil, err
+		}
+	}
+	for _, tool := range []string{"schematic-editor", "simulator", "layout-editor"} {
+		if _, err := fw.CreateTool(tool); err != nil {
+			return nil, err
+		}
+	}
+	f := flow.New("frontend")
+	if err := f.AddActivity(flow.Activity{Name: "entry", Tool: "schematic-editor", Creates: []string{"schematic"}}); err != nil {
+		return nil, err
+	}
+	if err := f.AddActivity(flow.Activity{Name: "verify", Tool: "simulator", Needs: []string{"schematic"}}); err != nil {
+		return nil, err
+	}
+	if err := f.AddPrecedes("entry", "verify"); err != nil {
+		return nil, err
+	}
+	if _, err := fw.RegisterFlow(f); err != nil {
+		return nil, err
+	}
+	fmt.Printf("resources: users=%v flows=%v\n", fw.Members(team), fw.Flows())
+
+	// Project data.
+	project, err := fw.CreateProject("chip1", team)
+	if err != nil {
+		return nil, err
+	}
+	cell, err := fw.CreateCell(project, "alu")
+	if err != nil {
+		return nil, err
+	}
+	cv, err := fw.CreateCellVersion(cell, "frontend", team)
+	if err != nil {
+		return nil, err
+	}
+
+	// Workspace: anna reserves, bert is refused, anna publishes.
+	if err := fw.Reserve("anna", cv); err != nil {
+		return nil, err
+	}
+	fmt.Printf("anna reserved alu v1 in her workspace\n")
+	if err := fw.Reserve("bert", cv); err != nil {
+		fmt.Printf("bert refused (as expected): %v\n", err)
+	}
+	// Flow enactment.
+	if err := fw.StartActivity("anna", cv, "verify"); err != nil {
+		fmt.Printf("verify before entry refused (as expected): %v\n", err)
+	}
+	if err := fw.StartActivity("anna", cv, "entry"); err != nil {
+		return nil, err
+	}
+	if err := fw.FinishActivity("anna", cv, "entry", true); err != nil {
+		return nil, err
+	}
+	if err := fw.StartActivity("anna", cv, "verify"); err != nil {
+		return nil, err
+	}
+	if err := fw.FinishActivity("anna", cv, "verify", true); err != nil {
+		return nil, err
+	}
+	if err := fw.Publish("anna", cv); err != nil {
+		return nil, err
+	}
+	fmt.Printf("flow complete, alu v1 published\n\n")
+
+	summary, err := fw.DesktopSummary(project)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(summary)
+
+	problems := fw.CheckConsistency()
+	fmt.Printf("\nconsistency check: %d problems\n", len(problems))
+	for _, p := range problems {
+		fmt.Printf("  [%s] %s\n", p.Kind, p.Detail)
+	}
+	return fw, nil
+}

@@ -1,0 +1,153 @@
+// Hierarchy walks through section 3.3: how the hybrid framework handles
+// design hierarchies under the JCF 3.0 master (manual desktop submission
+// before design, non-isomorphic hierarchies rejected) and how the future
+// JCF 4.0 release lifts both restrictions (procedural interface, typed
+// per-view hierarchies).
+//
+// Run with:
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/jcf"
+	"repro/internal/oms"
+	"repro/internal/tools/layout"
+	"repro/internal/tools/schematic"
+)
+
+func main() {
+	fmt.Println("== JCF 3.0 master: desktop-first, isomorphic-only ==")
+	if err := scenario(jcf.Release30); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("== JCF 4.0 master: procedural interface, non-isomorphic OK ==")
+	if err := scenario(jcf.Release40); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func scenario(release jcf.Release) error {
+	dir, err := os.MkdirTemp("", "hierarchy-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	h, err := core.NewHybrid(release, dir)
+	if err != nil {
+		return err
+	}
+	if _, err := h.JCF.CreateUser("anna"); err != nil {
+		return err
+	}
+	team, err := h.JCF.CreateTeam("t")
+	if err != nil {
+		return err
+	}
+	anna, err := h.JCF.User("anna")
+	if err != nil {
+		return err
+	}
+	if err := h.JCF.AddMember(team, anna); err != nil {
+		return err
+	}
+	project, err := h.JCF.CreateProject("p", team)
+	if err != nil {
+		return err
+	}
+
+	top, err := h.NewDesignCell(project, "top", h.DefaultFlowName(), team)
+	if err != nil {
+		return err
+	}
+	alu, err := h.NewDesignCell(project, "alu", h.DefaultFlowName(), team)
+	if err != nil {
+		return err
+	}
+	pad, err := h.NewDesignCell(project, "pad", h.DefaultFlowName(), team)
+	if err != nil {
+		return err
+	}
+	_ = pad
+	// Draw and publish the child first so the parent's simulation can
+	// resolve it through the master database.
+	if err := h.JCF.Reserve("anna", alu); err != nil {
+		return err
+	}
+	if _, err := h.RunSchematicEntry("anna", alu, func(s *schematic.Schematic) error {
+		if err := s.AddPort("in", schematic.In); err != nil {
+			return err
+		}
+		if err := s.AddPort("out", schematic.Out); err != nil {
+			return err
+		}
+		return s.AddGate("g", schematic.Inv, "out", "in")
+	}, core.RunOpts{}); err != nil {
+		return err
+	}
+	if err := h.JCF.Publish("anna", alu); err != nil {
+		return err
+	}
+	if err := h.JCF.Reserve("anna", top); err != nil {
+		return err
+	}
+
+	// 1. Instantiating alu without telling the desktop first.
+	_, err = h.AddSchematicInstance("anna", top, alu, "u1", nil, core.RunOpts{})
+	switch {
+	case err != nil && release == jcf.Release30:
+		fmt.Println("instance before desktop submission refused (3.0 rule):")
+		fmt.Println("   ", err)
+		// Do it the 3.0 way: desktop first.
+		if err := h.SubmitHierarchyManual(top, alu); err != nil {
+			return err
+		}
+		if _, err := h.AddSchematicInstance("anna", top, alu, "u1", nil, core.RunOpts{}); err != nil {
+			return err
+		}
+		fmt.Println("after manual desktop submission the instance is accepted")
+	case err == nil && release == jcf.Release40:
+		fmt.Println("instance accepted directly — the tool passed the hierarchy")
+		fmt.Println("to JCF through the procedural interface (no desktop step)")
+	case err != nil:
+		return err
+	}
+
+	// 2. The hierarchy is now queryable metadata in the master.
+	kids := h.JCF.Children(top)
+	fmt.Printf("JCF hierarchy metadata: top has %d child version(s)\n", len(kids))
+	problems, err := h.HierarchyMatchesDesign(top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hierarchy vs design files consistency: %d problems\n", len(problems))
+
+	// 3. Non-isomorphic attempt: pads exist only in the layout.
+	if _, _, err := h.RunSimulation("anna", top, []byte("run 20\n"), core.RunOpts{}); err != nil {
+		return err
+	}
+	_, err = h.RunLayoutEntry("anna", top, func(l *layout.Layout) error {
+		return l.AddInstance("p1", "pad_v1", core.ViewLayout, 0, 0)
+	}, core.RunOpts{})
+	if err != nil {
+		fmt.Println("layout with pad-only instance rejected (non-isomorphic, 3.0):")
+		fmt.Println("   ", err)
+	} else {
+		fmt.Println("layout with pad-only instance accepted (4.0 typed hierarchies)")
+		if n, err := h.SyncHierarchyFromDesign(top); err == nil {
+			fmt.Printf("hierarchy sync from design files: %d typed edges recorded\n", n)
+			sch, _ := h.JCF.TypedChildren(top, core.ViewSchematic)
+			lay, _ := h.JCF.TypedChildren(top, core.ViewLayout)
+			fmt.Printf("schematic hierarchy: %d children; layout hierarchy: %d children\n",
+				len(sch), len(lay))
+		}
+	}
+	_ = oms.InvalidOID
+	return nil
+}

@@ -1,0 +1,133 @@
+// Policy shows the extension-language side of the coupling (section 2.4):
+// the hybrid framework exposes its desktop operations to FML, and a
+// site-specific customization script installs triggers that gate tool
+// execution — here a "sign-off" policy that blocks layout entry until the
+// design has been simulated in the current session, plus a design-freeze
+// switch an administrator can flip at run time.
+//
+// Run with:
+//
+//	go run ./examples/policy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/jcf"
+	"repro/internal/tools/schematic"
+)
+
+// sitePolicy is written in FML, the slave framework's own customization
+// language, exactly like the original prototype's procedures.
+const sitePolicy = `
+; --- site policy for the hybrid framework -------------------------------
+(setq simulated nil)    ; has the current session simulated the design?
+(setq designFreeze nil) ; administrator switch
+
+(hiRegTrigger "preActivity"
+  (lambda (activity)
+    (when designFreeze
+      (error "design freeze: no tool runs allowed"))
+    (when (and (equal activity "layout-entry") (not simulated))
+      (error "sign-off policy: simulate before layout entry"))))
+
+(hiRegTrigger "postActivity"
+  (lambda (activity)
+    (when (equal activity "simulate") (setq simulated t))))
+`
+
+func main() {
+	dir, err := os.MkdirTemp("", "policy-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	h, err := core.NewHybrid(jcf.Release30, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.InstallPolicy(sitePolicy); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("site policy installed (FML):")
+	fmt.Println("  - layout entry requires a simulation in this session")
+	fmt.Println("  - administrators can freeze all tool runs")
+
+	// Standard setup.
+	if _, err := h.JCF.CreateUser("anna"); err != nil {
+		log.Fatal(err)
+	}
+	team, err := h.JCF.CreateTeam("t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	anna, _ := h.JCF.User("anna")
+	if err := h.JCF.AddMember(team, anna); err != nil {
+		log.Fatal(err)
+	}
+	project, err := h.JCF.CreateProject("p", team)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cv, err := h.NewDesignCell(project, "blk", h.DefaultFlowName(), team)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.JCF.Reserve("anna", cv); err != nil {
+		log.Fatal(err)
+	}
+
+	// Draw the schematic.
+	if _, err := h.RunSchematicEntry("anna", cv, func(s *schematic.Schematic) error {
+		if err := s.AddPort("a", schematic.In); err != nil {
+			return err
+		}
+		if err := s.AddPort("y", schematic.Out); err != nil {
+			return err
+		}
+		return s.AddGate("g", schematic.Inv, "y", "a")
+	}, core.RunOpts{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nschematic drawn")
+
+	// The flow itself would allow layout after simulate; the POLICY is
+	// stricter — it wants a simulation in *this session*. Skipping
+	// simulation and forcing the flow shows the policy veto.
+	_, err = h.RunLayoutEntry("anna", cv, nil, core.RunOpts{Force: true})
+	if err != nil {
+		fmt.Println("layout without simulation vetoed by policy:")
+		fmt.Println("   ", err)
+	}
+
+	// Simulate; the post-trigger records it; layout now passes the gate.
+	if _, _, err := h.RunSimulation("anna", cv, []byte("at 0 set a 0\nrun 20\n"), core.RunOpts{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("simulation done (policy noted it)")
+	if _, err := h.RunLayoutEntry("anna", cv, nil, core.RunOpts{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("layout entry allowed after simulation")
+
+	// The administrator freezes the design; everything stops.
+	if _, err := h.Interp.Run("(setq designFreeze t)"); err != nil {
+		log.Fatal(err)
+	}
+	_, err = h.RunSchematicEntry("anna", cv, func(s *schematic.Schematic) error {
+		return s.AddNet("late-change")
+	}, core.RunOpts{})
+	if err != nil {
+		fmt.Println("\nafter (setq designFreeze t) every tool run is vetoed:")
+		fmt.Println("   ", err)
+	}
+
+	// Execution history straight from the master database.
+	fmt.Println("\nactivity execution history (from OMS):")
+	for _, entry := range h.JCF.ExecutionHistory(cv) {
+		fmt.Println("  ", entry)
+	}
+}

@@ -1,0 +1,130 @@
+// Quickstart: the smallest end-to-end tour of the hybrid JCF-FMCAD
+// framework. It creates a team and a project, binds a design cell, runs
+// the full encapsulated tool flow (schematic entry -> simulation ->
+// layout entry) on a half adder, and shows the design-management facts
+// the master recorded along the way.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/jcf"
+	"repro/internal/tools/schematic"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Assemble the coupled framework: JCF 3.0 master, FMCAD slave.
+	h, err := core.NewHybrid(jcf.Release30, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hybrid framework ready; FMCAD data-management menus locked:",
+		h.Hooks.LockedMenus())
+
+	// 2. Administrator work: a user, a team, a project.
+	if _, err := h.JCF.CreateUser("anna"); err != nil {
+		log.Fatal(err)
+	}
+	team, err := h.JCF.CreateTeam("demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	anna, err := h.JCF.User("anna")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.JCF.AddMember(team, anna); err != nil {
+		log.Fatal(err)
+	}
+	project, err := h.JCF.CreateProject("intro", team)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A design cell: one JCF cell version, bound to an FMCAD cell.
+	cv, err := h.NewDesignCell(project, "halfadder", h.DefaultFlowName(), team)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := h.BindingFor(cv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JCF cell version #%d <-> FMCAD cell %q (Table 1 mapping)\n", cv, b.FMCADCell)
+
+	// 4. Reserve the workspace — nobody else can touch this version now.
+	if err := h.JCF.Reserve("anna", cv); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Schematic entry through the encapsulation.
+	sres, err := h.RunSchematicEntry("anna", cv, func(s *schematic.Schematic) error {
+		for _, p := range []struct {
+			name string
+			dir  schematic.PortDir
+		}{{"a", schematic.In}, {"b", schematic.In}, {"sum", schematic.Out}, {"carry", schematic.Out}} {
+			if err := s.AddPort(p.name, p.dir); err != nil {
+				return err
+			}
+		}
+		if err := s.AddGate("x1", schematic.Xor2, "sum", "a", "b"); err != nil {
+			return err
+		}
+		return s.AddGate("a1", schematic.And2, "carry", "a", "b")
+	}, core.RunOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schematic entry done: JCF version %d, FMCAD cellview v%d\n",
+		sres.OutputDOV, sres.SlaveVersion)
+
+	// 6. Simulate a=1, b=1: expect sum=0, carry=1.
+	stim := []byte("at 0 set a 1\nat 0 set b 1\nrun 100\n")
+	_, waves, err := h.RunSimulation("anna", cv, stim, core.RunOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation waves:\n%s", waves)
+
+	// 7. Layout entry (seeded from the schematic).
+	lres, err := h.RunLayoutEntry("anna", cv, nil, core.RunOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layout entry done: derived from schematic version %d\n", lres.InputDOV)
+
+	// 8. What the master knows: flow state and derivations.
+	done, err := h.JCF.FlowComplete(cv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	closure := h.JCF.DerivationClosure(sres.OutputDOV)
+	fmt.Printf("flow complete: %t; versions derived from the schematic: %d\n", done, len(closure))
+
+	// 9. Cross-probe "sum" from schematic to layout through the wrapper.
+	probe := h.EnableCrossProbe("anna")
+	res, err := probe(cv, "sum")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cross-probe %q: %d layout shapes\n", res.Net, len(res.Shapes))
+
+	// 10. Publish so teammates can read.
+	if err := h.JCF.Publish("anna", cv); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("published — other team members can now read and reserve")
+}

@@ -1,0 +1,620 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/fml"
+	"repro/internal/jcf"
+	"repro/internal/oms"
+	"repro/internal/tools/dsim"
+	"repro/internal/tools/layout"
+	"repro/internal/tools/schematic"
+)
+
+// hw is a hybrid world ready for tool runs.
+type hw struct {
+	h       *Hybrid
+	team    oms.OID
+	project oms.OID
+	cv      oms.OID // "alu" v1, bound
+}
+
+func newHW(t *testing.T, release jcf.Release) *hw {
+	t.Helper()
+	h, err := NewHybrid(release, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"anna", "bert", "carl"} {
+		if _, err := h.JCF.CreateUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	team, err := h.JCF.CreateTeam("vlsi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"anna", "bert"} {
+		uid, err := h.JCF.User(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.JCF.AddMember(team, uid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	project, err := h.JCF.CreateProject("chip", team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := h.NewDesignCell(project, "alu", h.DefaultFlowName(), team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &hw{h: h, team: team, project: project, cv: cv}
+}
+
+// drawHalfAdder is the canonical edit used in tests.
+func drawHalfAdder(s *schematic.Schematic) error {
+	for _, p := range []struct {
+		name string
+		dir  schematic.PortDir
+	}{{"a", schematic.In}, {"b", schematic.In}, {"sum", schematic.Out}, {"carry", schematic.Out}} {
+		if err := s.AddPort(p.name, p.dir); err != nil {
+			return err
+		}
+	}
+	if err := s.AddGate("x1", schematic.Xor2, "sum", "a", "b"); err != nil {
+		return err
+	}
+	return s.AddGate("a1", schematic.And2, "carry", "a", "b")
+}
+
+func TestMappingTable(t *testing.T) {
+	rows := MappingTable()
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has %d rows, want 5", len(rows))
+	}
+	want := []MappingRow{
+		{"Project", "Library"},
+		{"CellVersion", "Cell"},
+		{"ViewType", "View"},
+		{"DesignObject", "Cellview"},
+		{"DesignObjectVersion", "Cellview Version"},
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+	txt := RenderMappingTable()
+	for _, s := range []string{"JCF object", "FMCAD object", "Project", "Library", "Cellview Version"} {
+		if !strings.Contains(txt, s) {
+			t.Errorf("rendered table missing %q", s)
+		}
+	}
+}
+
+func TestHybridSetup(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	// The slave library carries the views and the bound cell.
+	if got := w.h.Lib.Views(); len(got) != 4 {
+		t.Fatalf("views = %v", got)
+	}
+	if got := w.h.Bindings(); len(got) != 1 || got[0] != "alu_v1" {
+		t.Fatalf("bindings = %v", got)
+	}
+	b, err := w.h.BindingFor(w.cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FMCADCell != "alu_v1" || len(b.DesignObjects) != 3 {
+		t.Fatalf("binding = %+v", b)
+	}
+	cv, err := w.h.CellVersionFor("alu_v1")
+	if err != nil || cv != w.cv {
+		t.Fatal("inverse mapping")
+	}
+	if _, err := w.h.CellVersionFor("ghost"); err == nil {
+		t.Fatal("unbound cell resolved")
+	}
+	if _, err := w.h.BindingFor(oms.OID(9999)); err == nil {
+		t.Fatal("unbound version resolved")
+	}
+	if problems := w.h.VerifyMapping(); len(problems) != 0 {
+		t.Fatalf("VerifyMapping = %v", problems)
+	}
+	// The FML customization locked the native menus.
+	for _, menu := range lockedMenus {
+		if !w.h.MenuLocked(menu) {
+			t.Errorf("menu %q not locked", menu)
+		}
+		if err := w.h.InvokeNativeMenu(menu); err == nil {
+			t.Errorf("locked menu %q invokable", menu)
+		}
+	}
+	if w.h.MenuLocked("View>ZoomIn") {
+		t.Error("unrelated menu locked")
+	}
+}
+
+func TestSchematicEntryRun(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	// Without a reservation the activity is refused by the master.
+	_, err := w.h.RunSchematicEntry("anna", w.cv, drawHalfAdder, RunOpts{})
+	if !errors.Is(err, jcf.ErrNotReserved) {
+		t.Fatalf("unreserved run: %v", err)
+	}
+	if err := w.h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.h.RunSchematicEntry("anna", w.cv, drawHalfAdder, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputDOV == oms.InvalidOID || res.SlaveVersion != 2 || res.Forced {
+		t.Fatalf("result = %+v", res)
+	}
+	// Both sides hold the data: slave cellview version 2 and master DOV 1.
+	data, err := w.h.Lib.ReadVersion("alu_v1", ViewSchematic, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := schematic.Parse(data)
+	if err != nil || len(sch.Gates()) != 2 {
+		t.Fatalf("slave data: %v", err)
+	}
+	b, _ := w.h.BindingFor(w.cv)
+	if w.h.JCF.LatestVersion(b.DesignObjects[ViewSchematic]) != res.OutputDOV {
+		t.Fatal("master missing DOV")
+	}
+	// The slave version is tagged with the JCF version (Table 1 row 5).
+	val, ok, err := w.h.Lib.GetProperty("alu_v1", ViewSchematic, 2, PropJCFVersion)
+	if err != nil || !ok || val == "" {
+		t.Fatalf("property = %q,%t,%v", val, ok, err)
+	}
+	// Activity is done in the flow.
+	st, err := w.h.JCF.ActivityState(w.cv, ActSchematicEntry)
+	if err != nil || st != flow.Done {
+		t.Fatalf("activity state = %s, %v", st, err)
+	}
+	// A failing edit cancels cleanly: no new version, lock released.
+	_, err = w.h.RunSchematicEntry("anna", w.cv, func(*schematic.Schematic) error {
+		return errors.New("user abort")
+	}, RunOpts{})
+	if err == nil {
+		t.Fatal("failing edit succeeded")
+	}
+	if who, _ := w.h.Lib.LockedBy("alu_v1", ViewSchematic); who != "" {
+		t.Fatalf("slave lock leaked to %q", who)
+	}
+	// An invalid schematic (two drivers) is rejected by the wrapper.
+	_, err = w.h.RunSchematicEntry("anna", w.cv, func(s *schematic.Schematic) error {
+		return s.AddGate("dup", schematic.Buf, "sum", "a")
+	}, RunOpts{})
+	if err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("invalid schematic: %v", err)
+	}
+}
+
+func TestFlowEnforcementAndForce(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	if err := w.h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	// Simulation before schematic entry: refused by the flow.
+	_, _, err := w.h.RunSimulation("anna", w.cv, []byte("run 10\n"), RunOpts{})
+	if !errors.Is(err, flow.ErrOrder) {
+		t.Fatalf("out-of-order simulate: %v", err)
+	}
+	// Layout before schematic with Force: the wrapper path — consistency
+	// window, then failure only because there is no schematic data yet.
+	_, err = w.h.RunLayoutEntry("anna", w.cv, nil, RunOpts{Force: true})
+	if err == nil || !strings.Contains(err.Error(), "no checked-in version") {
+		t.Fatalf("forced layout without data: %v", err)
+	}
+	if w.h.Overrides() != 1 {
+		t.Fatalf("Overrides = %d", w.h.Overrides())
+	}
+	// The FML consistency-window trigger fired and bumped its counter.
+	if v, ok := w.h.Interp.Global.Lookup("jcfConsistencyWindows"); !ok || fmlInt(v) != 1 {
+		t.Fatalf("jcfConsistencyWindows = %v, %t", v, ok)
+	}
+	if w.h.Hooks.Fired("consistency-window") != 1 {
+		t.Fatalf("window fired %d times", w.h.Hooks.Fired("consistency-window"))
+	}
+
+	// Do it properly now.
+	if _, err := w.h.RunSchematicEntry("anna", w.cv, drawHalfAdder, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	stim := []byte("at 0 set a 1\nat 0 set b 1\nrun 100\n")
+	res, waves, err := w.h.RunSimulation("anna", w.cv, stim, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waves) == 0 {
+		t.Fatal("no waveform output")
+	}
+	if !strings.Contains(string(waves), "carry 1") {
+		t.Fatalf("waves missing carry:\n%s", waves)
+	}
+	// Derivation recorded: schematic version -> waveform version.
+	if res.InputDOV == oms.InvalidOID {
+		t.Fatal("no input DOV")
+	}
+	derived := w.h.JCF.Derivatives(res.InputDOV)
+	if len(derived) != 1 || derived[0] != res.OutputDOV {
+		t.Fatalf("derivation = %v", derived)
+	}
+	// Layout follows, deriving from the schematic too.
+	lres, err := w.h.RunLayoutEntry("anna", w.cv, nil, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closure := w.h.JCF.DerivationClosure(res.InputDOV)
+	if len(closure) != 2 {
+		t.Fatalf("closure = %v (want waveform %d and layout %d)", closure, res.OutputDOV, lres.OutputDOV)
+	}
+	done, err := w.h.JCF.FlowComplete(w.cv)
+	if err != nil || !done {
+		t.Fatalf("flow complete = %t, %v", done, err)
+	}
+}
+
+func TestSimulationOfHierarchicalDesign(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	// A child cell with an inverter.
+	childCV, err := h.NewDesignCell(w.project, "invcell", h.DefaultFlowName(), w.team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JCF.Reserve("anna", childCV); err != nil {
+		t.Fatal(err)
+	}
+	_, err = h.RunSchematicEntry("anna", childCV, func(s *schematic.Schematic) error {
+		if err := s.AddPort("in", schematic.In); err != nil {
+			return err
+		}
+		if err := s.AddPort("out", schematic.Out); err != nil {
+			return err
+		}
+		return s.AddGate("i1", schematic.Inv, "out", "in")
+	}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JCF.Publish("anna", childCV); err != nil {
+		t.Fatal(err)
+	}
+	// Parent: submit hierarchy first (3.0 rule), then instantiate.
+	if err := h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SubmitHierarchyManual(w.cv, childCV); err != nil {
+		t.Fatal(err)
+	}
+	_, err = h.RunSchematicEntry("anna", w.cv, func(s *schematic.Schematic) error {
+		if err := s.AddPort("a", schematic.In); err != nil {
+			return err
+		}
+		if err := s.AddPort("y", schematic.Out); err != nil {
+			return err
+		}
+		if err := s.AddInstance("u1", "invcell_v1", ViewSchematic); err != nil {
+			return err
+		}
+		if err := s.Connect("u1", "in", "a"); err != nil {
+			return err
+		}
+		return s.Connect("u1", "out", "y")
+	}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate across the hierarchy: the resolver loads the child through
+	// the master database.
+	stim := []byte("at 0 set a 0\nrun 50\n")
+	_, waves, err := h.RunSimulation("anna", w.cv, stim, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(waves), "y 1") {
+		t.Fatalf("hierarchical inversion missing:\n%s", waves)
+	}
+}
+
+func TestNonIsomorphicRejectedOn30(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	// Child cell (pad) with only a layout presence.
+	padCV, err := h.NewDesignCell(w.project, "pad", h.DefaultFlowName(), w.team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = padCV
+	if err := h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunSchematicEntry("anna", w.cv, drawHalfAdder, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	stim := []byte("at 0 set a 1\nat 0 set b 0\nrun 50\n")
+	if _, _, err := h.RunSimulation("anna", w.cv, stim, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// Layout edit adds a pad instance that the schematic does not have:
+	// non-isomorphic, rejected under the 3.0 master.
+	_, err = h.RunLayoutEntry("anna", w.cv, func(l *layout.Layout) error {
+		return l.AddInstance("p1", "pad_v1", ViewLayout, 0, 0)
+	}, RunOpts{})
+	if !errors.Is(err, jcf.ErrUnsupported) {
+		t.Fatalf("non-isomorphic layout on 3.0: %v", err)
+	}
+	// The same edit under a 4.0 master succeeds.
+	w4 := newHW(t, jcf.Release40)
+	if _, err := w4.h.NewDesignCell(w4.project, "pad", w4.h.DefaultFlowName(), w4.team); err != nil {
+		t.Fatal(err)
+	}
+	if err := w4.h.JCF.Reserve("anna", w4.cv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w4.h.RunSchematicEntry("anna", w4.cv, drawHalfAdder, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w4.h.RunSimulation("anna", w4.cv, stim, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w4.h.RunLayoutEntry("anna", w4.cv, func(l *layout.Layout) error {
+		return l.AddInstance("p1", "pad_v1", ViewLayout, 0, 0)
+	}, RunOpts{}); err != nil {
+		t.Fatalf("non-isomorphic layout on 4.0: %v", err)
+	}
+}
+
+func TestParallelVersionsOfOneCellview(t *testing.T) {
+	// Section 3.1: impossible in FMCAD, possible in the hybrid because
+	// cell versions map to distinct slave cells.
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	cell, err := h.JCF.Cell(w.project, "alu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv2, err := h.NewCellVersion(cell, h.DefaultFlowName(), w.team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JCF.Reserve("bert", cv2); err != nil {
+		t.Fatal(err)
+	}
+	// Both users run schematic entry on "the same cellview" (alu /
+	// schematic) in parallel — distinct slave cells make it legal.
+	if _, err := h.RunSchematicEntry("anna", w.cv, drawHalfAdder, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunSchematicEntry("bert", cv2, drawHalfAdder, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Lib.Conflicts() != 0 {
+		t.Fatalf("slave conflicts = %d", h.Lib.Conflicts())
+	}
+}
+
+func TestAddSchematicInstanceHierarchyRules(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	childCV, err := h.NewDesignCell(w.project, "sub", h.DefaultFlowName(), w.team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	// Without desktop submission, 3.0 refuses.
+	_, err = h.AddSchematicInstance("anna", w.cv, childCV, "u1", nil, RunOpts{})
+	if err == nil || !strings.Contains(err.Error(), "manual submission") {
+		t.Fatalf("instance without hierarchy: %v", err)
+	}
+	// After submission it works.
+	if err := h.SubmitHierarchyManual(w.cv, childCV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddSchematicInstance("anna", w.cv, childCV, "u1", map[string]string{"clk": "clk"}, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// The design now matches the declared hierarchy.
+	problems, err := h.HierarchyMatchesDesign(w.cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("HierarchyMatchesDesign = %v", problems)
+	}
+}
+
+func TestSyncHierarchyFromDesign(t *testing.T) {
+	// 3.0: unsupported. 4.0: reads inst lines and submits typed edges.
+	w := newHW(t, jcf.Release30)
+	if _, err := w.h.SyncHierarchyFromDesign(w.cv); !errors.Is(err, jcf.ErrUnsupported) {
+		t.Fatalf("sync on 3.0: %v", err)
+	}
+
+	w4 := newHW(t, jcf.Release40)
+	h := w4.h
+	childCV, err := h.NewDesignCell(w4.project, "sub", h.DefaultFlowName(), w4.team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JCF.Reserve("anna", w4.cv); err != nil {
+		t.Fatal(err)
+	}
+	// On 4.0 AddSchematicInstance auto-submits procedurally.
+	if _, err := h.AddSchematicInstance("anna", w4.cv, childCV, "u1", nil, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	edges, err := h.SyncHierarchyFromDesign(w4.cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 1 {
+		t.Fatalf("edges = %d", edges)
+	}
+	kids, err := h.JCF.TypedChildren(w4.cv, ViewSchematic)
+	if err != nil || len(kids) != 1 || kids[0] != childCV {
+		t.Fatalf("typed children = %v, %v", kids, err)
+	}
+}
+
+func TestCrossProbe(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	if err := h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunSchematicEntry("anna", w.cv, drawHalfAdder, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	stim := []byte("at 0 set a 1\nat 0 set b 1\nrun 50\n")
+	if _, _, err := h.RunSimulation("anna", w.cv, stim, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunLayoutEntry("anna", w.cv, nil, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	probe := h.EnableCrossProbe("anna")
+	res, err := probe(w.cv, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net != "sum" || len(res.Shapes) == 0 {
+		t.Fatalf("probe = %+v", res)
+	}
+	// An outsider's probe is denied by the wrapper (closed-interface
+	// guard): carl is no team member and the version is unpublished.
+	probeCarl := h.EnableCrossProbe("carl")
+	if _, err := probeCarl(w.cv, "sum"); err == nil {
+		t.Fatal("outsider probe allowed")
+	}
+	// After publish, reading is fine.
+	if err := h.JCF.Publish("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probeCarl(w.cv, "sum"); err != nil {
+		t.Fatalf("published probe: %v", err)
+	}
+	if h.Bus.Delivered("crossprobe") == 0 {
+		t.Fatal("no ITC traffic")
+	}
+}
+
+func TestFeatureMatrix(t *testing.T) {
+	feats := FeatureMatrix()
+	if len(feats) < 12 {
+		t.Fatalf("matrix rows = %d", len(feats))
+	}
+	byName := map[string]Feature{}
+	for _, f := range feats {
+		byName[f.Capability] = f
+	}
+	// Spot-check the paper's headline claims.
+	f := byName["parallel work on versions of one cellview"]
+	if f.FMCAD != No || f.Hybrid != Yes {
+		t.Fatalf("3.1 row = %+v", f)
+	}
+	f = byName["flow management (forced flows)"]
+	if f.FMCAD != No || f.JCF != Yes || f.Hybrid != Yes {
+		t.Fatalf("3.5 row = %+v", f)
+	}
+	f = byName["non-isomorphic hierarchies"]
+	if f.FMCAD != Yes || f.Hybrid != No {
+		t.Fatalf("3.3 row = %+v", f)
+	}
+	f = byName["direct (copy-free) tool access to design files"]
+	if f.FMCAD != Yes || f.Hybrid != No {
+		t.Fatalf("3.6 row = %+v", f)
+	}
+	txt := RenderFeatureMatrix()
+	if !strings.Contains(txt, "FMCAD") || !strings.Contains(txt, "hybrid") {
+		t.Fatal("render broken")
+	}
+	if No.String() != "no" || Partial.String() != "partial" || Yes.String() != "yes" {
+		t.Fatal("support strings")
+	}
+	if Support(9).String() != "?" {
+		t.Fatal("unknown support")
+	}
+}
+
+func TestUIContexts(t *testing.T) {
+	for env, want := range map[string]int{"fmcad": 1, "jcf": 1, "hybrid": 2} {
+		got, err := UIContexts(env)
+		if err != nil || got != want {
+			t.Errorf("UIContexts(%s) = %d, %v", env, got, err)
+		}
+	}
+	if _, err := UIContexts("bogus"); err == nil {
+		t.Fatal("unknown environment accepted")
+	}
+}
+
+func TestSimulatorBehindFlattenResolver(t *testing.T) {
+	// The resolver denies access to unpublished children for other users.
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	childCV, err := h.NewDesignCell(w.project, "secret", h.DefaultFlowName(), w.team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JCF.Reserve("bert", childCV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunSchematicEntry("bert", childCV, func(s *schematic.Schematic) error {
+		if err := s.AddPort("in", schematic.In); err != nil {
+			return err
+		}
+		if err := s.AddPort("out", schematic.Out); err != nil {
+			return err
+		}
+		return s.AddGate("g", schematic.Inv, "out", "in")
+	}, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// bert's child is NOT published; anna's resolver cannot read it.
+	resolver := h.SchematicResolver("anna")
+	if _, err := resolver("secret_v1", ViewSchematic); !errors.Is(err, jcf.ErrNotPublished) {
+		t.Fatalf("resolver read unpublished: %v", err)
+	}
+	_ = dsim.MapResolver // keep import
+}
+
+// fmlInt extracts an int64 from an FML value, or -1.
+func fmlInt(v any) int64 {
+	if i, ok := v.(fml.Int); ok {
+		return int64(i)
+	}
+	return -1
+}
+
+func TestCellBase(t *testing.T) {
+	for in, want := range map[string]string{
+		"alu_v1":  "alu",
+		"alu_v12": "alu",
+		"alu":     "alu",
+		"alu_vx":  "alu_vx",
+		"a_v":     "a_v",
+		"pad_v2":  "pad",
+		"x_v1_v2": "x_v1",
+	} {
+		if got := cellBase(in); got != want {
+			t.Errorf("cellBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

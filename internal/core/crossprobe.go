@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/itc"
+	"repro/internal/oms"
+	"repro/internal/tools/layout"
+)
+
+// Cross-probing under the coupling. Natively, FMCAD's schematic and layout
+// editors exchange selections over ITC. "Due to the closed interfaces of
+// JCF, FMCAD's ITC could not be used normally. Special wrappers and
+// additional software helped to reduce potential drawbacks" (section 2.4):
+// the hybrid installs a wrapper that answers cross-probes only after
+// checking JCF read permission and by staging the layout data out of the
+// master database.
+
+// CrossProbeResult is the layout editor's answer to a cross-probe.
+type CrossProbeResult struct {
+	Net    string
+	Shapes []layout.Rect
+}
+
+// EnableCrossProbe installs the guarded cross-probe wrapper for a user.
+// It returns a function that performs a probe (schematic -> layout) on a
+// bound cell version, and subscribes the wrapper on the ITC bus so native
+// publications are also answered.
+func (h *Hybrid) EnableCrossProbe(user string) func(cv oms.OID, net string) (CrossProbeResult, error) {
+	probe := func(cv oms.OID, net string) (CrossProbeResult, error) {
+		binding, err := h.BindingFor(cv)
+		if err != nil {
+			return CrossProbeResult{}, err
+		}
+		// The wrapper's JCF permission gate.
+		if !h.JCF.CanRead(user, cv) {
+			return CrossProbeResult{}, fmt.Errorf("core: cross-probe denied: user %s may not read this cell version", user)
+		}
+		do, ok := binding.DesignObjects[ViewLayout]
+		if !ok {
+			return CrossProbeResult{}, fmt.Errorf("core: no layout design object")
+		}
+		dov := h.JCF.LatestVersion(do)
+		if dov == oms.InvalidOID {
+			return CrossProbeResult{}, fmt.Errorf("core: no layout version checked in yet")
+		}
+		staged := h.stagePath(user, binding.FMCADCell+".probe.lay")
+		if err := h.JCF.CheckOutData(user, dov, staged); err != nil {
+			return CrossProbeResult{}, err
+		}
+		data, err := os.ReadFile(staged)
+		if err != nil {
+			return CrossProbeResult{}, err
+		}
+		lay, err := layout.Parse(data)
+		if err != nil {
+			return CrossProbeResult{}, err
+		}
+		// Publish on the bus so other subscribed tools see the selection.
+		if err := h.Bus.Publish(itc.CrossProbe("schematic-editor", binding.FMCADCell, ViewSchematic, net)); err != nil {
+			return CrossProbeResult{}, err
+		}
+		return CrossProbeResult{Net: net, Shapes: lay.NetShapes(net)}, nil
+	}
+
+	// The wrapper also answers probes other tools publish natively.
+	h.Bus.Subscribe(itc.TopicCrossProbe, "jcf-wrapper", func(m itc.Message) error {
+		cell := m.Fields["cell"]
+		if cell == "" {
+			return fmt.Errorf("core: cross-probe without cell")
+		}
+		cv, err := h.CellVersionFor(cell)
+		if err != nil {
+			return err
+		}
+		if !h.JCF.CanRead(user, cv) {
+			return fmt.Errorf("core: cross-probe denied for %s", user)
+		}
+		return nil
+	})
+	return probe
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The section 3 evaluation distilled into a capability matrix. Each row is
+// one criterion the paper discusses, with the support level in standalone
+// FMCAD, standalone JCF 3.0, and the hybrid JCF-FMCAD framework.
+
+// Support is a capability level.
+type Support int
+
+// Capability levels.
+const (
+	No Support = iota
+	Partial
+	Yes
+)
+
+// String returns "no", "partial" or "yes".
+func (s Support) String() string {
+	switch s {
+	case No:
+		return "no"
+	case Partial:
+		return "partial"
+	case Yes:
+		return "yes"
+	}
+	return "?"
+}
+
+// Feature is one capability row.
+type Feature struct {
+	Capability string
+	Section    string // paper section making the claim
+	FMCAD      Support
+	JCF        Support
+	Hybrid     Support
+	Note       string
+}
+
+// FeatureMatrix returns the section 3 evaluation as data. The hybrid
+// column is the paper's headline: it inherits JCF's design-management
+// strengths and FMCAD's tool strengths, with the documented restrictions
+// (non-isomorphic hierarchies, extra UI, forced flows).
+func FeatureMatrix() []Feature {
+	return []Feature{
+		{
+			Capability: "integrated design tools",
+			Section:    "2.2",
+			FMCAD:      Yes, JCF: No, Hybrid: Yes,
+			Note: "schematic entry, layout editor, digital simulator",
+		},
+		{
+			Capability: "extension-language customization",
+			Section:    "2.2",
+			FMCAD:      Yes, JCF: No, Hybrid: Yes,
+			Note: "FML procedures; used to lock menus and install triggers",
+		},
+		{
+			Capability: "inter-tool communication (cross-probing)",
+			Section:    "2.4",
+			FMCAD:      Yes, JCF: No, Hybrid: Partial,
+			Note: "ITC works through permission-checking wrappers only",
+		},
+		{
+			Capability: "per-cell multi-user isolation",
+			Section:    "3.1",
+			FMCAD:      No, JCF: Yes, Hybrid: Yes,
+			Note: "FMCAD has one .meta per library; JCF reserves per cell version",
+		},
+		{
+			Capability: "parallel work on versions of one cellview",
+			Section:    "3.1",
+			FMCAD:      No, JCF: Yes, Hybrid: Yes,
+			Note: "hybrid maps each JCF cell version to its own FMCAD cell",
+		},
+		{
+			Capability: "data sharing between projects",
+			Section:    "3.1",
+			FMCAD:      No, JCF: No, Hybrid: No,
+			Note: "future work; implemented here behind jcf.Release40",
+		},
+		{
+			Capability: "two-level versioning (cell versions + variants)",
+			Section:    "3.2",
+			FMCAD:      No, JCF: Yes, Hybrid: Yes,
+			Note: "FMCAD has only flat cellview versions",
+		},
+		{
+			Capability: "separated hierarchy metadata with consistency checks",
+			Section:    "3.2",
+			FMCAD:      No, JCF: Yes, Hybrid: Yes,
+			Note: "FMCAD hides hierarchy inside design files",
+		},
+		{
+			Capability: "user/team/tool/flow entity management",
+			Section:    "3.2",
+			FMCAD:      No, JCF: Yes, Hybrid: Yes,
+			Note: "these entities cannot be distinguished within FMCAD",
+		},
+		{
+			Capability: "flexible hierarchy manipulation",
+			Section:    "3.3",
+			FMCAD:      Yes, JCF: No, Hybrid: Partial,
+			Note: "hybrid requires manual desktop submission before design",
+		},
+		{
+			Capability: "non-isomorphic hierarchies",
+			Section:    "3.3",
+			FMCAD:      Yes, JCF: No, Hybrid: No,
+			Note: "JCF 3.0 master cannot represent them; future release will",
+		},
+		{
+			Capability: "single user interface",
+			Section:    "3.4",
+			FMCAD:      Yes, JCF: Yes, Hybrid: No,
+			Note: "the designer works with both the FMCAD and JCF desktops",
+		},
+		{
+			Capability: "flow management (forced flows)",
+			Section:    "3.5",
+			FMCAD:      No, JCF: Yes, Hybrid: Yes,
+			Note: "order prescribed and fixed; quality by forced execution",
+		},
+		{
+			Capability: "derivation relations (what-belongs-to-what)",
+			Section:    "3.5",
+			FMCAD:      No, JCF: Yes, Hybrid: Yes,
+			Note: "recorded automatically by the encapsulation",
+		},
+		{
+			Capability: "direct (copy-free) tool access to design files",
+			Section:    "3.6",
+			FMCAD:      Yes, JCF: No, Hybrid: No,
+			Note: "hybrid copies to/from the OMS database even for reads",
+		},
+	}
+}
+
+// RenderFeatureMatrix prints the capability matrix as a text table.
+func RenderFeatureMatrix() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %-6s %-8s %-8s %-8s\n", "capability", "sect.", "FMCAD", "JCF", "hybrid")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 86))
+	for _, f := range FeatureMatrix() {
+		fmt.Fprintf(&b, "%-52s %-6s %-8s %-8s %-8s\n", f.Capability, f.Section, f.FMCAD, f.JCF, f.Hybrid)
+	}
+	return b.String()
+}
+
+// UIContexts returns the number of distinct user interfaces a designer
+// must operate in each environment (section 3.4): plain FMCAD or plain
+// JCF need one; the hybrid prototype needs both.
+func UIContexts(environment string) (int, error) {
+	switch environment {
+	case "fmcad", "jcf":
+		return 1, nil
+	case "hybrid":
+		return 2, nil
+	}
+	return 0, fmt.Errorf("core: unknown environment %q", environment)
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fml"
+	"repro/internal/oms"
+)
+
+// FML bindings: the paper's customization was "extended by several
+// extension language procedures" (section 2.4). InstallFMLBindings gives
+// FML scripts real desktop access so site-specific policy can be written
+// in the slave's own language — the same trick the prototype used.
+//
+// Exposed functions (OIDs travel as FML ints):
+//
+//	(jcfReserve "user" cv)        reserve a cell version
+//	(jcfRelease "user" cv)        drop a reservation
+//	(jcfPublish "user" cv)        publish a cell version
+//	(jcfReservedBy cv)            holder name or nil
+//	(jcfPublished cv)             t / nil
+//	(jcfStartable cv)             list of startable activity names
+//	(jcfChildren cv)              list of child cell version OIDs
+//	(jcfConsistencyProblems)      number of problems in the master
+//	(fmCells)                     list of slave cell names
+//	(fmLockedBy "cell" "view")    checkout holder or nil
+//	(hybridOverrides)             forced-run count
+func (h *Hybrid) InstallFMLBindings() {
+	reg := h.Interp.RegisterFunc
+
+	oid := func(v fml.Value) (oms.OID, error) {
+		i, ok := v.(fml.Int)
+		if !ok {
+			return oms.InvalidOID, fmt.Errorf("want an OID (int), got %s", fml.Sprint(v))
+		}
+		return oms.OID(i), nil
+	}
+	str := func(v fml.Value) (string, error) {
+		s, ok := v.(fml.Str)
+		if !ok {
+			return "", fmt.Errorf("want a string, got %s", fml.Sprint(v))
+		}
+		return string(s), nil
+	}
+
+	reg("jcfReserve", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("jcfReserve wants user and cv")
+		}
+		user, err := str(args[0])
+		if err != nil {
+			return nil, err
+		}
+		cv, err := oid(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := h.JCF.Reserve(user, cv); err != nil {
+			return fml.Nil{}, nil // policy scripts branch on nil, not errors
+		}
+		return fml.Bool{}, nil
+	})
+	reg("jcfRelease", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("jcfRelease wants user and cv")
+		}
+		user, err := str(args[0])
+		if err != nil {
+			return nil, err
+		}
+		cv, err := oid(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := h.JCF.ReleaseReservation(user, cv); err != nil {
+			return fml.Nil{}, nil
+		}
+		return fml.Bool{}, nil
+	})
+	reg("jcfPublish", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("jcfPublish wants user and cv")
+		}
+		user, err := str(args[0])
+		if err != nil {
+			return nil, err
+		}
+		cv, err := oid(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := h.JCF.Publish(user, cv); err != nil {
+			return fml.Nil{}, nil
+		}
+		return fml.Bool{}, nil
+	})
+	reg("jcfReservedBy", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("jcfReservedBy wants cv")
+		}
+		cv, err := oid(args[0])
+		if err != nil {
+			return nil, err
+		}
+		holder, held := h.JCF.ReservedBy(cv)
+		if !held {
+			return fml.Nil{}, nil
+		}
+		return fml.Str(holder), nil
+	})
+	reg("jcfPublished", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("jcfPublished wants cv")
+		}
+		cv, err := oid(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if h.JCF.Published(cv) {
+			return fml.Bool{}, nil
+		}
+		return fml.Nil{}, nil
+	})
+	reg("jcfStartable", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("jcfStartable wants cv")
+		}
+		cv, err := oid(args[0])
+		if err != nil {
+			return nil, err
+		}
+		names, err := h.JCF.StartableActivities(cv)
+		if err != nil {
+			return fml.Nil{}, nil
+		}
+		out := make(fml.List, len(names))
+		for i, n := range names {
+			out[i] = fml.Str(n)
+		}
+		return out, nil
+	})
+	reg("jcfChildren", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("jcfChildren wants cv")
+		}
+		cv, err := oid(args[0])
+		if err != nil {
+			return nil, err
+		}
+		kids := h.JCF.Children(cv)
+		out := make(fml.List, len(kids))
+		for i, k := range kids {
+			out[i] = fml.Int(k)
+		}
+		return out, nil
+	})
+	reg("jcfConsistencyProblems", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("jcfConsistencyProblems wants no args")
+		}
+		return fml.Int(len(h.JCF.CheckConsistency())), nil
+	})
+	reg("fmCells", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("fmCells wants no args")
+		}
+		cells := h.Lib.Cells()
+		out := make(fml.List, len(cells))
+		for i, c := range cells {
+			out[i] = fml.Str(c)
+		}
+		return out, nil
+	})
+	reg("fmLockedBy", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("fmLockedBy wants cell and view")
+		}
+		cell, err := str(args[0])
+		if err != nil {
+			return nil, err
+		}
+		view, err := str(args[1])
+		if err != nil {
+			return nil, err
+		}
+		holder, err := h.Lib.LockedBy(cell, view)
+		if err != nil {
+			return fml.Nil{}, nil
+		}
+		if holder == "" {
+			return fml.Nil{}, nil
+		}
+		return fml.Str(holder), nil
+	})
+	reg("hybridOverrides", func(_ *fml.Interp, args []fml.Value) (fml.Value, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("hybridOverrides wants no args")
+		}
+		return fml.Int(h.Overrides()), nil
+	})
+}
+
+// InstallPolicy runs a customization script after installing the desktop
+// bindings — the entry point for site-specific FML policy (e.g. a trigger
+// that vetoes activities while consistency problems exist).
+func (h *Hybrid) InstallPolicy(script string) error {
+	h.InstallFMLBindings()
+	if _, err := h.Interp.Run(script); err != nil {
+		return fmt.Errorf("core: policy script: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/fml"
+	"repro/internal/jcf"
+)
+
+func TestFMLBindings(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	h.InstallFMLBindings()
+
+	eval := func(src string) fml.Value {
+		t.Helper()
+		v, err := h.Interp.Run(src)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", src, err)
+		}
+		return v
+	}
+	cvLit := fml.Sprint(fml.Int(w.cv))
+
+	// Reserve through FML, verify through Go and back through FML.
+	if v := eval(`(jcfReserve "anna" ` + cvLit + `)`); !fml.Truthy(v) {
+		t.Fatal("jcfReserve failed")
+	}
+	if holder, held := h.JCF.ReservedBy(w.cv); !held || holder != "anna" {
+		t.Fatalf("reservation = %q,%t", holder, held)
+	}
+	if v := eval(`(jcfReservedBy ` + cvLit + `)`); fml.Display(v) != "anna" {
+		t.Fatalf("jcfReservedBy = %s", fml.Sprint(v))
+	}
+	// A second reserve returns nil, not an error (policy-friendly).
+	if v := eval(`(jcfReserve "bert" ` + cvLit + `)`); fml.Truthy(v) {
+		t.Fatal("double reserve succeeded")
+	}
+	// Startable activities.
+	v := eval(`(jcfStartable ` + cvLit + `)`)
+	lst, ok := v.(fml.List)
+	if !ok || len(lst) != 1 || fml.Display(lst[0]) != ActSchematicEntry {
+		t.Fatalf("jcfStartable = %s", fml.Sprint(v))
+	}
+	// Publish and read publication state.
+	if v := eval(`(jcfPublished ` + cvLit + `)`); fml.Truthy(v) {
+		t.Fatal("published before publish")
+	}
+	if v := eval(`(jcfPublish "anna" ` + cvLit + `)`); !fml.Truthy(v) {
+		t.Fatal("jcfPublish failed")
+	}
+	if v := eval(`(jcfPublished ` + cvLit + `)`); !fml.Truthy(v) {
+		t.Fatal("not published after publish")
+	}
+	// Slave-side views.
+	v = eval(`(fmCells)`)
+	if lst, ok := v.(fml.List); !ok || len(lst) != 1 || fml.Display(lst[0]) != "alu_v1" {
+		t.Fatalf("fmCells = %s", fml.Sprint(v))
+	}
+	if v := eval(`(fmLockedBy "alu_v1" "schematic")`); fml.Truthy(v) {
+		t.Fatal("phantom lock")
+	}
+	if v := eval(`(jcfConsistencyProblems)`); fml.Sprint(v) != "0" {
+		t.Fatalf("consistency = %s", fml.Sprint(v))
+	}
+	if v := eval(`(jcfChildren ` + cvLit + `)`); fml.Truthy(v) {
+		t.Fatal("phantom children")
+	}
+	if v := eval(`(hybridOverrides)`); fml.Sprint(v) != "0" {
+		t.Fatalf("overrides = %s", fml.Sprint(v))
+	}
+	// Argument errors do error out.
+	for _, src := range []string{
+		`(jcfReserve "anna")`,
+		`(jcfReserve 1 2)`,
+		`(jcfReservedBy "x")`,
+		`(fmLockedBy "a")`,
+		`(jcfConsistencyProblems 1)`,
+	} {
+		if _, err := h.Interp.Run(src); err == nil {
+			t.Errorf("%s succeeded", src)
+		}
+	}
+}
+
+func TestInstallPolicyVeto(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	// Site policy: veto every activity while the master has consistency
+	// problems; also veto layout entry on Fridays — here simplified to a
+	// global switch the test flips.
+	policy := `
+(setq designFreeze nil)
+(hiRegTrigger "preActivity"
+  (lambda (activity)
+    (when designFreeze (error "design freeze in effect:" activity))))
+`
+	if err := h.InstallPolicy(policy); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze off: runs fine.
+	if _, err := h.RunSchematicEntry("anna", w.cv, drawHalfAdder, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze on: the FML trigger vetoes the run before anything happens.
+	if _, err := h.Interp.Run("(setq designFreeze t)"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := h.RunSchematicEntry("anna", w.cv, drawHalfAdder, RunOpts{})
+	if err == nil || !strings.Contains(err.Error(), "design freeze") {
+		t.Fatalf("policy veto missing: %v", err)
+	}
+	// Bad policy scripts report errors.
+	if err := h.InstallPolicy("(unbound-fn)"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestSlaveSyncCheckAndAblation(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	if err := h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunSchematicEntry("anna", w.cv, drawHalfAdder, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// Through the encapsulation everything is tagged: no problems.
+	problems, err := h.SlaveSyncCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean world has sync problems: %v", problems)
+	}
+	// With menu locks in place the native path is blocked.
+	if err := h.InvokeNativeMenu("File>CheckIn"); err == nil {
+		t.Fatal("locked menu invokable")
+	}
+	// Ablation: unlock the menus and bypass the master via the slave's
+	// own checkout/checkin.
+	h.UnlockNativeMenus()
+	if err := h.InvokeNativeMenu("File>CheckIn"); err != nil {
+		t.Fatalf("unlocked menu refused: %v", err)
+	}
+	session := h.Lib.NewSession("rogue")
+	wf, err := session.Checkout("alu_v1", ViewSchematic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wf.Path, []byte("schematic alu_v1\nnet rogue\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.Checkin(wf); err != nil {
+		t.Fatal(err)
+	}
+	problems, err = h.SlaveSyncCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("bypass not detected: %v", problems)
+	}
+	if problems[0].Cell != "alu_v1" || problems[0].View != ViewSchematic {
+		t.Fatalf("problem = %+v", problems[0])
+	}
+	if !strings.Contains(problems[0].String(), "no JCF version tag") {
+		t.Fatalf("problem text = %s", problems[0])
+	}
+}

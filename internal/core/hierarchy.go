@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fmcad"
+	"repro/internal/jcf"
+	"repro/internal/oms"
+	"repro/internal/tools/schematic"
+)
+
+// Hierarchy handling (section 3.3): "The existing JCF-FMCAD prototype
+// requires that all hierarchical manipulations must be done manually via
+// the JCF desktop before the design is started. In the future, this
+// drawback could be overcome by a JCF procedural interface which might be
+// used by the design tools to pass the hierarchy information to JCF."
+//
+// SubmitHierarchyManual is the 3.0 desktop path. SyncHierarchyFromDesign
+// is the future-work path: it reads the hierarchy out of the FMCAD design
+// files (inst lines) and pushes it through the procedural interface —
+// available only when the master is Release 4.0.
+
+// SubmitHierarchyManual records parent-contains-child on the JCF desktop.
+// Both OIDs are cell versions. This must happen before design work needs
+// the hierarchy — the prototype's documented restriction.
+func (h *Hybrid) SubmitHierarchyManual(parent, child oms.OID) error {
+	return h.JCF.SubmitHierarchy(parent, child)
+}
+
+// AddSchematicInstance wires a child design cell into a parent's
+// schematic: it adds the instance to the parent's schematic design file
+// (through a regular schematic-entry run) after verifying the hierarchy
+// was submitted to JCF first. Returns the run result.
+func (h *Hybrid) AddSchematicInstance(user string, parent, child oms.OID, instName string, conns map[string]string, opts RunOpts) (RunResult, error) {
+	// The hierarchy must already be known to the master (3.0 rule).
+	declared := false
+	for _, c := range h.JCF.Children(parent) {
+		if c == child {
+			declared = true
+			break
+		}
+	}
+	if !declared && h.JCF.Release() < jcf.Release40 {
+		return RunResult{}, fmt.Errorf("core: hierarchy parent->child not submitted via desktop; JCF 3.0 requires manual submission before design")
+	}
+	childBinding, err := h.BindingFor(child)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res, err := h.RunSchematicEntry(user, parent, func(s *schematic.Schematic) error {
+		if err := s.AddInstance(instName, childBinding.FMCADCell, ViewSchematic); err != nil {
+			return err
+		}
+		for port, net := range conns {
+			if !s.HasNet(net) {
+				if err := s.AddNet(net); err != nil {
+					return err
+				}
+			}
+			if err := s.Connect(instName, port, net); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, opts)
+	if err != nil {
+		return res, err
+	}
+	// Release 4.0: the tool pushes the hierarchy procedurally as a side
+	// effect, sparing the designer the desktop round-trip.
+	if !declared && h.JCF.Release() >= jcf.Release40 {
+		if err := h.JCF.SubmitHierarchyProcedural(parent, child); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// SyncHierarchyFromDesign reads the design hierarchy out of the slave's
+// design files for one cell version and submits every edge to JCF through
+// the procedural interface. On a 3.0 master it fails with ErrUnsupported —
+// the desktop is the only way in.
+func (h *Hybrid) SyncHierarchyFromDesign(cv oms.OID) (edges int, err error) {
+	if !h.JCF.ProceduralHierarchyInterface() {
+		return 0, fmt.Errorf("%w: hierarchy sync needs the JCF procedural interface (release 4.0)", jcf.ErrUnsupported)
+	}
+	binding, err := h.BindingFor(cv)
+	if err != nil {
+		return 0, err
+	}
+	views, err := h.Lib.Cellviews(binding.FMCADCell)
+	if err != nil {
+		return 0, err
+	}
+	for _, view := range views {
+		def, err := h.Lib.DefaultVersion(binding.FMCADCell, view)
+		if err != nil {
+			return edges, err
+		}
+		data, err := h.Lib.ReadVersion(binding.FMCADCell, view, def)
+		if err != nil {
+			return edges, err
+		}
+		for _, ref := range fmcad.ParseInstances(data) {
+			childCV, err := h.CellVersionFor(ref.Cell)
+			if err != nil {
+				return edges, fmt.Errorf("core: design references unbound cell %q: %w", ref.Cell, err)
+			}
+			// Per-view-type hierarchy: the 4.0 master records which view
+			// the edge came from, so non-isomorphic designs round-trip.
+			if err := h.JCF.SubmitHierarchyTyped(cv, childCV, view); err != nil {
+				return edges, err
+			}
+			edges++
+		}
+	}
+	return edges, nil
+}
+
+// HierarchyMatchesDesign compares the JCF (desktop-submitted) hierarchy of
+// a cell version against what the slave design files actually instantiate,
+// returning the discrepancies — the consistency check JCF's separated
+// metadata enables (section 3.2).
+func (h *Hybrid) HierarchyMatchesDesign(cv oms.OID) ([]string, error) {
+	binding, err := h.BindingFor(cv)
+	if err != nil {
+		return nil, err
+	}
+	declared := map[oms.OID]bool{}
+	for _, c := range h.JCF.Children(cv) {
+		declared[c] = true
+	}
+	var problems []string
+	seen := map[oms.OID]bool{}
+	views, err := h.Lib.Cellviews(binding.FMCADCell)
+	if err != nil {
+		return nil, err
+	}
+	for _, view := range views {
+		def, err := h.Lib.DefaultVersion(binding.FMCADCell, view)
+		if err != nil {
+			return nil, err
+		}
+		data, err := h.Lib.ReadVersion(binding.FMCADCell, view, def)
+		if err != nil {
+			return nil, err
+		}
+		for _, ref := range fmcad.ParseInstances(data) {
+			childCV, err := h.CellVersionFor(ref.Cell)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("view %s instantiates unbound cell %q", view, ref.Cell))
+				continue
+			}
+			seen[childCV] = true
+			if !declared[childCV] {
+				problems = append(problems, fmt.Sprintf("view %s instantiates %q but the hierarchy was never submitted to JCF", view, ref.Cell))
+			}
+		}
+	}
+	for child := range declared {
+		if !seen[child] {
+			problems = append(problems, fmt.Sprintf("JCF hierarchy declares child version %d the design never instantiates", child))
+		}
+	}
+	return problems, nil
+}

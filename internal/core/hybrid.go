@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/flow"
+	"repro/internal/fmcad"
+	"repro/internal/fml"
+	"repro/internal/itc"
+	"repro/internal/jcf"
+	"repro/internal/oms"
+)
+
+// Standard resource names the hybrid framework installs.
+const (
+	ToolSchematic = "fmcad-schematic"
+	ToolSimulator = "fmcad-dsim"
+	ToolLayout    = "fmcad-layout"
+
+	ViewSchematic = "schematic"
+	ViewLayout    = "layout"
+	ViewSymbol    = "symbol"
+	ViewWaveform  = "waveform"
+
+	ActSchematicEntry = "schematic-entry"
+	ActSimulate       = "simulate"
+	ActLayoutEntry    = "layout-entry"
+)
+
+// The FMCAD-native data-management menu points the encapsulation locks:
+// with JCF as master, designers must not bypass it through the slave's own
+// checkin/checkout (section 2.4: extension-language procedures "lock menu
+// points in order to prevent data inconsistency").
+var lockedMenus = []string{
+	"File>CheckIn",
+	"File>CheckOut",
+	"File>DeleteVersion",
+	"Library>EditMeta",
+}
+
+// Hybrid is the coupled JCF–FMCAD framework. JCF (master) owns all design
+// management; the FMCAD library (slave) holds the tools' working data.
+type Hybrid struct {
+	JCF    *jcf.Framework
+	Lib    *fmcad.Library
+	Bus    *itc.Bus
+	Interp *fml.Interp
+	Hooks  *fml.Hooks
+
+	stage string // staging directory for OMS <-> file-system copies
+
+	mu       sync.Mutex
+	bindings map[oms.OID]*cellBinding // cell version -> slave binding
+	byCell   map[string]oms.OID       // fmcad cell name -> cell version
+	// overrides counts forced out-of-order activity executions that went
+	// through a consistency window.
+	overrides int64
+}
+
+// DefaultFlow returns the three-activity encapsulation flow of section
+// 2.4: schematic entry, then digital simulation, then layout entry.
+func DefaultFlow() *flow.Flow {
+	f := flow.New("fmcad-encapsulation")
+	// Errors are impossible for this fixed construction; the Freeze in
+	// RegisterFlow validates the result anyway.
+	_ = f.AddActivity(flow.Activity{Name: ActSchematicEntry, Tool: ToolSchematic, Creates: []string{ViewSchematic}})
+	_ = f.AddActivity(flow.Activity{Name: ActSimulate, Tool: ToolSimulator, Needs: []string{ViewSchematic}, Creates: []string{ViewWaveform}})
+	_ = f.AddActivity(flow.Activity{Name: ActLayoutEntry, Tool: ToolLayout, Needs: []string{ViewSchematic}, Creates: []string{ViewLayout}})
+	_ = f.AddPrecedes(ActSchematicEntry, ActSimulate)
+	_ = f.AddPrecedes(ActSimulate, ActLayoutEntry)
+	return f
+}
+
+// NewHybrid assembles the coupled framework in dir: a JCF instance of the
+// given release (master), an FMCAD library under dir/library (slave), the
+// ITC bus, and the FML interpreter with the encapsulation customization
+// installed.
+func NewHybrid(release jcf.Release, dir string) (*Hybrid, error) {
+	fw, err := jcf.New(release)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := fmcad.Create(filepath.Join(dir, "library"), "hybrid")
+	if err != nil {
+		return nil, err
+	}
+	interp := fml.NewInterp()
+	hooks := fml.NewHooks(interp)
+	h := &Hybrid{
+		JCF:      fw,
+		Lib:      lib,
+		Bus:      itc.NewBus(),
+		Interp:   interp,
+		Hooks:    hooks,
+		stage:    filepath.Join(dir, "stage"),
+		bindings: map[oms.OID]*cellBinding{},
+		byCell:   map[string]oms.OID{},
+	}
+
+	// Slave-side views for the encapsulated tools.
+	for view, vt := range map[string]string{
+		ViewSchematic: "schematic",
+		ViewLayout:    "layout",
+		ViewSymbol:    "symbol",
+		ViewWaveform:  "waveform",
+	} {
+		if err := lib.DefineView(view, vt); err != nil {
+			return nil, err
+		}
+	}
+	// Master-side resources: view types, the three tools, the default flow.
+	for _, vt := range []string{ViewSchematic, ViewLayout, ViewSymbol, ViewWaveform} {
+		if _, err := fw.CreateViewType(vt); err != nil {
+			return nil, err
+		}
+	}
+	for _, tool := range []string{ToolSchematic, ToolSimulator, ToolLayout} {
+		if _, err := fw.CreateTool(tool); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := fw.RegisterFlow(DefaultFlow()); err != nil {
+		return nil, err
+	}
+
+	// Extension-language customization (section 2.4): lock the
+	// FMCAD-native data-management menus and register the consistency
+	// window trigger. The script runs in the slave's own language, as the
+	// original prototype did.
+	script := ""
+	for _, menu := range lockedMenus {
+		script += fmt.Sprintf("(hiLockMenu %q %q)\n", menu, "data management is owned by JCF")
+	}
+	script += `
+(setq jcfConsistencyWindows 0)
+(hiRegTrigger "consistency-window"
+  (lambda (activity) (setq jcfConsistencyWindows (+ jcfConsistencyWindows 1))))
+`
+	if _, err := interp.Run(script); err != nil {
+		return nil, fmt.Errorf("core: installing FML customization: %w", err)
+	}
+	return h, nil
+}
+
+// DefaultFlowName returns the name of the registered encapsulation flow.
+func (h *Hybrid) DefaultFlowName() string { return "fmcad-encapsulation" }
+
+// StageDir returns the staging directory used for database/file exchange.
+func (h *Hybrid) StageDir() string { return h.stage }
+
+// Overrides returns how many activities ran out of flow order through the
+// consistency-window escape hatch.
+func (h *Hybrid) Overrides() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.overrides
+}
+
+// MenuLocked reports whether the encapsulation locked an FMCAD menu point.
+func (h *Hybrid) MenuLocked(menu string) bool {
+	_, locked := h.Hooks.Locked(menu)
+	return locked
+}
+
+// InvokeNativeMenu simulates a designer picking an FMCAD-native menu
+// point. The locked data-management entries fail — the guard the paper's
+// customization installs.
+func (h *Hybrid) InvokeNativeMenu(menu string) error {
+	return h.Hooks.Invoke(menu)
+}
+
+// --- provisioning -----------------------------------------------------------
+
+// NewDesignCell creates a JCF cell with an initial cell version running
+// the given flow, and binds the version to a fresh FMCAD cell with
+// cellviews for the flow's view types. It returns the cell version OID.
+func (h *Hybrid) NewDesignCell(project oms.OID, cellName, flowName string, team oms.OID) (oms.OID, error) {
+	cell, err := h.JCF.CreateCell(project, cellName)
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	return h.NewCellVersion(cell, flowName, team)
+}
+
+// NewCellVersion instantiates another version of an existing JCF cell,
+// binding it to its own FMCAD cell (Table 1: CellVersion -> Cell).
+func (h *Hybrid) NewCellVersion(cell oms.OID, flowName string, team oms.OID) (oms.OID, error) {
+	cv, err := h.JCF.CreateCellVersion(cell, flowName, team)
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	fmcadCell := FMCADCellName(h.JCF.CellName(cell), h.JCF.CellVersionNum(cv))
+	if err := h.Lib.CreateCell(fmcadCell); err != nil {
+		return oms.InvalidOID, err
+	}
+	binding := &cellBinding{
+		cellVersion:   cv,
+		fmcadCell:     fmcadCell,
+		designObjects: map[string]oms.OID{},
+	}
+	variant := h.JCF.Variants(cv)[0]
+	for _, view := range []string{ViewSchematic, ViewLayout, ViewWaveform} {
+		if err := h.Lib.CreateCellview(fmcadCell, view); err != nil {
+			return oms.InvalidOID, err
+		}
+		vt, err := h.JCF.ViewType(view)
+		if err != nil {
+			return oms.InvalidOID, err
+		}
+		do, err := h.JCF.CreateDesignObject(variant, cellName(h, cell)+"-"+view, vt)
+		if err != nil {
+			return oms.InvalidOID, err
+		}
+		binding.designObjects[view] = do
+	}
+	h.mu.Lock()
+	h.bindings[cv] = binding
+	h.byCell[fmcadCell] = cv
+	h.mu.Unlock()
+	return cv, nil
+}
+
+func cellName(h *Hybrid, cell oms.OID) string { return h.JCF.CellName(cell) }
+
+// BindingFor returns the mapping state of a cell version.
+func (h *Hybrid) BindingFor(cv oms.OID) (Binding, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, ok := h.bindings[cv]
+	if !ok {
+		return Binding{}, fmt.Errorf("core: cell version %d has no FMCAD binding", cv)
+	}
+	dos := make(map[string]oms.OID, len(b.designObjects))
+	for k, v := range b.designObjects {
+		dos[k] = v
+	}
+	return Binding{CellVersion: cv, FMCADCell: b.fmcadCell, DesignObjects: dos}, nil
+}
+
+// CellVersionFor resolves an FMCAD cell name back to its JCF cell version
+// — the inverse mapping, used by the cross-probe wrappers.
+func (h *Hybrid) CellVersionFor(fmcadCell string) (oms.OID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cv, ok := h.byCell[fmcadCell]
+	if !ok {
+		return oms.InvalidOID, fmt.Errorf("core: FMCAD cell %q has no JCF binding", fmcadCell)
+	}
+	return cv, nil
+}
+
+// Bindings lists all bound FMCAD cell names, sorted.
+func (h *Hybrid) Bindings() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.byCell))
+	for name := range h.byCell {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VerifyMapping checks the live mapping against Table 1: every bound cell
+// version must have a slave cell whose cellviews match the design objects'
+// view types, and the inverse map must round-trip. It returns the problems
+// found (empty means consistent).
+func (h *Hybrid) VerifyMapping() []string {
+	h.mu.Lock()
+	bindings := make([]*cellBinding, 0, len(h.bindings))
+	for _, b := range h.bindings {
+		bindings = append(bindings, b)
+	}
+	h.mu.Unlock()
+
+	var problems []string
+	for _, b := range bindings {
+		cv, err := h.CellVersionFor(b.fmcadCell)
+		if err != nil || cv != b.cellVersion {
+			problems = append(problems, fmt.Sprintf("inverse mapping broken for %s", b.fmcadCell))
+		}
+		views, err := h.Lib.Cellviews(b.fmcadCell)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("slave cell %s missing: %v", b.fmcadCell, err))
+			continue
+		}
+		viewSet := map[string]bool{}
+		for _, v := range views {
+			viewSet[v] = true
+		}
+		for view, do := range b.designObjects {
+			if !viewSet[view] {
+				problems = append(problems, fmt.Sprintf("slave cell %s lacks cellview %s", b.fmcadCell, view))
+			}
+			if got := h.JCF.ViewTypeOf(do); got != view {
+				problems = append(problems, fmt.Sprintf("design object %d has view type %q, want %q", do, got, view))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}

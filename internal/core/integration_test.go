@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/jcf"
+	"repro/internal/oms"
+	"repro/internal/tools/schematic"
+)
+
+// TestFullChipScenario is the system-level integration test: a four-cell
+// chip (two leaf blocks, an ALU built from them, a toplevel) designed by
+// a two-person team through the hybrid framework, with hierarchy
+// submission, hierarchical simulation, layouts, a golden configuration,
+// DRC, cross-probing and consistency checks — the whole section 2.4
+// encapsulation exercised in one realistic pass.
+func TestFullChipScenario(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	h := w.h
+
+	// -- leaf cells: and-block and xor-block, drawn and published by bert.
+	leafs := map[string]schematic.GateType{"andblk": schematic.And2, "xorblk": schematic.Xor2}
+	leafCVs := map[string]oms.OID{}
+	for name, gt := range leafs {
+		cv, err := h.NewDesignCell(w.project, name, h.DefaultFlowName(), w.team)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leafCVs[name] = cv
+		if err := h.JCF.Reserve("bert", cv); err != nil {
+			t.Fatal(err)
+		}
+		gt := gt
+		if _, err := h.RunSchematicEntry("bert", cv, func(s *schematic.Schematic) error {
+			for _, p := range []struct {
+				n string
+				d schematic.PortDir
+			}{{"a", schematic.In}, {"b", schematic.In}, {"y", schematic.Out}} {
+				if err := s.AddPort(p.n, p.d); err != nil {
+					return err
+				}
+			}
+			return s.AddGate("g", gt, "y", "a", "b")
+		}, RunOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		// Simulate each leaf before publishing (the forced flow requires
+		// it before layout anyway).
+		if _, _, err := h.RunSimulation("bert", cv, []byte("at 0 set a 1\nat 0 set b 1\nrun 50\n"), RunOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.RunLayoutEntry("bert", cv, nil, RunOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.JCF.Publish("bert", cv); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// -- the half-adder cell composed of the two leaves (anna).
+	ha, err := h.NewDesignCell(w.project, "ha", h.DefaultFlowName(), w.team)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JCF.Reserve("anna", ha); err != nil {
+		t.Fatal(err)
+	}
+	// 3.0 rule: hierarchy to the desktop first.
+	for _, leaf := range leafCVs {
+		if err := h.SubmitHierarchyManual(ha, leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.RunSchematicEntry("anna", ha, func(s *schematic.Schematic) error {
+		for _, p := range []struct {
+			n string
+			d schematic.PortDir
+		}{{"a", schematic.In}, {"b", schematic.In}, {"sum", schematic.Out}, {"carry", schematic.Out}} {
+			if err := s.AddPort(p.n, p.d); err != nil {
+				return err
+			}
+		}
+		if err := s.AddInstance("u_xor", "xorblk_v1", ViewSchematic); err != nil {
+			return err
+		}
+		if err := s.AddInstance("u_and", "andblk_v1", ViewSchematic); err != nil {
+			return err
+		}
+		for inst, conns := range map[string]map[string]string{
+			"u_xor": {"a": "a", "b": "b", "y": "sum"},
+			"u_and": {"a": "a", "b": "b", "y": "carry"},
+		} {
+			for port, net := range conns {
+				if err := s.Connect(inst, port, net); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hierarchical simulation: 1+1 = 10.
+	_, waves, err := h.RunSimulation("anna", ha, []byte("at 0 set a 1\nat 0 set b 1\nrun 200\n"), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWave(t, waves, "sum 0")
+	wantWave(t, waves, "carry 1")
+
+	// Layout, keeping the hierarchy isomorphic (instances carried over
+	// from the schematic by the generator).
+	if _, err := h.RunLayoutEntry("anna", ha, nil, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	done, err := h.JCF.FlowComplete(ha)
+	if err != nil || !done {
+		t.Fatalf("flow complete = %t, %v", done, err)
+	}
+
+	// Golden configuration: snapshot, then iterate the schematic, and
+	// verify the snapshot still points at the old versions.
+	cfg, cfgV, err := h.SnapshotConfiguration("anna", ha, "golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entriesBefore := h.JCF.ConfigEntries(cfgV)
+	if len(entriesBefore) != 3 {
+		t.Fatalf("config entries = %d, want 3 (schematic, waveform, layout)", len(entriesBefore))
+	}
+	if _, err := h.RunSchematicEntry("anna", ha, func(s *schematic.Schematic) error {
+		return s.AddNet("scratch")
+	}, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	entriesAfter := h.JCF.ConfigEntries(cfgV)
+	if len(entriesAfter) != 3 || entriesAfter[0] != entriesBefore[0] {
+		t.Fatalf("golden config drifted: %v -> %v", entriesBefore, entriesAfter)
+	}
+	if got := h.JCF.ConfigVersions(cfg); len(got) != 1 {
+		t.Fatalf("config versions = %d", len(got))
+	}
+
+	// DRC through the coupling: the generated layout should be clean at
+	// tiny rules and report violations at absurd ones.
+	clean, err := h.CheckLayoutDRC("anna", ha, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 0 {
+		t.Fatalf("DRC at 1/0 = %d violations", len(clean))
+	}
+	dirty, err := h.CheckLayoutDRC("anna", ha, 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) == 0 {
+		t.Fatal("DRC at 50/50 found nothing")
+	}
+
+	// Cross-probe after publishing.
+	if err := h.JCF.Publish("anna", ha); err != nil {
+		t.Fatal(err)
+	}
+	probe := h.EnableCrossProbe("bert")
+	res, err := probe(ha, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shapes) == 0 {
+		t.Fatal("no shapes for sum")
+	}
+
+	// Whole-world audits: mapping, master consistency, slave sync.
+	if problems := h.VerifyMapping(); len(problems) != 0 {
+		t.Fatalf("mapping problems: %v", problems)
+	}
+	if problems := h.JCF.CheckConsistency(); len(problems) != 0 {
+		t.Fatalf("consistency problems: %v", problems)
+	}
+	sync, err := h.SlaveSyncCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sync) != 0 {
+		t.Fatalf("sync problems: %v", sync)
+	}
+
+	// The desktop summary reflects the whole project.
+	summary, err := h.JCF.DesktopSummary(w.project)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []string{"alu", "andblk", "xorblk", "ha"} {
+		if !strings.Contains(summary, "cell "+cell) {
+			t.Errorf("summary missing %s:\n%s", cell, summary)
+		}
+	}
+}
+
+func wantWave(t *testing.T, waves []byte, want string) {
+	t.Helper()
+	if !strings.Contains(string(waves), want) {
+		t.Fatalf("waves missing %q:\n%s", want, waves)
+	}
+}
+
+// TestSnapshotConfigurationErrors covers the service error paths.
+func TestSnapshotConfigurationErrors(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	// No read permission.
+	if _, _, err := h.SnapshotConfiguration("carl", w.cv, "x"); err == nil {
+		t.Fatal("outsider snapshot accepted")
+	}
+	// No data yet.
+	if err := h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.SnapshotConfiguration("anna", w.cv, "x"); err == nil ||
+		!strings.Contains(err.Error(), "no checked-in design data") {
+		t.Fatalf("empty snapshot: %v", err)
+	}
+	// Unbound cell version.
+	if _, _, err := h.SnapshotConfiguration("anna", oms.OID(99999), "x"); err == nil {
+		t.Fatal("unbound snapshot accepted")
+	}
+	// DRC without layout.
+	if _, err := h.CheckLayoutDRC("anna", w.cv, 1, 1); err == nil {
+		t.Fatal("DRC without layout accepted")
+	}
+	if _, err := h.CheckLayoutDRC("anna", oms.OID(99999), 1, 1); err == nil {
+		t.Fatal("DRC on unbound version accepted")
+	}
+}
+
+// TestMultiVersionIterations drives several schematic iterations and
+// checks the version chains on both sides stay aligned.
+func TestMultiVersionIterations(t *testing.T) {
+	w := newHW(t, jcf.Release30)
+	h := w.h
+	if err := h.JCF.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunSchematicEntry("anna", w.cv, drawHalfAdder, RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		if _, err := h.RunSchematicEntry("anna", w.cv, func(s *schematic.Schematic) error {
+			return s.AddNet(fmt.Sprintf("iter%d", i))
+		}, RunOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, _ := h.BindingFor(w.cv)
+	do := b.DesignObjects[ViewSchematic]
+	jcfVersions := h.JCF.DesignObjectVersions(do)
+	if len(jcfVersions) != 5 {
+		t.Fatalf("JCF versions = %d", len(jcfVersions))
+	}
+	slaveVersions, err := h.Lib.Versions("alu_v1", ViewSchematic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slave has the empty seed v1 plus five tool check-ins.
+	if len(slaveVersions) != 6 {
+		t.Fatalf("slave versions = %d", len(slaveVersions))
+	}
+	// The intra-object derivation chain is linear: v1 -> v2 -> ... -> v5.
+	for i := 0; i+1 < len(jcfVersions); i++ {
+		derived := h.JCF.Derivatives(jcfVersions[i])
+		if len(derived) != 1 || derived[0] != jcfVersions[i+1] {
+			t.Fatalf("derivation chain broken at %d: %v", i, derived)
+		}
+	}
+	// Every slave version beyond the seed is tagged.
+	problems, err := h.SlaveSyncCheck()
+	if err != nil || len(problems) != 0 {
+		t.Fatalf("sync problems: %v, %v", problems, err)
+	}
+}

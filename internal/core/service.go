@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/oms"
+	"repro/internal/tools/layout"
+)
+
+// Higher-level design-management services built on the coupling: golden
+// configurations (JCF's configuration management applied to the slave's
+// tool outputs) and design-rule checking staged through the master.
+
+// SnapshotConfiguration captures the current state of a cell version as a
+// named JCF configuration: one entry per design object that has a
+// checked-in version, bound to its latest version. Returns the
+// configuration and configuration-version OIDs.
+//
+// This is the configuration-management strength the paper attributes to
+// JCF (section 3.2) made available for encapsulated tool outputs: later
+// check-ins do not disturb the snapshot, unlike FMCAD's dynamic binding.
+func (h *Hybrid) SnapshotConfiguration(user string, cv oms.OID, name string) (cfg, cfgVersion oms.OID, err error) {
+	if !h.JCF.CanRead(user, cv) {
+		return oms.InvalidOID, oms.InvalidOID, fmt.Errorf("core: user %s may not read this cell version", user)
+	}
+	binding, err := h.BindingFor(cv)
+	if err != nil {
+		return oms.InvalidOID, oms.InvalidOID, err
+	}
+	cfg, cfgVersion, err = h.JCF.CreateConfiguration(cv, name)
+	if err != nil {
+		return oms.InvalidOID, oms.InvalidOID, err
+	}
+	entries := 0
+	for _, view := range []string{ViewSchematic, ViewWaveform, ViewLayout} {
+		do, ok := binding.DesignObjects[view]
+		if !ok {
+			continue
+		}
+		dov := h.JCF.LatestVersion(do)
+		if dov == oms.InvalidOID {
+			continue // nothing checked in for this view yet
+		}
+		if err := h.JCF.AddConfigEntry(cfgVersion, dov); err != nil {
+			return oms.InvalidOID, oms.InvalidOID, err
+		}
+		entries++
+	}
+	if entries == 0 {
+		return oms.InvalidOID, oms.InvalidOID, fmt.Errorf("core: cell version has no checked-in design data to snapshot")
+	}
+	return cfg, cfgVersion, nil
+}
+
+// CheckLayoutDRC stages the latest layout of a cell version out of the
+// master database (the usual read-only copy) and runs the layout editor's
+// design-rule checks on it.
+func (h *Hybrid) CheckLayoutDRC(user string, cv oms.OID, minWidth, minSpace int) ([]layout.Violation, error) {
+	binding, err := h.BindingFor(cv)
+	if err != nil {
+		return nil, err
+	}
+	do, ok := binding.DesignObjects[ViewLayout]
+	if !ok {
+		return nil, fmt.Errorf("core: no layout design object")
+	}
+	_, staged, err := h.stageInput(user, do, binding.FMCADCell+".drc.lay")
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(staged)
+	if err != nil {
+		return nil, err
+	}
+	lay, err := layout.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return lay.DRC(minWidth, minSpace), nil
+}

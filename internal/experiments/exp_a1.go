@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/jcf"
+	"repro/internal/tools/schematic"
+)
+
+// RunA1 is the ablation for the encapsulation's menu-locking design
+// choice (section 2.4: extension-language procedures "lock menu points in
+// order to prevent data inconsistency"). It runs the same rogue workload
+// — a designer driving the slave's native checkin behind the master's
+// back — against two hybrids, one with the locks installed and one with
+// the locks removed, and counts the master/slave divergences each ends up
+// with.
+func RunA1(w io.Writer) error {
+	header(w, "ablation: FML menu locks on vs off (5 rogue native check-ins)")
+	withLocks, err := rogueWorkload(false)
+	if err != nil {
+		return err
+	}
+	withoutLocks, err := rogueWorkload(true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-26s %-22s %-22s %s\n", "configuration", "menu invocations", "rogue check-ins", "untracked slave versions")
+	fmt.Fprintf(w, "%-26s %-22s %-22d %d\n", "locks installed (paper)",
+		fmt.Sprintf("%d refused", withLocks.menuRefused), withLocks.rogueCheckins, withLocks.untracked)
+	fmt.Fprintf(w, "%-26s %-22s %-22d %d\n", "locks removed (ablated)",
+		fmt.Sprintf("%d allowed", withoutLocks.menuAllowed), withoutLocks.rogueCheckins, withoutLocks.untracked)
+	if withLocks.untracked != 0 {
+		return fmt.Errorf("A1 shape violated: locked hybrid diverged")
+	}
+	if withoutLocks.untracked != withoutLocks.rogueCheckins {
+		return fmt.Errorf("A1 shape violated: ablated hybrid missed divergences")
+	}
+	fmt.Fprintf(w, "result: the menu locks are load-bearing — removing them lets every native\n")
+	fmt.Fprintf(w, "        check-in desynchronize the frameworks (found by SlaveSyncCheck)\n")
+	return nil
+}
+
+type a1Result struct {
+	menuRefused   int
+	menuAllowed   int
+	rogueCheckins int
+	untracked     int
+}
+
+// rogueWorkload builds a hybrid with one drawn design, then tries 5
+// native menu invocations and (when unlocked) 5 native check-ins.
+func rogueWorkload(unlock bool) (a1Result, error) {
+	var res a1Result
+	h, project, team, cleanup, err := tempWorld(jcf.Release30, 1)
+	if err != nil {
+		return res, err
+	}
+	defer cleanup()
+	cv, err := h.NewDesignCell(project, "alu", h.DefaultFlowName(), team)
+	if err != nil {
+		return res, err
+	}
+	if err := h.JCF.Reserve("u0", cv); err != nil {
+		return res, err
+	}
+	draw := func(s *schematic.Schematic) error {
+		if err := s.AddPort("a", schematic.In); err != nil {
+			return err
+		}
+		if err := s.AddPort("y", schematic.Out); err != nil {
+			return err
+		}
+		return s.AddGate("g", schematic.Inv, "y", "a")
+	}
+	if _, err := h.RunSchematicEntry("u0", cv, draw, core.RunOpts{}); err != nil {
+		return res, err
+	}
+	if unlock {
+		h.UnlockNativeMenus()
+	}
+	binding, err := h.BindingFor(cv)
+	if err != nil {
+		return res, err
+	}
+	for i := 0; i < 5; i++ {
+		if err := h.InvokeNativeMenu("File>CheckIn"); err != nil {
+			res.menuRefused++
+			continue
+		}
+		res.menuAllowed++
+		// The menu worked: the designer drives the slave natively.
+		session := h.Lib.NewSession("rogue")
+		wf, err := session.Checkout(binding.FMCADCell, core.ViewSchematic)
+		if err != nil {
+			return res, err
+		}
+		content := fmt.Sprintf("schematic %s\nnet rogue%d\n", binding.FMCADCell, i)
+		if err := os.WriteFile(wf.Path, []byte(content), 0o644); err != nil {
+			return res, err
+		}
+		if _, err := session.Checkin(wf); err != nil {
+			return res, err
+		}
+		res.rogueCheckins++
+	}
+	problems, err := h.SlaveSyncCheck()
+	if err != nil {
+		return res, err
+	}
+	res.untracked = len(problems)
+	return res, nil
+}

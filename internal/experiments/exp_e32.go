@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fmcad"
+	"repro/internal/jcf"
+	"repro/internal/oms"
+)
+
+// RunE32 reproduces section 3.2: design management and data consistency.
+//
+//	A. Two-level versioning: JCF-FMCAD versions cells AND design objects
+//	   within them (plus variants); FMCAD has only flat cellview versions.
+//	   The experiment builds the same design history in both and reports
+//	   what each model can represent.
+//	B. Consistency checking: stale-hierarchy faults are injected; the
+//	   hybrid's separated metadata detects every one, while FMCAD's
+//	   dynamic binding silently rebinds and reports nothing.
+func RunE32(w io.Writer) error {
+	header(w, "A: versioning levels representable")
+	if err := versioningDepth(w); err != nil {
+		return err
+	}
+	header(w, "B: injected stale-hierarchy faults")
+	if err := consistencyFaults(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+func versioningDepth(w io.Writer) error {
+	h, project, team, cleanup, err := tempWorld(jcf.Release30, 1)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	// One cell, three cell versions, extra variants in the first, and a
+	// design object version history below.
+	cv1, err := h.NewDesignCell(project, "alu", h.DefaultFlowName(), team)
+	if err != nil {
+		return err
+	}
+	cell, err := h.JCF.CellOf(cv1)
+	if err != nil {
+		return err
+	}
+	if _, err := h.NewCellVersion(cell, h.DefaultFlowName(), team); err != nil {
+		return err
+	}
+	if _, err := h.NewCellVersion(cell, h.DefaultFlowName(), team); err != nil {
+		return err
+	}
+	v1 := h.JCF.Variants(cv1)[0]
+	if _, err := h.JCF.DeriveVariant(v1); err != nil {
+		return err
+	}
+	if _, err := h.JCF.DeriveVariant(v1); err != nil {
+		return err
+	}
+	// Design object versions: three check-ins of the schematic.
+	if err := h.JCF.Reserve("u0", cv1); err != nil {
+		return err
+	}
+	b, err := h.BindingFor(cv1)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp("", "e32-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	src := filepath.Join(tmp, "s.sch")
+	do := b.DesignObjects["schematic"]
+	for i := 0; i < 3; i++ {
+		if err := os.WriteFile(src, []byte(fmt.Sprintf("schematic alu\nnet n%d\n", i)), 0o644); err != nil {
+			return err
+		}
+		if _, err := h.JCF.CheckInData("u0", do, src); err != nil {
+			return err
+		}
+	}
+	cellVersions := len(h.JCF.CellVersions(cell))
+	variants := len(h.JCF.Variants(cv1))
+	dovs := len(h.JCF.DesignObjectVersions(do))
+	fmt.Fprintf(w, "%-24s %-18s %s\n", "level", "JCF-FMCAD", "FMCAD standalone")
+	fmt.Fprintf(w, "%-24s %-18d %s\n", "cell versions", cellVersions, "n/a (cells are unversioned)")
+	fmt.Fprintf(w, "%-24s %-18d %s\n", "variants per version", variants, "n/a (no variant concept)")
+	fmt.Fprintf(w, "%-24s %-18d %s\n", "design object versions", dovs, "flat cellview versions only")
+	if cellVersions != 3 || variants != 3 || dovs != 3 {
+		return fmt.Errorf("E32A shape violated: %d/%d/%d", cellVersions, variants, dovs)
+	}
+	fmt.Fprintf(w, "result: two-level versioning (plus variants) vs a single flat level\n")
+	return nil
+}
+
+func consistencyFaults(w io.Writer) error {
+	const faults = 5
+
+	// Hybrid: build parent->child hierarchies, then publish newer child
+	// versions; CheckConsistency must flag each stale edge.
+	h, project, team, cleanup, err := tempWorld(jcf.Release30, 1)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	parent, err := h.NewDesignCell(project, "top", h.DefaultFlowName(), team)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < faults; i++ {
+		childV1, err := h.NewDesignCell(project, fmt.Sprintf("blk%d", i), h.DefaultFlowName(), team)
+		if err != nil {
+			return err
+		}
+		if err := h.SubmitHierarchyManual(parent, childV1); err != nil {
+			return err
+		}
+		cell, err := h.JCF.CellOf(childV1)
+		if err != nil {
+			return err
+		}
+		childV2, err := h.NewCellVersion(cell, h.DefaultFlowName(), team)
+		if err != nil {
+			return err
+		}
+		if err := h.JCF.Reserve("u0", childV2); err != nil {
+			return err
+		}
+		if err := h.JCF.Publish("u0", childV2); err != nil {
+			return err
+		}
+	}
+	detected := 0
+	for _, p := range h.JCF.CheckConsistency() {
+		if p.Kind == "stale-hierarchy" {
+			detected++
+		}
+	}
+
+	// FMCAD standalone: the same situation — a parent whose children get
+	// new default versions. Dynamic binding silently rebinds: Expand
+	// succeeds, reports the NEW versions, and flags nothing.
+	dir, err := os.MkdirTemp("", "e32-fmcad-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	lib, err := fmcad.Create(filepath.Join(dir, "lib"), "cons")
+	if err != nil {
+		return err
+	}
+	if err := lib.DefineView("schematic", "schematic"); err != nil {
+		return err
+	}
+	if err := lib.CreateCell("top"); err != nil {
+		return err
+	}
+	if err := lib.CreateCellview("top", "schematic"); err != nil {
+		return err
+	}
+	session := lib.NewSession("u0")
+	topContent := "schematic top\n"
+	for i := 0; i < faults; i++ {
+		name := fmt.Sprintf("blk%d", i)
+		if err := lib.CreateCell(name); err != nil {
+			return err
+		}
+		if err := lib.CreateCellview(name, "schematic"); err != nil {
+			return err
+		}
+		topContent += fmcad.InstLine(fmt.Sprintf("u%d", i), name, "schematic") + "\n"
+	}
+	wf, err := session.Checkout("top", "schematic")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(wf.Path, []byte(topContent), 0o644); err != nil {
+		return err
+	}
+	if _, err := session.Checkin(wf); err != nil {
+		return err
+	}
+	before, err := lib.Expand("top", "schematic")
+	if err != nil {
+		return err
+	}
+	// Inject the faults: new child versions appear.
+	for i := 0; i < faults; i++ {
+		name := fmt.Sprintf("blk%d", i)
+		cw, err := session.Checkout(name, "schematic")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cw.Path, []byte("schematic "+name+"\nnet changed\n"), 0o644); err != nil {
+			return err
+		}
+		if _, err := session.Checkin(cw); err != nil {
+			return err
+		}
+	}
+	after, err := lib.Expand("top", "schematic")
+	if err != nil {
+		return err
+	}
+	rebound := 0
+	for i := range after.Children {
+		if after.Children[i].Version != before.Children[i].Version {
+			rebound++
+		}
+	}
+
+	fmt.Fprintf(w, "injected stale-hierarchy faults: %d\n", faults)
+	fmt.Fprintf(w, "hybrid JCF-FMCAD detected:       %d (CheckConsistency, kind=stale-hierarchy)\n", detected)
+	fmt.Fprintf(w, "FMCAD standalone detected:       0 (dynamic binding silently rebound %d children)\n", rebound)
+	if detected != faults || rebound != faults {
+		return fmt.Errorf("E32B shape violated: detected=%d rebound=%d", detected, rebound)
+	}
+	fmt.Fprintf(w, "result: separated metadata gives the hybrid a consistency check FMCAD lacks\n")
+	_ = oms.InvalidOID
+	return nil
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/jcf"
+	"repro/internal/oms"
+	"repro/internal/tools/layout"
+	"repro/internal/tools/schematic"
+)
+
+// RunE33 reproduces section 3.3: handling of design hierarchies.
+//
+//	A. Desktop burden: under JCF 3.0 every hierarchy edge must be
+//	   submitted manually BEFORE design; the tool refuses instances whose
+//	   edge is missing. Under 4.0 the procedural interface removes every
+//	   manual step.
+//	B. Non-isomorphic hierarchies: a layout-only pad ring is rejected by
+//	   the 3.0 hybrid and accepted by the 4.0 hybrid (per-view-type
+//	   hierarchy storage).
+func RunE33(w io.Writer) error {
+	header(w, "A: manual desktop steps to build an 8-child hierarchy")
+	steps30, err := hierarchySteps(jcf.Release30, 8)
+	if err != nil {
+		return err
+	}
+	steps40, err := hierarchySteps(jcf.Release40, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-28s %-16s %s\n", "master release", "manual steps", "tool-submitted edges")
+	fmt.Fprintf(w, "%-28s %-16d %d\n", "JCF 3.0 (desktop only)", steps30.manual, steps30.procedural)
+	fmt.Fprintf(w, "%-28s %-16d %d\n", "JCF 4.0 (procedural)", steps40.manual, steps40.procedural)
+	if steps30.manual != 8 || steps30.procedural != 0 || steps40.manual != 0 || steps40.procedural != 8 {
+		return fmt.Errorf("E33A shape violated: %+v %+v", steps30, steps40)
+	}
+	fmt.Fprintf(w, "rejected instance adds before submission (3.0): %d of %d attempts\n",
+		steps30.rejected, steps30.rejected)
+
+	header(w, "B: non-isomorphic hierarchy (layout-only pad ring)")
+	rejected30, err := nonIsomorphicAttempt(jcf.Release30)
+	if err != nil {
+		return err
+	}
+	rejected40, err := nonIsomorphicAttempt(jcf.Release40)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "JCF 3.0 hybrid: %s\n", acceptance(!rejected30))
+	fmt.Fprintf(w, "JCF 4.0 hybrid: %s (typed per-view hierarchies)\n", acceptance(!rejected40))
+	if !rejected30 || rejected40 {
+		return fmt.Errorf("E33B shape violated: 3.0 rejected=%t 4.0 rejected=%t", rejected30, rejected40)
+	}
+	fmt.Fprintf(w, "result: matches the paper — 3.0 cannot represent functional/physical\n")
+	fmt.Fprintf(w, "        hierarchy divergence; the future release lifts the restriction\n")
+	return nil
+}
+
+func acceptance(accepted bool) string {
+	if accepted {
+		return "ACCEPTED"
+	}
+	return "REJECTED"
+}
+
+// HierarchyManualSteps runs the E33A workload once and reports how many
+// manual desktop submissions, tool-submitted edges and rejected instance
+// adds the given release produced. The root benchmark suite calls it.
+func HierarchyManualSteps(release jcf.Release, n int) (manual, procedural, rejected int, err error) {
+	stats, err := hierarchySteps(release, n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return stats.manual, stats.procedural, stats.rejected, nil
+}
+
+type hierarchyStats struct {
+	manual     int // desktop SubmitHierarchy calls the designer had to make
+	procedural int // edges the tools submitted themselves
+	rejected   int // instance adds refused for missing hierarchy
+}
+
+// hierarchySteps builds top + n children and wires every child into the
+// top schematic, counting the manual desktop operations each release
+// requires.
+func hierarchySteps(release jcf.Release, n int) (hierarchyStats, error) {
+	var stats hierarchyStats
+	h, project, team, cleanup, err := tempWorld(release, 1)
+	if err != nil {
+		return stats, err
+	}
+	defer cleanup()
+	top, err := h.NewDesignCell(project, "top", h.DefaultFlowName(), team)
+	if err != nil {
+		return stats, err
+	}
+	if err := h.JCF.Reserve("u0", top); err != nil {
+		return stats, err
+	}
+	children := make([]oms.OID, n)
+	for i := range children {
+		cv, err := h.NewDesignCell(project, fmt.Sprintf("blk%d", i), h.DefaultFlowName(), team)
+		if err != nil {
+			return stats, err
+		}
+		children[i] = cv
+	}
+	for i, child := range children {
+		inst := fmt.Sprintf("u%d", i)
+		// First try without a desktop submission.
+		_, err := h.AddSchematicInstance("u0", top, child, inst, nil, core.RunOpts{})
+		if err != nil {
+			if release >= jcf.Release40 {
+				return stats, fmt.Errorf("4.0 rejected instance: %w", err)
+			}
+			stats.rejected++
+			// The 3.0 way: desktop first, then the instance.
+			if err := h.SubmitHierarchyManual(top, child); err != nil {
+				return stats, err
+			}
+			stats.manual++
+			if _, err := h.AddSchematicInstance("u0", top, child, inst, nil, core.RunOpts{}); err != nil {
+				return stats, err
+			}
+		} else if release >= jcf.Release40 {
+			stats.procedural++
+		}
+	}
+	return stats, nil
+}
+
+// nonIsomorphicAttempt draws a schematic, simulates, then edits the layout
+// to contain a pad instance absent from the schematic. Returns whether
+// the hybrid rejected the layout.
+func nonIsomorphicAttempt(release jcf.Release) (rejected bool, err error) {
+	h, project, team, cleanup, err := tempWorld(release, 1)
+	if err != nil {
+		return false, err
+	}
+	defer cleanup()
+	cv, err := h.NewDesignCell(project, "chip", h.DefaultFlowName(), team)
+	if err != nil {
+		return false, err
+	}
+	if _, err := h.NewDesignCell(project, "pad", h.DefaultFlowName(), team); err != nil {
+		return false, err
+	}
+	if err := h.JCF.Reserve("u0", cv); err != nil {
+		return false, err
+	}
+	draw := func(s *schematic.Schematic) error {
+		if err := s.AddPort("a", schematic.In); err != nil {
+			return err
+		}
+		if err := s.AddPort("y", schematic.Out); err != nil {
+			return err
+		}
+		return s.AddGate("g", schematic.Inv, "y", "a")
+	}
+	if _, err := h.RunSchematicEntry("u0", cv, draw, core.RunOpts{}); err != nil {
+		return false, err
+	}
+	if _, _, err := h.RunSimulation("u0", cv, []byte("at 0 set a 0\nrun 20\n"), core.RunOpts{}); err != nil {
+		return false, err
+	}
+	_, err = h.RunLayoutEntry("u0", cv, func(l *layout.Layout) error {
+		return l.AddInstance("p1", "pad_v1", core.ViewLayout, 0, 0)
+	}, core.RunOpts{})
+	if err != nil {
+		if errors.Is(err, jcf.ErrUnsupported) {
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
+}

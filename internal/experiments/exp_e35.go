@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/fmcad"
+	"repro/internal/jcf"
+	"repro/internal/tools/schematic"
+)
+
+// RunE35 reproduces section 3.5: flow management and derivation relations.
+//
+// Standalone FMCAD lets the user "invoke all design tools in a very
+// flexible manner", so out-of-order invocations all succeed and neither
+// derivation relations nor what-belongs-to-what information exists. The
+// hybrid prescribes the flow: out-of-order invocations are rejected (or
+// escorted through a consistency window when forced), and every tool run
+// records its derivation, making what-belongs-to-what queryable.
+func RunE35(w io.Writer) error {
+	// The out-of-order schedule: simulate and draw layout before any
+	// schematic exists, twice.
+	header(w, "A: out-of-order tool invocations (4 attempts)")
+	fmcadAllowed, err := fmcadOutOfOrder()
+	if err != nil {
+		return err
+	}
+	hybridAllowed, hybridRejected, err := hybridOutOfOrder(false)
+	if err != nil {
+		return err
+	}
+	forcedAllowed, _, err := hybridOutOfOrder(true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-34s %-10s %s\n", "environment", "allowed", "rejected")
+	fmt.Fprintf(w, "%-34s %-10d %d\n", "FMCAD standalone", fmcadAllowed, 4-fmcadAllowed)
+	fmt.Fprintf(w, "%-34s %-10d %d\n", "hybrid (forced flow)", hybridAllowed, hybridRejected)
+	fmt.Fprintf(w, "%-34s %-10d %s\n", "hybrid (Force + consistency window)", forcedAllowed, "runs under supervision")
+	if fmcadAllowed != 4 || hybridAllowed != 0 || hybridRejected != 4 {
+		return fmt.Errorf("E35A shape violated: fmcad=%d hybrid=%d/%d", fmcadAllowed, hybridAllowed, hybridRejected)
+	}
+
+	header(w, "B: derivation relations after one full design pass")
+	recorded, closureSize, err := hybridDerivations()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-24s %-22s %s\n", "environment", "derivations recorded", "what-belongs-to-what query")
+	fmt.Fprintf(w, "%-24s %-22d %s\n", "FMCAD standalone", 0, "unanswerable (no such relation exists)")
+	fmt.Fprintf(w, "%-24s %-22d answerable: closure of schematic v1 = %d versions\n", "hybrid JCF-FMCAD", recorded, closureSize)
+	if recorded < 2 || closureSize < 2 {
+		return fmt.Errorf("E35B shape violated: recorded=%d closure=%d", recorded, closureSize)
+	}
+	fmt.Fprintf(w, "result: matches the paper — the hybrid forces flows and records all\n")
+	fmt.Fprintf(w, "        derivation relationships between schematic and layout versions\n")
+	return nil
+}
+
+// fmcadOutOfOrder plays the bad schedule against the raw library: FMCAD
+// has no flow concept, so every checkout/checkin pair succeeds.
+func fmcadOutOfOrder() (allowed int, err error) {
+	dir, err := os.MkdirTemp("", "e35-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	lib, err := fmcad.Create(filepath.Join(dir, "lib"), "flex")
+	if err != nil {
+		return 0, err
+	}
+	for view, vt := range map[string]string{"schematic": "schematic", "layout": "layout", "waveform": "waveform"} {
+		if err := lib.DefineView(view, vt); err != nil {
+			return 0, err
+		}
+	}
+	if err := lib.CreateCell("alu"); err != nil {
+		return 0, err
+	}
+	for _, view := range []string{"schematic", "layout", "waveform"} {
+		if err := lib.CreateCellview("alu", view); err != nil {
+			return 0, err
+		}
+	}
+	s := lib.NewSession("u0")
+	// Simulate, layout, simulate, layout — all before any schematic.
+	for _, view := range []string{"waveform", "layout", "waveform", "layout"} {
+		wf, err := s.Checkout("alu", view)
+		if err != nil {
+			return allowed, err
+		}
+		if err := os.WriteFile(wf.Path, []byte("tool output without inputs\n"), 0o644); err != nil {
+			return allowed, err
+		}
+		if _, err := s.Checkin(wf); err != nil {
+			return allowed, err
+		}
+		allowed++
+	}
+	return allowed, nil
+}
+
+// hybridOutOfOrder plays the same schedule through the hybrid.
+func hybridOutOfOrder(force bool) (allowed, rejected int, err error) {
+	h, project, team, cleanup, err := tempWorld(jcf.Release30, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanup()
+	cv, err := h.NewDesignCell(project, "alu", h.DefaultFlowName(), team)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := h.JCF.Reserve("u0", cv); err != nil {
+		return 0, 0, err
+	}
+	opts := core.RunOpts{Force: force}
+	for i := 0; i < 4; i++ {
+		var err error
+		if i%2 == 0 {
+			_, _, err = h.RunSimulation("u0", cv, []byte("run 10\n"), opts)
+		} else {
+			_, err = h.RunLayoutEntry("u0", cv, nil, opts)
+		}
+		switch {
+		case err == nil:
+			allowed++
+		case errors.Is(err, flow.ErrOrder):
+			rejected++
+		case force:
+			// Forced runs pass the order gate and then fail on missing
+			// input data — they went through the consistency window.
+			allowed++
+		default:
+			return allowed, rejected, err
+		}
+	}
+	return allowed, rejected, nil
+}
+
+// hybridDerivations runs the proper schematic -> simulate -> layout pass
+// and counts the derivation edges JCF recorded.
+func hybridDerivations() (recorded, closureSize int, err error) {
+	h, project, team, cleanup, err := tempWorld(jcf.Release30, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanup()
+	cv, err := h.NewDesignCell(project, "alu", h.DefaultFlowName(), team)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := h.JCF.Reserve("u0", cv); err != nil {
+		return 0, 0, err
+	}
+	draw := func(s *schematic.Schematic) error {
+		for _, p := range []struct {
+			n string
+			d schematic.PortDir
+		}{{"a", schematic.In}, {"b", schematic.In}, {"y", schematic.Out}} {
+			if err := s.AddPort(p.n, p.d); err != nil {
+				return err
+			}
+		}
+		return s.AddGate("g", schematic.Nand2, "y", "a", "b")
+	}
+	sres, err := h.RunSchematicEntry("u0", cv, draw, core.RunOpts{})
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, _, err := h.RunSimulation("u0", cv, []byte("at 0 set a 1\nat 0 set b 1\nrun 50\n"), core.RunOpts{}); err != nil {
+		return 0, 0, err
+	}
+	if _, err := h.RunLayoutEntry("u0", cv, nil, core.RunOpts{}); err != nil {
+		return 0, 0, err
+	}
+	recorded = len(h.JCF.Derivatives(sres.OutputDOV))
+	closureSize = len(h.JCF.DerivationClosure(sres.OutputDOV))
+	return recorded, closureSize, nil
+}

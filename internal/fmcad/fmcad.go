@@ -1,0 +1,633 @@
+// Package fmcad implements the FMCAD ECAD framework of the paper — a
+// faithful stand-in for the widespread commercial framework (Cadence Design
+// Framework II) whose proprietary endpoints no longer exist.
+//
+// FMCAD stores design data in *libraries*: a library is a real UNIX
+// directory whose contents are described by a single .meta file (the
+// metadata). The logical objects are cells, views, cellviews, cellview
+// versions and configs (section 2.2):
+//
+//   - a Cell is the basic, logical design object;
+//   - a View is one type of representation (schematic, layout, symbol) and
+//     is of one viewtype, which associates it with a tool;
+//   - a Cellview is the virtual data file for a (cell, view) pair;
+//   - a CellviewVersion is the data file of a cellview at a particular
+//     time, created by checkout/checkin, and maps to a design file;
+//   - a Config is a collection of related cellview versions with at most
+//     one version per cellview.
+//
+// Concurrency follows the paper exactly: a cellview can be checked out by
+// only one user at a time, so two users can never work on two versions of
+// the same cellview in parallel; metadata refresh is *manual* (Session
+// snapshots go stale until Refresh is called), which is the source of the
+// "severe locking problems" the paper reports in sections 2.2 and 3.1.
+// Hierarchy is stored inside the design files (inst lines), not in the
+// metadata, and is bound dynamically against default versions — flexible,
+// but with no what-belongs-to-what history (section 3.5).
+package fmcad
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetaFileName is the single metadata file per library — the paper's
+// "only one .meta file per project" bottleneck.
+const MetaFileName = ".meta"
+
+// Errors reported by the framework. ErrLocked is the checkout conflict the
+// concurrency experiments count.
+var (
+	ErrLocked    = errors.New("fmcad: cellview is checked out by another user")
+	ErrStale     = errors.New("fmcad: session metadata is stale; refresh required")
+	ErrNotFound  = errors.New("fmcad: object not found")
+	ErrExists    = errors.New("fmcad: object already exists")
+	ErrNotLocked = errors.New("fmcad: cellview is not checked out by this user")
+)
+
+// cellviewMeta is the per-cellview record in the .meta file.
+type cellviewMeta struct {
+	Versions []int                        `json:"versions"` // ascending
+	Default  int                          `json:"default"`  // highest checked-in version
+	LockedBy string                       `json:"locked_by,omitempty"`
+	Props    map[string]map[string]string `json:"props,omitempty"` // "v<N>" -> name -> value
+}
+
+// cellMeta is the per-cell record.
+type cellMeta struct {
+	Cellviews map[string]*cellviewMeta `json:"cellviews"` // view name -> record
+}
+
+// meta is the full content of the .meta file.
+type meta struct {
+	Name    string                    `json:"name"`
+	Seq     int64                     `json:"seq"`   // bumped on every change; staleness marker
+	Views   map[string]string         `json:"views"` // view name -> viewtype
+	Cells   map[string]*cellMeta      `json:"cells"`
+	Configs map[string]map[string]int `json:"configs"` // config -> "cell/view" -> version
+}
+
+func newMeta(name string) *meta {
+	return &meta{
+		Name:    name,
+		Views:   map[string]string{},
+		Cells:   map[string]*cellMeta{},
+		Configs: map[string]map[string]int{},
+	}
+}
+
+// clone deep-copies the metadata so session snapshots cannot alias the
+// authoritative copy.
+func (m *meta) clone() *meta {
+	data, err := json.Marshal(m)
+	if err != nil {
+		panic("fmcad: meta clone: " + err.Error()) // plain data; cannot fail
+	}
+	var cp meta
+	if err := json.Unmarshal(data, &cp); err != nil {
+		panic("fmcad: meta clone: " + err.Error())
+	}
+	if cp.Views == nil {
+		cp.Views = map[string]string{}
+	}
+	if cp.Cells == nil {
+		cp.Cells = map[string]*cellMeta{}
+	}
+	if cp.Configs == nil {
+		cp.Configs = map[string]map[string]int{}
+	}
+	return &cp
+}
+
+func (m *meta) cellview(cell, view string) (*cellviewMeta, error) {
+	c, ok := m.Cells[cell]
+	if !ok {
+		return nil, fmt.Errorf("%w: cell %q", ErrNotFound, cell)
+	}
+	cv, ok := c.Cellviews[view]
+	if !ok {
+		return nil, fmt.Errorf("%w: cellview %s/%s", ErrNotFound, cell, view)
+	}
+	return cv, nil
+}
+
+// Library is an FMCAD design library: a directory plus its .meta file.
+// The Library value is the authoritative, serialized access point; user
+// Sessions each hold a possibly-stale snapshot of the metadata.
+type Library struct {
+	dir string
+
+	mu   sync.Mutex
+	meta *meta
+
+	// statConflicts counts rejected checkouts; the section 3.1 experiment
+	// reads it.
+	statConflicts int64
+}
+
+// Create makes a new library directory at dir (which must not already
+// contain a library) and writes an empty .meta.
+func Create(dir, name string) (*Library, error) {
+	if name == "" {
+		return nil, fmt.Errorf("fmcad: empty library name")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fmcad: create library: %w", err)
+	}
+	metaPath := filepath.Join(dir, MetaFileName)
+	if _, err := os.Stat(metaPath); err == nil {
+		return nil, fmt.Errorf("%w: library at %s", ErrExists, dir)
+	}
+	l := &Library{dir: dir, meta: newMeta(name)}
+	if err := l.flushLocked(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Open loads an existing library from dir.
+func Open(dir string) (*Library, error) {
+	data, err := os.ReadFile(filepath.Join(dir, MetaFileName))
+	if err != nil {
+		return nil, fmt.Errorf("fmcad: open library: %w", err)
+	}
+	var m meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("fmcad: open library %s: %w", dir, err)
+	}
+	cp := (&m).clone() // normalizes nil maps
+	return &Library{dir: dir, meta: cp}, nil
+}
+
+// Name returns the library name.
+func (l *Library) Name() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.meta.Name
+}
+
+// Dir returns the library directory (the ".Project" of Figure 2).
+func (l *Library) Dir() string { return l.dir }
+
+// Seq returns the current metadata sequence number.
+func (l *Library) Seq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.meta.Seq
+}
+
+// Conflicts returns the cumulative count of rejected checkouts.
+func (l *Library) Conflicts() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.statConflicts
+}
+
+// flushLocked writes .meta; caller holds l.mu.
+func (l *Library) flushLocked() error {
+	data, err := json.MarshalIndent(l.meta, "", " ")
+	if err != nil {
+		return fmt.Errorf("fmcad: flush meta: %w", err)
+	}
+	tmp := filepath.Join(l.dir, MetaFileName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("fmcad: flush meta: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, MetaFileName)); err != nil {
+		return fmt.Errorf("fmcad: flush meta: %w", err)
+	}
+	return nil
+}
+
+// mutate applies fn to the authoritative metadata under the lock, bumps the
+// sequence number and persists on success.
+func (l *Library) mutate(fn func(m *meta) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := fn(l.meta); err != nil {
+		return err
+	}
+	l.meta.Seq++
+	return l.flushLocked()
+}
+
+// snapshot returns a deep copy of the current metadata.
+func (l *Library) snapshot() *meta {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.meta.clone()
+}
+
+// --- schema-level operations (views, cells, cellviews) -------------------
+
+// DefineView declares a view name of the given viewtype (e.g. view
+// "schematic" of viewtype "schematic", or "layout.fast" of viewtype
+// "layout" — the paper notes viewtypes can be switched with the same tool).
+func (l *Library) DefineView(view, viewtype string) error {
+	if view == "" || viewtype == "" {
+		return fmt.Errorf("fmcad: empty view or viewtype")
+	}
+	if strings.ContainsAny(view, "/\\:") {
+		return fmt.Errorf("fmcad: bad view name %q", view)
+	}
+	return l.mutate(func(m *meta) error {
+		if _, dup := m.Views[view]; dup {
+			return fmt.Errorf("%w: view %q", ErrExists, view)
+		}
+		m.Views[view] = viewtype
+		return nil
+	})
+}
+
+// Viewtype returns the viewtype of a view.
+func (l *Library) Viewtype(view string) (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	vt, ok := l.meta.Views[view]
+	if !ok {
+		return "", fmt.Errorf("%w: view %q", ErrNotFound, view)
+	}
+	return vt, nil
+}
+
+// CreateCell registers a new cell.
+func (l *Library) CreateCell(cell string) error {
+	if cell == "" || strings.ContainsAny(cell, "/\\:") {
+		return fmt.Errorf("fmcad: bad cell name %q", cell)
+	}
+	return l.mutate(func(m *meta) error {
+		if _, dup := m.Cells[cell]; dup {
+			return fmt.Errorf("%w: cell %q", ErrExists, cell)
+		}
+		m.Cells[cell] = &cellMeta{Cellviews: map[string]*cellviewMeta{}}
+		return nil
+	})
+}
+
+// CreateCellview creates the (cell, view) cellview with an empty initial
+// version 1 file.
+func (l *Library) CreateCellview(cell, view string) error {
+	err := l.mutate(func(m *meta) error {
+		c, ok := m.Cells[cell]
+		if !ok {
+			return fmt.Errorf("%w: cell %q", ErrNotFound, cell)
+		}
+		if _, ok := m.Views[view]; !ok {
+			return fmt.Errorf("%w: view %q", ErrNotFound, view)
+		}
+		if _, dup := c.Cellviews[view]; dup {
+			return fmt.Errorf("%w: cellview %s/%s", ErrExists, cell, view)
+		}
+		c.Cellviews[view] = &cellviewMeta{Versions: []int{1}, Default: 1, Props: map[string]map[string]string{}}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	path := l.versionPath(cell, view, 1)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("fmcad: create cellview: %w", err)
+	}
+	return os.WriteFile(path, nil, 0o644)
+}
+
+// versionPath returns the design file path for a cellview version (the
+// ".File" of Figure 2).
+func (l *Library) versionPath(cell, view string, num int) string {
+	return filepath.Join(l.dir, cell, view, fmt.Sprintf("v%d.cv", num))
+}
+
+// VersionPath exposes the design-file location; native FMCAD tools read it
+// directly (the fast path the hybrid framework loses, section 3.6).
+func (l *Library) VersionPath(cell, view string, num int) string {
+	return l.versionPath(cell, view, num)
+}
+
+// Cells returns all cell names, sorted.
+func (l *Library) Cells() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.meta.Cells))
+	for c := range l.meta.Cells {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Views returns all view names, sorted.
+func (l *Library) Views() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.meta.Views))
+	for v := range l.meta.Views {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cellviews returns the view names that exist for a cell, sorted.
+func (l *Library) Cellviews(cell string) ([]string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c, ok := l.meta.Cells[cell]
+	if !ok {
+		return nil, fmt.Errorf("%w: cell %q", ErrNotFound, cell)
+	}
+	out := make([]string, 0, len(c.Cellviews))
+	for v := range c.Cellviews {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Versions returns the version numbers of a cellview, ascending.
+func (l *Library) Versions(cell, view string) ([]int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cv, err := l.meta.cellview(cell, view)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), cv.Versions...), nil
+}
+
+// DefaultVersion returns the default (latest checked-in) version number.
+// Dynamic hierarchy binding always uses this — which is exactly why FMCAD
+// cannot reconstruct historic configurations (section 2.2).
+func (l *Library) DefaultVersion(cell, view string) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cv, err := l.meta.cellview(cell, view)
+	if err != nil {
+		return 0, err
+	}
+	return cv.Default, nil
+}
+
+// ReadVersion returns the design file content of a specific version,
+// reading the file directly (native FMCAD access).
+func (l *Library) ReadVersion(cell, view string, num int) ([]byte, error) {
+	l.mu.Lock()
+	cv, err := l.meta.cellview(cell, view)
+	if err == nil {
+		found := false
+		for _, v := range cv.Versions {
+			if v == num {
+				found = true
+				break
+			}
+		}
+		if !found {
+			err = fmt.Errorf("%w: version %d of %s/%s", ErrNotFound, num, cell, view)
+		}
+	}
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(l.versionPath(cell, view, num))
+	if err != nil {
+		return nil, fmt.Errorf("fmcad: read version: %w", err)
+	}
+	return data, nil
+}
+
+// LockedBy reports which user holds the checkout on a cellview ("" if
+// free).
+func (l *Library) LockedBy(cell, view string) (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cv, err := l.meta.cellview(cell, view)
+	if err != nil {
+		return "", err
+	}
+	return cv.LockedBy, nil
+}
+
+// --- properties -----------------------------------------------------------
+
+func versionKey(num int) string { return fmt.Sprintf("v%d", num) }
+
+// SetProperty attaches a name=value property to a cellview version.
+func (l *Library) SetProperty(cell, view string, num int, name, value string) error {
+	return l.mutate(func(m *meta) error {
+		cv, err := m.cellview(cell, view)
+		if err != nil {
+			return err
+		}
+		if !containsInt(cv.Versions, num) {
+			return fmt.Errorf("%w: version %d of %s/%s", ErrNotFound, num, cell, view)
+		}
+		if cv.Props == nil {
+			cv.Props = map[string]map[string]string{}
+		}
+		k := versionKey(num)
+		if cv.Props[k] == nil {
+			cv.Props[k] = map[string]string{}
+		}
+		cv.Props[k][name] = value
+		return nil
+	})
+}
+
+// GetProperty reads a property; ok is false when absent.
+func (l *Library) GetProperty(cell, view string, num int, name string) (value string, ok bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cv, err := l.meta.cellview(cell, view)
+	if err != nil {
+		return "", false, err
+	}
+	props, exists := cv.Props[versionKey(num)]
+	if !exists {
+		return "", false, nil
+	}
+	v, ok := props[name]
+	return v, ok, nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// --- configs ----------------------------------------------------------------
+
+func cvKey(cell, view string) string { return cell + "/" + view }
+
+// CreateConfig creates an empty named config.
+func (l *Library) CreateConfig(name string) error {
+	if name == "" {
+		return fmt.Errorf("fmcad: empty config name")
+	}
+	return l.mutate(func(m *meta) error {
+		if _, dup := m.Configs[name]; dup {
+			return fmt.Errorf("%w: config %q", ErrExists, name)
+		}
+		m.Configs[name] = map[string]int{}
+		return nil
+	})
+}
+
+// AddToConfig binds a cellview version into a config. At most one version
+// of each cellview may be in a config; a second Add for the same cellview
+// replaces the binding (it does not duplicate it).
+func (l *Library) AddToConfig(config, cell, view string, num int) error {
+	return l.mutate(func(m *meta) error {
+		cfg, ok := m.Configs[config]
+		if !ok {
+			return fmt.Errorf("%w: config %q", ErrNotFound, config)
+		}
+		cv, err := m.cellview(cell, view)
+		if err != nil {
+			return err
+		}
+		if !containsInt(cv.Versions, num) {
+			return fmt.Errorf("%w: version %d of %s/%s", ErrNotFound, num, cell, view)
+		}
+		cfg[cvKey(cell, view)] = num
+		return nil
+	})
+}
+
+// ConfigEntries returns the direct cellview->version bindings of a
+// config (not following nested configs), as a sorted slice of
+// "cell/view=vN" strings for stable output.
+func (l *Library) ConfigEntries(config string) ([]string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cfg, ok := l.meta.Configs[config]
+	if !ok {
+		return nil, fmt.Errorf("%w: config %q", ErrNotFound, config)
+	}
+	out := make([]string, 0, len(cfg))
+	for k, v := range cfg {
+		if strings.HasPrefix(k, configRefPrefix) {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s=v%d", k, v))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ConfigVersion returns the version a config binds for a cellview.
+func (l *Library) ConfigVersion(config, cell, view string) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cfg, ok := l.meta.Configs[config]
+	if !ok {
+		return 0, fmt.Errorf("%w: config %q", ErrNotFound, config)
+	}
+	num, ok := cfg[cvKey(cell, view)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%s in config %q", ErrNotFound, cell, view, config)
+	}
+	return num, nil
+}
+
+// Nested configs ("Config in Config" in Figure 2) are stored as entries
+// whose key carries a marker prefix instead of a cell/view pair.
+const configRefPrefix = "config:"
+
+// AddConfigToConfig nests child inside parent. Cycles are rejected: a
+// config may not transitively contain itself.
+func (l *Library) AddConfigToConfig(parent, child string) error {
+	if parent == child {
+		return fmt.Errorf("fmcad: config %q cannot contain itself", parent)
+	}
+	return l.mutate(func(m *meta) error {
+		if _, ok := m.Configs[parent]; !ok {
+			return fmt.Errorf("%w: config %q", ErrNotFound, parent)
+		}
+		if _, ok := m.Configs[child]; !ok {
+			return fmt.Errorf("%w: config %q", ErrNotFound, child)
+		}
+		if configReaches(m, child, parent) {
+			return fmt.Errorf("fmcad: config cycle: %q already contains %q", child, parent)
+		}
+		m.Configs[parent][configRefPrefix+child] = 0
+		return nil
+	})
+}
+
+// configReaches reports whether `from` transitively contains `to`;
+// caller holds l.mu (via mutate).
+func configReaches(m *meta, from, to string) bool {
+	if from == to {
+		return true
+	}
+	for key := range m.Configs[from] {
+		if child, ok := strings.CutPrefix(key, configRefPrefix); ok {
+			if configReaches(m, child, to) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SubConfigs returns the configs nested directly inside a config, sorted.
+func (l *Library) SubConfigs(config string) ([]string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cfg, ok := l.meta.Configs[config]
+	if !ok {
+		return nil, fmt.Errorf("%w: config %q", ErrNotFound, config)
+	}
+	var out []string
+	for key := range cfg {
+		if child, ok := strings.CutPrefix(key, configRefPrefix); ok {
+			out = append(out, child)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ConfigClosure resolves a config including every nested config,
+// returning all cellview-version bindings as sorted "cell/view=vN"
+// strings. Inner (deeper) bindings are overridden by outer ones when the
+// same cellview appears twice — the usual expansion rule.
+func (l *Library) ConfigClosure(config string) ([]string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.meta.Configs[config]; !ok {
+		return nil, fmt.Errorf("%w: config %q", ErrNotFound, config)
+	}
+	bindings := map[string]int{}
+	var walk func(name string)
+	walk = func(name string) {
+		// Children first so the parent's own bindings win.
+		for key := range l.meta.Configs[name] {
+			if child, ok := strings.CutPrefix(key, configRefPrefix); ok {
+				walk(child)
+			}
+		}
+		for key, num := range l.meta.Configs[name] {
+			if !strings.HasPrefix(key, configRefPrefix) {
+				bindings[key] = num
+			}
+		}
+	}
+	walk(config)
+	out := make([]string, 0, len(bindings))
+	for k, v := range bindings {
+		out = append(out, fmt.Sprintf("%s=v%d", k, v))
+	}
+	sort.Strings(out)
+	return out, nil
+}

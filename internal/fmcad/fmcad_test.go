@@ -1,0 +1,617 @@
+package fmcad
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// newLib creates a fresh library in a temp dir with the standard views.
+func newLib(t *testing.T) *Library {
+	t.Helper()
+	l, err := Create(filepath.Join(t.TempDir(), "lib"), "testlib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for view, vt := range map[string]string{
+		"schematic": "schematic",
+		"layout":    "layout",
+		"symbol":    "symbol",
+	} {
+		if err := l.DefineView(view, vt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func mustCell(t *testing.T, l *Library, cell string, views ...string) {
+	t.Helper()
+	if err := l.CreateCell(cell); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range views {
+		if err := l.CreateCellview(cell, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// writeVersion checks out, writes content, checks in, returning the new
+// version number.
+func writeVersion(t *testing.T, s *Session, cell, view, content string) int {
+	t.Helper()
+	wf, err := s.Checkout(cell, view)
+	if err != nil {
+		t.Fatalf("Checkout(%s/%s): %v", cell, view, err)
+	}
+	if err := os.WriteFile(wf.Path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	num, err := s.Checkin(wf)
+	if err != nil {
+		t.Fatalf("Checkin(%s/%s): %v", cell, view, err)
+	}
+	return num
+}
+
+func TestCreateOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lib")
+	l, err := Create(dir, "mylib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "mylib" || l.Dir() != dir {
+		t.Fatalf("Name=%q Dir=%q", l.Name(), l.Dir())
+	}
+	// .meta exists — the library's single metadata file.
+	if _, err := os.Stat(filepath.Join(dir, MetaFileName)); err != nil {
+		t.Fatalf(".meta missing: %v", err)
+	}
+	// Creating again collides.
+	if _, err := Create(dir, "other"); !errors.Is(err, ErrExists) {
+		t.Fatalf("double create: %v", err)
+	}
+	// Reopen reads back the same state.
+	if err := l.CreateCell("top"); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Name() != "mylib" || len(l2.Cells()) != 1 {
+		t.Fatalf("reopen lost state: %v", l2.Cells())
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "nolib")); err == nil {
+		t.Fatal("open of missing library succeeded")
+	}
+	if _, err := Create(dir, ""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestViewsAndCells(t *testing.T) {
+	l := newLib(t)
+	if err := l.DefineView("schematic", "x"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate view: %v", err)
+	}
+	if err := l.DefineView("", "x"); err == nil {
+		t.Fatal("empty view accepted")
+	}
+	vt, err := l.Viewtype("layout")
+	if err != nil || vt != "layout" {
+		t.Fatalf("Viewtype = %q, %v", vt, err)
+	}
+	if _, err := l.Viewtype("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown view: %v", err)
+	}
+	mustCell(t, l, "alu", "schematic")
+	if err := l.CreateCell("alu"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate cell: %v", err)
+	}
+	if err := l.CreateCell("bad/name"); err == nil {
+		t.Fatal("slash in cell name accepted")
+	}
+	if err := l.CreateCellview("alu", "schematic"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate cellview: %v", err)
+	}
+	if err := l.CreateCellview("nocell", "schematic"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cellview on missing cell: %v", err)
+	}
+	if err := l.CreateCellview("alu", "noview"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cellview on missing view: %v", err)
+	}
+	views, err := l.Cellviews("alu")
+	if err != nil || len(views) != 1 || views[0] != "schematic" {
+		t.Fatalf("Cellviews = %v, %v", views, err)
+	}
+	if _, err := l.Cellviews("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("Cellviews of missing cell")
+	}
+	if got := l.Views(); len(got) != 3 {
+		t.Fatalf("Views = %v", got)
+	}
+}
+
+func TestInitialVersion(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic")
+	vs, err := l.Versions("alu", "schematic")
+	if err != nil || len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("Versions = %v, %v", vs, err)
+	}
+	def, err := l.DefaultVersion("alu", "schematic")
+	if err != nil || def != 1 {
+		t.Fatalf("DefaultVersion = %d, %v", def, err)
+	}
+	data, err := l.ReadVersion("alu", "schematic", 1)
+	if err != nil || len(data) != 0 {
+		t.Fatalf("ReadVersion = %q, %v", data, err)
+	}
+	if _, err := l.ReadVersion("alu", "schematic", 9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version read: %v", err)
+	}
+	if _, err := l.Versions("alu", "layout"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing cellview versions")
+	}
+}
+
+func TestCheckoutCheckin(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic")
+	s := l.NewSession("ulla")
+
+	wf, err := s.Checkout("alu", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.BaseVersion != 1 {
+		t.Fatalf("BaseVersion = %d", wf.BaseVersion)
+	}
+	if who, _ := l.LockedBy("alu", "schematic"); who != "ulla" {
+		t.Fatalf("LockedBy = %q", who)
+	}
+	if err := os.WriteFile(wf.Path, []byte("cell alu v2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	num, err := s.Checkin(wf)
+	if err != nil || num != 2 {
+		t.Fatalf("Checkin = %d, %v", num, err)
+	}
+	if who, _ := l.LockedBy("alu", "schematic"); who != "" {
+		t.Fatalf("lock not released: %q", who)
+	}
+	def, _ := l.DefaultVersion("alu", "schematic")
+	if def != 2 {
+		t.Fatalf("default = %d, want 2", def)
+	}
+	data, err := l.ReadVersion("alu", "schematic", 2)
+	if err != nil || string(data) != "cell alu v2\n" {
+		t.Fatalf("v2 content = %q, %v", data, err)
+	}
+	// Version 1 content untouched.
+	data, _ = l.ReadVersion("alu", "schematic", 1)
+	if len(data) != 0 {
+		t.Fatal("v1 modified")
+	}
+	// Double checkin.
+	if _, err := s.Checkin(wf); err == nil {
+		t.Fatal("double checkin accepted")
+	}
+}
+
+func TestCheckoutConflict(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic")
+	sa := l.NewSession("anna")
+	sb := l.NewSession("bert")
+
+	wf, err := sa.Checkout("alu", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: only one user can change a cellview at a time.
+	if _, err := sb.Checkout("alu", "schematic"); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second checkout: %v", err)
+	}
+	if l.Conflicts() != 1 {
+		t.Fatalf("Conflicts = %d", l.Conflicts())
+	}
+	// Even the same user cannot double-checkout.
+	if _, err := sa.Checkout("alu", "schematic"); !errors.Is(err, ErrLocked) {
+		t.Fatalf("self re-checkout: %v", err)
+	}
+	if _, err := sa.Checkin(wf); err != nil {
+		t.Fatal(err)
+	}
+	// Now bert can proceed.
+	wf2, err := sb.Checkout("alu", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf2.BaseVersion != 2 {
+		t.Fatalf("bert bases on %d, want 2", wf2.BaseVersion)
+	}
+	if err := sb.Cancel(wf2); err != nil {
+		t.Fatal(err)
+	}
+	if who, _ := l.LockedBy("alu", "schematic"); who != "" {
+		t.Fatal("cancel did not release lock")
+	}
+	if err := sb.Cancel(wf2); err == nil {
+		t.Fatal("double cancel accepted")
+	}
+}
+
+func TestCheckinWrongSession(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic")
+	sa := l.NewSession("anna")
+	sb := l.NewSession("bert")
+	wf, err := sa.Checkout("alu", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Checkin(wf); err == nil {
+		t.Fatal("foreign checkin accepted")
+	}
+	if err := sb.Cancel(wf); err == nil {
+		t.Fatal("foreign cancel accepted")
+	}
+	if err := sa.Cancel(wf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleMetadata(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic")
+	sa := l.NewSession("anna")
+	sb := l.NewSession("bert")
+
+	if sb.Stale() {
+		t.Fatal("fresh session already stale")
+	}
+	writeVersion(t, sa, "alu", "schematic", "v2 by anna\n")
+
+	// bert's snapshot predates anna's checkin: he sees only v1 and no
+	// lock, although the authoritative default is 2.
+	if !sb.Stale() {
+		t.Fatal("session not stale after foreign change")
+	}
+	vs, err := sb.VersionsSeen("alu", "schematic")
+	if err != nil || len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("VersionsSeen = %v, %v", vs, err)
+	}
+	def, _ := sb.DefaultVersionSeen("alu", "schematic")
+	if def != 1 {
+		t.Fatalf("DefaultVersionSeen = %d", def)
+	}
+	// After the manual refresh he catches up.
+	sb.Refresh()
+	if sb.Stale() {
+		t.Fatal("stale after refresh")
+	}
+	vs, _ = sb.VersionsSeen("alu", "schematic")
+	if len(vs) != 2 {
+		t.Fatalf("VersionsSeen after refresh = %v", vs)
+	}
+	// LockedSeen shows the stale lock state.
+	wf, err := sa.Checkout("alu", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if who, _ := sb.LockedSeen("alu", "schematic"); who != "" {
+		t.Fatalf("LockedSeen = %q, want stale empty", who)
+	}
+	sb.Refresh()
+	if who, _ := sb.LockedSeen("alu", "schematic"); who != "anna" {
+		t.Fatalf("LockedSeen after refresh = %q", who)
+	}
+	if err := sa.Cancel(wf); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.CellsSeen(); len(got) != 1 || got[0] != "alu" {
+		t.Fatalf("CellsSeen = %v", got)
+	}
+}
+
+func TestProperties(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic")
+	if err := l.SetProperty("alu", "schematic", 1, "owner", "anna"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := l.GetProperty("alu", "schematic", 1, "owner")
+	if err != nil || !ok || v != "anna" {
+		t.Fatalf("GetProperty = %q,%t,%v", v, ok, err)
+	}
+	_, ok, err = l.GetProperty("alu", "schematic", 1, "missing")
+	if err != nil || ok {
+		t.Fatal("missing property found")
+	}
+	if err := l.SetProperty("alu", "schematic", 7, "x", "y"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("property on missing version: %v", err)
+	}
+	if _, _, err := l.GetProperty("alu", "layout", 1, "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("property on missing cellview")
+	}
+	// Properties survive reopen.
+	l2, err := Open(l.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = l2.GetProperty("alu", "schematic", 1, "owner")
+	if !ok || v != "anna" {
+		t.Fatal("property lost on reopen")
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic", "layout")
+	s := l.NewSession("anna")
+	writeVersion(t, s, "alu", "schematic", "v2\n")
+
+	if err := l.CreateConfig("golden"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CreateConfig("golden"); !errors.Is(err, ErrExists) {
+		t.Fatal("duplicate config accepted")
+	}
+	if err := l.CreateConfig(""); err == nil {
+		t.Fatal("empty config name accepted")
+	}
+	if err := l.AddToConfig("golden", "alu", "schematic", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddToConfig("golden", "alu", "layout", 1); err != nil {
+		t.Fatal(err)
+	}
+	// At most one version per cellview: rebinding replaces.
+	if err := l.AddToConfig("golden", "alu", "schematic", 2); err != nil {
+		t.Fatal(err)
+	}
+	num, err := l.ConfigVersion("golden", "alu", "schematic")
+	if err != nil || num != 2 {
+		t.Fatalf("ConfigVersion = %d, %v", num, err)
+	}
+	entries, err := l.ConfigEntries("golden")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("ConfigEntries = %v, %v", entries, err)
+	}
+	if entries[0] != "alu/layout=v1" || entries[1] != "alu/schematic=v2" {
+		t.Fatalf("ConfigEntries = %v", entries)
+	}
+	// Errors.
+	if err := l.AddToConfig("nope", "alu", "schematic", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown config accepted")
+	}
+	if err := l.AddToConfig("golden", "alu", "schematic", 99); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown version accepted")
+	}
+	if _, err := l.ConfigVersion("golden", "alu", "symbol"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unbound cellview in config")
+	}
+	if _, err := l.ConfigEntries("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("unknown config entries")
+	}
+}
+
+func TestHierarchyExpand(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "top", "schematic")
+	mustCell(t, l, "alu", "schematic")
+	mustCell(t, l, "reg", "schematic")
+	s := l.NewSession("anna")
+	writeVersion(t, s, "top", "schematic",
+		InstLine("u1", "alu", "schematic")+"\n"+
+			InstLine("u2", "reg", "schematic")+"\n"+
+			InstLine("u3", "reg", "schematic")+"\n")
+	writeVersion(t, s, "alu", "schematic", InstLine("r0", "reg", "schematic")+"\nwire w1\n")
+
+	h, err := l.Expand("top", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	// Leaves: reg under alu, plus u2 and u3 (alu itself is internal).
+	if h.Leaves() != 3 {
+		t.Fatalf("Leaves = %d, want 3", h.Leaves())
+	}
+	if h.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", h.Depth())
+	}
+	if len(h.CellSet()) != 3 {
+		t.Fatalf("CellSet = %v", h.CellSet())
+	}
+	// Dynamic binding: children bound at their default versions.
+	if h.Children[0].Cell != "alu" || h.Children[0].Version != 2 {
+		t.Fatalf("child binding = %+v", h.Children[0])
+	}
+	// Re-checkin of reg moves the binding silently — no history.
+	writeVersion(t, s, "reg", "schematic", "wire q\n")
+	h2, err := l.Expand("top", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Children[1].Version != 2 {
+		t.Fatalf("rebind version = %d, want 2", h2.Children[1].Version)
+	}
+}
+
+func TestHierarchyCycleAndDangling(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "a", "schematic")
+	mustCell(t, l, "b", "schematic")
+	s := l.NewSession("x")
+	writeVersion(t, s, "a", "schematic", InstLine("i1", "b", "schematic")+"\n")
+	writeVersion(t, s, "b", "schematic", InstLine("i2", "a", "schematic")+"\n")
+	if _, err := l.Expand("a", "schematic"); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+	// Dangling reference.
+	writeVersion(t, s, "b", "schematic", InstLine("i2", "ghost", "schematic")+"\n")
+	if _, err := l.Expand("a", "schematic"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("dangling ref: %v", err)
+	}
+}
+
+func TestNonIsomorphicHierarchies(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "top", "schematic", "layout")
+	mustCell(t, l, "alu", "schematic", "layout")
+	mustCell(t, l, "pad", "layout")
+	s := l.NewSession("x")
+	// Schematic: top -> alu. Layout: top -> alu + pad ring (non-isomorphic,
+	// legal in FMCAD).
+	writeVersion(t, s, "top", "schematic", InstLine("u1", "alu", "schematic")+"\n")
+	writeVersion(t, s, "top", "layout",
+		InstLine("u1", "alu", "layout")+"\n"+InstLine("p1", "pad", "layout")+"\n")
+
+	iso, err := l.Isomorphic("top", "schematic", "layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso {
+		t.Fatal("non-isomorphic hierarchy reported isomorphic")
+	}
+	// Make them isomorphic.
+	wf, err := s.Checkout("top", "layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wf.Path, []byte(InstLine("u1", "alu", "layout")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkin(wf); err != nil {
+		t.Fatal(err)
+	}
+	iso, err = l.Isomorphic("top", "schematic", "layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iso {
+		t.Fatal("isomorphic hierarchy reported non-isomorphic")
+	}
+}
+
+func TestParseInstances(t *testing.T) {
+	data := []byte("header x\ninst u1 alu schematic\nnoise\ninst u2 reg layout\ninst malformed two\n")
+	refs := ParseInstances(data)
+	if len(refs) != 2 {
+		t.Fatalf("ParseInstances = %v", refs)
+	}
+	if refs[0] != (InstanceRef{Name: "u1", Cell: "alu", View: "schematic"}) {
+		t.Fatalf("refs[0] = %+v", refs[0])
+	}
+	if refs[1] != (InstanceRef{Name: "u2", Cell: "reg", View: "layout"}) {
+		t.Fatalf("refs[1] = %+v", refs[1])
+	}
+	if got := ParseInstances(nil); len(got) != 0 {
+		t.Fatal("empty parse")
+	}
+}
+
+func TestConcurrentCheckoutRace(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "hot", "schematic")
+	const users = 16
+	var wg sync.WaitGroup
+	wins := make(chan string, users)
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := l.NewSession(string(rune('a' + i)))
+			wf, err := s.Checkout("hot", "schematic")
+			if err != nil {
+				return // lost the race
+			}
+			wins <- s.User()
+			if _, err := s.Checkin(wf); err != nil {
+				t.Errorf("winner checkin: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	var winners []string
+	for w := range wins {
+		winners = append(winners, w)
+	}
+	if len(winners) == 0 {
+		t.Fatal("no winner")
+	}
+	// Winners serialized: versions = 1 + len(winners).
+	vs, _ := l.Versions("hot", "schematic")
+	if len(vs) != 1+len(winners) {
+		t.Fatalf("versions = %v, winners = %d", vs, len(winners))
+	}
+	if int(l.Conflicts()) != users-len(winners) {
+		t.Fatalf("Conflicts = %d, want %d", l.Conflicts(), users-len(winners))
+	}
+}
+
+// Property: any sequence of checkin cycles yields strictly increasing,
+// contiguous version numbers starting at 1.
+func TestPropertyVersionMonotonic(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "c", "schematic")
+	s := l.NewSession("u")
+	f := func(n uint8) bool {
+		count := int(n % 8)
+		startVs, _ := l.Versions("c", "schematic")
+		for i := 0; i < count; i++ {
+			writeVersion(t, s, "c", "schematic", "x\n")
+		}
+		vs, _ := l.Versions("c", "schematic")
+		if len(vs) != len(startVs)+count {
+			return false
+		}
+		for i := 1; i < len(vs); i++ {
+			if vs[i] != vs[i-1]+1 {
+				return false
+			}
+		}
+		return vs[0] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InstLine always round-trips through ParseInstances for names
+// without whitespace.
+func TestPropertyInstLineRoundTrip(t *testing.T) {
+	clean := func(s string) string {
+		if s == "" {
+			return "x"
+		}
+		out := make([]rune, 0, len(s))
+		for _, r := range s {
+			if r > 32 && r < 127 {
+				out = append(out, r)
+			}
+		}
+		if len(out) == 0 {
+			return "x"
+		}
+		return string(out)
+	}
+	f := func(name, cell, view string) bool {
+		n, c, v := clean(name), clean(cell), clean(view)
+		refs := ParseInstances([]byte(InstLine(n, c, v) + "\n"))
+		return len(refs) == 1 && refs[0] == InstanceRef{Name: n, Cell: c, View: v}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

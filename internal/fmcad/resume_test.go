@@ -1,0 +1,75 @@
+package fmcad
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestResumeCheckout(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic")
+	s1 := l.NewSession("anna")
+	wf, err := s1.Checkout("alu", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wf.Path, []byte("draft from session 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Anna returns in a new shell session and resumes the held checkout.
+	s2 := l.NewSession("anna")
+	resumed, err := s2.Resume("alu", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.BaseVersion != 1 || resumed.Cell != "alu" {
+		t.Fatalf("resumed = %+v", resumed)
+	}
+	// The draft written in the first session is still there.
+	data, err := os.ReadFile(resumed.Path)
+	if err != nil || string(data) != "draft from session 1\n" {
+		t.Fatalf("working copy lost: %q, %v", data, err)
+	}
+	num, err := s2.Checkin(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num != 2 {
+		t.Fatalf("version = %d", num)
+	}
+	got, _ := l.ReadVersion("alu", "schematic", 2)
+	if string(got) != "draft from session 1\n" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestResumeErrors(t *testing.T) {
+	l := newLib(t)
+	mustCell(t, l, "alu", "schematic")
+	// Nothing checked out.
+	s := l.NewSession("anna")
+	if _, err := s.Resume("alu", "schematic"); !errors.Is(err, ErrNotLocked) {
+		t.Fatalf("resume of free cellview: %v", err)
+	}
+	// Held by someone else.
+	sb := l.NewSession("bert")
+	wf, err := sb.Checkout("alu", "schematic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resume("alu", "schematic"); !errors.Is(err, ErrNotLocked) {
+		t.Fatalf("resume of foreign checkout: %v", err)
+	}
+	// Missing working copy: holder but file deleted.
+	if err := os.Remove(wf.Path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Resume("alu", "schematic"); err == nil {
+		t.Fatal("resume without working copy accepted")
+	}
+	// Unknown cellview.
+	if _, err := s.Resume("ghost", "schematic"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("resume of missing cellview: %v", err)
+	}
+}

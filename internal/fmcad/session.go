@@ -1,0 +1,234 @@
+package fmcad
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Session is one designer's connection to a library. It holds a private
+// snapshot of the library metadata taken at open (or the last Refresh).
+// The paper: "The refreshment of the metadata objects is not performed
+// automatically, and therefore, it is the responsibility of the designer to
+// keep his design up to date. Of course, this aspect may cause severe
+// locking problems during the design process." (section 2.2)
+//
+// Reads answer from the stale snapshot; writes go to the authoritative
+// library and can fail with ErrLocked when another designer holds the
+// checkout — conflicts the designer could not see coming because their
+// snapshot was stale.
+type Session struct {
+	lib  *Library
+	user string
+	snap *meta // private, possibly stale
+}
+
+// NewSession opens a session for user, snapshotting the current metadata.
+func (l *Library) NewSession(user string) *Session {
+	return &Session{lib: l, user: user, snap: l.snapshot()}
+}
+
+// User returns the session owner.
+func (s *Session) User() string { return s.user }
+
+// Library returns the underlying library.
+func (s *Session) Library() *Library { return s.lib }
+
+// Refresh re-reads the library metadata — the manual step FMCAD requires.
+func (s *Session) Refresh() { s.snap = s.lib.snapshot() }
+
+// Stale reports whether the library has changed since the last Refresh.
+func (s *Session) Stale() bool { return s.snap.Seq != s.lib.Seq() }
+
+// --- stale reads -----------------------------------------------------------
+
+// VersionsSeen returns the versions of a cellview as of the last Refresh.
+// This may omit versions created by other users since then.
+func (s *Session) VersionsSeen(cell, view string) ([]int, error) {
+	cv, err := s.snap.cellview(cell, view)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), cv.Versions...), nil
+}
+
+// DefaultVersionSeen returns the default version as of the last Refresh.
+func (s *Session) DefaultVersionSeen(cell, view string) (int, error) {
+	cv, err := s.snap.cellview(cell, view)
+	if err != nil {
+		return 0, err
+	}
+	return cv.Default, nil
+}
+
+// LockedSeen reports the checkout holder as of the last Refresh — possibly
+// wrong, which is how designers run into surprise conflicts.
+func (s *Session) LockedSeen(cell, view string) (string, error) {
+	cv, err := s.snap.cellview(cell, view)
+	if err != nil {
+		return "", err
+	}
+	return cv.LockedBy, nil
+}
+
+// CellsSeen lists cells as of the last Refresh.
+func (s *Session) CellsSeen() []string {
+	out := make([]string, 0, len(s.snap.Cells))
+	for c := range s.snap.Cells {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- checkout / checkin ----------------------------------------------------
+
+// Workfile is a checked-out cellview: a private working copy of the design
+// file that Checkin will turn into the next version.
+type Workfile struct {
+	Cell, View string
+	// BaseVersion is the version the checkout copied from.
+	BaseVersion int
+	// Path is the user's editable working copy.
+	Path string
+
+	session *Session
+	done    bool
+}
+
+// workPath returns the per-user working-copy location.
+func (s *Session) workPath(cell, view string) string {
+	return filepath.Join(s.lib.dir, ".workspace", s.user, cell+"__"+view+".cv")
+}
+
+// Checkout acquires the cellview for this user and stages a working copy of
+// the default version. It fails with ErrLocked if any other user holds the
+// checkout. Checking out a cellview you already hold is an error too (one
+// working copy at a time).
+func (s *Session) Checkout(cell, view string) (*Workfile, error) {
+	var base int
+	err := s.lib.mutate(func(m *meta) error {
+		cv, err := m.cellview(cell, view)
+		if err != nil {
+			return err
+		}
+		if cv.LockedBy != "" {
+			s.lib.statConflicts++
+			return fmt.Errorf("%w (%s/%s held by %s, wanted by %s)", ErrLocked, cell, view, cv.LockedBy, s.user)
+		}
+		cv.LockedBy = s.user
+		base = cv.Default
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Stage the working copy from the base version file.
+	src := s.lib.versionPath(cell, view, base)
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return nil, fmt.Errorf("fmcad: checkout stage: %w", err)
+	}
+	wp := s.workPath(cell, view)
+	if err := os.MkdirAll(filepath.Dir(wp), 0o755); err != nil {
+		return nil, fmt.Errorf("fmcad: checkout stage: %w", err)
+	}
+	if err := os.WriteFile(wp, data, 0o644); err != nil {
+		return nil, fmt.Errorf("fmcad: checkout stage: %w", err)
+	}
+	return &Workfile{Cell: cell, View: view, BaseVersion: base, Path: wp, session: s}, nil
+}
+
+// Resume rebuilds the Workfile handle for a checkout this user already
+// holds — the case of a designer returning in a fresh shell session. The
+// working copy in .workspace is left as the user last wrote it.
+func (s *Session) Resume(cell, view string) (*Workfile, error) {
+	holder, err := s.lib.LockedBy(cell, view)
+	if err != nil {
+		return nil, err
+	}
+	if holder != s.user {
+		return nil, fmt.Errorf("%w (%s/%s, lock holder %q)", ErrNotLocked, cell, view, holder)
+	}
+	wp := s.workPath(cell, view)
+	if _, err := os.Stat(wp); err != nil {
+		return nil, fmt.Errorf("fmcad: resume: working copy missing: %w", err)
+	}
+	def, err := s.lib.DefaultVersion(cell, view)
+	if err != nil {
+		return nil, err
+	}
+	return &Workfile{Cell: cell, View: view, BaseVersion: def, Path: wp, session: s}, nil
+}
+
+// Checkin turns the working copy into the next cellview version, makes it
+// the default, and releases the lock. Returns the new version number.
+func (s *Session) Checkin(wf *Workfile) (int, error) {
+	if wf == nil || wf.session != s {
+		return 0, fmt.Errorf("fmcad: checkin of foreign workfile")
+	}
+	if wf.done {
+		return 0, fmt.Errorf("fmcad: workfile already checked in or cancelled")
+	}
+	data, err := os.ReadFile(wf.Path)
+	if err != nil {
+		return 0, fmt.Errorf("fmcad: checkin: %w", err)
+	}
+	var newVersion int
+	err = s.lib.mutate(func(m *meta) error {
+		cv, err := m.cellview(wf.Cell, wf.View)
+		if err != nil {
+			return err
+		}
+		if cv.LockedBy != s.user {
+			return fmt.Errorf("%w (%s/%s, lock holder %q)", ErrNotLocked, wf.Cell, wf.View, cv.LockedBy)
+		}
+		newVersion = cv.Versions[len(cv.Versions)-1] + 1
+		cv.Versions = append(cv.Versions, newVersion)
+		cv.Default = newVersion
+		cv.LockedBy = ""
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	dst := s.lib.versionPath(wf.Cell, wf.View, newVersion)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return 0, fmt.Errorf("fmcad: checkin: %w", err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		return 0, fmt.Errorf("fmcad: checkin: %w", err)
+	}
+	wf.done = true
+	_ = os.Remove(wf.Path)
+	return newVersion, nil
+}
+
+// Cancel abandons a checkout, releasing the lock without creating a
+// version.
+func (s *Session) Cancel(wf *Workfile) error {
+	if wf == nil || wf.session != s {
+		return fmt.Errorf("fmcad: cancel of foreign workfile")
+	}
+	if wf.done {
+		return fmt.Errorf("fmcad: workfile already checked in or cancelled")
+	}
+	err := s.lib.mutate(func(m *meta) error {
+		cv, err := m.cellview(wf.Cell, wf.View)
+		if err != nil {
+			return err
+		}
+		if cv.LockedBy != s.user {
+			return fmt.Errorf("%w (%s/%s, lock holder %q)", ErrNotLocked, wf.Cell, wf.View, cv.LockedBy)
+		}
+		cv.LockedBy = ""
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	wf.done = true
+	_ = os.Remove(wf.Path)
+	return nil
+}

@@ -1,0 +1,457 @@
+package fml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// installBuiltins defines the standard library in the global environment.
+func installBuiltins(in *Interp) {
+	reg := in.RegisterFunc
+
+	// --- arithmetic ----------------------------------------------------
+	reg("+", func(_ *Interp, args []Value) (Value, error) { return arith(args, "+") })
+	reg("-", func(_ *Interp, args []Value) (Value, error) { return arith(args, "-") })
+	reg("*", func(_ *Interp, args []Value) (Value, error) { return arith(args, "*") })
+	reg("/", func(_ *Interp, args []Value) (Value, error) { return arith(args, "/") })
+	reg("mod", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "mod wants 2 args")
+		}
+		a, aok := args[0].(Int)
+		b, bok := args[1].(Int)
+		if !aok || !bok {
+			return nil, errf(nil, "mod wants ints")
+		}
+		if b == 0 {
+			return nil, errf(nil, "mod by zero")
+		}
+		return a % b, nil
+	})
+
+	// --- comparison ----------------------------------------------------
+	reg("=", cmpFn(func(c int) bool { return c == 0 }))
+	reg("<", cmpFn(func(c int) bool { return c < 0 }))
+	reg(">", cmpFn(func(c int) bool { return c > 0 }))
+	reg("<=", cmpFn(func(c int) bool { return c <= 0 }))
+	reg(">=", cmpFn(func(c int) bool { return c >= 0 }))
+	reg("!=", cmpFn(func(c int) bool { return c != 0 }))
+	reg("equal", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "equal wants 2 args")
+		}
+		return boolVal(Equal(args[0], args[1])), nil
+	})
+	reg("not", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errf(nil, "not wants 1 arg")
+		}
+		return boolVal(!Truthy(args[0])), nil
+	})
+
+	// --- lists ----------------------------------------------------------
+	reg("list", func(_ *Interp, args []Value) (Value, error) {
+		return List(append([]Value(nil), args...)), nil
+	})
+	reg("car", func(_ *Interp, args []Value) (Value, error) {
+		lst, err := wantList(args, "car")
+		if err != nil {
+			return nil, err
+		}
+		if len(lst) == 0 {
+			return Nil{}, nil
+		}
+		return lst[0], nil
+	})
+	reg("cdr", func(_ *Interp, args []Value) (Value, error) {
+		lst, err := wantList(args, "cdr")
+		if err != nil {
+			return nil, err
+		}
+		if len(lst) <= 1 {
+			return Nil{}, nil
+		}
+		return List(append([]Value(nil), lst[1:]...)), nil
+	})
+	reg("cons", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "cons wants 2 args")
+		}
+		tail := toList(args[1])
+		return List(append([]Value{args[0]}, tail...)), nil
+	})
+	reg("length", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errf(nil, "length wants 1 arg")
+		}
+		switch x := args[0].(type) {
+		case List:
+			return Int(len(x)), nil
+		case Str:
+			return Int(len(x)), nil
+		case Nil:
+			return Int(0), nil
+		}
+		return nil, errf(nil, "length wants a list or string")
+	})
+	reg("append", func(_ *Interp, args []Value) (Value, error) {
+		var out List
+		for _, a := range args {
+			out = append(out, toList(a)...)
+		}
+		return out, nil
+	})
+	reg("reverse", func(_ *Interp, args []Value) (Value, error) {
+		lst, err := wantList(args, "reverse")
+		if err != nil {
+			return nil, err
+		}
+		out := make(List, len(lst))
+		for i, v := range lst {
+			out[len(lst)-1-i] = v
+		}
+		return out, nil
+	})
+	reg("nth", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "nth wants index and list")
+		}
+		i, ok := args[0].(Int)
+		if !ok {
+			return nil, errf(nil, "nth index must be int")
+		}
+		lst := toList(args[1])
+		if i < 0 || int(i) >= len(lst) {
+			return Nil{}, nil
+		}
+		return lst[i], nil
+	})
+	reg("member", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "member wants item and list")
+		}
+		lst := toList(args[1])
+		for i, v := range lst {
+			if Equal(v, args[0]) {
+				return List(append([]Value(nil), lst[i:]...)), nil
+			}
+		}
+		return Nil{}, nil
+	})
+	reg("assoc", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "assoc wants key and alist")
+		}
+		for _, v := range toList(args[1]) {
+			if pair, ok := v.(List); ok && len(pair) >= 1 && Equal(pair[0], args[0]) {
+				return pair, nil
+			}
+		}
+		return Nil{}, nil
+	})
+	reg("mapcar", func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "mapcar wants fn and list")
+		}
+		lst := toList(args[1])
+		out := make(List, 0, len(lst))
+		for _, v := range lst {
+			r, err := in.Apply(args[0], []Value{v}, nil)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	})
+	reg("filter", func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "filter wants fn and list")
+		}
+		var out List
+		for _, v := range toList(args[1]) {
+			r, err := in.Apply(args[0], []Value{v}, nil)
+			if err != nil {
+				return nil, err
+			}
+			if Truthy(r) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+	reg("apply", func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "apply wants fn and arg list")
+		}
+		return in.Apply(args[0], toList(args[1]), nil)
+	})
+
+	// --- strings ---------------------------------------------------------
+	reg("strcat", func(_ *Interp, args []Value) (Value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteString(Display(a))
+		}
+		return Str(b.String()), nil
+	})
+	reg("sprintf", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) < 1 {
+			return nil, errf(nil, "sprintf wants a format")
+		}
+		f, ok := args[0].(Str)
+		if !ok {
+			return nil, errf(nil, "sprintf format must be a string")
+		}
+		goArgs := make([]any, 0, len(args)-1)
+		for _, a := range args[1:] {
+			switch x := a.(type) {
+			case Int:
+				goArgs = append(goArgs, int64(x))
+			case Float:
+				goArgs = append(goArgs, float64(x))
+			case Str:
+				goArgs = append(goArgs, string(x))
+			default:
+				goArgs = append(goArgs, Display(a))
+			}
+		}
+		return Str(fmt.Sprintf(string(f), goArgs...)), nil
+	})
+	reg("upperCase", strFn(strings.ToUpper))
+	reg("lowerCase", strFn(strings.ToLower))
+	reg("strsplit", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "strsplit wants string and separator")
+		}
+		s, ok1 := args[0].(Str)
+		sep, ok2 := args[1].(Str)
+		if !ok1 || !ok2 {
+			return nil, errf(nil, "strsplit wants strings")
+		}
+		parts := strings.Split(string(s), string(sep))
+		out := make(List, len(parts))
+		for i, p := range parts {
+			out[i] = Str(p)
+		}
+		return out, nil
+	})
+	reg("symbolName", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errf(nil, "symbolName wants 1 arg")
+		}
+		s, ok := args[0].(Symbol)
+		if !ok {
+			return nil, errf(nil, "symbolName wants a symbol")
+		}
+		return Str(s), nil
+	})
+
+	// --- I/O and misc -----------------------------------------------------
+	reg("println", func(in *Interp, args []Value) (Value, error) {
+		in.Fprintln(args)
+		return Nil{}, nil
+	})
+	reg("error", func(_ *Interp, args []Value) (Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = Display(a)
+		}
+		return nil, &Error{Msg: strings.Join(parts, " ")}
+	})
+	reg("type", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errf(nil, "type wants 1 arg")
+		}
+		switch args[0].(type) {
+		case Nil:
+			return Symbol("nil"), nil
+		case Bool:
+			return Symbol("bool"), nil
+		case Int:
+			return Symbol("int"), nil
+		case Float:
+			return Symbol("float"), nil
+		case Str:
+			return Symbol("string"), nil
+		case Symbol:
+			return Symbol("symbol"), nil
+		case List:
+			return Symbol("list"), nil
+		case *Func, *Builtin:
+			return Symbol("function"), nil
+		}
+		return Symbol("unknown"), nil
+	})
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Bool{}
+	}
+	return Nil{}
+}
+
+// toList coerces nil to the empty list and returns lists as-is; any other
+// value becomes a one-element list (convenient for cons/append).
+func toList(v Value) List {
+	switch x := v.(type) {
+	case List:
+		return x
+	case Nil:
+		return nil
+	default:
+		return List{x}
+	}
+}
+
+func wantList(args []Value, name string) (List, error) {
+	if len(args) != 1 {
+		return nil, errf(nil, "%s wants 1 arg", name)
+	}
+	switch x := args[0].(type) {
+	case List:
+		return x, nil
+	case Nil:
+		return nil, nil
+	}
+	return nil, errf(nil, "%s wants a list, got %s", name, Sprint(args[0]))
+}
+
+func strFn(f func(string) string) func(*Interp, []Value) (Value, error) {
+	return func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errf(nil, "string function wants 1 arg")
+		}
+		s, ok := args[0].(Str)
+		if !ok {
+			return nil, errf(nil, "want a string, got %s", Sprint(args[0]))
+		}
+		return Str(f(string(s))), nil
+	}
+}
+
+// arith folds numeric arguments left to right, promoting to float when any
+// argument is a float.
+func arith(args []Value, op string) (Value, error) {
+	if len(args) == 0 {
+		return nil, errf(nil, "%s wants at least 1 arg", op)
+	}
+	// Unary minus.
+	if op == "-" && len(args) == 1 {
+		switch x := args[0].(type) {
+		case Int:
+			return -x, nil
+		case Float:
+			return -x, nil
+		}
+		return nil, errf(nil, "- wants numbers")
+	}
+	useFloat := false
+	for _, a := range args {
+		switch a.(type) {
+		case Float:
+			useFloat = true
+		case Int:
+		default:
+			return nil, errf(nil, "%s wants numbers, got %s", op, Sprint(a))
+		}
+	}
+	if useFloat {
+		acc := toFloat(args[0])
+		for _, a := range args[1:] {
+			v := toFloat(a)
+			switch op {
+			case "+":
+				acc += v
+			case "-":
+				acc -= v
+			case "*":
+				acc *= v
+			case "/":
+				if v == 0 {
+					return nil, errf(nil, "division by zero")
+				}
+				acc /= v
+			}
+		}
+		return Float(acc), nil
+	}
+	acc := int64(args[0].(Int))
+	for _, a := range args[1:] {
+		v := int64(a.(Int))
+		switch op {
+		case "+":
+			acc += v
+		case "-":
+			acc -= v
+		case "*":
+			acc *= v
+		case "/":
+			if v == 0 {
+				return nil, errf(nil, "division by zero")
+			}
+			acc /= v
+		}
+	}
+	return Int(acc), nil
+}
+
+func toFloat(v Value) float64 {
+	switch x := v.(type) {
+	case Int:
+		return float64(x)
+	case Float:
+		return float64(x)
+	}
+	return 0
+}
+
+// cmpFn builds a numeric/string comparison builtin from a predicate over
+// the three-way comparison result.
+func cmpFn(pred func(int) bool) func(*Interp, []Value) (Value, error) {
+	return func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "comparison wants 2 args")
+		}
+		c, err := compare(args[0], args[1])
+		if err != nil {
+			return nil, err
+		}
+		return boolVal(pred(c)), nil
+	}
+}
+
+func compare(a, b Value) (int, error) {
+	switch x := a.(type) {
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return cmpOrd(int64(x), int64(y)), nil
+		case Float:
+			return cmpOrd(float64(x), float64(y)), nil
+		}
+	case Float:
+		switch y := b.(type) {
+		case Int:
+			return cmpOrd(float64(x), float64(y)), nil
+		case Float:
+			return cmpOrd(float64(x), float64(y)), nil
+		}
+	case Str:
+		if y, ok := b.(Str); ok {
+			return strings.Compare(string(x), string(y)), nil
+		}
+	}
+	return 0, errf(nil, "cannot compare %s and %s", Sprint(a), Sprint(b))
+}
+
+func cmpOrd[T int64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,481 @@
+package fml
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Env is a lexical environment frame.
+type Env struct {
+	vars   map[Symbol]Value
+	parent *Env
+}
+
+// NewEnv returns a child of parent (parent may be nil for the global frame).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: map[Symbol]Value{}, parent: parent}
+}
+
+// Lookup resolves a symbol through the frame chain.
+func (e *Env) Lookup(s Symbol) (Value, bool) {
+	for f := e; f != nil; f = f.parent {
+		if v, ok := f.vars[s]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Define binds a symbol in this frame.
+func (e *Env) Define(s Symbol, v Value) { e.vars[s] = v }
+
+// Assign rebinds an existing symbol wherever it is bound, or defines it in
+// this frame when unbound (SKILL setq semantics).
+func (e *Env) Assign(s Symbol, v Value) {
+	for f := e; f != nil; f = f.parent {
+		if _, ok := f.vars[s]; ok {
+			f.vars[s] = v
+			return
+		}
+	}
+	e.vars[s] = v
+}
+
+// Interp is one interpreter instance: a global environment, builtins, an
+// output writer for print functions, and an evaluation-step budget that
+// guards against runaway scripts.
+type Interp struct {
+	Global  *Env
+	Out     io.Writer
+	MaxStep int // 0 means the default budget
+	steps   int
+}
+
+// DefaultMaxStep bounds evaluation steps per Eval/Run call.
+const DefaultMaxStep = 2_000_000
+
+// NewInterp returns an interpreter with the standard builtins installed.
+func NewInterp() *Interp {
+	in := &Interp{Global: NewEnv(nil), Out: io.Discard}
+	installBuiltins(in)
+	return in
+}
+
+// RegisterFunc exposes a Go function to FML programs under the given name.
+// This is the host-integration point the encapsulation layer uses.
+func (in *Interp) RegisterFunc(name string, fn func(in *Interp, args []Value) (Value, error)) {
+	in.Global.Define(Symbol(name), &Builtin{Name: name, Fn: fn})
+}
+
+// Funcs returns the names of all globally bound functions, sorted. Useful
+// for the fmcadsh REPL's introspection.
+func (in *Interp) Funcs() []string {
+	var out []string
+	for s, v := range in.Global.vars {
+		switch v.(type) {
+		case *Builtin, *Func:
+			out = append(out, string(s))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run parses and evaluates a whole program in the global environment,
+// returning the value of the last form.
+func (in *Interp) Run(src string) (Value, error) {
+	forms, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var last Value = Nil{}
+	for _, form := range forms {
+		last, err = in.Eval(form, in.Global)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// Eval evaluates one form in env. The step budget is reset per top-level
+// call (calls where env is the global frame).
+func (in *Interp) Eval(form Value, env *Env) (Value, error) {
+	if env == in.Global {
+		in.steps = 0
+	}
+	return in.eval(form, env)
+}
+
+func (in *Interp) budget() int {
+	if in.MaxStep > 0 {
+		return in.MaxStep
+	}
+	return DefaultMaxStep
+}
+
+func (in *Interp) eval(form Value, env *Env) (Value, error) {
+	in.steps++
+	if in.steps > in.budget() {
+		return nil, errf(form, "evaluation budget exceeded (%d steps)", in.budget())
+	}
+	switch x := form.(type) {
+	case nil:
+		return Nil{}, nil
+	case Nil, Bool, Int, Float, Str, *Func, *Builtin:
+		return x, nil
+	case Symbol:
+		if v, ok := env.Lookup(x); ok {
+			return v, nil
+		}
+		return nil, errf(form, "unbound symbol %s", x)
+	case List:
+		if len(x) == 0 {
+			return Nil{}, nil
+		}
+		if sym, ok := x[0].(Symbol); ok {
+			if fn, special := specialForms[sym]; special {
+				return fn(in, x, env)
+			}
+		}
+		// Function application.
+		fv, err := in.eval(x[0], env)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Value, 0, len(x)-1)
+		for _, a := range x[1:] {
+			av, err := in.eval(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, av)
+		}
+		return in.Apply(fv, args, form)
+	}
+	return nil, errf(form, "cannot evaluate %T", form)
+}
+
+// Apply calls a function value with already-evaluated arguments.
+func (in *Interp) Apply(fv Value, args []Value, form Value) (Value, error) {
+	switch fn := fv.(type) {
+	case *Builtin:
+		return fn.Fn(in, args)
+	case *Func:
+		if len(args) != len(fn.Params) {
+			return nil, errf(form, "%s wants %d args, got %d", fn.fmlString(), len(fn.Params), len(args))
+		}
+		frame := NewEnv(fn.Env)
+		for i, p := range fn.Params {
+			frame.Define(p, args[i])
+		}
+		var last Value = Nil{}
+		var err error
+		for _, b := range fn.Body {
+			last, err = in.eval(b, frame)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return last, nil
+	}
+	return nil, errf(form, "not a function: %s", Sprint(fv))
+}
+
+// specialForms are evaluated without evaluating arguments first. The map is
+// populated in init to break the declaration cycle with eval.
+var specialForms map[Symbol]func(in *Interp, form List, env *Env) (Value, error)
+
+func init() {
+	specialForms = map[Symbol]func(in *Interp, form List, env *Env) (Value, error){
+		"quote":   evalQuote,
+		"if":      evalIf,
+		"when":    evalWhen,
+		"unless":  evalUnless,
+		"defun":   evalDefun,
+		"lambda":  evalLambda,
+		"let":     evalLet,
+		"setq":    evalSetq,
+		"progn":   evalProgn,
+		"while":   evalWhile,
+		"and":     evalAnd,
+		"or":      evalOr,
+		"cond":    evalCond,
+		"foreach": evalForeach,
+	}
+}
+
+func evalQuote(_ *Interp, form List, _ *Env) (Value, error) {
+	if len(form) != 2 {
+		return nil, errf(form, "quote wants 1 arg")
+	}
+	return form[1], nil
+}
+
+func evalIf(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 3 || len(form) > 4 {
+		return nil, errf(form, "if wants 2 or 3 args")
+	}
+	c, err := in.eval(form[1], env)
+	if err != nil {
+		return nil, err
+	}
+	if Truthy(c) {
+		return in.eval(form[2], env)
+	}
+	if len(form) == 4 {
+		return in.eval(form[3], env)
+	}
+	return Nil{}, nil
+}
+
+func evalWhen(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 2 {
+		return nil, errf(form, "when wants a condition")
+	}
+	c, err := in.eval(form[1], env)
+	if err != nil {
+		return nil, err
+	}
+	if !Truthy(c) {
+		return Nil{}, nil
+	}
+	return evalBody(in, form[2:], env)
+}
+
+func evalUnless(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 2 {
+		return nil, errf(form, "unless wants a condition")
+	}
+	c, err := in.eval(form[1], env)
+	if err != nil {
+		return nil, err
+	}
+	if Truthy(c) {
+		return Nil{}, nil
+	}
+	return evalBody(in, form[2:], env)
+}
+
+func evalBody(in *Interp, body []Value, env *Env) (Value, error) {
+	var last Value = Nil{}
+	var err error
+	for _, b := range body {
+		last, err = in.eval(b, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+func paramList(v Value) ([]Symbol, error) {
+	lst, ok := v.(List)
+	if !ok {
+		if _, isNil := v.(Nil); isNil {
+			return nil, nil
+		}
+		return nil, errf(v, "parameter list must be a list")
+	}
+	params := make([]Symbol, 0, len(lst))
+	for _, p := range lst {
+		s, ok := p.(Symbol)
+		if !ok {
+			return nil, errf(v, "parameter must be a symbol, got %s", Sprint(p))
+		}
+		params = append(params, s)
+	}
+	return params, nil
+}
+
+func evalDefun(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 4 {
+		return nil, errf(form, "defun wants name, params, body")
+	}
+	name, ok := form[1].(Symbol)
+	if !ok {
+		return nil, errf(form, "defun name must be a symbol")
+	}
+	params, err := paramList(form[2])
+	if err != nil {
+		return nil, err
+	}
+	fn := &Func{Name: string(name), Params: params, Body: append([]Value(nil), form[3:]...), Env: env}
+	in.Global.Define(name, fn)
+	return fn, nil
+}
+
+func evalLambda(_ *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 3 {
+		return nil, errf(form, "lambda wants params and body")
+	}
+	params, err := paramList(form[1])
+	if err != nil {
+		return nil, err
+	}
+	return &Func{Params: params, Body: append([]Value(nil), form[2:]...), Env: env}, nil
+}
+
+func evalLet(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 3 {
+		return nil, errf(form, "let wants bindings and body")
+	}
+	bindings, ok := form[1].(List)
+	if !ok {
+		return nil, errf(form, "let bindings must be a list")
+	}
+	frame := NewEnv(env)
+	for _, b := range bindings {
+		switch binding := b.(type) {
+		case Symbol:
+			frame.Define(binding, Nil{})
+		case List:
+			if len(binding) != 2 {
+				return nil, errf(form, "let binding wants (name value)")
+			}
+			name, ok := binding[0].(Symbol)
+			if !ok {
+				return nil, errf(form, "let binding name must be a symbol")
+			}
+			v, err := in.eval(binding[1], env)
+			if err != nil {
+				return nil, err
+			}
+			frame.Define(name, v)
+		default:
+			return nil, errf(form, "bad let binding %s", Sprint(b))
+		}
+	}
+	return evalBody(in, form[2:], frame)
+}
+
+func evalSetq(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) != 3 {
+		return nil, errf(form, "setq wants name and value")
+	}
+	name, ok := form[1].(Symbol)
+	if !ok {
+		return nil, errf(form, "setq name must be a symbol")
+	}
+	v, err := in.eval(form[2], env)
+	if err != nil {
+		return nil, err
+	}
+	env.Assign(name, v)
+	return v, nil
+}
+
+func evalProgn(in *Interp, form List, env *Env) (Value, error) {
+	return evalBody(in, form[1:], env)
+}
+
+func evalWhile(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 2 {
+		return nil, errf(form, "while wants a condition")
+	}
+	var last Value = Nil{}
+	for {
+		c, err := in.eval(form[1], env)
+		if err != nil {
+			return nil, err
+		}
+		if !Truthy(c) {
+			return last, nil
+		}
+		last, err = evalBody(in, form[2:], env)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func evalAnd(in *Interp, form List, env *Env) (Value, error) {
+	var last Value = Bool{}
+	for _, f := range form[1:] {
+		v, err := in.eval(f, env)
+		if err != nil {
+			return nil, err
+		}
+		if !Truthy(v) {
+			return Nil{}, nil
+		}
+		last = v
+	}
+	return last, nil
+}
+
+func evalOr(in *Interp, form List, env *Env) (Value, error) {
+	for _, f := range form[1:] {
+		v, err := in.eval(f, env)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(v) {
+			return v, nil
+		}
+	}
+	return Nil{}, nil
+}
+
+func evalCond(in *Interp, form List, env *Env) (Value, error) {
+	for _, clause := range form[1:] {
+		cl, ok := clause.(List)
+		if !ok || len(cl) == 0 {
+			return nil, errf(form, "cond clause must be a non-empty list")
+		}
+		c, err := in.eval(cl[0], env)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(c) {
+			if len(cl) == 1 {
+				return c, nil
+			}
+			return evalBody(in, cl[1:], env)
+		}
+	}
+	return Nil{}, nil
+}
+
+// evalForeach implements (foreach x list body...) — SKILL's loop over lists.
+func evalForeach(in *Interp, form List, env *Env) (Value, error) {
+	if len(form) < 3 {
+		return nil, errf(form, "foreach wants var, list, body")
+	}
+	name, ok := form[1].(Symbol)
+	if !ok {
+		return nil, errf(form, "foreach var must be a symbol")
+	}
+	lv, err := in.eval(form[2], env)
+	if err != nil {
+		return nil, err
+	}
+	lst, ok := lv.(List)
+	if !ok {
+		if _, isNil := lv.(Nil); isNil {
+			return Nil{}, nil
+		}
+		return nil, errf(form, "foreach wants a list, got %s", Sprint(lv))
+	}
+	frame := NewEnv(env)
+	var last Value = Nil{}
+	for _, item := range lst {
+		frame.Define(name, item)
+		last, err = evalBody(in, form[3:], frame)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// Fprintln writes display text plus newline to the interpreter's output.
+func (in *Interp) Fprintln(args []Value) {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = Display(a)
+	}
+	fmt.Fprintln(in.Out, strings.Join(parts, " "))
+}

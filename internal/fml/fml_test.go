@@ -1,0 +1,492 @@
+package fml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// run evaluates src and fails the test on error.
+func run(t *testing.T, src string) Value {
+	t.Helper()
+	in := NewInterp()
+	v, err := in.Run(src)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return v
+}
+
+// runErr evaluates src and fails unless it errors.
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	in := NewInterp()
+	_, err := in.Run(src)
+	if err == nil {
+		t.Fatalf("Run(%q) succeeded, want error", src)
+	}
+	return err
+}
+
+func wantInt(t *testing.T, src string, want int64) {
+	t.Helper()
+	v := run(t, src)
+	i, ok := v.(Int)
+	if !ok || int64(i) != want {
+		t.Fatalf("Run(%q) = %s, want %d", src, Sprint(v), want)
+	}
+}
+
+func wantStr(t *testing.T, src, want string) {
+	t.Helper()
+	v := run(t, src)
+	s, ok := v.(Str)
+	if !ok || string(s) != want {
+		t.Fatalf("Run(%q) = %s, want %q", src, Sprint(v), want)
+	}
+}
+
+func wantTruthy(t *testing.T, src string, want bool) {
+	t.Helper()
+	if got := Truthy(run(t, src)); got != want {
+		t.Fatalf("Truthy(Run(%q)) = %t, want %t", src, got, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	wantInt(t, "(+ 1 2 3)", 6)
+	wantInt(t, "(- 10 3 2)", 5)
+	wantInt(t, "(- 5)", -5)
+	wantInt(t, "(* 2 3 4)", 24)
+	wantInt(t, "(/ 20 2 5)", 2)
+	wantInt(t, "(mod 10 3)", 1)
+	if f, ok := run(t, "(+ 1 0.5)").(Float); !ok || float64(f) != 1.5 {
+		t.Fatal("float promotion broken")
+	}
+	if f, ok := run(t, "(- 1.5)").(Float); !ok || float64(f) != -1.5 {
+		t.Fatal("unary float minus broken")
+	}
+	runErr(t, "(/ 1 0)")
+	runErr(t, "(/ 1.0 0)")
+	runErr(t, "(mod 1 0)")
+	runErr(t, `(+ 1 "x")`)
+	runErr(t, "(mod 1.5 2)")
+}
+
+func TestComparisons(t *testing.T) {
+	wantTruthy(t, "(= 1 1)", true)
+	wantTruthy(t, "(= 1 2)", false)
+	wantTruthy(t, "(= 1 1.0)", true)
+	wantTruthy(t, "(< 1 2)", true)
+	wantTruthy(t, "(> 2 1)", true)
+	wantTruthy(t, "(<= 2 2)", true)
+	wantTruthy(t, "(>= 1 2)", false)
+	wantTruthy(t, "(!= 1 2)", true)
+	wantTruthy(t, `(< "a" "b")`, true)
+	wantTruthy(t, `(equal '(1 2) '(1 2))`, true)
+	wantTruthy(t, `(equal '(1 2) '(1 3))`, false)
+	wantTruthy(t, "(not nil)", true)
+	wantTruthy(t, "(not 1)", false)
+	runErr(t, `(< 1 "a")`)
+}
+
+func TestSpecialForms(t *testing.T) {
+	wantInt(t, "(if t 1 2)", 1)
+	wantInt(t, "(if nil 1 2)", 2)
+	wantTruthy(t, "(if nil 1)", false)
+	wantInt(t, "(when t 1 2 3)", 3)
+	wantTruthy(t, "(when nil 1)", false)
+	wantInt(t, "(unless nil 4)", 4)
+	wantInt(t, "(progn 1 2 3)", 3)
+	wantInt(t, "(let ((x 2) (y 3)) (* x y))", 6)
+	wantInt(t, "(let (x) (if x 1 2))", 2)
+	wantInt(t, "(progn (setq n 0) (while (< n 5) (setq n (+ n 1))) n)", 5)
+	wantInt(t, "(cond ((= 1 2) 10) ((= 1 1) 20) (t 30))", 20)
+	wantInt(t, "(cond (nil 1) (t 2))", 2)
+	wantTruthy(t, "(cond (nil 1))", false)
+	wantInt(t, "(and 1 2 3)", 3)
+	wantTruthy(t, "(and 1 nil 3)", false)
+	wantInt(t, "(or nil 7 8)", 7)
+	wantTruthy(t, "(or nil nil)", false)
+	// and/or must short-circuit: the error branch is never evaluated.
+	wantTruthy(t, "(and nil (error \"boom\"))", false)
+	wantInt(t, "(or 5 (error \"boom\"))", 5)
+}
+
+func TestDefunLambdaClosure(t *testing.T) {
+	wantInt(t, "(defun sq (x) (* x x)) (sq 7)", 49)
+	wantInt(t, "((lambda (a b) (+ a b)) 3 4)", 7)
+	// Closures capture their defining environment.
+	wantInt(t, `
+		(defun mkadder (n) (lambda (x) (+ x n)))
+		(setq add5 (mkadder 5))
+		(add5 37)`, 42)
+	// Recursion.
+	wantInt(t, `
+		(defun fact (n) (if (<= n 1) 1 (* n (fact (- n 1)))))
+		(fact 10)`, 3628800)
+	runErr(t, "(defun)")
+	runErr(t, "(defun 3 (x) x)")
+	runErr(t, "(defun f (1) 2)")
+	runErr(t, "(sq 1)") // unbound in fresh interp
+	runErr(t, "(defun f (x) x) (f 1 2)")
+	runErr(t, "(1 2 3)") // not a function
+}
+
+func TestForeach(t *testing.T) {
+	wantInt(t, `
+		(setq sum 0)
+		(foreach x '(1 2 3 4) (setq sum (+ sum x)))
+		sum`, 10)
+	wantTruthy(t, "(foreach x nil x)", false)
+	runErr(t, "(foreach 1 '(1) 1)")
+	runErr(t, "(foreach x 5 x)")
+}
+
+func TestListOps(t *testing.T) {
+	wantInt(t, "(car '(1 2 3))", 1)
+	wantTruthy(t, "(car nil)", false)
+	wantTruthy(t, `(equal (cdr '(1 2 3)) '(2 3))`, true)
+	wantTruthy(t, "(cdr '(1))", false)
+	wantTruthy(t, `(equal (cons 1 '(2 3)) '(1 2 3))`, true)
+	wantTruthy(t, `(equal (cons 1 nil) '(1))`, true)
+	wantInt(t, "(length '(1 2 3))", 3)
+	wantInt(t, `(length "abcd")`, 4)
+	wantInt(t, "(length nil)", 0)
+	wantTruthy(t, `(equal (append '(1) '(2 3) nil '(4)) '(1 2 3 4))`, true)
+	wantTruthy(t, `(equal (reverse '(1 2 3)) '(3 2 1))`, true)
+	wantInt(t, "(nth 1 '(10 20 30))", 20)
+	wantTruthy(t, "(nth 9 '(1))", false)
+	wantTruthy(t, `(equal (member 2 '(1 2 3)) '(2 3))`, true)
+	wantTruthy(t, "(member 9 '(1 2))", false)
+	wantTruthy(t, `(equal (assoc 'b '((a 1) (b 2))) '(b 2))`, true)
+	wantTruthy(t, "(assoc 'z '((a 1)))", false)
+	wantTruthy(t, `(equal (mapcar (lambda (x) (* x x)) '(1 2 3)) '(1 4 9))`, true)
+	wantTruthy(t, `(equal (filter (lambda (x) (> x 1)) '(1 2 3)) '(2 3))`, true)
+	wantInt(t, "(apply + '(1 2 3))", 6)
+	runErr(t, "(car 5)")
+	runErr(t, "(length 5)")
+}
+
+func TestStringOps(t *testing.T) {
+	wantStr(t, `(strcat "a" "b" 3)`, "ab3")
+	wantStr(t, `(sprintf "%s=%d" "x" 7)`, "x=7")
+	wantStr(t, `(upperCase "abc")`, "ABC")
+	wantStr(t, `(lowerCase "ABC")`, "abc")
+	wantTruthy(t, `(equal (strsplit "a,b,c" ",") '("a" "b" "c"))`, true)
+	wantStr(t, "(symbolName 'foo)", "foo")
+	runErr(t, "(sprintf 1)")
+	runErr(t, "(upperCase 3)")
+	runErr(t, "(symbolName 3)")
+}
+
+func TestTypeOf(t *testing.T) {
+	for src, want := range map[string]string{
+		"(type nil)":            "nil",
+		"(type t)":              "bool",
+		"(type 1)":              "int",
+		"(type 1.5)":            "float",
+		`(type "s")`:            "string",
+		"(type 'x)":             "symbol",
+		"(type '(1))":           "list",
+		"(type (lambda (x) x))": "function",
+	} {
+		v := run(t, src)
+		if s, ok := v.(Symbol); !ok || string(s) != want {
+			t.Errorf("%s = %s, want %s", src, Sprint(v), want)
+		}
+	}
+}
+
+func TestPrintlnOutput(t *testing.T) {
+	in := NewInterp()
+	var buf bytes.Buffer
+	in.Out = &buf
+	if _, err := in.Run(`(println "hello" 42 '(1 2))`); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "hello 42 (1 2)\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestErrorBuiltin(t *testing.T) {
+	err := runErr(t, `(error "custom failure" 42)`)
+	if !strings.Contains(err.Error(), "custom failure 42") {
+		t.Fatalf("error text = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"(", ")", "'", `"abc`, `"\q"`, "(a (b)"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+	if _, err := ParseOne("1 2"); err == nil {
+		t.Error("ParseOne with two forms succeeded")
+	}
+	if _, err := ParseOne("42"); err != nil {
+		t.Errorf("ParseOne(42): %v", err)
+	}
+}
+
+func TestComments(t *testing.T) {
+	wantInt(t, "; leading comment\n(+ 1 2) ; trailing", 3)
+}
+
+func TestAtomClassification(t *testing.T) {
+	cases := map[string]string{
+		"42":  "42",
+		"-7":  "-7",
+		"3.5": "3.5",
+		"nil": "nil",
+		"t":   "t",
+		"x":   "x",
+		"-":   "-",
+		"+":   "+",
+		"1+":  "1", // ParseFloat fails; but looksNumeric true and ParseInt fails -> symbol
+	}
+	_ = cases
+	if _, ok := atomValue("42").(Int); !ok {
+		t.Error("42 not Int")
+	}
+	if _, ok := atomValue("-7").(Int); !ok {
+		t.Error("-7 not Int")
+	}
+	if _, ok := atomValue("3.5").(Float); !ok {
+		t.Error("3.5 not Float")
+	}
+	if _, ok := atomValue("-").(Symbol); !ok {
+		t.Error("- not Symbol")
+	}
+	if _, ok := atomValue("abc").(Symbol); !ok {
+		t.Error("abc not Symbol")
+	}
+	if _, ok := atomValue("1+").(Symbol); !ok {
+		t.Error("1+ not Symbol")
+	}
+}
+
+func TestSetqScoping(t *testing.T) {
+	// setq inside let assigns the let binding, not a global.
+	wantInt(t, `
+		(setq x 1)
+		(let ((x 10)) (setq x 20) x)`, 20)
+	wantInt(t, `
+		(setq x 1)
+		(let ((x 10)) (setq x 20))
+		x`, 1)
+	// setq on a truly unbound name defines where evaluated.
+	wantInt(t, "(setq fresh 9) fresh", 9)
+}
+
+func TestEvaluationBudget(t *testing.T) {
+	in := NewInterp()
+	in.MaxStep = 1000
+	_, err := in.Run("(while t 1)")
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("infinite loop not stopped: %v", err)
+	}
+	// Budget resets between top-level Runs.
+	if _, err := in.Run("(+ 1 2)"); err != nil {
+		t.Fatalf("budget did not reset: %v", err)
+	}
+}
+
+func TestSprintDisplay(t *testing.T) {
+	v := run(t, `'(1 "two" three (4))`)
+	if got := Sprint(v); got != `(1 "two" three (4))` {
+		t.Fatalf("Sprint = %s", got)
+	}
+	if got := Display(Str("plain")); got != "plain" {
+		t.Fatalf("Display = %s", got)
+	}
+	if Sprint(nil) != "nil" {
+		t.Fatal("Sprint(nil)")
+	}
+	f := run(t, "(lambda (x) x)")
+	if !strings.Contains(Sprint(f), "lambda") {
+		t.Fatal("lambda Sprint")
+	}
+	fn := run(t, "(defun named (x) x)")
+	if !strings.Contains(Sprint(fn), "named") {
+		t.Fatal("named func Sprint")
+	}
+}
+
+func TestFuncsIntrospection(t *testing.T) {
+	in := NewInterp()
+	if _, err := in.Run("(defun mine (x) x)"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range in.Funcs() {
+		if f == "mine" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Funcs missing user function")
+	}
+}
+
+// --- hooks -----------------------------------------------------------
+
+func TestHooksLockUnlock(t *testing.T) {
+	in := NewInterp()
+	h := NewHooks(in)
+	if _, err := in.Run(`(hiLockMenu "File>CheckIn" "flow not ready")`); err != nil {
+		t.Fatal(err)
+	}
+	reason, locked := h.Locked("File>CheckIn")
+	if !locked || reason != "flow not ready" {
+		t.Fatalf("Locked = %q,%t", reason, locked)
+	}
+	if got := h.LockedMenus(); len(got) != 1 || got[0] != "File>CheckIn" {
+		t.Fatalf("LockedMenus = %v", got)
+	}
+	if err := h.Invoke("File>CheckIn"); err == nil {
+		t.Fatal("locked menu invokable")
+	}
+	v, err := in.Run(`(hiMenuLocked "File>CheckIn")`)
+	if err != nil || !Truthy(v) {
+		t.Fatalf("hiMenuLocked = %s, %v", Sprint(v), err)
+	}
+	if _, err := in.Run(`(hiUnlockMenu "File>CheckIn")`); err != nil {
+		t.Fatal(err)
+	}
+	if _, locked := h.Locked("File>CheckIn"); locked {
+		t.Fatal("still locked after unlock")
+	}
+	if err := h.Invoke("File>CheckIn"); err != nil {
+		t.Fatalf("unlocked menu: %v", err)
+	}
+}
+
+func TestHooksTriggers(t *testing.T) {
+	in := NewInterp()
+	h := NewHooks(in)
+	src := `
+		(setq fired 0)
+		(hiRegTrigger "preSave" (lambda (name) (setq fired (+ fired 1))))
+		(hiRegTrigger "preSave" (lambda (name) (setq fired (+ fired 10))))`
+	if _, err := in.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fire("preSave", Str("cell1")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := in.Global.Lookup("fired")
+	if i, ok := v.(Int); !ok || i != 11 {
+		t.Fatalf("fired = %s, want 11", Sprint(v))
+	}
+	if h.Fired("preSave") != 1 {
+		t.Fatalf("Fired = %d", h.Fired("preSave"))
+	}
+	// A failing trigger vetoes.
+	if _, err := in.Run(`(hiRegTrigger "preSave" (lambda (name) (error "veto" name)))`); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fire("preSave", Str("cell2")); err == nil {
+		t.Fatal("failing trigger did not propagate")
+	}
+}
+
+func TestHooksMenuTrigger(t *testing.T) {
+	in := NewInterp()
+	h := NewHooks(in)
+	if _, err := in.Run(`
+		(setq invoked nil)
+		(hiRegTrigger "menu:Tools>Simulate" (lambda () (setq invoked t)))`); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Invoke("Tools>Simulate"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := in.Global.Lookup("invoked")
+	if !Truthy(v) {
+		t.Fatal("menu trigger did not fire")
+	}
+}
+
+func TestHooksArgErrors(t *testing.T) {
+	in := NewInterp()
+	NewHooks(in)
+	for _, src := range []string{
+		"(hiLockMenu)",
+		"(hiLockMenu 1)",
+		"(hiUnlockMenu)",
+		"(hiUnlockMenu 2)",
+		"(hiMenuLocked)",
+		"(hiMenuLocked 3)",
+		"(hiRegTrigger \"p\")",
+		"(hiRegTrigger 1 (lambda () 1))",
+		"(hiRegTrigger \"p\" 5)",
+	} {
+		if _, err := in.Run(src); err == nil {
+			t.Errorf("%s succeeded", src)
+		}
+	}
+}
+
+// Property: Sprint output of integer arithmetic re-parses to the same value.
+func TestPropertyIntRoundTrip(t *testing.T) {
+	in := NewInterp()
+	f := func(n int64) bool {
+		v, err := in.Run(Sprint(Int(n)))
+		if err != nil {
+			return false
+		}
+		i, ok := v.(Int)
+		return ok && int64(i) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: string literals round-trip through Sprint/Parse/Eval.
+func TestPropertyStringRoundTrip(t *testing.T) {
+	in := NewInterp()
+	f := func(s string) bool {
+		// Our lexer supports \n \t \\ \" escapes; strconv.Quote may emit
+		// other escapes for exotic bytes, so restrict to printable ASCII.
+		for _, r := range s {
+			if r < 32 || r > 126 {
+				return true // skip
+			}
+		}
+		v, err := in.Run(Sprint(Str(s)))
+		if err != nil {
+			return false
+		}
+		got, ok := v.(Str)
+		return ok && string(got) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: list construction via cons matches literal lists.
+func TestPropertyConsLength(t *testing.T) {
+	in := NewInterp()
+	f := func(n uint8) bool {
+		count := int(n % 50)
+		src := "nil"
+		for i := 0; i < count; i++ {
+			src = "(cons 1 " + src + ")"
+		}
+		v, err := in.Run("(length " + src + ")")
+		if err != nil {
+			return false
+		}
+		i, ok := v.(Int)
+		return ok && int(i) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

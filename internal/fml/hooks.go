@@ -1,0 +1,160 @@
+package fml
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Hooks is the customization surface an FMCAD tool exposes to FML scripts:
+// named menu points that can be locked/unlocked and named trigger points
+// that run FML procedures when the tool reaches them. The paper's
+// encapsulation uses exactly this mechanism — "extension language
+// procedures to trigger functions and lock menu points in order to prevent
+// data inconsistency" (section 2.4).
+type Hooks struct {
+	mu       sync.Mutex
+	in       *Interp
+	locked   map[string]string  // menu point -> reason
+	triggers map[string][]Value // trigger point -> FML closures
+	fired    map[string]int     // trigger point -> invocation count
+}
+
+// NewHooks returns an empty hook registry bound to interp and installs the
+// hook builtins (hiLockMenu, hiUnlockMenu, hiMenuLocked, hiRegTrigger) into
+// it, so FML scripts can manipulate the registry directly.
+func NewHooks(interp *Interp) *Hooks {
+	h := &Hooks{
+		in:       interp,
+		locked:   map[string]string{},
+		triggers: map[string][]Value{},
+		fired:    map[string]int{},
+	}
+	interp.RegisterFunc("hiLockMenu", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) < 1 || len(args) > 2 {
+			return nil, errf(nil, "hiLockMenu wants menu [reason]")
+		}
+		menu, ok := args[0].(Str)
+		if !ok {
+			return nil, errf(nil, "hiLockMenu menu must be a string")
+		}
+		reason := "locked by framework"
+		if len(args) == 2 {
+			reason = Display(args[1])
+		}
+		h.Lock(string(menu), reason)
+		return Bool{}, nil
+	})
+	interp.RegisterFunc("hiUnlockMenu", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errf(nil, "hiUnlockMenu wants menu")
+		}
+		menu, ok := args[0].(Str)
+		if !ok {
+			return nil, errf(nil, "hiUnlockMenu menu must be a string")
+		}
+		h.Unlock(string(menu))
+		return Bool{}, nil
+	})
+	interp.RegisterFunc("hiMenuLocked", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errf(nil, "hiMenuLocked wants menu")
+		}
+		menu, ok := args[0].(Str)
+		if !ok {
+			return nil, errf(nil, "hiMenuLocked menu must be a string")
+		}
+		_, locked := h.Locked(string(menu))
+		return boolVal(locked), nil
+	})
+	interp.RegisterFunc("hiRegTrigger", func(_ *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errf(nil, "hiRegTrigger wants point and function")
+		}
+		point, ok := args[0].(Str)
+		if !ok {
+			return nil, errf(nil, "hiRegTrigger point must be a string")
+		}
+		switch args[1].(type) {
+		case *Func, *Builtin:
+		default:
+			return nil, errf(nil, "hiRegTrigger wants a function")
+		}
+		h.Register(string(point), args[1])
+		return Bool{}, nil
+	})
+	return h
+}
+
+// Lock marks a menu point locked with a human-readable reason.
+func (h *Hooks) Lock(menu, reason string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.locked[menu] = reason
+}
+
+// Unlock releases a menu point.
+func (h *Hooks) Unlock(menu string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.locked, menu)
+}
+
+// Locked reports whether a menu point is locked and why.
+func (h *Hooks) Locked(menu string) (reason string, locked bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.locked[menu]
+	return r, ok
+}
+
+// LockedMenus returns all locked menu points, sorted.
+func (h *Hooks) LockedMenus() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.locked))
+	for m := range h.locked {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register attaches an FML function to a trigger point.
+func (h *Hooks) Register(point string, fn Value) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.triggers[point] = append(h.triggers[point], fn)
+}
+
+// Fire runs every function registered at point with the given arguments.
+// Errors abort the remaining triggers — a trigger that fails is how the
+// encapsulation vetoes an inconsistent tool action.
+func (h *Hooks) Fire(point string, args ...Value) error {
+	h.mu.Lock()
+	fns := append([]Value(nil), h.triggers[point]...)
+	h.fired[point]++
+	h.mu.Unlock()
+	for _, fn := range fns {
+		if _, err := h.in.Apply(fn, args, nil); err != nil {
+			return fmt.Errorf("trigger %q: %w", point, err)
+		}
+	}
+	return nil
+}
+
+// Fired returns how many times a trigger point has fired.
+func (h *Hooks) Fired(point string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fired[point]
+}
+
+// Invoke simulates a user picking a menu point: locked menus return an
+// error (the tool refuses), unlocked menus fire the "menu:<name>" trigger.
+func (h *Hooks) Invoke(menu string, args ...Value) error {
+	if reason, locked := h.Locked(menu); locked {
+		return fmt.Errorf("fml: menu %q is locked: %s", menu, reason)
+	}
+	return h.Fire("menu:"+menu, args...)
+}

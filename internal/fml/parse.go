@@ -1,0 +1,238 @@
+package fml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// token kinds produced by the lexer.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokLParen
+	tokRParen
+	tokQuote
+	tokAtom   // symbol or number, decided by the parser
+	tokString // quoted string literal, already unescaped
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+	}
+	return c
+}
+
+// next returns the next token, skipping whitespace and ; comments.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ';':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+
+scan:
+	line := lx.line
+	switch c := lx.peek(); c {
+	case '(':
+		lx.advance()
+		return token{kind: tokLParen, line: line}, nil
+	case ')':
+		lx.advance()
+		return token{kind: tokRParen, line: line}, nil
+	case '\'':
+		lx.advance()
+		return token{kind: tokQuote, line: line}, nil
+	case '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, fmt.Errorf("fml: line %d: unterminated string", line)
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				return token{kind: tokString, text: b.String(), line: line}, nil
+			}
+			if ch == '\\' {
+				if lx.pos >= len(lx.src) {
+					return token{}, fmt.Errorf("fml: line %d: unterminated escape", line)
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"':
+					b.WriteByte(esc)
+				default:
+					return token{}, fmt.Errorf("fml: line %d: bad escape \\%c", line, esc)
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+	default:
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			ch := lx.peek()
+			if ch == '(' || ch == ')' || ch == '\'' || ch == '"' || ch == ';' ||
+				ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		if b.Len() == 0 {
+			return token{}, fmt.Errorf("fml: line %d: unexpected character %q", line, c)
+		}
+		return token{kind: tokAtom, text: b.String(), line: line}, nil
+	}
+}
+
+// Parse reads a whole program: a sequence of top-level forms.
+func Parse(src string) ([]Value, error) {
+	lx := newLexer(src)
+	var forms []Value
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokEOF {
+			return forms, nil
+		}
+		form, err := parseForm(lx, tok)
+		if err != nil {
+			return nil, err
+		}
+		forms = append(forms, form)
+	}
+}
+
+// ParseOne parses exactly one form and errors on trailing input.
+func ParseOne(src string) (Value, error) {
+	forms, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(forms) != 1 {
+		return nil, fmt.Errorf("fml: want exactly one form, got %d", len(forms))
+	}
+	return forms[0], nil
+}
+
+func parseForm(lx *lexer, tok token) (Value, error) {
+	switch tok.kind {
+	case tokLParen:
+		var items List
+		for {
+			t, err := lx.next()
+			if err != nil {
+				return nil, err
+			}
+			switch t.kind {
+			case tokRParen:
+				return items, nil
+			case tokEOF:
+				return nil, fmt.Errorf("fml: line %d: unclosed list", tok.line)
+			default:
+				item, err := parseForm(lx, t)
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, item)
+			}
+		}
+	case tokRParen:
+		return nil, fmt.Errorf("fml: line %d: unexpected )", tok.line)
+	case tokQuote:
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokEOF {
+			return nil, fmt.Errorf("fml: line %d: quote at end of input", tok.line)
+		}
+		inner, err := parseForm(lx, t)
+		if err != nil {
+			return nil, err
+		}
+		return List{Symbol("quote"), inner}, nil
+	case tokString:
+		return Str(tok.text), nil
+	case tokAtom:
+		return atomValue(tok.text), nil
+	}
+	return nil, fmt.Errorf("fml: line %d: unexpected token", tok.line)
+}
+
+// atomValue classifies an atom as number, t/nil or symbol.
+func atomValue(text string) Value {
+	switch text {
+	case "nil":
+		return Nil{}
+	case "t":
+		return Bool{}
+	}
+	if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return Int(i)
+	}
+	// Only treat as float when it looks numeric (so symbols like `1+` or
+	// `-` stay symbols unless fully parseable).
+	if looksNumeric(text) {
+		if f, err := strconv.ParseFloat(text, 64); err == nil {
+			return Float(f)
+		}
+	}
+	return Symbol(text)
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '+' || s[0] == '-' {
+		i = 1
+		if i == len(s) {
+			return false
+		}
+	}
+	return unicode.IsDigit(rune(s[i]))
+}

@@ -1,0 +1,187 @@
+// Package fml implements the FMCAD extension language, a small Lisp-family
+// interpreter standing in for the proprietary customization language the
+// paper relies on ("each part of the system can be modified by an extension
+// language", section 2.2; the encapsulation "was extended by several
+// extension language procedures to trigger functions and lock menu points",
+// section 2.4).
+//
+// The language is an s-expression Lisp with lexical scoping: symbols,
+// integers, floats, strings, lists, t/nil, defun/lambda/let/if/while/setq,
+// quoting, and a builtin library. Host programs extend it with Go functions
+// via Interp.RegisterFunc, which is how the hybrid framework installs its
+// menu-locking and trigger procedures.
+package fml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is any FML runtime value: Nil, Bool, Int, Float, Str, Symbol, List,
+// *Func or Builtin.
+type Value interface {
+	fmlString() string
+}
+
+// Nil is the empty list / false value.
+type Nil struct{}
+
+func (Nil) fmlString() string { return "nil" }
+
+// Bool is the truth value; only true is represented (false is Nil), but a
+// distinct type keeps `t` printing as t.
+type Bool struct{}
+
+func (Bool) fmlString() string { return "t" }
+
+// Int is an integer value.
+type Int int64
+
+func (i Int) fmlString() string { return strconv.FormatInt(int64(i), 10) }
+
+// Float is a floating-point value.
+type Float float64
+
+func (f Float) fmlString() string { return strconv.FormatFloat(float64(f), 'g', -1, 64) }
+
+// Str is a string value.
+type Str string
+
+func (s Str) fmlString() string { return strconv.Quote(string(s)) }
+
+// Symbol is an identifier.
+type Symbol string
+
+func (s Symbol) fmlString() string { return string(s) }
+
+// List is a proper list of values.
+type List []Value
+
+func (l List) fmlString() string {
+	parts := make([]string, len(l))
+	for i, v := range l {
+		parts[i] = v.fmlString()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Func is a user-defined function (defun or lambda) closing over env.
+type Func struct {
+	Name   string
+	Params []Symbol
+	Body   []Value
+	Env    *Env
+}
+
+func (f *Func) fmlString() string {
+	if f.Name != "" {
+		return "#<function " + f.Name + ">"
+	}
+	return "#<lambda>"
+}
+
+// Builtin is a Go function exposed to FML programs.
+type Builtin struct {
+	Name string
+	Fn   func(in *Interp, args []Value) (Value, error)
+}
+
+func (b *Builtin) fmlString() string { return "#<builtin " + b.Name + ">" }
+
+// Sprint renders a value as FML source text.
+func Sprint(v Value) string {
+	if v == nil {
+		return "nil"
+	}
+	return v.fmlString()
+}
+
+// Display renders a value for user output: strings without quotes,
+// everything else like Sprint.
+func Display(v Value) string {
+	if s, ok := v.(Str); ok {
+		return string(s)
+	}
+	return Sprint(v)
+}
+
+// Truthy reports FML truth: everything except nil (and empty Nil value)
+// is true. The empty list is false, as in Lisp.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil, Nil:
+		return false
+	case List:
+		return len(x) > 0
+	default:
+		return true
+	}
+}
+
+// Equal compares two values structurally.
+func Equal(a, b Value) bool {
+	switch x := a.(type) {
+	case Nil:
+		_, ok := b.(Nil)
+		return ok
+	case Bool:
+		_, ok := b.(Bool)
+		return ok
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return x == y
+		case Float:
+			return Float(x) == y
+		}
+		return false
+	case Float:
+		switch y := b.(type) {
+		case Int:
+			return x == Float(y)
+		case Float:
+			return x == y
+		}
+		return false
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Symbol:
+		y, ok := b.(Symbol)
+		return ok && x == y
+	case List:
+		y, ok := b.(List)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case *Func:
+		return a == b
+	case *Builtin:
+		return a == b
+	}
+	return false
+}
+
+// Error is an FML evaluation error carrying the failing form.
+type Error struct {
+	Msg  string
+	Form Value
+}
+
+func (e *Error) Error() string {
+	if e.Form != nil {
+		return fmt.Sprintf("fml: %s in %s", e.Msg, Sprint(e.Form))
+	}
+	return "fml: " + e.Msg
+}
+
+func errf(form Value, format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...), Form: form}
+}

@@ -1,0 +1,137 @@
+package fml
+
+import "testing"
+
+func TestEqualAllTypes(t *testing.T) {
+	fn := &Func{Name: "f"}
+	fn2 := &Func{Name: "f"}
+	bi := &Builtin{Name: "b"}
+	bi2 := &Builtin{Name: "b"}
+	cases := []struct {
+		a, b Value
+		eq   bool
+	}{
+		{Nil{}, Nil{}, true},
+		{Nil{}, Bool{}, false},
+		{Bool{}, Bool{}, true},
+		{Bool{}, Int(1), false},
+		{Int(3), Int(3), true},
+		{Int(3), Int(4), false},
+		{Int(3), Float(3), true},
+		{Int(3), Float(3.5), false},
+		{Float(2.5), Float(2.5), true},
+		{Float(2.5), Int(2), false},
+		{Float(2), Int(2), true},
+		{Float(1), Str("1"), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Str("a"), Symbol("a"), false},
+		{Symbol("s"), Symbol("s"), true},
+		{Symbol("s"), Symbol("t"), false},
+		{List{Int(1)}, List{Int(1)}, true},
+		{List{Int(1)}, List{Int(2)}, false},
+		{List{Int(1)}, List{Int(1), Int(2)}, false},
+		{List{}, Nil{}, false}, // empty list is falsy but not Equal to nil
+		{fn, fn, true},
+		{fn, fn2, false}, // identity, not structure
+		{bi, bi, true},
+		{bi, bi2, false},
+		{fn, bi, false},
+	}
+	for i, c := range cases {
+		if got := Equal(c.a, c.b); got != c.eq {
+			t.Errorf("case %d: Equal(%s, %s) = %t, want %t", i, Sprint(c.a), Sprint(c.b), got, c.eq)
+		}
+	}
+}
+
+func TestSprintAllTypes(t *testing.T) {
+	for v, want := range map[Value]string{
+		Nil{}:         "nil",
+		Bool{}:        "t",
+		Int(-7):       "-7",
+		Float(2.5):    "2.5",
+		Str("hi"):     `"hi"`,
+		Symbol("sym"): "sym",
+	} {
+		if got := Sprint(v); got != want {
+			t.Errorf("Sprint(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := Sprint(List{Int(1), Str("a")}); got != `(1 "a")` {
+		t.Errorf("list Sprint = %q", got)
+	}
+	if got := Sprint(&Builtin{Name: "car"}); got != "#<builtin car>" {
+		t.Errorf("builtin Sprint = %q", got)
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	e := &Error{Msg: "boom", Form: Int(1)}
+	if e.Error() != "fml: boom in 1" {
+		t.Fatalf("Error = %q", e.Error())
+	}
+	e2 := &Error{Msg: "boom"}
+	if e2.Error() != "fml: boom" {
+		t.Fatalf("Error = %q", e2.Error())
+	}
+}
+
+func TestTruthyTable(t *testing.T) {
+	for v, want := range map[Value]bool{
+		Nil{}:      false,
+		Bool{}:     true,
+		Int(0):     true, // 0 is truthy, only nil/() are false
+		Float(0):   true,
+		Str(""):    true,
+		Symbol(""): true,
+	} {
+		if got := Truthy(v); got != want {
+			t.Errorf("Truthy(%s) = %t, want %t", Sprint(v), got, want)
+		}
+	}
+	if Truthy(List{}) {
+		t.Error("empty list truthy")
+	}
+	if !Truthy(List{Int(1)}) {
+		t.Error("non-empty list falsy")
+	}
+	if Truthy(nil) {
+		t.Error("go-nil truthy")
+	}
+}
+
+func TestUnlessAndQuoteEdges(t *testing.T) {
+	in := NewInterp()
+	if _, err := in.Run("(unless)"); err == nil {
+		t.Error("(unless) accepted")
+	}
+	if _, err := in.Run("(quote)"); err == nil {
+		t.Error("(quote) accepted")
+	}
+	if _, err := in.Run("(quote a b)"); err == nil {
+		t.Error("(quote a b) accepted")
+	}
+	if _, err := in.Run("(lambda)"); err == nil {
+		t.Error("(lambda) accepted")
+	}
+	if _, err := in.Run("(lambda 5 1)"); err == nil {
+		t.Error("bad lambda params accepted")
+	}
+	// lambda with nil parameter list is legal.
+	v, err := in.Run("((lambda nil 42))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := v.(Int); !ok || i != 42 {
+		t.Fatalf("nil-params lambda = %s", Sprint(v))
+	}
+	// unless with multiple body forms returns the last.
+	v, err = in.Run("(unless nil 1 2 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := v.(Int); !ok || i != 3 {
+		t.Fatalf("unless = %s", Sprint(v))
+	}
+}

@@ -1,0 +1,131 @@
+// Package itc implements FMCAD's inter-tool communication (ITC): an
+// in-process message bus over which the integrated tools talk to each
+// other, e.g. cross-probing between the schematic editor and the layout
+// editor (section 2.2). The paper notes that "due to the closed interfaces
+// of JCF, FMCAD's ITC could not be used normally" in the hybrid framework —
+// the coupling layer in internal/core installs wrappers on this bus to keep
+// cross-probing alive under JCF control.
+package itc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Message is one ITC datagram.
+type Message struct {
+	Topic  string            // e.g. "crossprobe"
+	From   string            // sending tool
+	Fields map[string]string // payload
+}
+
+// Handler consumes messages delivered to a subscription. Returning an
+// error vetoes the publication (remaining handlers do not run) — the hook
+// the hybrid framework uses to guard consistency.
+type Handler func(Message) error
+
+// Bus is a synchronous publish/subscribe message bus. All methods are safe
+// for concurrent use; handlers run on the publisher's goroutine, which
+// keeps tool interactions deterministic.
+type Bus struct {
+	mu   sync.Mutex
+	subs map[string][]subscription
+	// delivered counts per-topic deliveries for diagnostics.
+	delivered map[string]int
+	nextID    int
+}
+
+type subscription struct {
+	id      int
+	tool    string
+	handler Handler
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: map[string][]subscription{}, delivered: map[string]int{}}
+}
+
+// Subscribe registers a handler for a topic on behalf of a tool. The
+// returned id cancels the subscription via Unsubscribe.
+func (b *Bus) Subscribe(topic, tool string, h Handler) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	b.subs[topic] = append(b.subs[topic], subscription{id: b.nextID, tool: tool, handler: h})
+	return b.nextID
+}
+
+// Unsubscribe removes a subscription by id. Unknown ids are ignored.
+func (b *Bus) Unsubscribe(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for topic, subs := range b.subs {
+		for i, s := range subs {
+			if s.id == id {
+				b.subs[topic] = append(subs[:i:i], subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Publish delivers a message to every subscriber of its topic, in
+// subscription order. The first handler error aborts delivery and is
+// returned to the publisher.
+func (b *Bus) Publish(msg Message) error {
+	if msg.Topic == "" {
+		return fmt.Errorf("itc: empty topic")
+	}
+	b.mu.Lock()
+	subs := append([]subscription(nil), b.subs[msg.Topic]...)
+	b.mu.Unlock()
+	for _, s := range subs {
+		if err := s.handler(msg); err != nil {
+			return fmt.Errorf("itc: handler of %s (topic %s): %w", s.tool, msg.Topic, err)
+		}
+		b.mu.Lock()
+		b.delivered[msg.Topic]++
+		b.mu.Unlock()
+	}
+	return nil
+}
+
+// Delivered returns how many deliveries happened on a topic.
+func (b *Bus) Delivered(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.delivered[topic]
+}
+
+// Subscribers returns the tools subscribed to a topic, sorted.
+func (b *Bus) Subscribers(topic string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for _, s := range b.subs[topic] {
+		out = append(out, s.tool)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- cross-probing ---------------------------------------------------------
+
+// TopicCrossProbe is the topic the schematic and layout editors share.
+const TopicCrossProbe = "crossprobe"
+
+// CrossProbe builds the standard cross-probe message: a tool announces
+// that the user selected a net of a cell so peer editors can highlight it.
+func CrossProbe(fromTool, cell, view, net string) Message {
+	return Message{
+		Topic: TopicCrossProbe,
+		From:  fromTool,
+		Fields: map[string]string{
+			"cell": cell,
+			"view": view,
+			"net":  net,
+		},
+	}
+}

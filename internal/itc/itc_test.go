@@ -1,0 +1,114 @@
+package itc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	var got []string
+	b.Subscribe("topic1", "layout", func(m Message) error {
+		got = append(got, m.Fields["net"])
+		return nil
+	})
+	if err := b.Publish(Message{Topic: "topic1", From: "schematic", Fields: map[string]string{"net": "n1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "n1" {
+		t.Fatalf("got = %v", got)
+	}
+	// Messages on other topics are not delivered.
+	if err := b.Publish(Message{Topic: "other", Fields: map[string]string{"net": "n2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("cross-topic delivery")
+	}
+	if b.Delivered("topic1") != 1 || b.Delivered("other") != 0 {
+		t.Fatalf("Delivered = %d/%d", b.Delivered("topic1"), b.Delivered("other"))
+	}
+	if err := b.Publish(Message{}); err == nil {
+		t.Fatal("empty topic accepted")
+	}
+}
+
+func TestVeto(t *testing.T) {
+	b := NewBus()
+	order := []string{}
+	b.Subscribe("t", "a", func(Message) error {
+		order = append(order, "a")
+		return errors.New("veto")
+	})
+	b.Subscribe("t", "b", func(Message) error {
+		order = append(order, "b")
+		return nil
+	})
+	err := b.Publish(Message{Topic: "t"})
+	if err == nil {
+		t.Fatal("veto not propagated")
+	}
+	if len(order) != 1 || order[0] != "a" {
+		t.Fatalf("order = %v; later handlers must not run after veto", order)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := NewBus()
+	n := 0
+	id := b.Subscribe("t", "a", func(Message) error { n++; return nil })
+	b.Subscribe("t", "b", func(Message) error { n += 10; return nil })
+	_ = b.Publish(Message{Topic: "t"})
+	b.Unsubscribe(id)
+	b.Unsubscribe(9999) // unknown id ignored
+	_ = b.Publish(Message{Topic: "t"})
+	if n != 21 {
+		t.Fatalf("n = %d", n)
+	}
+	if subs := b.Subscribers("t"); len(subs) != 1 || subs[0] != "b" {
+		t.Fatalf("Subscribers = %v", subs)
+	}
+}
+
+func TestCrossProbeMessage(t *testing.T) {
+	m := CrossProbe("schematic-editor", "alu", "schematic", "net42")
+	if m.Topic != TopicCrossProbe || m.From != "schematic-editor" {
+		t.Fatalf("msg = %+v", m)
+	}
+	if m.Fields["cell"] != "alu" || m.Fields["view"] != "schematic" || m.Fields["net"] != "net42" {
+		t.Fatalf("fields = %v", m.Fields)
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	count := 0
+	b.Subscribe("t", "x", func(Message) error {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if err := b.Publish(Message{Topic: "t", From: fmt.Sprintf("p%d", i)}); err != nil {
+					t.Errorf("publish: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if count != 200 {
+		t.Fatalf("count = %d", count)
+	}
+	if b.Delivered("t") != 200 {
+		t.Fatalf("Delivered = %d", b.Delivered("t"))
+	}
+}

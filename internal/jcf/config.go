@@ -1,0 +1,188 @@
+package jcf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/oms"
+)
+
+// Configurations (Figure 1, "Configurations" region): a configuration
+// belongs to a cell version and is itself versioned; each configuration
+// version collects design object versions ("has entry"). Together with the
+// two-level cell/variant versioning this is the configuration-management
+// strength the paper attributes to JCF (section 3.2).
+
+// CreateConfiguration creates a named configuration for a cell version
+// with an initial configuration version 1.
+func (fw *Framework) CreateConfiguration(cv oms.OID, name string) (cfg, cfgVersion oms.OID, err error) {
+	if name == "" {
+		return oms.InvalidOID, oms.InvalidOID, fmt.Errorf("jcf: empty configuration name")
+	}
+	cfg, err = fw.store.Create("Configuration", map[string]oms.Value{"name": oms.S(name)})
+	if err != nil {
+		return oms.InvalidOID, oms.InvalidOID, err
+	}
+	if err = fw.store.Link(fw.rel.configures, cfg, cv); err != nil {
+		return oms.InvalidOID, oms.InvalidOID, err
+	}
+	cfgVersion, err = fw.newConfigVersion(cfg, 1)
+	if err != nil {
+		return oms.InvalidOID, oms.InvalidOID, err
+	}
+	return cfg, cfgVersion, nil
+}
+
+func (fw *Framework) newConfigVersion(cfg oms.OID, num int64) (oms.OID, error) {
+	cfgV, err := fw.store.Create("ConfigVersion", map[string]oms.Value{"num": oms.I(num)})
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.cfgHasVersion, cfg, cfgV); err != nil {
+		return oms.InvalidOID, err
+	}
+	return cfgV, nil
+}
+
+// DeriveConfigVersion creates the next configuration version, copying the
+// entries of the predecessor and recording the precedes relation.
+func (fw *Framework) DeriveConfigVersion(from oms.OID) (oms.OID, error) {
+	cfgSrc := fw.store.Sources(fw.rel.cfgHasVersion, from)
+	if len(cfgSrc) == 0 {
+		return oms.InvalidOID, fmt.Errorf("%w: configuration of version", ErrNotFound)
+	}
+	num := int64(len(fw.store.Targets(fw.rel.cfgHasVersion, cfgSrc[0])) + 1)
+	next, err := fw.newConfigVersion(cfgSrc[0], num)
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.cfgPrecedes, from, next); err != nil {
+		return oms.InvalidOID, err
+	}
+	for _, e := range fw.store.Targets(fw.rel.hasEntry, from) {
+		if err := fw.store.Link(fw.rel.hasEntry, next, e); err != nil {
+			return oms.InvalidOID, err
+		}
+	}
+	return next, nil
+}
+
+// AddConfigEntry binds a design object version into a configuration
+// version. At most one version per design object may be bound (the same
+// constraint FMCAD configs have); a second bind for the same design object
+// replaces the old entry.
+func (fw *Framework) AddConfigEntry(cfgVersion, dov oms.OID) error {
+	do, err := fw.designObjectOfVersion(dov)
+	if err != nil {
+		return err
+	}
+	// Drop an existing entry for the same design object.
+	for _, e := range fw.store.Targets(fw.rel.hasEntry, cfgVersion) {
+		eDO, err := fw.designObjectOfVersion(e)
+		if err != nil {
+			continue
+		}
+		if eDO == do {
+			if err := fw.store.Unlink(fw.rel.hasEntry, cfgVersion, e); err != nil {
+				return err
+			}
+		}
+	}
+	return fw.store.Link(fw.rel.hasEntry, cfgVersion, dov)
+}
+
+// ConfigEntries returns the design object versions bound in a
+// configuration version, sorted by OID.
+func (fw *Framework) ConfigEntries(cfgVersion oms.OID) []oms.OID {
+	return fw.store.Targets(fw.rel.hasEntry, cfgVersion)
+}
+
+// ConfigVersions returns the version OIDs of a configuration in order.
+func (fw *Framework) ConfigVersions(cfg oms.OID) []oms.OID {
+	vs := fw.store.Targets(fw.rel.cfgHasVersion, cfg)
+	sort.Slice(vs, func(i, j int) bool {
+		return fw.store.GetInt(vs[i], "num") < fw.store.GetInt(vs[j], "num")
+	})
+	return vs
+}
+
+// ConfigurationsOf returns the configurations attached to a cell version.
+func (fw *Framework) ConfigurationsOf(cv oms.OID) []oms.OID {
+	var out []oms.OID
+	for _, cfg := range fw.store.All("Configuration") {
+		if fw.store.Target(fw.rel.configures, cfg) == cv {
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// --- consistency checking ------------------------------------------------
+
+// Inconsistency describes one problem found by CheckConsistency.
+type Inconsistency struct {
+	Kind   string // e.g. "dangling-hierarchy", "unversioned-object", "stale-derivation"
+	Detail string
+}
+
+// CheckConsistency runs the data-consistency checks the paper credits to
+// JCF's separated metadata (section 3.2): every compOf child must still
+// exist and be a cell version; every design object a variant uses must
+// exist; every configuration entry must point at a live version. It
+// returns all problems found (empty means consistent).
+func (fw *Framework) CheckConsistency() []Inconsistency {
+	var out []Inconsistency
+	for _, cv := range fw.store.All("CellVersion") {
+		for _, child := range fw.store.Targets(fw.rel.compOf, cv) {
+			if !fw.store.Exists(child) {
+				out = append(out, Inconsistency{
+					Kind:   "dangling-hierarchy",
+					Detail: fmt.Sprintf("cell version %d composed of missing %d", cv, child),
+				})
+			}
+		}
+	}
+	for _, v := range fw.store.All("Variant") {
+		for _, do := range fw.store.Targets(fw.rel.uses, v) {
+			if !fw.store.Exists(do) {
+				out = append(out, Inconsistency{
+					Kind:   "missing-design-object",
+					Detail: fmt.Sprintf("variant %d uses missing design object %d", v, do),
+				})
+			}
+		}
+	}
+	for _, cfgV := range fw.store.All("ConfigVersion") {
+		for _, e := range fw.store.Targets(fw.rel.hasEntry, cfgV) {
+			if !fw.store.Exists(e) {
+				out = append(out, Inconsistency{
+					Kind:   "dangling-config-entry",
+					Detail: fmt.Sprintf("config version %d binds missing version %d", cfgV, e),
+				})
+			}
+		}
+	}
+	// Hierarchy/version staleness: a published parent whose child cell has
+	// a newer published version than the one in the hierarchy.
+	for _, cv := range fw.store.All("CellVersion") {
+		for _, child := range fw.store.Targets(fw.rel.compOf, cv) {
+			cell, err := fw.CellOf(child)
+			if err != nil {
+				continue
+			}
+			versions := fw.CellVersions(cell)
+			if len(versions) == 0 {
+				continue
+			}
+			newest := versions[len(versions)-1]
+			if newest != child && fw.Published(newest) {
+				out = append(out, Inconsistency{
+					Kind: "stale-hierarchy",
+					Detail: fmt.Sprintf("cell version %d uses version %d of cell %q but version %d is published",
+						cv, fw.CellVersionNum(child), fw.CellName(cell), fw.CellVersionNum(newest)),
+				})
+			}
+		}
+	}
+	return out
+}

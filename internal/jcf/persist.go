@@ -1,0 +1,182 @@
+package jcf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/flow"
+	"repro/internal/oms"
+	"repro/internal/otod"
+)
+
+// Framework persistence. The OMS database already persists itself
+// (oms.Store.Save); this file adds the framework-level state around it —
+// registered flows, workspace reservations, typed hierarchies and shares —
+// so a JCF instance survives desktop restarts like the original did.
+//
+// Layout under the state directory:
+//
+//	oms.json        the object database snapshot
+//	framework.json  release, flows, reservations, 4.0 extension state
+
+// persistedFlow serializes one registered flow.
+type persistedFlow struct {
+	Name       string              `json:"name"`
+	Activities []flow.Activity     `json:"activities"`
+	Precedes   map[string][]string `json:"precedes"`
+	OID        oms.OID             `json:"oid"`
+}
+
+// persistedState is the framework.json content.
+type persistedState struct {
+	Release      Release                          `json:"release"`
+	Flows        []persistedFlow                  `json:"flows"`
+	Reservations map[oms.OID]string               `json:"reservations"`
+	TypedHier    map[oms.OID]map[string][]oms.OID `json:"typed_hier,omitempty"`
+	Shares       map[oms.OID][]oms.OID            `json:"shares,omitempty"`
+}
+
+// Save writes the framework state into dir (created if needed). Flow
+// enactments are not persisted: like the original, activity execution
+// state lives with the session, while all design data and metadata live
+// in the database.
+func (fw *Framework) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("jcf: save: %w", err)
+	}
+	if err := fw.store.Save(filepath.Join(dir, "oms.json")); err != nil {
+		return err
+	}
+	fw.mu.Lock()
+	state := persistedState{
+		Release:      fw.release,
+		Reservations: map[oms.OID]string{},
+		TypedHier:    map[oms.OID]map[string][]oms.OID{},
+		Shares:       map[oms.OID][]oms.OID{},
+	}
+	for cv, user := range fw.reservations {
+		state.Reservations[cv] = user
+	}
+	for p, m := range fw.typedHier {
+		cp := map[string][]oms.OID{}
+		for vt, kids := range m {
+			cp[vt] = append([]oms.OID(nil), kids...)
+		}
+		state.TypedHier[p] = cp
+	}
+	for p, cells := range fw.shares {
+		state.Shares[p] = append([]oms.OID(nil), cells...)
+	}
+	flows := make(map[string]*flow.Flow, len(fw.flows))
+	flowOIDs := make(map[string]oms.OID, len(fw.flowOIDs))
+	for n, f := range fw.flows {
+		flows[n] = f
+		flowOIDs[n] = fw.flowOIDs[n]
+	}
+	fw.mu.Unlock()
+
+	for _, name := range sortedFlowNames(flows) {
+		f := flows[name]
+		pf := persistedFlow{Name: name, Precedes: map[string][]string{}, OID: flowOIDs[name]}
+		for _, an := range f.Activities() {
+			a, err := f.Activity(an)
+			if err != nil {
+				return err
+			}
+			pf.Activities = append(pf.Activities, a)
+			if succ := f.Successors(an); len(succ) > 0 {
+				pf.Precedes[an] = succ
+			}
+		}
+		state.Flows = append(state.Flows, pf)
+	}
+	data, err := json.MarshalIndent(&state, "", " ")
+	if err != nil {
+		return fmt.Errorf("jcf: save: %w", err)
+	}
+	tmp := filepath.Join(dir, "framework.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("jcf: save: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "framework.json")); err != nil {
+		return fmt.Errorf("jcf: save: %w", err)
+	}
+	return nil
+}
+
+func sortedFlowNames(m map[string]*flow.Flow) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	// Insertion-order independence: sort for deterministic files.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Load restores a framework saved by Save.
+func Load(dir string) (*Framework, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "framework.json"))
+	if err != nil {
+		return nil, fmt.Errorf("jcf: load: %w", err)
+	}
+	var state persistedState
+	if err := json.Unmarshal(data, &state); err != nil {
+		return nil, fmt.Errorf("jcf: load: %w", err)
+	}
+	fw, err := New(state.Release)
+	if err != nil {
+		return nil, err
+	}
+	model := otod.JCFModel()
+	schema, err := model.Schema()
+	if err != nil {
+		return nil, err
+	}
+	store, err := oms.Load(filepath.Join(dir, "oms.json"), schema)
+	if err != nil {
+		return nil, err
+	}
+	fw.store = store
+
+	for _, pf := range state.Flows {
+		f := flow.New(pf.Name)
+		for _, a := range pf.Activities {
+			if err := f.AddActivity(a); err != nil {
+				return nil, fmt.Errorf("jcf: load flow %q: %w", pf.Name, err)
+			}
+		}
+		for before, afters := range pf.Precedes {
+			for _, after := range afters {
+				if err := f.AddPrecedes(before, after); err != nil {
+					return nil, fmt.Errorf("jcf: load flow %q: %w", pf.Name, err)
+				}
+			}
+		}
+		if err := f.Freeze(); err != nil {
+			return nil, fmt.Errorf("jcf: load flow %q: %w", pf.Name, err)
+		}
+		fw.mu.Lock()
+		fw.flows[pf.Name] = f
+		fw.flowOIDs[pf.Name] = pf.OID
+		fw.mu.Unlock()
+	}
+	fw.mu.Lock()
+	for cv, user := range state.Reservations {
+		fw.reservations[cv] = user
+	}
+	if state.TypedHier != nil {
+		fw.typedHier = state.TypedHier
+	}
+	if state.Shares != nil {
+		fw.shares = state.Shares
+	}
+	fw.mu.Unlock()
+	return fw, nil
+}

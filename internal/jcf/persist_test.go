@@ -1,0 +1,188 @@
+package jcf
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/oms"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	w := newWorld(t, Release30)
+	fw := w.fw
+
+	// Populate: reservation, hierarchy, design data, flow progress.
+	if err := fw.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	v1 := fw.Variants(w.cv)[0]
+	do, err := fw.CreateDesignObject(v1, "alu-sch", w.schVT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(t.TempDir(), "d.sch")
+	if err := os.WriteFile(src, []byte("schematic alu\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dov, err := fw.CheckInData("anna", do, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell2, _ := fw.CreateCell(w.project, "reg")
+	cv2, _ := fw.CreateCellVersion(cell2, "asic", w.team)
+	if err := fw.SubmitHierarchy(w.cv, cv2); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := fw.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Release and resources survive.
+	if ld.Release() != Release30 {
+		t.Fatalf("release = %s", ld.Release())
+	}
+	if got := ld.Flows(); len(got) != 1 || got[0] != "asic" {
+		t.Fatalf("flows = %v", got)
+	}
+	f, err := ld.Flow("asic")
+	if err != nil || !f.Frozen() {
+		t.Fatal("flow not restored frozen")
+	}
+	if got := f.Activities(); len(got) != 3 {
+		t.Fatalf("activities = %v", got)
+	}
+	if got := f.Successors("schematic-entry"); len(got) != 1 || got[0] != "simulate" {
+		t.Fatalf("precedes lost: %v", got)
+	}
+	// Project data survives (same OIDs).
+	if got := ld.Cells(w.project); len(got) != 2 {
+		t.Fatalf("cells = %v", got)
+	}
+	if ld.CellVersionNum(w.cv) != 1 {
+		t.Fatal("cell version lost")
+	}
+	// Reservation survives.
+	holder, held := ld.ReservedBy(w.cv)
+	if !held || holder != "anna" {
+		t.Fatalf("reservation lost: %q,%t", holder, held)
+	}
+	// Hierarchy survives.
+	if got := ld.Children(w.cv); len(got) != 1 || got[0] != cv2 {
+		t.Fatalf("hierarchy lost: %v", got)
+	}
+	// Design data survives, byte-exact.
+	dst := filepath.Join(t.TempDir(), "out.sch")
+	if err := ld.CheckOutData("anna", dov, dst); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dst)
+	if err != nil || string(data) != "schematic alu\n" {
+		t.Fatalf("design data lost: %q, %v", data, err)
+	}
+	// The restored framework is fully operational: publish then re-reserve.
+	if err := ld.Publish("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Reserve("bert", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	// New objects do not collide with old OIDs.
+	cell3, err := ld.CreateCell(w.project, "mul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell3 == w.cell || cell3 == cell2 {
+		t.Fatal("OID reuse after load")
+	}
+}
+
+func TestSaveLoadRelease40State(t *testing.T) {
+	w := newWorld(t, Release40)
+	fw := w.fw
+	cell2, _ := fw.CreateCell(w.project, "reg")
+	cv2, _ := fw.CreateCellVersion(cell2, "asic", w.team)
+	if err := fw.SubmitHierarchyTyped(w.cv, cv2, "layout"); err != nil {
+		t.Fatal(err)
+	}
+	team2, _ := fw.CreateTeam("t2")
+	project2, err := fw.CreateProject("p2", team2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.ShareCell(w.cell, project2); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := fw.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Release() != Release40 {
+		t.Fatal("release lost")
+	}
+	kids, err := ld.TypedChildren(w.cv, "layout")
+	if err != nil || len(kids) != 1 || kids[0] != cv2 {
+		t.Fatalf("typed hierarchy lost: %v, %v", kids, err)
+	}
+	shared, err := ld.SharedCells(project2)
+	if err != nil || len(shared) != 1 || shared[0] != w.cell {
+		t.Fatalf("shares lost: %v, %v", shared, err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("load of missing dir")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "framework.json"), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt framework.json accepted")
+	}
+	// Valid framework.json but missing oms.json.
+	if err := os.WriteFile(filepath.Join(dir, "framework.json"), []byte(`{"release":30}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("missing oms.json accepted")
+	}
+	_ = oms.InvalidOID
+	var errSentinel = errors.New("x")
+	_ = errSentinel
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	w := newWorld(t, Release30)
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	if err := w.fw.Save(dir1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.fw.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(dir1, "framework.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir2, "framework.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("framework.json not deterministic")
+	}
+}

@@ -1,0 +1,448 @@
+package jcf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/oms"
+)
+
+// Project data: projects own cells; cells have cell versions; each cell
+// version carries an attached flow and team and contains variants; design
+// objects (typed by view type) live under variants and are versioned with
+// derivation/equivalence relations (section 2.1).
+
+// CreateProject creates a project supported by the given team.
+func (fw *Framework) CreateProject(name string, team oms.OID) (oms.OID, error) {
+	oid, err := fw.named("Project", name)
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.supports, team, oid); err != nil {
+		return oms.InvalidOID, err
+	}
+	return oid, nil
+}
+
+// Project returns a project OID by name.
+func (fw *Framework) Project(name string) (oms.OID, error) {
+	return fw.lookupNamed("Project", name)
+}
+
+// CreateCell creates a cell within a project. Cell names are unique per
+// project.
+func (fw *Framework) CreateCell(project oms.OID, name string) (oms.OID, error) {
+	if name == "" {
+		return oms.InvalidOID, fmt.Errorf("jcf: empty cell name")
+	}
+	for _, c := range fw.store.Targets(fw.rel.has, project) {
+		if fw.store.GetString(c, "name") == name {
+			return oms.InvalidOID, fmt.Errorf("%w: cell %q in project", ErrExists, name)
+		}
+	}
+	oid, err := fw.store.Create("Cell", map[string]oms.Value{"name": oms.S(name)})
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.has, project, oid); err != nil {
+		return oms.InvalidOID, err
+	}
+	return oid, nil
+}
+
+// Cell finds a cell by name within a project.
+func (fw *Framework) Cell(project oms.OID, name string) (oms.OID, error) {
+	for _, c := range fw.store.Targets(fw.rel.has, project) {
+		if fw.store.GetString(c, "name") == name {
+			return c, nil
+		}
+	}
+	return oms.InvalidOID, fmt.Errorf("%w: cell %q", ErrNotFound, name)
+}
+
+// Cells returns the cell names of a project, sorted.
+func (fw *Framework) Cells(project oms.OID) []string {
+	var out []string
+	for _, c := range fw.store.Targets(fw.rel.has, project) {
+		out = append(out, fw.store.GetString(c, "name"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CellName returns the name of a cell.
+func (fw *Framework) CellName(cell oms.OID) string {
+	return fw.store.GetString(cell, "name")
+}
+
+// CreateCellVersion instantiates a cell with the given flow and
+// responsible team. The version number is assigned automatically. Each
+// cell version may carry a different flow and team (section 2.1). An
+// initial variant 1 is created along with it.
+func (fw *Framework) CreateCellVersion(cell oms.OID, flowName string, team oms.OID) (oms.OID, error) {
+	fw.mu.Lock()
+	flowOID, ok := fw.flowOIDs[flowName]
+	fw.mu.Unlock()
+	if !ok {
+		return oms.InvalidOID, fmt.Errorf("%w: flow %q", ErrNotFound, flowName)
+	}
+	num := int64(len(fw.store.Targets(fw.rel.cellHasVersion, cell)) + 1)
+	cv, err := fw.store.Create("CellVersion", map[string]oms.Value{
+		"num":       oms.I(num),
+		"published": oms.B(false),
+	})
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.cellHasVersion, cell, cv); err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.attachedFlow, cv, flowOID); err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.attachedTeam, cv, team); err != nil {
+		return oms.InvalidOID, err
+	}
+	if _, err := fw.CreateVariant(cv); err != nil {
+		return oms.InvalidOID, err
+	}
+	return cv, nil
+}
+
+// CellVersions returns the cell version OIDs of a cell, in version order.
+func (fw *Framework) CellVersions(cell oms.OID) []oms.OID {
+	cvs := fw.store.Targets(fw.rel.cellHasVersion, cell)
+	sort.Slice(cvs, func(i, j int) bool {
+		return fw.store.GetInt(cvs[i], "num") < fw.store.GetInt(cvs[j], "num")
+	})
+	return cvs
+}
+
+// CellVersionNum returns the version number of a cell version.
+func (fw *Framework) CellVersionNum(cv oms.OID) int64 {
+	return fw.store.GetInt(cv, "num")
+}
+
+// CellOf returns the cell owning a cell version.
+func (fw *Framework) CellOf(cv oms.OID) (oms.OID, error) {
+	src := fw.store.Sources(fw.rel.cellHasVersion, cv)
+	if len(src) == 0 {
+		return oms.InvalidOID, fmt.Errorf("%w: cell of version %d", ErrNotFound, cv)
+	}
+	return src[0], nil
+}
+
+// AttachedFlowName returns the flow name attached to a cell version.
+func (fw *Framework) AttachedFlowName(cv oms.OID) (string, error) {
+	f := fw.store.Target(fw.rel.attachedFlow, cv)
+	if f == oms.InvalidOID {
+		return "", fmt.Errorf("%w: flow of cell version", ErrNotFound)
+	}
+	return fw.store.GetString(f, "name"), nil
+}
+
+// AttachedTeam returns the team attached to a cell version.
+func (fw *Framework) AttachedTeam(cv oms.OID) (oms.OID, error) {
+	t := fw.store.Target(fw.rel.attachedTeam, cv)
+	if t == oms.InvalidOID {
+		return oms.InvalidOID, fmt.Errorf("%w: team of cell version", ErrNotFound)
+	}
+	return t, nil
+}
+
+// --- variants --------------------------------------------------------------
+
+// CreateVariant creates a fresh variant under a cell version (numbered
+// automatically). Variants let users "store the modifications and select
+// the optimal design solution" (section 2.1).
+func (fw *Framework) CreateVariant(cv oms.OID) (oms.OID, error) {
+	num := int64(len(fw.store.Targets(fw.rel.hasVariant, cv)) + 1)
+	v, err := fw.store.Create("Variant", map[string]oms.Value{"num": oms.I(num)})
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.hasVariant, cv, v); err != nil {
+		return oms.InvalidOID, err
+	}
+	return v, nil
+}
+
+// DeriveVariant creates a new variant derived from an existing one,
+// recording the precedes relation. The new variant shares the design
+// objects of its predecessor (they are "used" by both until replaced).
+func (fw *Framework) DeriveVariant(from oms.OID) (oms.OID, error) {
+	cvSrc := fw.store.Sources(fw.rel.hasVariant, from)
+	if len(cvSrc) == 0 {
+		return oms.InvalidOID, fmt.Errorf("%w: variant %d", ErrNotFound, from)
+	}
+	v, err := fw.CreateVariant(cvSrc[0])
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.variantPrecedes, from, v); err != nil {
+		return oms.InvalidOID, err
+	}
+	for _, do := range fw.store.Targets(fw.rel.uses, from) {
+		if err := fw.store.Link(fw.rel.uses, v, do); err != nil {
+			return oms.InvalidOID, err
+		}
+	}
+	return v, nil
+}
+
+// Variants returns the variant OIDs of a cell version in variant order.
+func (fw *Framework) Variants(cv oms.OID) []oms.OID {
+	vs := fw.store.Targets(fw.rel.hasVariant, cv)
+	sort.Slice(vs, func(i, j int) bool {
+		return fw.store.GetInt(vs[i], "num") < fw.store.GetInt(vs[j], "num")
+	})
+	return vs
+}
+
+// VariantNum returns a variant's number.
+func (fw *Framework) VariantNum(v oms.OID) int64 { return fw.store.GetInt(v, "num") }
+
+// VariantSuccessors returns the variants derived from v (the precedes
+// relation may branch: a user can derive several alternatives from the
+// same variant).
+func (fw *Framework) VariantSuccessors(v oms.OID) []oms.OID {
+	return fw.store.Targets(fw.rel.variantPrecedes, v)
+}
+
+// VariantPredecessor returns the variant v was derived from (InvalidOID
+// for an original variant).
+func (fw *Framework) VariantPredecessor(v oms.OID) oms.OID {
+	src := fw.store.Sources(fw.rel.variantPrecedes, v)
+	if len(src) == 0 {
+		return oms.InvalidOID
+	}
+	return src[0]
+}
+
+// --- design objects ---------------------------------------------------------
+
+// CreateDesignObject creates a named, view-typed design object used by a
+// variant.
+func (fw *Framework) CreateDesignObject(variant oms.OID, name string, viewType oms.OID) (oms.OID, error) {
+	if name == "" {
+		return oms.InvalidOID, fmt.Errorf("jcf: empty design object name")
+	}
+	do, err := fw.store.Create("DesignObject", map[string]oms.Value{"name": oms.S(name)})
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.uses, variant, do); err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.ofViewType, do, viewType); err != nil {
+		return oms.InvalidOID, err
+	}
+	return do, nil
+}
+
+// DesignObjects returns the design objects used by a variant, sorted by
+// name.
+func (fw *Framework) DesignObjects(variant oms.OID) []oms.OID {
+	dos := fw.store.Targets(fw.rel.uses, variant)
+	sort.Slice(dos, func(i, j int) bool {
+		return fw.store.GetString(dos[i], "name") < fw.store.GetString(dos[j], "name")
+	})
+	return dos
+}
+
+// DesignObjectName returns a design object's name.
+func (fw *Framework) DesignObjectName(do oms.OID) string { return fw.store.GetString(do, "name") }
+
+// DesignObjectByName finds a design object of a variant by name.
+func (fw *Framework) DesignObjectByName(variant oms.OID, name string) (oms.OID, error) {
+	for _, do := range fw.store.Targets(fw.rel.uses, variant) {
+		if fw.store.GetString(do, "name") == name {
+			return do, nil
+		}
+	}
+	return oms.InvalidOID, fmt.Errorf("%w: design object %q", ErrNotFound, name)
+}
+
+// ViewTypeOf returns the view type name of a design object.
+func (fw *Framework) ViewTypeOf(do oms.OID) string {
+	vt := fw.store.Target(fw.rel.ofViewType, do)
+	return fw.store.GetString(vt, "name")
+}
+
+// DesignObjectVersions returns the version OIDs of a design object in
+// version order.
+func (fw *Framework) DesignObjectVersions(do oms.OID) []oms.OID {
+	vs := fw.store.Targets(fw.rel.doHasVersion, do)
+	sort.Slice(vs, func(i, j int) bool {
+		return fw.store.GetInt(vs[i], "num") < fw.store.GetInt(vs[j], "num")
+	})
+	return vs
+}
+
+// LatestVersion returns the newest design object version (InvalidOID when
+// none exists yet).
+func (fw *Framework) LatestVersion(do oms.OID) oms.OID {
+	vs := fw.DesignObjectVersions(do)
+	if len(vs) == 0 {
+		return oms.InvalidOID
+	}
+	return vs[len(vs)-1]
+}
+
+// VersionNum returns a design object version's number.
+func (fw *Framework) VersionNum(dov oms.OID) int64 { return fw.store.GetInt(dov, "num") }
+
+// --- design data (copy-in / copy-out) ---------------------------------------
+
+// CheckInData reads the design file at srcPath into the database as the
+// next version of the design object, automatically recording a derivation
+// from the previous version. The caller must hold the workspace
+// reservation on the owning cell version (checked through reservedFor).
+func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.OID, error) {
+	cv, err := fw.cellVersionOfDesignObject(do)
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.requireReservation(user, cv); err != nil {
+		return oms.InvalidOID, err
+	}
+	prev := fw.LatestVersion(do)
+	num := int64(len(fw.DesignObjectVersions(do)) + 1)
+	dov, err := fw.store.Create("DesignObjectVersion", map[string]oms.Value{"num": oms.I(num)})
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	if err := fw.store.Link(fw.rel.doHasVersion, do, dov); err != nil {
+		return oms.InvalidOID, err
+	}
+	if _, err := fw.store.CopyIn(dov, "data", srcPath); err != nil {
+		return oms.InvalidOID, err
+	}
+	if prev != oms.InvalidOID {
+		if err := fw.store.Link(fw.rel.derived, prev, dov); err != nil {
+			return oms.InvalidOID, err
+		}
+	}
+	return dov, nil
+}
+
+// CheckOutData copies a design object version's data out of the database
+// to dstPath. Reading requires that the user holds the reservation or the
+// owning cell version is published — and it always pays the full copy,
+// "even in the case of read only accesses" (section 3.6).
+func (fw *Framework) CheckOutData(user string, dov oms.OID, dstPath string) error {
+	do, err := fw.designObjectOfVersion(dov)
+	if err != nil {
+		return err
+	}
+	cv, err := fw.cellVersionOfDesignObject(do)
+	if err != nil {
+		return err
+	}
+	if !fw.CanRead(user, cv) {
+		return fmt.Errorf("%w (user %s)", ErrNotPublished, user)
+	}
+	_, err = fw.store.CopyOut(dov, "data", dstPath)
+	return err
+}
+
+// DataSize returns the stored size in bytes of a design object version.
+func (fw *Framework) DataSize(dov oms.OID) (int64, error) {
+	v, ok, err := fw.store.Get(dov, "data")
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	return int64(len(v.Blob)), nil
+}
+
+func (fw *Framework) designObjectOfVersion(dov oms.OID) (oms.OID, error) {
+	src := fw.store.Sources(fw.rel.doHasVersion, dov)
+	if len(src) == 0 {
+		return oms.InvalidOID, fmt.Errorf("%w: design object of version", ErrNotFound)
+	}
+	return src[0], nil
+}
+
+// cellVersionOfDesignObject walks design object -> variant -> cell version.
+func (fw *Framework) cellVersionOfDesignObject(do oms.OID) (oms.OID, error) {
+	variants := fw.store.Sources(fw.rel.uses, do)
+	if len(variants) == 0 {
+		return oms.InvalidOID, fmt.Errorf("%w: variant of design object", ErrNotFound)
+	}
+	// A design object may be shared across derived variants of the same
+	// cell version; any of them resolves to the same cell version.
+	cvs := fw.store.Sources(fw.rel.hasVariant, variants[0])
+	if len(cvs) == 0 {
+		return oms.InvalidOID, fmt.Errorf("%w: cell version of variant", ErrNotFound)
+	}
+	return cvs[0], nil
+}
+
+// --- derivation and equivalence ----------------------------------------------
+
+// RecordDerivation records that `to` was derived from `from` (e.g. a layout
+// version derived from a schematic version). JCF records all derivation
+// relationships between schematic and layout versions (section 2.4).
+func (fw *Framework) RecordDerivation(from, to oms.OID) error {
+	return fw.store.Link(fw.rel.derived, from, to)
+}
+
+// RecordEquivalence records that two design object versions are equivalent
+// representations.
+func (fw *Framework) RecordEquivalence(a, b oms.OID) error {
+	return fw.store.Link(fw.rel.equivalent, a, b)
+}
+
+// DerivedFrom returns the direct derivation sources of a version.
+func (fw *Framework) DerivedFrom(dov oms.OID) []oms.OID {
+	return fw.store.Sources(fw.rel.derived, dov)
+}
+
+// Derivatives returns the direct derivation targets of a version.
+func (fw *Framework) Derivatives(dov oms.OID) []oms.OID {
+	return fw.store.Targets(fw.rel.derived, dov)
+}
+
+// EquivalentTo returns versions recorded equivalent to dov (both
+// directions).
+func (fw *Framework) EquivalentTo(dov oms.OID) []oms.OID {
+	set := map[oms.OID]bool{}
+	for _, o := range fw.store.Targets(fw.rel.equivalent, dov) {
+		set[o] = true
+	}
+	for _, o := range fw.store.Sources(fw.rel.equivalent, dov) {
+		set[o] = true
+	}
+	out := make([]oms.OID, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DerivationClosure returns every version transitively derived from dov
+// (not including dov), sorted — the "what-belongs-to-what" information
+// plain FMCAD cannot answer (section 3.5).
+func (fw *Framework) DerivationClosure(dov oms.OID) []oms.OID {
+	seen := map[oms.OID]bool{}
+	var walk func(oms.OID)
+	walk = func(o oms.OID) {
+		for _, d := range fw.store.Targets(fw.rel.derived, o) {
+			if !seen[d] {
+				seen[d] = true
+				walk(d)
+			}
+		}
+	}
+	walk(dov)
+	out := make([]oms.OID, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

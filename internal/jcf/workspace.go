@@ -1,0 +1,113 @@
+package jcf
+
+import (
+	"fmt"
+
+	"repro/internal/oms"
+)
+
+// The workspace concept (section 2.1): "the workspace concept of JCF
+// allows only one user to work on a particular cell version if this cell
+// version is reserved in his private workspace. Other users are only
+// allowed to read the published parts of the design data. When the work is
+// finished, the cell can be published and then be modified by other
+// users." Unlike FMCAD's single .meta file, reservations are per cell
+// version, so designers working on disjoint cells never conflict —
+// the section 3.1 result.
+
+// Reserve places a cell version into the user's private workspace. The
+// user must be a member of the team attached to the cell version, and no
+// other user may hold the reservation.
+func (fw *Framework) Reserve(user string, cv oms.OID) error {
+	userOID, err := fw.User(user)
+	if err != nil {
+		return err
+	}
+	team, err := fw.AttachedTeam(cv)
+	if err != nil {
+		return err
+	}
+	if !fw.IsMember(team, userOID) {
+		return fmt.Errorf("%w (user %s)", ErrNotMember, user)
+	}
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if holder, held := fw.reservations[cv]; held {
+		fw.statReserveConflicts++
+		if holder == user {
+			return fmt.Errorf("%w (already in your workspace)", ErrReserved)
+		}
+		return fmt.Errorf("%w (held by %s, wanted by %s)", ErrReserved, holder, user)
+	}
+	fw.reservations[cv] = user
+	return nil
+}
+
+// ReleaseReservation drops the user's reservation without publishing.
+func (fw *Framework) ReleaseReservation(user string, cv oms.OID) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.reservations[cv] != user {
+		return fmt.Errorf("%w (user %s)", ErrNotReserved, user)
+	}
+	delete(fw.reservations, cv)
+	return nil
+}
+
+// Publish marks the cell version's design data as published and releases
+// the reservation, making the data readable (and the version reservable)
+// by other team members.
+func (fw *Framework) Publish(user string, cv oms.OID) error {
+	fw.mu.Lock()
+	holder := fw.reservations[cv]
+	fw.mu.Unlock()
+	if holder != user {
+		return fmt.Errorf("%w (user %s)", ErrNotReserved, user)
+	}
+	if err := fw.store.Set(cv, "published", oms.B(true)); err != nil {
+		return err
+	}
+	fw.mu.Lock()
+	delete(fw.reservations, cv)
+	fw.mu.Unlock()
+	return nil
+}
+
+// ReservedBy returns the user holding the workspace reservation on a cell
+// version, and whether it is held at all.
+func (fw *Framework) ReservedBy(cv oms.OID) (string, bool) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	u, ok := fw.reservations[cv]
+	return u, ok
+}
+
+// Published reports whether a cell version has been published.
+func (fw *Framework) Published(cv oms.OID) bool {
+	return fw.store.GetBool(cv, "published")
+}
+
+// CanRead reports whether user may read the design data of a cell version:
+// either they hold the reservation or the version is published.
+func (fw *Framework) CanRead(user string, cv oms.OID) bool {
+	if holder, held := fw.ReservedBy(cv); held && holder == user {
+		return true
+	}
+	return fw.Published(cv)
+}
+
+// CanWrite reports whether user may modify the design data of a cell
+// version: only the reservation holder may.
+func (fw *Framework) CanWrite(user string, cv oms.OID) bool {
+	holder, held := fw.ReservedBy(cv)
+	return held && holder == user
+}
+
+// requireReservation is the write guard used by CheckInData and the
+// activity API.
+func (fw *Framework) requireReservation(user string, cv oms.OID) error {
+	if !fw.CanWrite(user, cv) {
+		return fmt.Errorf("%w (user %s)", ErrNotReserved, user)
+	}
+	return nil
+}

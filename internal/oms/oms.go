@@ -1,0 +1,737 @@
+// Package oms implements a small object-oriented database kernel modelled
+// after the OMS database used by the JESSI-COMMON-Framework (JCF 3.0).
+//
+// OMS stores typed objects. Every object belongs to a class declared in a
+// Schema; a class defines the attributes an object may carry and the binary
+// relationship types it may participate in. The kernel provides:
+//
+//   - schema definition (classes, attributes, relationship types with
+//     cardinality constraints),
+//   - object creation/deletion and attribute access,
+//   - binary relationships between objects with cardinality checking,
+//   - transactions with rollback (an undo log per transaction),
+//   - persistence of the whole store to a JSON snapshot file, and
+//   - blob storage with file-system staging (CopyIn/CopyOut), mirroring the
+//     JCF behaviour that encapsulated tools never touch database internals
+//     but exchange design data through the UNIX file system.
+//
+// The paper (section 2.1) stresses two properties this package reproduces
+// faithfully: metadata and design data live in one common database, and
+// "direct access to the internal structure of the stored data by an
+// appropriate interface is not possible" — callers get copies, never
+// internal references.
+package oms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// OID identifies an object inside one Store. OIDs are never reused.
+type OID int64
+
+// InvalidOID is the zero OID; no object ever has it.
+const InvalidOID OID = 0
+
+// Kind enumerates the attribute value types OMS supports.
+type Kind int
+
+// Attribute kinds.
+const (
+	KindString Kind = iota
+	KindInt
+	KindBool
+	KindBlob // arbitrary bytes, used for staged design data
+)
+
+// String returns the OTO-D style name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindBool:
+		return "bool"
+	case KindBlob:
+		return "blob"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a single attribute value. Exactly one field is meaningful,
+// selected by Kind.
+type Value struct {
+	Kind Kind
+	Str  string
+	Int  int64
+	Bool bool
+	Blob []byte
+}
+
+// S returns a string Value.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// I returns an int Value.
+func I(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// B returns a bool Value.
+func B(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// Bytes returns a blob Value holding a private copy of p.
+func Bytes(p []byte) Value {
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	return Value{Kind: KindBlob, Blob: cp}
+}
+
+// clone returns a deep copy of v so callers can never alias store internals.
+func (v Value) clone() Value {
+	if v.Kind == KindBlob {
+		return Bytes(v.Blob)
+	}
+	return v
+}
+
+// Equal reports whether two values have the same kind and content.
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return v.Str == w.Str
+	case KindInt:
+		return v.Int == w.Int
+	case KindBool:
+		return v.Bool == w.Bool
+	case KindBlob:
+		if len(v.Blob) != len(w.Blob) {
+			return false
+		}
+		for i := range v.Blob {
+			if v.Blob[i] != w.Blob[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindString:
+		return fmt.Sprintf("%q", v.Str)
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case KindBlob:
+		return fmt.Sprintf("blob[%d]", len(v.Blob))
+	}
+	return "?"
+}
+
+// AttrDef declares one attribute of a class.
+type AttrDef struct {
+	Name     string
+	Kind     Kind
+	Required bool
+}
+
+// Cardinality constrains how many links of a relationship type an object may
+// have on one side.
+type Cardinality int
+
+// Cardinalities. One means at most a single link on that side; Many is
+// unbounded.
+const (
+	One Cardinality = iota
+	Many
+)
+
+// String returns "1" or "N".
+func (c Cardinality) String() string {
+	if c == One {
+		return "1"
+	}
+	return "N"
+}
+
+// RelDef declares a directed binary relationship type between two classes.
+// From/To name classes; FromCard constrains how many links a single target
+// object may receive, ToCard how many links a single source object may hold.
+// (So ToCard==One means "each From object points to at most one To object",
+// matching the usual crow's-foot reading From —— To.)
+type RelDef struct {
+	Name     string
+	From, To string // class names
+	FromCard Cardinality
+	ToCard   Cardinality
+}
+
+// Class declares an object type.
+type Class struct {
+	Name  string
+	Attrs []AttrDef
+}
+
+func (c *Class) attr(name string) (AttrDef, bool) {
+	for _, a := range c.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AttrDef{}, false
+}
+
+// Schema is the set of classes and relationship types a Store enforces.
+// A Schema is immutable once handed to NewStore.
+type Schema struct {
+	classes map[string]*Class
+	rels    map[string]*RelDef
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{classes: map[string]*Class{}, rels: map[string]*RelDef{}}
+}
+
+// AddClass registers a class. It returns an error if the name is already
+// taken or an attribute is duplicated.
+func (s *Schema) AddClass(name string, attrs ...AttrDef) error {
+	if name == "" {
+		return fmt.Errorf("oms: empty class name")
+	}
+	if _, dup := s.classes[name]; dup {
+		return fmt.Errorf("oms: duplicate class %q", name)
+	}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if a.Name == "" {
+			return fmt.Errorf("oms: class %q has attribute with empty name", name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("oms: class %q duplicates attribute %q", name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	s.classes[name] = &Class{Name: name, Attrs: append([]AttrDef(nil), attrs...)}
+	return nil
+}
+
+// AddRel registers a relationship type. Both endpoint classes must exist.
+func (s *Schema) AddRel(def RelDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("oms: empty relationship name")
+	}
+	if _, dup := s.rels[def.Name]; dup {
+		return fmt.Errorf("oms: duplicate relationship %q", def.Name)
+	}
+	if _, ok := s.classes[def.From]; !ok {
+		return fmt.Errorf("oms: relationship %q: unknown class %q", def.Name, def.From)
+	}
+	if _, ok := s.classes[def.To]; !ok {
+		return fmt.Errorf("oms: relationship %q: unknown class %q", def.Name, def.To)
+	}
+	cp := def
+	s.rels[def.Name] = &cp
+	return nil
+}
+
+// Class returns the class declaration, or nil.
+func (s *Schema) Class(name string) *Class { return s.classes[name] }
+
+// Rel returns the relationship declaration, or nil.
+func (s *Schema) Rel(name string) *RelDef { return s.rels[name] }
+
+// Classes returns all class names, sorted.
+func (s *Schema) Classes() []string {
+	out := make([]string, 0, len(s.classes))
+	for n := range s.classes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rels returns all relationship names, sorted.
+func (s *Schema) Rels() []string {
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// object is the internal representation; never escapes the package.
+type object struct {
+	oid   OID
+	class string
+	attrs map[string]Value
+	// links[relName] is the set of OIDs this object points to (as From side).
+	links map[string]map[OID]bool
+	// backlinks[relName] is the set of OIDs pointing at this object.
+	backlinks map[string]map[OID]bool
+}
+
+func newObject(oid OID, class string) *object {
+	return &object{
+		oid:       oid,
+		class:     class,
+		attrs:     map[string]Value{},
+		links:     map[string]map[OID]bool{},
+		backlinks: map[string]map[OID]bool{},
+	}
+}
+
+// Store is a live OMS database instance. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu      sync.RWMutex
+	schema  *Schema
+	objects map[OID]*object
+	nextOID OID
+	tx      *txLog // non-nil while a transaction is open
+
+	// stats for the performance experiments (section 3.6).
+	statOps      int64
+	statBlobIn   int64 // bytes copied into the database
+	statBlobOut  int64 // bytes copied out of the database
+	statCommits  int64
+	statRollback int64
+}
+
+// NewStore returns an empty store enforcing schema.
+func NewStore(schema *Schema) *Store {
+	return &Store{schema: schema, objects: map[OID]*object{}, nextOID: 1}
+}
+
+// Schema returns the schema the store enforces.
+func (st *Store) Schema() *Schema { return st.schema }
+
+// Stats reports cumulative operation counters (ops, blob bytes in, blob
+// bytes out). Used by the section 3.6 experiments.
+func (st *Store) Stats() (ops, blobIn, blobOut int64) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.statOps, st.statBlobIn, st.statBlobOut
+}
+
+// --- transactions -----------------------------------------------------
+
+type undoFn func(st *Store)
+
+type txLog struct {
+	undo []undoFn
+}
+
+// Begin opens a transaction. Only one transaction may be open at a time;
+// nested Begin is an error. Operations performed while a transaction is open
+// are rolled back by Rollback.
+func (st *Store) Begin() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.tx != nil {
+		return fmt.Errorf("oms: transaction already open")
+	}
+	st.tx = &txLog{}
+	return nil
+}
+
+// Commit closes the open transaction, keeping all changes.
+func (st *Store) Commit() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.tx == nil {
+		return fmt.Errorf("oms: no open transaction")
+	}
+	st.tx = nil
+	st.statCommits++
+	return nil
+}
+
+// Rollback undoes every operation performed since Begin.
+func (st *Store) Rollback() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.tx == nil {
+		return fmt.Errorf("oms: no open transaction")
+	}
+	log := st.tx
+	st.tx = nil // undo functions run outside the tx
+	for i := len(log.undo) - 1; i >= 0; i-- {
+		log.undo[i](st)
+	}
+	st.statRollback++
+	return nil
+}
+
+// InTx reports whether a transaction is open.
+func (st *Store) InTx() bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.tx != nil
+}
+
+func (st *Store) record(fn undoFn) {
+	if st.tx != nil {
+		st.tx.undo = append(st.tx.undo, fn)
+	}
+}
+
+// --- object lifecycle -------------------------------------------------
+
+// Create allocates a new object of the given class with the given attribute
+// values. Required attributes must be present; kinds must match the schema.
+func (st *Store) Create(class string, attrs map[string]Value) (OID, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cls := st.schema.Class(class)
+	if cls == nil {
+		return InvalidOID, fmt.Errorf("oms: unknown class %q", class)
+	}
+	for name, v := range attrs {
+		def, ok := cls.attr(name)
+		if !ok {
+			return InvalidOID, fmt.Errorf("oms: class %q has no attribute %q", class, name)
+		}
+		if def.Kind != v.Kind {
+			return InvalidOID, fmt.Errorf("oms: attribute %s.%s wants %s, got %s", class, name, def.Kind, v.Kind)
+		}
+	}
+	for _, def := range cls.Attrs {
+		if def.Required {
+			if _, ok := attrs[def.Name]; !ok {
+				return InvalidOID, fmt.Errorf("oms: class %q requires attribute %q", class, def.Name)
+			}
+		}
+	}
+	oid := st.nextOID
+	st.nextOID++
+	obj := newObject(oid, class)
+	for name, v := range attrs {
+		obj.attrs[name] = v.clone()
+		if v.Kind == KindBlob {
+			st.statBlobIn += int64(len(v.Blob))
+		}
+	}
+	st.objects[oid] = obj
+	st.statOps++
+	st.record(func(s *Store) { delete(s.objects, oid) })
+	return oid, nil
+}
+
+// Delete removes an object and all relationships it participates in.
+func (st *Store) Delete(oid OID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	obj, ok := st.objects[oid]
+	if !ok {
+		return fmt.Errorf("oms: no object %d", oid)
+	}
+	// Detach all links (both directions) first, recording undo entries.
+	for rel, targets := range obj.links {
+		for to := range targets {
+			st.unlinkLocked(rel, oid, to)
+		}
+	}
+	for rel, sources := range obj.backlinks {
+		for from := range sources {
+			st.unlinkLocked(rel, from, oid)
+		}
+	}
+	delete(st.objects, oid)
+	st.statOps++
+	st.record(func(s *Store) { s.objects[oid] = obj })
+	return nil
+}
+
+// Exists reports whether oid names a live object.
+func (st *Store) Exists(oid OID) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.objects[oid]
+	return ok
+}
+
+// ClassOf returns the class of an object.
+func (st *Store) ClassOf(oid OID) (string, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	obj, ok := st.objects[oid]
+	if !ok {
+		return "", fmt.Errorf("oms: no object %d", oid)
+	}
+	return obj.class, nil
+}
+
+// --- attributes ---------------------------------------------------------
+
+// Set assigns an attribute value, checked against the schema.
+func (st *Store) Set(oid OID, name string, v Value) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	obj, ok := st.objects[oid]
+	if !ok {
+		return fmt.Errorf("oms: no object %d", oid)
+	}
+	def, ok := st.schema.Class(obj.class).attr(name)
+	if !ok {
+		return fmt.Errorf("oms: class %q has no attribute %q", obj.class, name)
+	}
+	if def.Kind != v.Kind {
+		return fmt.Errorf("oms: attribute %s.%s wants %s, got %s", obj.class, name, def.Kind, v.Kind)
+	}
+	old, had := obj.attrs[name]
+	obj.attrs[name] = v.clone()
+	if v.Kind == KindBlob {
+		st.statBlobIn += int64(len(v.Blob))
+	}
+	st.statOps++
+	st.record(func(s *Store) {
+		if o, ok := s.objects[oid]; ok {
+			if had {
+				o.attrs[name] = old
+			} else {
+				delete(o.attrs, name)
+			}
+		}
+	})
+	return nil
+}
+
+// Get returns a copy of an attribute value. The bool reports presence.
+func (st *Store) Get(oid OID, name string) (Value, bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	obj, ok := st.objects[oid]
+	if !ok {
+		return Value{}, false, fmt.Errorf("oms: no object %d", oid)
+	}
+	v, ok := obj.attrs[name]
+	if !ok {
+		return Value{}, false, nil
+	}
+	if v.Kind == KindBlob {
+		st.statBlobOut += int64(len(v.Blob))
+	}
+	st.statOps++
+	return v.clone(), true, nil
+}
+
+// GetString is a convenience accessor returning "" when absent.
+func (st *Store) GetString(oid OID, name string) string {
+	v, ok, err := st.Get(oid, name)
+	if err != nil || !ok || v.Kind != KindString {
+		return ""
+	}
+	return v.Str
+}
+
+// GetInt is a convenience accessor returning 0 when absent.
+func (st *Store) GetInt(oid OID, name string) int64 {
+	v, ok, err := st.Get(oid, name)
+	if err != nil || !ok || v.Kind != KindInt {
+		return 0
+	}
+	return v.Int
+}
+
+// GetBool is a convenience accessor returning false when absent.
+func (st *Store) GetBool(oid OID, name string) bool {
+	v, ok, err := st.Get(oid, name)
+	if err != nil || !ok || v.Kind != KindBool {
+		return false
+	}
+	return v.Bool
+}
+
+// --- relationships ------------------------------------------------------
+
+// Link creates a relationship instance rel: from -> to, enforcing endpoint
+// classes and cardinalities.
+func (st *Store) Link(rel string, from, to OID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	def := st.schema.Rel(rel)
+	if def == nil {
+		return fmt.Errorf("oms: unknown relationship %q", rel)
+	}
+	fobj, ok := st.objects[from]
+	if !ok {
+		return fmt.Errorf("oms: no object %d", from)
+	}
+	tobj, ok := st.objects[to]
+	if !ok {
+		return fmt.Errorf("oms: no object %d", to)
+	}
+	if fobj.class != def.From {
+		return fmt.Errorf("oms: relationship %q: from must be %q, got %q", rel, def.From, fobj.class)
+	}
+	if tobj.class != def.To {
+		return fmt.Errorf("oms: relationship %q: to must be %q, got %q", rel, def.To, tobj.class)
+	}
+	if fobj.links[rel][to] {
+		return nil // already linked; idempotent
+	}
+	if def.ToCard == One && len(fobj.links[rel]) >= 1 {
+		return fmt.Errorf("oms: relationship %q: object %d already has its single %q link", rel, from, def.To)
+	}
+	if def.FromCard == One && len(tobj.backlinks[rel]) >= 1 {
+		return fmt.Errorf("oms: relationship %q: object %d already has its single inbound link", rel, to)
+	}
+	if fobj.links[rel] == nil {
+		fobj.links[rel] = map[OID]bool{}
+	}
+	if tobj.backlinks[rel] == nil {
+		tobj.backlinks[rel] = map[OID]bool{}
+	}
+	fobj.links[rel][to] = true
+	tobj.backlinks[rel][from] = true
+	st.statOps++
+	st.record(func(s *Store) { s.unlinkNoUndo(rel, from, to) })
+	return nil
+}
+
+// Unlink removes a relationship instance if present.
+func (st *Store) Unlink(rel string, from, to OID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.schema.Rel(rel) == nil {
+		return fmt.Errorf("oms: unknown relationship %q", rel)
+	}
+	st.unlinkLocked(rel, from, to)
+	return nil
+}
+
+// unlinkLocked removes the link and records undo; caller holds mu.
+func (st *Store) unlinkLocked(rel string, from, to OID) {
+	fobj, ok := st.objects[from]
+	if !ok {
+		return
+	}
+	if !fobj.links[rel][to] {
+		return
+	}
+	st.unlinkNoUndo(rel, from, to)
+	st.statOps++
+	st.record(func(s *Store) {
+		f, ok1 := s.objects[from]
+		t, ok2 := s.objects[to]
+		if !ok1 || !ok2 {
+			return
+		}
+		if f.links[rel] == nil {
+			f.links[rel] = map[OID]bool{}
+		}
+		if t.backlinks[rel] == nil {
+			t.backlinks[rel] = map[OID]bool{}
+		}
+		f.links[rel][to] = true
+		t.backlinks[rel][from] = true
+	})
+}
+
+func (st *Store) unlinkNoUndo(rel string, from, to OID) {
+	if f, ok := st.objects[from]; ok {
+		delete(f.links[rel], to)
+	}
+	if t, ok := st.objects[to]; ok {
+		delete(t.backlinks[rel], from)
+	}
+}
+
+// Targets returns the OIDs that from points to via rel, sorted.
+func (st *Store) Targets(rel string, from OID) []OID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	obj, ok := st.objects[from]
+	if !ok {
+		return nil
+	}
+	return sortedOIDs(obj.links[rel])
+}
+
+// Sources returns the OIDs that point to `to` via rel, sorted.
+func (st *Store) Sources(rel string, to OID) []OID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	obj, ok := st.objects[to]
+	if !ok {
+		return nil
+	}
+	return sortedOIDs(obj.backlinks[rel])
+}
+
+// Target returns the single rel target of from, or InvalidOID.
+func (st *Store) Target(rel string, from OID) OID {
+	ts := st.Targets(rel, from)
+	if len(ts) == 0 {
+		return InvalidOID
+	}
+	return ts[0]
+}
+
+func sortedOIDs(m map[OID]bool) []OID {
+	out := make([]OID, 0, len(m))
+	for o := range m {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- queries ------------------------------------------------------------
+
+// All returns the OIDs of every object of the given class, sorted. An empty
+// class returns every object in the store.
+func (st *Store) All(class string) []OID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []OID
+	for oid, obj := range st.objects {
+		if class == "" || obj.class == class {
+			out = append(out, oid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FindByAttr returns every object of class whose attribute name equals v.
+func (st *Store) FindByAttr(class, name string, v Value) []OID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []OID
+	for oid, obj := range st.objects {
+		if class != "" && obj.class != class {
+			continue
+		}
+		if got, ok := obj.attrs[name]; ok && got.Equal(v) {
+			out = append(out, oid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Count returns the number of live objects of a class ("" counts all).
+func (st *Store) Count(class string) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if class == "" {
+		return len(st.objects)
+	}
+	n := 0
+	for _, obj := range st.objects {
+		if obj.class == class {
+			n++
+		}
+	}
+	return n
+}

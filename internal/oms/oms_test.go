@@ -1,0 +1,588 @@
+package oms
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testSchema builds a small schema used throughout the tests.
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	if err := s.AddClass("Cell",
+		AttrDef{Name: "name", Kind: KindString, Required: true},
+		AttrDef{Name: "rev", Kind: KindInt},
+		AttrDef{Name: "published", Kind: KindBool},
+		AttrDef{Name: "data", Kind: KindBlob},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass("Version",
+		AttrDef{Name: "num", Kind: KindInt, Required: true},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRel(RelDef{Name: "hasVersion", From: "Cell", To: "Version", FromCard: One, ToCard: Many}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRel(RelDef{Name: "master", From: "Cell", To: "Version", FromCard: Many, ToCard: One}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustCreate(t *testing.T, st *Store, class string, attrs map[string]Value) OID {
+	t.Helper()
+	oid, err := st.Create(class, attrs)
+	if err != nil {
+		t.Fatalf("Create(%s): %v", class, err)
+	}
+	return oid
+}
+
+func TestSchemaDuplicates(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddClass("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass("A"); err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+	if err := s.AddClass(""); err == nil {
+		t.Fatal("empty class name accepted")
+	}
+	if err := s.AddClass("B", AttrDef{Name: "x"}, AttrDef{Name: "x"}); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if err := s.AddRel(RelDef{Name: "r", From: "A", To: "Missing"}); err == nil {
+		t.Fatal("relationship to unknown class accepted")
+	}
+	if err := s.AddRel(RelDef{Name: "r", From: "A", To: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRel(RelDef{Name: "r", From: "A", To: "A"}); err == nil {
+		t.Fatal("duplicate relationship accepted")
+	}
+}
+
+func TestCreateRequiresAttrs(t *testing.T) {
+	st := NewStore(testSchema(t))
+	if _, err := st.Create("Cell", nil); err == nil {
+		t.Fatal("missing required attribute accepted")
+	}
+	if _, err := st.Create("Nope", nil); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := st.Create("Cell", map[string]Value{"name": I(3)}); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if _, err := st.Create("Cell", map[string]Value{"name": S("alu"), "bogus": S("x")}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestAttrRoundTrip(t *testing.T) {
+	st := NewStore(testSchema(t))
+	oid := mustCreate(t, st, "Cell", map[string]Value{"name": S("alu")})
+	if got := st.GetString(oid, "name"); got != "alu" {
+		t.Fatalf("name = %q, want alu", got)
+	}
+	if err := st.Set(oid, "rev", I(7)); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.GetInt(oid, "rev"); got != 7 {
+		t.Fatalf("rev = %d, want 7", got)
+	}
+	if err := st.Set(oid, "published", B(true)); err != nil {
+		t.Fatal(err)
+	}
+	if !st.GetBool(oid, "published") {
+		t.Fatal("published = false, want true")
+	}
+	// Absent attribute: ok=false, no error.
+	_, ok, err := st.Get(oid, "data")
+	if err != nil || ok {
+		t.Fatalf("Get(absent) = ok=%t err=%v, want false,nil", ok, err)
+	}
+	// Kind mismatch on Set.
+	if err := st.Set(oid, "rev", S("x")); err == nil {
+		t.Fatal("kind mismatch accepted on Set")
+	}
+}
+
+func TestBlobIsolation(t *testing.T) {
+	st := NewStore(testSchema(t))
+	oid := mustCreate(t, st, "Cell", map[string]Value{"name": S("c")})
+	buf := []byte("hello")
+	if err := st.Set(oid, "data", Bytes(buf)); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // caller mutates its copy; store must be unaffected
+	v, ok, err := st.Get(oid, "data")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%t err=%v", ok, err)
+	}
+	if string(v.Blob) != "hello" {
+		t.Fatalf("store aliased caller buffer: %q", v.Blob)
+	}
+	v.Blob[0] = 'Y' // mutate returned copy; store must be unaffected
+	v2, _, _ := st.Get(oid, "data")
+	if string(v2.Blob) != "hello" {
+		t.Fatalf("returned blob aliases store: %q", v2.Blob)
+	}
+}
+
+func TestLinkCardinality(t *testing.T) {
+	st := NewStore(testSchema(t))
+	c1 := mustCreate(t, st, "Cell", map[string]Value{"name": S("a")})
+	c2 := mustCreate(t, st, "Cell", map[string]Value{"name": S("b")})
+	v1 := mustCreate(t, st, "Version", map[string]Value{"num": I(1)})
+	v2 := mustCreate(t, st, "Version", map[string]Value{"num": I(2)})
+
+	// hasVersion: FromCard=One (a version belongs to one cell), ToCard=Many.
+	if err := st.Link("hasVersion", c1, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Link("hasVersion", c1, v2); err != nil {
+		t.Fatal(err)
+	}
+	// v1 already owned by c1; c2 may not claim it.
+	if err := st.Link("hasVersion", c2, v1); err == nil {
+		t.Fatal("FromCard=One violated")
+	}
+	// Idempotent re-link is fine.
+	if err := st.Link("hasVersion", c1, v1); err != nil {
+		t.Fatalf("idempotent link: %v", err)
+	}
+	// master: ToCard=One (a cell has a single master version).
+	if err := st.Link("master", c1, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Link("master", c1, v2); err == nil {
+		t.Fatal("ToCard=One violated")
+	}
+	// Class checking.
+	if err := st.Link("hasVersion", v1, c1); err == nil {
+		t.Fatal("endpoint classes not checked")
+	}
+	if err := st.Link("nope", c1, v1); err == nil {
+		t.Fatal("unknown relationship accepted")
+	}
+
+	got := st.Targets("hasVersion", c1)
+	if len(got) != 2 || got[0] != v1 || got[1] != v2 {
+		t.Fatalf("Targets = %v, want [%d %d]", got, v1, v2)
+	}
+	if src := st.Sources("hasVersion", v1); len(src) != 1 || src[0] != c1 {
+		t.Fatalf("Sources = %v, want [%d]", src, c1)
+	}
+	if st.Target("master", c1) != v1 {
+		t.Fatalf("Target(master) = %d, want %d", st.Target("master", c1), v1)
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	st := NewStore(testSchema(t))
+	c := mustCreate(t, st, "Cell", map[string]Value{"name": S("a")})
+	v := mustCreate(t, st, "Version", map[string]Value{"num": I(1)})
+	if err := st.Link("hasVersion", c, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Unlink("hasVersion", c, v); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Targets("hasVersion", c); len(got) != 0 {
+		t.Fatalf("Targets after unlink = %v", got)
+	}
+	// Unlink of absent link is a no-op.
+	if err := st.Unlink("hasVersion", c, v); err != nil {
+		t.Fatal(err)
+	}
+	// After unlink the cardinality slot is free again.
+	if err := st.Link("hasVersion", c, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteDetaches(t *testing.T) {
+	st := NewStore(testSchema(t))
+	c := mustCreate(t, st, "Cell", map[string]Value{"name": S("a")})
+	v := mustCreate(t, st, "Version", map[string]Value{"num": I(1)})
+	if err := st.Link("hasVersion", c, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(v); err != nil {
+		t.Fatal(err)
+	}
+	if st.Exists(v) {
+		t.Fatal("deleted object still exists")
+	}
+	if got := st.Targets("hasVersion", c); len(got) != 0 {
+		t.Fatalf("dangling link after delete: %v", got)
+	}
+	if err := st.Delete(v); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestTransactionRollback(t *testing.T) {
+	st := NewStore(testSchema(t))
+	base := mustCreate(t, st, "Cell", map[string]Value{"name": S("keep"), "rev": I(1)})
+
+	if err := st.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Begin(); err == nil {
+		t.Fatal("nested Begin accepted")
+	}
+	tmp := mustCreate(t, st, "Cell", map[string]Value{"name": S("temp")})
+	v := mustCreate(t, st, "Version", map[string]Value{"num": I(9)})
+	if err := st.Link("hasVersion", tmp, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set(base, "rev", I(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set(base, "published", B(true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	if st.Exists(tmp) || st.Exists(v) {
+		t.Fatal("rollback left created objects")
+	}
+	if got := st.GetInt(base, "rev"); got != 1 {
+		t.Fatalf("rev after rollback = %d, want 1", got)
+	}
+	if _, ok, _ := st.Get(base, "published"); ok {
+		t.Fatal("rollback left newly set attribute")
+	}
+	if st.InTx() {
+		t.Fatal("transaction still open after rollback")
+	}
+	if err := st.Rollback(); err == nil {
+		t.Fatal("Rollback without Begin accepted")
+	}
+}
+
+func TestTransactionRollbackRestoresDeleted(t *testing.T) {
+	st := NewStore(testSchema(t))
+	c := mustCreate(t, st, "Cell", map[string]Value{"name": S("a")})
+	v := mustCreate(t, st, "Version", map[string]Value{"num": I(1)})
+	if err := st.Link("hasVersion", c, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Exists(v) {
+		t.Fatal("rollback did not restore deleted object")
+	}
+	if got := st.Targets("hasVersion", c); len(got) != 1 || got[0] != v {
+		t.Fatalf("rollback did not restore links: %v", got)
+	}
+}
+
+func TestTransactionCommit(t *testing.T) {
+	st := NewStore(testSchema(t))
+	if err := st.Commit(); err == nil {
+		t.Fatal("Commit without Begin accepted")
+	}
+	if err := st.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	oid := mustCreate(t, st, "Cell", map[string]Value{"name": S("a")})
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Exists(oid) {
+		t.Fatal("committed object lost")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	st := NewStore(testSchema(t))
+	a := mustCreate(t, st, "Cell", map[string]Value{"name": S("alu")})
+	b := mustCreate(t, st, "Cell", map[string]Value{"name": S("mul")})
+	mustCreate(t, st, "Version", map[string]Value{"num": I(1)})
+
+	if got := st.All("Cell"); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("All(Cell) = %v", got)
+	}
+	if got := st.All(""); len(got) != 3 {
+		t.Fatalf("All() = %v", got)
+	}
+	if got := st.FindByAttr("Cell", "name", S("mul")); len(got) != 1 || got[0] != b {
+		t.Fatalf("FindByAttr = %v", got)
+	}
+	if got := st.FindByAttr("", "name", S("alu")); len(got) != 1 || got[0] != a {
+		t.Fatalf("FindByAttr any class = %v", got)
+	}
+	if st.Count("Cell") != 2 || st.Count("Version") != 1 || st.Count("") != 3 {
+		t.Fatal("Count mismatch")
+	}
+	if cls, err := st.ClassOf(a); err != nil || cls != "Cell" {
+		t.Fatalf("ClassOf = %q, %v", cls, err)
+	}
+	if _, err := st.ClassOf(9999); err == nil {
+		t.Fatal("ClassOf unknown oid accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	schema := testSchema(t)
+	st := NewStore(schema)
+	c := mustCreate(t, st, "Cell", map[string]Value{"name": S("alu"), "rev": I(3), "data": Bytes([]byte{1, 2, 3})})
+	v := mustCreate(t, st, "Version", map[string]Value{"num": I(1)})
+	if err := st.Link("hasVersion", c, v); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "oms.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := Load(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.GetString(c, "name") != "alu" || ld.GetInt(c, "rev") != 3 {
+		t.Fatal("attributes lost in round-trip")
+	}
+	blob, ok, err := ld.Get(c, "data")
+	if err != nil || !ok || len(blob.Blob) != 3 || blob.Blob[2] != 3 {
+		t.Fatalf("blob lost: %v %t %v", blob, ok, err)
+	}
+	if got := ld.Targets("hasVersion", c); len(got) != 1 || got[0] != v {
+		t.Fatalf("links lost: %v", got)
+	}
+	// New objects in the loaded store must not collide with old OIDs.
+	n, err := ld.Create("Cell", map[string]Value{"name": S("new")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == c || n == v {
+		t.Fatalf("OID reuse after load: %d", n)
+	}
+}
+
+func TestLoadRejectsUnknownClass(t *testing.T) {
+	schema := testSchema(t)
+	st := NewStore(schema)
+	mustCreate(t, st, "Cell", map[string]Value{"name": S("x")})
+	path := filepath.Join(t.TempDir(), "oms.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	empty := NewSchema()
+	if _, err := Load(path, empty); err == nil {
+		t.Fatal("load against incompatible schema accepted")
+	}
+	// Corrupt file.
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, schema); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json"), schema); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCopyInOut(t *testing.T) {
+	st := NewStore(testSchema(t))
+	oid := mustCreate(t, st, "Cell", map[string]Value{"name": S("c")})
+	dir := t.TempDir()
+	src := filepath.Join(dir, "design.txt")
+	content := strings.Repeat("wire w;\n", 100)
+	if err := os.WriteFile(src, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := st.CopyIn(oid, "data", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(content)) {
+		t.Fatalf("CopyIn = %d bytes, want %d", n, len(content))
+	}
+	dst := filepath.Join(dir, "out", "design.txt")
+	m, err := st.CopyOut(oid, "data", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("CopyOut = %d bytes, want %d", m, n)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != content {
+		t.Fatal("staged file content mismatch")
+	}
+	// Stats must reflect the blob traffic.
+	_, in, out := st.Stats()
+	if in < n || out < n {
+		t.Fatalf("Stats blobIn=%d blobOut=%d, want >= %d each", in, out, n)
+	}
+	// Errors.
+	if _, err := st.CopyIn(oid, "data", filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("CopyIn of missing file accepted")
+	}
+	if _, err := st.CopyOut(oid, "rev", dst); err == nil {
+		t.Fatal("CopyOut of non-blob accepted")
+	}
+	if _, err := st.CopyOut(oid, "nothere", dst); err == nil {
+		t.Fatal("CopyOut of absent attribute accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	st := NewStore(testSchema(t))
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				oid, err := st.Create("Cell", map[string]Value{"name": S("c")})
+				if err != nil {
+					t.Errorf("Create: %v", err)
+					return
+				}
+				if err := st.Set(oid, "rev", I(int64(i))); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+				_ = st.GetInt(oid, "rev")
+				_ = st.All("Cell")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := st.Count("Cell"); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// Property: OIDs are unique and strictly increasing over any create sequence.
+func TestPropertyOIDsUnique(t *testing.T) {
+	st := NewStore(testSchema(t))
+	f := func(names []string) bool {
+		seen := map[OID]bool{}
+		var last OID
+		for _, n := range names {
+			oid, err := st.Create("Cell", map[string]Value{"name": S(n)})
+			if err != nil {
+				return false
+			}
+			if seen[oid] || oid <= last {
+				return false
+			}
+			seen[oid] = true
+			last = oid
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Set/Get round-trips arbitrary strings and blobs exactly.
+func TestPropertySetGetRoundTrip(t *testing.T) {
+	st := NewStore(testSchema(t))
+	oid := mustCreate(t, st, "Cell", map[string]Value{"name": S("p")})
+	f := func(s string, blob []byte) bool {
+		if err := st.Set(oid, "name", S(s)); err != nil {
+			return false
+		}
+		if st.GetString(oid, "name") != s {
+			return false
+		}
+		if err := st.Set(oid, "data", Bytes(blob)); err != nil {
+			return false
+		}
+		v, ok, err := st.Get(oid, "data")
+		if err != nil || !ok {
+			return false
+		}
+		return v.Equal(Bytes(blob))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a rollback always restores the observable object count.
+func TestPropertyRollbackRestoresCount(t *testing.T) {
+	st := NewStore(testSchema(t))
+	f := func(creates uint8) bool {
+		before := st.Count("")
+		if err := st.Begin(); err != nil {
+			return false
+		}
+		for i := 0; i < int(creates%16); i++ {
+			if _, err := st.Create("Version", map[string]Value{"num": I(int64(i))}); err != nil {
+				_ = st.Rollback()
+				return false
+			}
+		}
+		if err := st.Rollback(); err != nil {
+			return false
+		}
+		return st.Count("") == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueEqualAndString(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		eq   bool
+	}{
+		{S("x"), S("x"), true},
+		{S("x"), S("y"), false},
+		{I(1), I(1), true},
+		{I(1), I(2), false},
+		{B(true), B(true), true},
+		{B(true), B(false), false},
+		{Bytes([]byte{1}), Bytes([]byte{1}), true},
+		{Bytes([]byte{1}), Bytes([]byte{2}), false},
+		{Bytes([]byte{1}), Bytes([]byte{1, 2}), false},
+		{S("1"), I(1), false},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.eq {
+			t.Errorf("case %d: Equal = %t, want %t", i, got, c.eq)
+		}
+	}
+	for _, v := range []Value{S("a"), I(1), B(true), Bytes([]byte{1})} {
+		if v.String() == "" {
+			t.Errorf("empty String() for %v", v.Kind)
+		}
+	}
+	if KindString.String() != "string" || KindBlob.String() != "blob" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind String empty")
+	}
+}

@@ -1,0 +1,167 @@
+package oms
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// snapshot is the on-disk form of a Store. It intentionally contains only
+// plain data so the JSON round-trip is exact.
+type snapshot struct {
+	NextOID OID            `json:"next_oid"`
+	Objects []snapshotObj  `json:"objects"`
+	Links   []snapshotLink `json:"links"`
+}
+
+type snapshotObj struct {
+	OID   OID                  `json:"oid"`
+	Class string               `json:"class"`
+	Attrs map[string]snapValue `json:"attrs"`
+}
+
+type snapValue struct {
+	Kind Kind   `json:"kind"`
+	Str  string `json:"str,omitempty"`
+	Int  int64  `json:"int,omitempty"`
+	Bool bool   `json:"bool,omitempty"`
+	Blob []byte `json:"blob,omitempty"`
+}
+
+type snapshotLink struct {
+	Rel  string `json:"rel"`
+	From OID    `json:"from"`
+	To   OID    `json:"to"`
+}
+
+// Save writes the full store content to path as JSON. The write is atomic:
+// data goes to a temporary file first, then renamed into place.
+func (st *Store) Save(path string) error {
+	st.mu.RLock()
+	snap := snapshot{NextOID: st.nextOID}
+	oids := make([]OID, 0, len(st.objects))
+	for oid := range st.objects {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		obj := st.objects[oid]
+		so := snapshotObj{OID: oid, Class: obj.class, Attrs: map[string]snapValue{}}
+		for name, v := range obj.attrs {
+			so.Attrs[name] = snapValue{Kind: v.Kind, Str: v.Str, Int: v.Int, Bool: v.Bool, Blob: v.Blob}
+		}
+		snap.Objects = append(snap.Objects, so)
+		rels := make([]string, 0, len(obj.links))
+		for rel := range obj.links {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		for _, rel := range rels {
+			for _, to := range sortedOIDs(obj.links[rel]) {
+				snap.Links = append(snap.Links, snapshotLink{Rel: rel, From: oid, To: to})
+			}
+		}
+	}
+	st.mu.RUnlock()
+
+	data, err := json.MarshalIndent(&snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("oms: save: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("oms: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("oms: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save into a fresh store enforcing schema.
+// The snapshot is validated against the schema; unknown classes, attributes
+// or relationships fail the load.
+func Load(path string, schema *Schema) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("oms: load: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("oms: load %s: %w", path, err)
+	}
+	st := NewStore(schema)
+	st.nextOID = snap.NextOID
+	for _, so := range snap.Objects {
+		cls := schema.Class(so.Class)
+		if cls == nil {
+			return nil, fmt.Errorf("oms: load %s: unknown class %q", path, so.Class)
+		}
+		obj := newObject(so.OID, so.Class)
+		for name, sv := range so.Attrs {
+			if _, ok := cls.attr(name); !ok {
+				return nil, fmt.Errorf("oms: load %s: class %q has no attribute %q", path, so.Class, name)
+			}
+			obj.attrs[name] = Value{Kind: sv.Kind, Str: sv.Str, Int: sv.Int, Bool: sv.Bool, Blob: sv.Blob}
+		}
+		st.objects[so.OID] = obj
+		if so.OID >= st.nextOID {
+			st.nextOID = so.OID + 1
+		}
+	}
+	for _, l := range snap.Links {
+		if schema.Rel(l.Rel) == nil {
+			return nil, fmt.Errorf("oms: load %s: unknown relationship %q", path, l.Rel)
+		}
+		if err := st.Link(l.Rel, l.From, l.To); err != nil {
+			return nil, fmt.Errorf("oms: load %s: %w", path, err)
+		}
+	}
+	return st, nil
+}
+
+// --- file-system staging ------------------------------------------------
+//
+// JCF encapsulation copies design data between the database and the UNIX
+// file system ("the required data are copied to and from the database via
+// the UNIX file system", section 2.1). CopyIn/CopyOut are that interface:
+// an encapsulated tool only ever sees plain files.
+
+// CopyIn reads the file at srcPath and stores its content as the named blob
+// attribute of object oid. It returns the number of bytes copied.
+func (st *Store) CopyIn(oid OID, attr, srcPath string) (int64, error) {
+	data, err := os.ReadFile(srcPath)
+	if err != nil {
+		return 0, fmt.Errorf("oms: copy-in: %w", err)
+	}
+	if err := st.Set(oid, attr, Bytes(data)); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// CopyOut writes the named blob attribute of object oid to dstPath, creating
+// parent directories as needed. It returns the number of bytes copied.
+// Note that even read-only tool access requires a CopyOut — the cost the
+// paper complains about in section 3.6.
+func (st *Store) CopyOut(oid OID, attr, dstPath string) (int64, error) {
+	v, ok, err := st.Get(oid, attr)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("oms: copy-out: object %d has no attribute %q", oid, attr)
+	}
+	if v.Kind != KindBlob {
+		return 0, fmt.Errorf("oms: copy-out: attribute %q is %s, not blob", attr, v.Kind)
+	}
+	if err := os.MkdirAll(filepath.Dir(dstPath), 0o755); err != nil {
+		return 0, fmt.Errorf("oms: copy-out: %w", err)
+	}
+	if err := os.WriteFile(dstPath, v.Blob, 0o644); err != nil {
+		return 0, fmt.Errorf("oms: copy-out: %w", err)
+	}
+	return int64(len(v.Blob)), nil
+}

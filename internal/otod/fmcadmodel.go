@@ -1,0 +1,98 @@
+package otod
+
+import "repro/internal/oms"
+
+// FMCADModel returns the information architecture of the FMCAD framework as
+// shown in Figure 2 of the paper. FMCAD stores design data in libraries
+// (UNIX directories with one .meta file), organized as cells, views,
+// cellviews, cellview versions and configs. The figure's annotations map
+// framework objects to the file system: Library = directory (".Project"),
+// View carries a view subtype, CellviewVersion = design file (".File").
+func FMCADModel() *Model {
+	m := NewModel("Figure 2: Information architecture of FMCAD (OTO-D)")
+
+	must := func(err error) {
+		if err != nil {
+			panic(err) // model is a package-level constant; an error is a programming bug
+		}
+	}
+
+	name := oms.AttrDef{Name: "name", Kind: oms.KindString, Required: true}
+
+	// Core library structure.
+	must(m.AddEntity(Entity{Name: "Library", Region: "Library structure", Attrs: []oms.AttrDef{
+		name,
+		{Name: "directory", Kind: oms.KindString}, // the ".Project" annotation
+	}}))
+	must(m.AddEntity(Entity{Name: "Cell", Region: "Library structure", Attrs: []oms.AttrDef{name}}))
+	must(m.AddEntity(Entity{Name: "View", Region: "Library structure", Attrs: []oms.AttrDef{
+		name,
+		{Name: "subtype", Kind: oms.KindString}, // the "=ViewSubType" annotation
+	}}))
+	must(m.AddEntity(Entity{Name: "Viewtype", Region: "Library structure", Attrs: []oms.AttrDef{name}}))
+	must(m.AddEntity(Entity{Name: "Cellview", Region: "Library structure", Attrs: []oms.AttrDef{name}}))
+	must(m.AddEntity(Entity{Name: "CellviewVersion", Region: "Library structure", Attrs: []oms.AttrDef{
+		{Name: "num", Kind: oms.KindInt, Required: true},
+		{Name: "file", Kind: oms.KindString}, // the ".File" annotation
+	}}))
+
+	// Concurrency control.
+	must(m.AddEntity(Entity{Name: "CheckOutStatus", Region: "Concurrency", Attrs: []oms.AttrDef{
+		{Name: "user", Kind: oms.KindString},
+	}}))
+	must(m.AddEntity(Entity{Name: "LockedFlag", Region: "Concurrency", Attrs: []oms.AttrDef{
+		{Name: "locked", Kind: oms.KindBool},
+	}}))
+
+	// Configs.
+	must(m.AddEntity(Entity{Name: "Config", Region: "Configs", Attrs: []oms.AttrDef{name}}))
+
+	// Properties.
+	must(m.AddEntity(Entity{Name: "Property", Region: "Properties", Attrs: []oms.AttrDef{
+		name,
+		{Name: "value", Kind: oms.KindString},
+	}}))
+
+	// Concrete view subtypes and their version specializations (the
+	// figure's Layout / Schema / Symbol triples).
+	for _, vt := range []string{"Layout", "Schema", "Symbol"} {
+		must(m.AddEntity(Entity{Name: vt, Region: "View subtypes", Attrs: []oms.AttrDef{name}}))
+		must(m.AddEntity(Entity{Name: vt + "Version", Region: "View subtypes", Attrs: []oms.AttrDef{
+			{Name: "num", Kind: oms.KindInt, Required: true},
+		}}))
+	}
+	must(m.AddEntity(Entity{Name: "SymbolInSchemaVersion", Region: "View subtypes", Attrs: []oms.AttrDef{
+		{Name: "instance", Kind: oms.KindString},
+	}}))
+
+	// Library containment.
+	must(m.AddRel(Relationship{Name: "contains", From: "Library", To: "Cell", FromCard: oms.One, ToCard: oms.Many}))
+	must(m.AddRel(Relationship{Name: "hasCellview", From: "Cell", To: "Cellview", FromCard: oms.One, ToCard: oms.Many}))
+	must(m.AddRel(Relationship{Name: "ofView", From: "Cellview", To: "View", FromCard: oms.Many, ToCard: oms.One}))
+	must(m.AddRel(Relationship{Name: "ofViewtype", From: "View", To: "Viewtype", FromCard: oms.Many, ToCard: oms.One}))
+	must(m.AddRel(Relationship{Name: "hasVersion", From: "Cellview", To: "CellviewVersion", FromCard: oms.One, ToCard: oms.Many}))
+
+	// Concurrency: the checked-out version and per-cellview lock.
+	must(m.AddRel(Relationship{Name: "checkedOut", From: "CellviewVersion", To: "CheckOutStatus", FromCard: oms.One, ToCard: oms.One}))
+	must(m.AddRel(Relationship{Name: "lock", From: "Cellview", To: "LockedFlag", FromCard: oms.One, ToCard: oms.One}))
+
+	// Configs: collections of cellview versions, nested configs.
+	must(m.AddRel(Relationship{Name: "cvvInConfig", From: "Config", To: "CellviewVersion", FromCard: oms.Many, ToCard: oms.Many}))
+	must(m.AddRel(Relationship{Name: "configInConfig", From: "Config", To: "Config", FromCard: oms.Many, ToCard: oms.Many}))
+
+	// Properties may hang off cellview versions.
+	must(m.AddRel(Relationship{Name: "hasProperty", From: "CellviewVersion", To: "Property", FromCard: oms.One, ToCard: oms.Many}))
+
+	// View subtype specializations (isa edges) and their versions.
+	for _, vt := range []string{"Layout", "Schema", "Symbol"} {
+		must(m.AddRel(Relationship{Name: "isa", From: vt, To: "View", FromCard: oms.Many, ToCard: oms.One}))
+		must(m.AddRel(Relationship{Name: "isa", From: vt + "Version", To: "CellviewVersion", FromCard: oms.Many, ToCard: oms.One}))
+		must(m.AddRel(Relationship{Name: "versionOf", From: vt + "Version", To: vt, FromCard: oms.One, ToCard: oms.One}))
+	}
+
+	// A schematic version instantiates symbols ("Symbol in Sch.V").
+	must(m.AddRel(Relationship{Name: "instantiates", From: "SchemaVersion", To: "SymbolInSchemaVersion", FromCard: oms.One, ToCard: oms.Many}))
+	must(m.AddRel(Relationship{Name: "refersTo", From: "SymbolInSchemaVersion", To: "SymbolVersion", FromCard: oms.Many, ToCard: oms.One}))
+
+	return m
+}

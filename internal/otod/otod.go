@@ -1,0 +1,263 @@
+// Package otod implements a small semantic data-modelling notation in the
+// style of OTO-D (ter Bekke, "Semantic Data Modelling", 1992), the notation
+// the paper uses for its two architecture figures. A Model is a graph of
+// entity types and named binary relationships between them, optionally
+// grouped into regions (the figures' dashed boxes such as "Flows",
+// "Activities", "Project structure", "Variants", "Design data").
+//
+// The package serves two purposes in this reproduction:
+//
+//  1. Figures 1 and 2 of the paper are encoded as Models (see jcfmodel.go
+//     and fmcadmodel.go) and can be re-rendered as entity/relationship
+//     inventories — the reproduction of those figures.
+//  2. A Model can be translated into an oms.Schema so the frameworks'
+//     information architectures are enforced at run time, and instance
+//     populations can be validated against the model.
+package otod
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/oms"
+)
+
+// Entity is one entity type (a box in the OTO-D diagram).
+type Entity struct {
+	Name   string
+	Region string // dashed grouping box; may be empty
+	Attrs  []oms.AttrDef
+}
+
+// Relationship is a named, directed edge between two entity types.
+type Relationship struct {
+	Name     string
+	From, To string
+	FromCard oms.Cardinality
+	ToCard   oms.Cardinality
+}
+
+// Model is a complete OTO-D diagram.
+type Model struct {
+	Title    string
+	entities map[string]*Entity
+	rels     []Relationship
+}
+
+// NewModel returns an empty model with the given title.
+func NewModel(title string) *Model {
+	return &Model{Title: title, entities: map[string]*Entity{}}
+}
+
+// AddEntity registers an entity type. Duplicate names are an error.
+func (m *Model) AddEntity(e Entity) error {
+	if e.Name == "" {
+		return fmt.Errorf("otod: empty entity name")
+	}
+	if _, dup := m.entities[e.Name]; dup {
+		return fmt.Errorf("otod: duplicate entity %q", e.Name)
+	}
+	cp := e
+	cp.Attrs = append([]oms.AttrDef(nil), e.Attrs...)
+	m.entities[e.Name] = &cp
+	return nil
+}
+
+// AddRel registers a relationship; both endpoints must already exist.
+func (m *Model) AddRel(r Relationship) error {
+	if r.Name == "" {
+		return fmt.Errorf("otod: empty relationship name")
+	}
+	if _, ok := m.entities[r.From]; !ok {
+		return fmt.Errorf("otod: relationship %q: unknown entity %q", r.Name, r.From)
+	}
+	if _, ok := m.entities[r.To]; !ok {
+		return fmt.Errorf("otod: relationship %q: unknown entity %q", r.Name, r.To)
+	}
+	for _, have := range m.rels {
+		if have.Name == r.Name && have.From == r.From && have.To == r.To {
+			return fmt.Errorf("otod: duplicate relationship %q %s->%s", r.Name, r.From, r.To)
+		}
+	}
+	m.rels = append(m.rels, r)
+	return nil
+}
+
+// Entity returns the named entity, or nil.
+func (m *Model) Entity(name string) *Entity { return m.entities[name] }
+
+// Entities returns all entities sorted by name.
+func (m *Model) Entities() []Entity {
+	names := make([]string, 0, len(m.entities))
+	for n := range m.entities {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Entity, 0, len(names))
+	for _, n := range names {
+		out = append(out, *m.entities[n])
+	}
+	return out
+}
+
+// Relationships returns all relationships sorted by (name, from, to).
+func (m *Model) Relationships() []Relationship {
+	out := append([]Relationship(nil), m.rels...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Regions returns the distinct region names, sorted, omitting "".
+func (m *Model) Regions() []string {
+	set := map[string]bool{}
+	for _, e := range m.entities {
+		if e.Region != "" {
+			set[e.Region] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EntityCount and RelCount size the model (used when reproducing the
+// figures as inventories).
+func (m *Model) EntityCount() int { return len(m.entities) }
+
+// RelCount returns the number of relationships in the model.
+func (m *Model) RelCount() int { return len(m.rels) }
+
+// Schema translates the model into an oms.Schema so instances can be stored
+// and validated. Relationship names are qualified as "name:From->To" when a
+// bare name would collide (OTO-D reuses edge labels like "precedes").
+func (m *Model) Schema() (*oms.Schema, error) {
+	s := oms.NewSchema()
+	for _, e := range m.Entities() {
+		if err := s.AddClass(e.Name, e.Attrs...); err != nil {
+			return nil, err
+		}
+	}
+	used := map[string]bool{}
+	for _, r := range m.Relationships() {
+		name := r.Name
+		if used[name] {
+			name = fmt.Sprintf("%s:%s->%s", r.Name, r.From, r.To)
+		}
+		used[name] = true
+		if err := s.AddRel(oms.RelDef{Name: name, From: r.From, To: r.To, FromCard: r.FromCard, ToCard: r.ToCard}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SchemaRelName returns the oms.Schema relationship name used for r by
+// Schema: the bare name if unambiguous, the qualified form otherwise.
+func (m *Model) SchemaRelName(r Relationship) string {
+	count := 0
+	firstIsR := false
+	for _, have := range m.Relationships() {
+		if have.Name == r.Name {
+			if count == 0 {
+				firstIsR = have.From == r.From && have.To == r.To
+			}
+			count++
+		}
+	}
+	if count <= 1 || firstIsR {
+		return r.Name
+	}
+	return fmt.Sprintf("%s:%s->%s", r.Name, r.From, r.To)
+}
+
+// Render prints the model as a text inventory: the reproduction of the
+// paper's figures. Entities are grouped by region.
+func (m *Model) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", m.Title)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("=", len(m.Title)))
+	fmt.Fprintf(&b, "entities: %d, relationships: %d\n\n", m.EntityCount(), m.RelCount())
+
+	regions := m.Regions()
+	regions = append(regions, "") // ungrouped last
+	for _, reg := range regions {
+		var names []string
+		for _, e := range m.Entities() {
+			if e.Region == reg {
+				names = append(names, e.Name)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		label := reg
+		if label == "" {
+			label = "(ungrouped)"
+		}
+		fmt.Fprintf(&b, "[%s]\n", label)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %s\n", n)
+		}
+	}
+	b.WriteString("\nrelationships:\n")
+	for _, r := range m.Relationships() {
+		fmt.Fprintf(&b, "  %-28s %s (%s) -> %s (%s)\n", r.Name, r.From, r.FromCard, r.To, r.ToCard)
+	}
+	return b.String()
+}
+
+// DOT renders the model in Graphviz dot syntax, clustering by region, so
+// the figures can be drawn.
+func (m *Model) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", m.Title)
+	regions := m.Regions()
+	for i, reg := range regions {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n    style=dashed;\n", i, reg)
+		for _, e := range m.Entities() {
+			if e.Region == reg {
+				fmt.Fprintf(&b, "    %q;\n", e.Name)
+			}
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range m.Entities() {
+		if e.Region == "" {
+			fmt.Fprintf(&b, "  %q;\n", e.Name)
+		}
+	}
+	for _, r := range m.Relationships() {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", r.From, r.To, r.Name)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Validate checks an instance population in store against the model: every
+// object's class must be a model entity and every link must correspond to a
+// model relationship. (Cardinalities are enforced by oms at link time.)
+func (m *Model) Validate(store *oms.Store) []string {
+	var problems []string
+	for _, oid := range store.All("") {
+		cls, err := store.ClassOf(oid)
+		if err != nil {
+			continue
+		}
+		if m.Entity(cls) == nil {
+			problems = append(problems, fmt.Sprintf("object %d has class %q not in model %q", oid, cls, m.Title))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,152 @@
+package dsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tools/schematic"
+)
+
+// Resolver loads the schematic of an instantiated cellview during
+// flattening. The hybrid framework backs this with FMCAD library reads (or
+// JCF copy-outs); tests back it with in-memory maps.
+type Resolver func(cell, view string) (*schematic.Schematic, error)
+
+// gate is a flattened primitive gate operating on net indices.
+type gate struct {
+	name string
+	typ  schematic.GateType
+	out  int
+	ins  []int
+	// lastClk tracks the previous clock value for DFF edge detection.
+	lastClk Logic
+}
+
+// Circuit is a flattened gate-level netlist ready for simulation.
+type Circuit struct {
+	netIdx   map[string]int
+	netNames []string
+	gates    []gate
+	// fanout[i] lists gates whose inputs include net i.
+	fanout [][]int
+}
+
+// NumNets returns the flattened net count.
+func (c *Circuit) NumNets() int { return len(c.netNames) }
+
+// NumGates returns the flattened gate count.
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// Nets returns all flattened net names, sorted.
+func (c *Circuit) Nets() []string {
+	out := append([]string(nil), c.netNames...)
+	sort.Strings(out)
+	return out
+}
+
+// HasNet reports whether a flattened net exists.
+func (c *Circuit) HasNet(name string) bool {
+	_, ok := c.netIdx[name]
+	return ok
+}
+
+// MaxFlattenDepth bounds hierarchy recursion as a cycle guard.
+const MaxFlattenDepth = 64
+
+// Flatten expands top hierarchically into a flat circuit. Hierarchical
+// nets are named instPath/net; nets wired to parent nets through instance
+// connections collapse onto the parent net. Unconnected child ports keep
+// their hierarchical name (and float at X unless driven inside).
+func Flatten(top *schematic.Schematic, resolve Resolver) (*Circuit, error) {
+	c := &Circuit{netIdx: map[string]int{}}
+	if err := c.addCell(top, "", resolve, 0); err != nil {
+		return nil, err
+	}
+	c.fanout = make([][]int, len(c.netNames))
+	for gi := range c.gates {
+		for _, in := range c.gates[gi].ins {
+			c.fanout[in] = append(c.fanout[in], gi)
+		}
+	}
+	return c, nil
+}
+
+func (c *Circuit) netID(name string) int {
+	if id, ok := c.netIdx[name]; ok {
+		return id
+	}
+	id := len(c.netNames)
+	c.netIdx[name] = id
+	c.netNames = append(c.netNames, name)
+	return id
+}
+
+// addCell flattens one schematic under the given instance prefix ("" for
+// the top). boundary maps child port names to parent net names.
+func (c *Circuit) addCell(s *schematic.Schematic, prefix string, resolve Resolver, depth int) error {
+	return c.addCellBound(s, prefix, map[string]string{}, resolve, depth)
+}
+
+func (c *Circuit) addCellBound(s *schematic.Schematic, prefix string, boundary map[string]string, resolve Resolver, depth int) error {
+	if depth > MaxFlattenDepth {
+		return fmt.Errorf("dsim: hierarchy deeper than %d (cycle?) at %q", MaxFlattenDepth, prefix)
+	}
+	local := func(net string) string {
+		if bound, ok := boundary[net]; ok {
+			return bound
+		}
+		if prefix == "" {
+			return net
+		}
+		return prefix + "/" + net
+	}
+	for _, g := range s.Gates() {
+		fg := gate{
+			name:    joinName(prefix, g.Name),
+			typ:     g.Type,
+			out:     c.netID(local(g.Out)),
+			lastClk: LX,
+		}
+		for _, in := range g.Ins {
+			fg.ins = append(fg.ins, c.netID(local(in)))
+		}
+		c.gates = append(c.gates, fg)
+	}
+	// Make sure declared nets exist even when no gate touches them.
+	for _, n := range s.Nets() {
+		c.netID(local(n))
+	}
+	for _, inst := range s.Instances() {
+		child, err := resolve(inst.Cell, inst.View)
+		if err != nil {
+			return fmt.Errorf("dsim: resolving %s/%s for instance %q: %w", inst.Cell, inst.View, inst.Name, err)
+		}
+		childBoundary := map[string]string{}
+		for port, net := range inst.Conns {
+			childBoundary[port] = local(net)
+		}
+		if err := c.addCellBound(child, joinName(prefix, inst.Name), childBoundary, resolve, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinName(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "/" + name
+}
+
+// MapResolver builds a Resolver over an in-memory cell table, ignoring the
+// view name (every cell has exactly one schematic).
+func MapResolver(cells map[string]*schematic.Schematic) Resolver {
+	return func(cell, view string) (*schematic.Schematic, error) {
+		s, ok := cells[cell]
+		if !ok {
+			return nil, fmt.Errorf("dsim: no schematic for cell %q", cell)
+		}
+		return s, nil
+	}
+}

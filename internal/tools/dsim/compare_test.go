@@ -1,0 +1,79 @@
+package dsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tools/schematic"
+)
+
+func TestCompareWavesIdentical(t *testing.T) {
+	s := schematic.New("c")
+	_ = s.AddPort("a", schematic.In)
+	_ = s.AddPort("y", schematic.Out)
+	_ = s.AddGate("g", schematic.Inv, "y", "a")
+	c, err := Flatten(s, MapResolver(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		sim := NewSimulator(c)
+		_ = sim.SetAt(0, "a", L0)
+		_ = sim.SetAt(10, "a", L1)
+		sim.Run(20)
+		return sim.DumpWaves()
+	}
+	golden := run()
+	if diffs := CompareWaves(golden, run()); len(diffs) != 0 {
+		t.Fatalf("identical runs differ: %v", diffs)
+	}
+}
+
+func TestCompareWavesDiffs(t *testing.T) {
+	golden := []byte("0 a 0\n5 y 1\n10 a 1\n")
+	// y changed value, a's change at 10 missing, extra change at 15.
+	got := []byte("0 a 0\n5 y 0\n15 b x\n")
+	diffs := CompareWaves(golden, got)
+	if len(diffs) != 3 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"at 5 y: golden 1, got 0", "missing change at 10 a", "extra change at 15 b"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diffs missing %q:\n%s", want, joined)
+		}
+	}
+	// Malformed lines are ignored rather than crashing.
+	if diffs := CompareWaves([]byte("bogus\n"), []byte("")); len(diffs) != 0 {
+		t.Fatalf("malformed line produced diffs: %v", diffs)
+	}
+}
+
+func TestGoldenWaveformRegression(t *testing.T) {
+	// The realistic use: an adder's golden waves vs a re-run after a
+	// (simulated) library change that alters behaviour.
+	s, err := schematic.GenRippleAdder("add2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Flatten(s, MapResolver(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := func(a0 Logic) []byte {
+		sim := NewSimulator(c)
+		for _, n := range []string{"a0", "a1", "b0", "b1", "cin"} {
+			_ = sim.Set(n, L0)
+		}
+		_ = sim.Set("a0", a0)
+		sim.Run(200)
+		return sim.DumpWaves()
+	}
+	golden := drive(L1)
+	if diffs := CompareWaves(golden, drive(L1)); len(diffs) != 0 {
+		t.Fatalf("regression in identical run: %v", diffs)
+	}
+	if diffs := CompareWaves(golden, drive(L0)); len(diffs) == 0 {
+		t.Fatal("behavioural change not detected")
+	}
+}

@@ -1,0 +1,486 @@
+package dsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tools/schematic"
+)
+
+// flatten builds a circuit from a single flat schematic.
+func flatten(t *testing.T, s *schematic.Schematic) *Circuit {
+	t.Helper()
+	c, err := Flatten(s, MapResolver(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// run drives inputs and returns the settled value of a net.
+func runGate(t *testing.T, typ schematic.GateType, a, b Logic) Logic {
+	t.Helper()
+	s := schematic.New("g")
+	if err := s.AddPort("a", schematic.In); err != nil {
+		t.Fatal(err)
+	}
+	nIn, err := schematic.GateInputs(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := []string{"a"}
+	if nIn == 2 {
+		if err := s.AddPort("b", schematic.In); err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, "b")
+	}
+	if err := s.AddPort("y", schematic.Out); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGate("g1", typ, "y", ins...); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(flatten(t, s))
+	if err := sim.Set("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if nIn == 2 {
+		if err := sim.Set("b", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(100)
+	v, err := sim.Value("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestGateTruthTables(t *testing.T) {
+	cases := []struct {
+		typ  schematic.GateType
+		a, b Logic
+		want Logic
+	}{
+		{schematic.Inv, L0, L0, L1},
+		{schematic.Inv, L1, L0, L0},
+		{schematic.Inv, LX, L0, LX},
+		{schematic.Inv, LZ, L0, LX},
+		{schematic.Buf, L1, L0, L1},
+		{schematic.Buf, LZ, L0, LX},
+		{schematic.And2, L1, L1, L1},
+		{schematic.And2, L1, L0, L0},
+		{schematic.And2, L0, LX, L0}, // 0 dominates X
+		{schematic.And2, L1, LX, LX},
+		{schematic.Or2, L0, L0, L0},
+		{schematic.Or2, L1, LX, L1}, // 1 dominates X
+		{schematic.Or2, L0, LX, LX},
+		{schematic.Nand2, L1, L1, L0},
+		{schematic.Nand2, L0, LX, L1},
+		{schematic.Nor2, L0, L0, L1},
+		{schematic.Nor2, L1, LX, L0},
+		{schematic.Xor2, L1, L0, L1},
+		{schematic.Xor2, L1, L1, L0},
+		{schematic.Xor2, L1, LX, LX},
+		{schematic.Xnor2, L1, L1, L1},
+		{schematic.Xnor2, L1, L0, L0},
+		{schematic.Xnor2, LZ, L0, LX},
+	}
+	for _, c := range cases {
+		if got := runGate(t, c.typ, c.a, c.b); got != c.want {
+			t.Errorf("%s(%s,%s) = %s, want %s", c.typ, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLogicStrings(t *testing.T) {
+	for v, want := range map[Logic]string{L0: "0", L1: "1", LX: "x", LZ: "z"} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %s", v, v.String())
+		}
+	}
+	if Logic(9).String() != "?" {
+		t.Error("unknown logic string")
+	}
+	for s, want := range map[string]Logic{"0": L0, "1": L1, "x": LX, "X": LX, "z": LZ, "Z": LZ} {
+		got, err := ParseLogic(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLogic(%q) = %s, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLogic("q"); err == nil {
+		t.Error("bad logic parsed")
+	}
+}
+
+func TestDffEdgeTriggered(t *testing.T) {
+	s := schematic.New("ff")
+	_ = s.AddPort("d", schematic.In)
+	_ = s.AddPort("clk", schematic.In)
+	_ = s.AddPort("q", schematic.Out)
+	if err := s.AddGate("ff1", schematic.Dff, "q", "d", "clk"); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(flatten(t, s))
+	_ = sim.Set("d", L1)
+	_ = sim.Set("clk", L0)
+	sim.Run(10)
+	if v, _ := sim.Value("q"); v != LX {
+		t.Fatalf("q before edge = %s", v)
+	}
+	// Rising edge captures d.
+	_ = sim.SetAt(20, "clk", L1)
+	sim.Run(30)
+	if v, _ := sim.Value("q"); v != L1 {
+		t.Fatalf("q after rising edge = %s", v)
+	}
+	// d changes while clk high: q holds.
+	_ = sim.SetAt(40, "d", L0)
+	sim.Run(50)
+	if v, _ := sim.Value("q"); v != L1 {
+		t.Fatalf("q after d change = %s", v)
+	}
+	// Falling edge: q holds.
+	_ = sim.SetAt(60, "clk", L0)
+	sim.Run(70)
+	if v, _ := sim.Value("q"); v != L1 {
+		t.Fatalf("q after falling edge = %s", v)
+	}
+	// Next rising edge captures new d.
+	_ = sim.SetAt(80, "clk", L1)
+	sim.Run(90)
+	if v, _ := sim.Value("q"); v != L0 {
+		t.Fatalf("q after second edge = %s", v)
+	}
+}
+
+func TestAdderComputes(t *testing.T) {
+	s, err := schematic.GenRippleAdder("add4", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := flatten(t, s)
+	// 4-bit adder: check a few sums exhaustively derived.
+	add := func(a, b, cin uint) (sum uint, cout uint) {
+		sim := NewSimulator(c)
+		for i := 0; i < 4; i++ {
+			av, bv := L0, L0
+			if a&(1<<i) != 0 {
+				av = L1
+			}
+			if b&(1<<i) != 0 {
+				bv = L1
+			}
+			if err := sim.Set(fmtNet("a", i), av); err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.Set(fmtNet("b", i), bv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cv := L0
+		if cin != 0 {
+			cv = L1
+		}
+		_ = sim.Set("cin", cv)
+		sim.Run(1000)
+		for i := 0; i < 4; i++ {
+			v, err := sim.Value(fmtNet("s", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == L1 {
+				sum |= 1 << i
+			} else if v != L0 {
+				t.Fatalf("s%d = %s", i, v)
+			}
+		}
+		v, _ := sim.Value("cout")
+		if v == L1 {
+			cout = 1
+		}
+		return sum, cout
+	}
+	for _, c := range []struct{ a, b, cin uint }{
+		{0, 0, 0}, {1, 1, 0}, {5, 3, 0}, {15, 15, 1}, {7, 8, 0}, {9, 6, 1},
+	} {
+		sum, cout := add(c.a, c.b, c.cin)
+		want := c.a + c.b + c.cin
+		if sum != want&0xF || cout != (want>>4)&1 {
+			t.Errorf("add(%d,%d,%d) = %d carry %d, want %d carry %d",
+				c.a, c.b, c.cin, sum, cout, want&0xF, (want>>4)&1)
+		}
+	}
+}
+
+func fmtNet(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+func TestHierarchicalFlatten(t *testing.T) {
+	// top instantiates two inverters in series through a sub cell.
+	sub := schematic.New("sub")
+	_ = sub.AddPort("in", schematic.In)
+	_ = sub.AddPort("out", schematic.Out)
+	if err := sub.AddGate("i1", schematic.Inv, "out", "in"); err != nil {
+		t.Fatal(err)
+	}
+	top := schematic.New("top")
+	_ = top.AddPort("a", schematic.In)
+	_ = top.AddPort("y", schematic.Out)
+	_ = top.AddNet("mid")
+	_ = top.AddInstance("u1", "sub", "schematic")
+	_ = top.AddInstance("u2", "sub", "schematic")
+	_ = top.Connect("u1", "in", "a")
+	_ = top.Connect("u1", "out", "mid")
+	_ = top.Connect("u2", "in", "mid")
+	_ = top.Connect("u2", "out", "y")
+
+	c, err := Flatten(top, MapResolver(map[string]*schematic.Schematic{"sub": sub}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 2 {
+		t.Fatalf("gates = %d", c.NumGates())
+	}
+	// Boundary nets collapsed; internal nets are hierarchical.
+	if !c.HasNet("a") || !c.HasNet("mid") || !c.HasNet("y") {
+		t.Fatalf("nets = %v", c.Nets())
+	}
+	sim := NewSimulator(c)
+	_ = sim.Set("a", L0)
+	sim.Run(10)
+	if v, _ := sim.Value("y"); v != L0 {
+		t.Fatalf("double inversion of 0 = %s", v)
+	}
+	_ = sim.SetAt(20, "a", L1)
+	sim.Run(30)
+	if v, _ := sim.Value("y"); v != L1 {
+		t.Fatalf("double inversion of 1 = %s", v)
+	}
+}
+
+func TestFlattenErrors(t *testing.T) {
+	top := schematic.New("top")
+	_ = top.AddInstance("u1", "ghost", "schematic")
+	if _, err := Flatten(top, MapResolver(nil)); err == nil {
+		t.Fatal("missing child accepted")
+	}
+	// Self-instantiating cell exceeds the depth bound.
+	loop := schematic.New("loop")
+	_ = loop.AddInstance("u1", "loop", "schematic")
+	if _, err := Flatten(loop, MapResolver(map[string]*schematic.Schematic{"loop": loop})); err == nil ||
+		!strings.Contains(err.Error(), "deeper") {
+		t.Fatal("hierarchy cycle accepted")
+	}
+}
+
+func TestSimulatorAPIErrors(t *testing.T) {
+	s := schematic.New("x")
+	_ = s.AddPort("a", schematic.In)
+	sim := NewSimulator(flatten(t, s))
+	if err := sim.Set("ghost", L1); err == nil {
+		t.Fatal("unknown net set")
+	}
+	if _, err := sim.Value("ghost"); err == nil {
+		t.Fatal("unknown net value")
+	}
+	if _, err := sim.Waveform("ghost"); err == nil {
+		t.Fatal("unknown net waveform")
+	}
+	_ = sim.Set("a", L1)
+	sim.Run(10)
+	if err := sim.SetAt(5, "a", L0); err == nil {
+		t.Fatal("past scheduling accepted")
+	}
+}
+
+func TestWaveformsAndDump(t *testing.T) {
+	s := schematic.New("w")
+	_ = s.AddPort("a", schematic.In)
+	_ = s.AddPort("y", schematic.Out)
+	_ = s.AddGate("g", schematic.Inv, "y", "a")
+	sim := NewSimulator(flatten(t, s))
+	_ = sim.SetAt(0, "a", L0)
+	_ = sim.SetAt(10, "a", L1)
+	sim.Run(20)
+	wf, err := sim.Waveform("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wf) != 2 || wf[0].Val != L1 || wf[1].Val != L0 {
+		t.Fatalf("waveform = %+v", wf)
+	}
+	if wf[1].Time != 11 {
+		t.Fatalf("inv delay: change at %d, want 11", wf[1].Time)
+	}
+	dump := string(sim.DumpWaves())
+	for _, want := range []string{"0 a 0", "1 y 1", "10 a 1", "11 y 0"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	if sim.Events() != 4 {
+		t.Fatalf("Events = %d", sim.Events())
+	}
+	if sim.Now() != 20 {
+		t.Fatalf("Now = %d", sim.Now())
+	}
+}
+
+func TestStimulusParseAndApply(t *testing.T) {
+	s := schematic.New("w")
+	_ = s.AddPort("a", schematic.In)
+	_ = s.AddPort("y", schematic.Out)
+	_ = s.AddGate("g", schematic.Inv, "y", "a")
+	stim, err := ParseStimulus([]byte(`
+# toggle a
+at 0 set a 0
+at 10 set a 1
+run 20
+at 30 set a x
+run 40
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(flatten(t, s))
+	n, err := stim.Apply(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 {
+		t.Fatalf("changes = %d", n)
+	}
+	if v, _ := sim.Value("y"); v != LX {
+		t.Fatalf("final y = %s", v)
+	}
+}
+
+func TestStimulusParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"at x set a 1\n",
+		"at 0 put a 1\n",
+		"at 0 set a q\n",
+		"at 0 set a\n",
+		"run\n",
+		"run x\n",
+		"bogus\n",
+	} {
+		if _, err := ParseStimulus([]byte(src)); err == nil {
+			t.Errorf("ParseStimulus(%q) succeeded", src)
+		}
+	}
+}
+
+func TestGenClockStimulus(t *testing.T) {
+	stim := GenClockStimulus("clk", 10, 40, map[string]Logic{"d": L1})
+	parsed, err := ParseStimulus(stim)
+	if err != nil {
+		t.Fatalf("generated stimulus invalid: %v\n%s", err, stim)
+	}
+	// Drive a DFF with it.
+	s := schematic.New("ff")
+	_ = s.AddPort("d", schematic.In)
+	_ = s.AddPort("clk", schematic.In)
+	_ = s.AddPort("q", schematic.Out)
+	_ = s.AddGate("ff1", schematic.Dff, "q", "d", "clk")
+	sim := NewSimulator(flatten(t, s))
+	if _, err := parsed.Apply(sim); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := sim.Value("q"); v != L1 {
+		t.Fatalf("q = %s", v)
+	}
+}
+
+func TestHierarchyGeneratorSimulates(t *testing.T) {
+	cells, err := schematic.GenHierarchy("top", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Flatten(cells["top"], MapResolver(cells))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 leaves x 2 gates.
+	if c.NumGates() != 8 {
+		t.Fatalf("gates = %d", c.NumGates())
+	}
+	sim := NewSimulator(c)
+	_ = sim.Set("clk", L0)
+	sim.Run(5)
+	_ = sim.SetAt(10, "clk", L1)
+	sim.Run(20)
+	// Leaves sampled their (floating-X) d inputs; no crash, X propagates.
+	if v, err := sim.Value("u0/u0/q"); err != nil || v != LX {
+		t.Fatalf("leaf q = %s, %v", v, err)
+	}
+}
+
+// Property: a chain of 2k inverters is the identity for driven inputs.
+func TestPropertyInverterChain(t *testing.T) {
+	f := func(k uint8, bit bool) bool {
+		n := (int(k%5) + 1) * 2
+		s := schematic.New("chain")
+		if err := s.AddPort("in", schematic.In); err != nil {
+			return false
+		}
+		prev := "in"
+		for i := 0; i < n; i++ {
+			net := "n" + string(rune('a'+i))
+			if err := s.AddNet(net); err != nil {
+				return false
+			}
+			if err := s.AddGate("g"+string(rune('a'+i)), schematic.Inv, net, prev); err != nil {
+				return false
+			}
+			prev = net
+		}
+		c, err := Flatten(s, MapResolver(nil))
+		if err != nil {
+			return false
+		}
+		sim := NewSimulator(c)
+		v := L0
+		if bit {
+			v = L1
+		}
+		if err := sim.Set("in", v); err != nil {
+			return false
+		}
+		sim.Run(uint64(10 * n))
+		got, err := sim.Value(prev)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: simulation is deterministic — same stimulus, same dump.
+func TestPropertyDeterministic(t *testing.T) {
+	s, err := schematic.GenRandomLogic("r", 4, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Flatten(s, MapResolver(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() string {
+		sim := NewSimulator(c)
+		for i := 0; i < 4; i++ {
+			_ = sim.Set("i"+string(rune('0'+i)), L1)
+		}
+		sim.Run(1000)
+		return string(sim.DumpWaves())
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Fatal("simulation not deterministic")
+	}
+}

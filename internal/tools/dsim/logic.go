@@ -1,0 +1,96 @@
+// Package dsim implements the FMCAD digital simulator: a four-valued
+// (0/1/X/Z), event-driven, gate-level logic simulator — the third tool the
+// paper encapsulates into the hybrid framework (section 2.4). It consumes
+// schematics from the schematic entry tool, flattens their hierarchy, and
+// runs stimulus files to produce waveforms.
+package dsim
+
+import "fmt"
+
+// Logic is a four-valued signal level.
+type Logic uint8
+
+// The four signal levels.
+const (
+	L0 Logic = iota // strong 0
+	L1              // strong 1
+	LX              // unknown
+	LZ              // high impedance
+)
+
+// String returns "0", "1", "x" or "z".
+func (v Logic) String() string {
+	switch v {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	case LX:
+		return "x"
+	case LZ:
+		return "z"
+	}
+	return "?"
+}
+
+// ParseLogic reads one signal level character.
+func ParseLogic(s string) (Logic, error) {
+	switch s {
+	case "0":
+		return L0, nil
+	case "1":
+		return L1, nil
+	case "x", "X":
+		return LX, nil
+	case "z", "Z":
+		return LZ, nil
+	}
+	return LX, fmt.Errorf("dsim: bad logic value %q", s)
+}
+
+// in01 reports whether v is a driven binary value; X and Z are not.
+func in01(v Logic) bool { return v == L0 || v == L1 }
+
+// evalNot returns the inverse with X propagation (Z inputs read as X).
+func evalNot(a Logic) Logic {
+	switch a {
+	case L0:
+		return L1
+	case L1:
+		return L0
+	}
+	return LX
+}
+
+// evalAnd implements 4-valued AND: 0 dominates, otherwise X wins over 1.
+func evalAnd(a, b Logic) Logic {
+	if a == L0 || b == L0 {
+		return L0
+	}
+	if a == L1 && b == L1 {
+		return L1
+	}
+	return LX
+}
+
+// evalOr implements 4-valued OR: 1 dominates.
+func evalOr(a, b Logic) Logic {
+	if a == L1 || b == L1 {
+		return L1
+	}
+	if a == L0 && b == L0 {
+		return L0
+	}
+	return LX
+}
+
+// evalXor implements 4-valued XOR: any undriven input poisons the output.
+func evalXor(a, b Logic) Logic {
+	if !in01(a) || !in01(b) {
+		return LX
+	}
+	if a != b {
+		return L1
+	}
+	return L0
+}

@@ -1,0 +1,369 @@
+package dsim
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/tools/schematic"
+)
+
+// GateDelay is the uniform propagation delay of every gate, in simulator
+// time units.
+const GateDelay = 1
+
+// Change is one recorded value change on a net.
+type Change struct {
+	Time uint64
+	Val  Logic
+}
+
+// event is a scheduled net assignment.
+type event struct {
+	time uint64
+	seq  int // tie-breaker keeping event order deterministic
+	net  int
+	val  Logic
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator runs one flattened circuit. Not safe for concurrent use (one
+// simulator per goroutine, like the original single-user tool).
+type Simulator struct {
+	c      *Circuit
+	values []Logic
+	queue  eventHeap
+	seq    int
+	now    uint64
+	waves  map[int][]Change
+	// eventCount is the number of processed net changes.
+	eventCount int64
+}
+
+// NewSimulator initializes all nets to X.
+func NewSimulator(c *Circuit) *Simulator {
+	values := make([]Logic, c.NumNets())
+	for i := range values {
+		values[i] = LX
+	}
+	return &Simulator{c: c, values: values, waves: map[int][]Change{}}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() uint64 { return s.now }
+
+// Events returns the number of processed value changes.
+func (s *Simulator) Events() int64 { return s.eventCount }
+
+// Value returns the current value of a net.
+func (s *Simulator) Value(net string) (Logic, error) {
+	id, ok := s.c.netIdx[net]
+	if !ok {
+		return LX, fmt.Errorf("dsim: unknown net %q", net)
+	}
+	return s.values[id], nil
+}
+
+// Set schedules a stimulus assignment at the current time.
+func (s *Simulator) Set(net string, v Logic) error {
+	return s.SetAt(s.now, net, v)
+}
+
+// SetAt schedules a stimulus assignment at an absolute time >= now.
+func (s *Simulator) SetAt(t uint64, net string, v Logic) error {
+	id, ok := s.c.netIdx[net]
+	if !ok {
+		return fmt.Errorf("dsim: unknown net %q", net)
+	}
+	if t < s.now {
+		return fmt.Errorf("dsim: cannot schedule at %d, now is %d", t, s.now)
+	}
+	s.schedule(t, id, v)
+	return nil
+}
+
+func (s *Simulator) schedule(t uint64, net int, v Logic) {
+	s.seq++
+	heap.Push(&s.queue, event{time: t, seq: s.seq, net: net, val: v})
+}
+
+// Run processes events until the queue is empty or simulation time would
+// exceed `until`. It returns the number of value changes processed in this
+// call.
+func (s *Simulator) Run(until uint64) int64 {
+	var processed int64
+	for s.queue.Len() > 0 {
+		next := s.queue[0]
+		if next.time > until {
+			break
+		}
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.time
+		if s.values[e.net] == e.val {
+			continue // no change, no propagation
+		}
+		s.values[e.net] = e.val
+		s.eventCount++
+		processed++
+		s.waves[e.net] = append(s.waves[e.net], Change{Time: e.time, Val: e.val})
+		for _, gi := range s.c.fanout[e.net] {
+			s.evalGate(gi)
+		}
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return processed
+}
+
+// evalGate computes a gate's output and schedules the change after
+// GateDelay. The DFF is edge-triggered: it samples d only on a 0→1 clock
+// transition.
+func (s *Simulator) evalGate(gi int) {
+	g := &s.c.gates[gi]
+	in := func(i int) Logic { return s.values[g.ins[i]] }
+	var out Logic
+	switch g.typ {
+	case schematic.Inv:
+		out = evalNot(in(0))
+	case schematic.Buf:
+		v := in(0)
+		if !in01(v) {
+			v = LX
+		}
+		out = v
+	case schematic.And2:
+		out = evalAnd(in(0), in(1))
+	case schematic.Or2:
+		out = evalOr(in(0), in(1))
+	case schematic.Nand2:
+		out = evalNot(evalAnd(in(0), in(1)))
+	case schematic.Nor2:
+		out = evalNot(evalOr(in(0), in(1)))
+	case schematic.Xor2:
+		out = evalXor(in(0), in(1))
+	case schematic.Xnor2:
+		out = evalNot(evalXor(in(0), in(1)))
+	case schematic.Dff:
+		clk := in(1)
+		rising := g.lastClk == L0 && clk == L1
+		g.lastClk = clk
+		if !rising {
+			return
+		}
+		out = in(0)
+		if !in01(out) {
+			out = LX
+		}
+	default:
+		out = LX
+	}
+	s.schedule(s.now+GateDelay, g.out, out)
+}
+
+// Waveform returns the recorded changes of a net.
+func (s *Simulator) Waveform(net string) ([]Change, error) {
+	id, ok := s.c.netIdx[net]
+	if !ok {
+		return nil, fmt.Errorf("dsim: unknown net %q", net)
+	}
+	return append([]Change(nil), s.waves[id]...), nil
+}
+
+// DumpWaves renders all recorded changes as deterministic text, one
+// "time net value" line per change, ordered by time then net name — the
+// tool's waveform output file.
+func (s *Simulator) DumpWaves() []byte {
+	type row struct {
+		t   uint64
+		net string
+		val Logic
+	}
+	var rows []row
+	for id, changes := range s.waves {
+		for _, ch := range changes {
+			rows = append(rows, row{t: ch.Time, net: s.c.netNames[id], val: ch.Val})
+		}
+	}
+	// Stable sort: a net can change twice at one timestamp (e.g. two
+	// stimulus assignments); per-net chronological order must survive.
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].t != rows[j].t {
+			return rows[i].t < rows[j].t
+		}
+		return rows[i].net < rows[j].net
+	})
+	var b bytes.Buffer
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d %s %s\n", r.t, r.net, r.val)
+	}
+	return b.Bytes()
+}
+
+// CompareWaves diffs two waveform dumps produced by DumpWaves, returning
+// a description of each difference (missing, extra or changed lines).
+// Empty result means identical waveforms — the golden-waveform regression
+// check design teams run after tool or library changes.
+func CompareWaves(golden, got []byte) []string {
+	parse := func(data []byte) map[string]string {
+		out := map[string]string{}
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		for sc.Scan() {
+			f := strings.Fields(sc.Text())
+			if len(f) != 3 {
+				continue
+			}
+			out[f[0]+" "+f[1]] = f[2] // "time net" -> value
+		}
+		return out
+	}
+	g, h := parse(golden), parse(got)
+	var diffs []string
+	for key, want := range g {
+		if have, ok := h[key]; !ok {
+			diffs = append(diffs, fmt.Sprintf("missing change at %s (golden %s)", key, want))
+		} else if have != want {
+			diffs = append(diffs, fmt.Sprintf("at %s: golden %s, got %s", key, want, have))
+		}
+	}
+	for key, have := range h {
+		if _, ok := g[key]; !ok {
+			diffs = append(diffs, fmt.Sprintf("extra change at %s (got %s)", key, have))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}
+
+// --- stimulus files -----------------------------------------------------
+
+// Stimulus is a parsed stimulus program.
+type Stimulus struct {
+	ops []stimOp
+}
+
+type stimOp struct {
+	// kind is "set" or "run".
+	kind string
+	time uint64 // for set: absolute time; for run: run-until time
+	net  string
+	val  Logic
+}
+
+// ParseStimulus reads the stimulus format:
+//
+//	at <time> set <net> <0|1|x|z>
+//	run <until>
+//
+// Lines may be blank or start with # for comments.
+func ParseStimulus(data []byte) (*Stimulus, error) {
+	st := &Stimulus{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "at":
+			if len(f) != 5 || f[2] != "set" {
+				return nil, fmt.Errorf("dsim: stimulus line %d: want 'at <t> set <net> <v>'", lineNo)
+			}
+			t, err := strconv.ParseUint(f[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dsim: stimulus line %d: %w", lineNo, err)
+			}
+			v, err := ParseLogic(f[4])
+			if err != nil {
+				return nil, fmt.Errorf("dsim: stimulus line %d: %w", lineNo, err)
+			}
+			st.ops = append(st.ops, stimOp{kind: "set", time: t, net: f[3], val: v})
+		case "run":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("dsim: stimulus line %d: want 'run <until>'", lineNo)
+			}
+			t, err := strconv.ParseUint(f[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dsim: stimulus line %d: %w", lineNo, err)
+			}
+			st.ops = append(st.ops, stimOp{kind: "run", time: t})
+		default:
+			return nil, fmt.Errorf("dsim: stimulus line %d: unknown keyword %q", lineNo, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Apply runs the stimulus program on a simulator, returning the total
+// number of value changes processed.
+func (st *Stimulus) Apply(sim *Simulator) (int64, error) {
+	var total int64
+	for _, op := range st.ops {
+		switch op.kind {
+		case "set":
+			if err := sim.SetAt(op.time, op.net, op.val); err != nil {
+				return total, err
+			}
+		case "run":
+			total += sim.Run(op.time)
+		}
+	}
+	return total, nil
+}
+
+// GenClockStimulus builds a stimulus that toggles clk with the given
+// period up to tmax and drives the listed data nets to fixed values at
+// time 0.
+func GenClockStimulus(clkNet string, period, tmax uint64, fixed map[string]Logic) []byte {
+	var b bytes.Buffer
+	nets := make([]string, 0, len(fixed))
+	for n := range fixed {
+		nets = append(nets, n)
+	}
+	sort.Strings(nets)
+	for _, n := range nets {
+		fmt.Fprintf(&b, "at 0 set %s %s\n", n, fixed[n])
+	}
+	v := "0"
+	for t := uint64(0); t <= tmax; t += period / 2 {
+		fmt.Fprintf(&b, "at %d set %s %s\n", t, clkNet, v)
+		if v == "0" {
+			v = "1"
+		} else {
+			v = "0"
+		}
+		if period == 0 {
+			break
+		}
+	}
+	fmt.Fprintf(&b, "run %d\n", tmax+period)
+	return b.Bytes()
+}

@@ -1,0 +1,104 @@
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/tools/schematic"
+)
+
+// FromSchematic synthesizes a standard-cell-style layout from a schematic:
+// every gate becomes a cell site on a row grid (poly + diffusion rects),
+// every net gets one metal1 routing stub tagged with the net name (which
+// makes cross-probing work), and hierarchical instances are re-emitted as
+// placed layout instances. The output size is proportional to the
+// schematic size, which the section 3.6 experiments rely on.
+//
+// The generator is deliberately simple — the paper's evaluation does not
+// depend on layout quality, only on realistic, size-proportional design
+// files flowing through the frameworks.
+func FromSchematic(s *schematic.Schematic, rowSites int) (*Layout, error) {
+	if rowSites < 1 {
+		rowSites = 16
+	}
+	const (
+		siteW  = 10
+		siteH  = 12
+		rowGap = 4
+	)
+	l := New(s.Cell)
+	gates := s.Gates()
+	for i, g := range gates {
+		col := i % rowSites
+		row := i / rowSites
+		x := col * siteW
+		y := row * (siteH + rowGap)
+		// Diffusion and poly for the transistor pair.
+		if err := l.AddRect("diff", x+1, y+1, x+siteW-1, y+5, ""); err != nil {
+			return nil, err
+		}
+		if err := l.AddRect("poly", x+3, y, x+5, y+siteH, ""); err != nil {
+			return nil, err
+		}
+		// Output stub on metal1 tagged with the output net.
+		if err := l.AddRect("metal1", x+6, y+2, x+9, y+10, g.Out); err != nil {
+			return nil, err
+		}
+		if err := l.AddLabel("text", x+1, y+siteH, g.Name); err != nil {
+			return nil, err
+		}
+	}
+	// One metal2 routing track per net (beyond the per-gate stubs).
+	nets := s.Nets()
+	_, _, _, y2, ok := l.BBox()
+	if !ok {
+		y2 = 0
+	}
+	for i, net := range nets {
+		y := y2 + rowGap + i*3
+		if err := l.AddRect("metal2", 0, y, rowSites*siteW, y+2, net); err != nil {
+			return nil, err
+		}
+	}
+	// Hierarchical instances carried over with grid placement.
+	for i, in := range s.Instances() {
+		x := (i % rowSites) * siteW * 4
+		y := -((i / rowSites) + 1) * (siteH * 4)
+		if err := l.AddInstance(in.Name, in.Cell, "layout", x, y); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// GenPadRing builds a pad ring layout with n pads per side — layout-only
+// structure with no schematic counterpart, the canonical source of
+// non-isomorphic hierarchies (section 2.3).
+func GenPadRing(cell string, padsPerSide int) (*Layout, error) {
+	if padsPerSide < 1 {
+		return nil, fmt.Errorf("layout: pad ring needs at least 1 pad per side")
+	}
+	const (
+		padW  = 60
+		padH  = 80
+		pitch = 90
+	)
+	l := New(cell)
+	side := (padsPerSide + 1) * pitch
+	for i := 0; i < padsPerSide; i++ {
+		off := pitch + i*pitch
+		// south, north, west, east
+		if err := l.AddRect("pad", off, 0, off+padW, padH, fmt.Sprintf("pad_s%d", i)); err != nil {
+			return nil, err
+		}
+		if err := l.AddRect("pad", off, side-padH, off+padW, side, fmt.Sprintf("pad_n%d", i)); err != nil {
+			return nil, err
+		}
+		if err := l.AddRect("pad", 0, off, padH, off+padW, fmt.Sprintf("pad_w%d", i)); err != nil {
+			return nil, err
+		}
+		if err := l.AddRect("pad", side-padH, off, side, off+padW, fmt.Sprintf("pad_e%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,63 @@
+package schematic
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCopyFrom(t *testing.T) {
+	src, err := GenRippleAdder("add2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.AddInstance("u1", "sub", "schematic"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Connect("u1", "p", "cin"); err != nil {
+		t.Fatal(err)
+	}
+	dst := New("other")
+	if err := dst.AddPort("x", In); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.CopyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	// Content fully replaced, byte-identical format.
+	if !bytes.Equal(dst.Format(), src.Format()) {
+		t.Fatalf("CopyFrom not exact:\n%s\nvs\n%s", dst.Format(), src.Format())
+	}
+	if dst.Cell != "add2" {
+		t.Fatalf("cell = %q", dst.Cell)
+	}
+	// The old content is gone.
+	if dst.HasNet("x") {
+		t.Fatal("old net survived CopyFrom")
+	}
+	// Deep copy: mutating the source does not affect the copy.
+	if err := src.AddNet("postcopy"); err != nil {
+		t.Fatal(err)
+	}
+	if dst.HasNet("postcopy") {
+		t.Fatal("CopyFrom aliases source")
+	}
+	// Nets accessor matches the declaration order.
+	nets := dst.Nets()
+	if len(nets) == 0 || nets[0] != "cin" {
+		t.Fatalf("Nets = %v", nets)
+	}
+}
+
+func TestCopyFromEmpty(t *testing.T) {
+	dst := New("d")
+	if err := dst.AddGate("g", Inv, "y", "a"); err == nil {
+		t.Fatal("gate on undeclared nets accepted") // sanity
+	}
+	if err := dst.CopyFrom(New("empty")); err != nil {
+		t.Fatal(err)
+	}
+	p, n, g, i := dst.Stats()
+	if p+n+g+i != 0 {
+		t.Fatalf("Stats = %d,%d,%d,%d", p, n, g, i)
+	}
+}

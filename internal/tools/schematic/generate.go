@@ -1,0 +1,192 @@
+package schematic
+
+import "fmt"
+
+// Synthetic design generators. The paper's performance discussion
+// (section 3.6) hinges on design size — "while the time delay for small
+// designs is acceptable, more complex and realistic designs may cause
+// problems" — so the benchmark harness needs parametric workloads whose
+// file sizes grow with a size knob.
+
+// GenRippleAdder builds an n-bit ripple-carry adder out of the primitive
+// gate library: full adders from xor2/and2/or2. Ports: a<i>, b<i>, cin,
+// s<i>, cout.
+func GenRippleAdder(cell string, bits int) (*Schematic, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("schematic: adder needs at least 1 bit")
+	}
+	s := New(cell)
+	must := func(err error) error { return err }
+	if err := must(s.AddPort("cin", In)); err != nil {
+		return nil, err
+	}
+	for i := 0; i < bits; i++ {
+		if err := s.AddPort(fmt.Sprintf("a%d", i), In); err != nil {
+			return nil, err
+		}
+		if err := s.AddPort(fmt.Sprintf("b%d", i), In); err != nil {
+			return nil, err
+		}
+		if err := s.AddPort(fmt.Sprintf("s%d", i), Out); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.AddPort("cout", Out); err != nil {
+		return nil, err
+	}
+	carry := "cin"
+	for i := 0; i < bits; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		axb := fmt.Sprintf("axb%d", i)
+		ab := fmt.Sprintf("ab%d", i)
+		ac := fmt.Sprintf("ac%d", i)
+		var cnext string
+		if i == bits-1 {
+			cnext = "cout"
+		} else {
+			cnext = fmt.Sprintf("c%d", i)
+			if err := s.AddNet(cnext); err != nil {
+				return nil, err
+			}
+		}
+		for _, n := range []string{axb, ab, ac} {
+			if err := s.AddNet(n); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.AddGate(fmt.Sprintf("x1_%d", i), Xor2, axb, a, b); err != nil {
+			return nil, err
+		}
+		if err := s.AddGate(fmt.Sprintf("x2_%d", i), Xor2, fmt.Sprintf("s%d", i), axb, carry); err != nil {
+			return nil, err
+		}
+		if err := s.AddGate(fmt.Sprintf("a1_%d", i), And2, ab, a, b); err != nil {
+			return nil, err
+		}
+		if err := s.AddGate(fmt.Sprintf("a2_%d", i), And2, ac, axb, carry); err != nil {
+			return nil, err
+		}
+		if err := s.AddGate(fmt.Sprintf("o1_%d", i), Or2, cnext, ab, ac); err != nil {
+			return nil, err
+		}
+		carry = cnext
+	}
+	return s, nil
+}
+
+// lcg is a tiny deterministic linear congruential generator so workloads
+// are reproducible without math/rand seeding ambiguity.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = lcg(uint64(*r)*6364136223846793005 + 1442695040888963407)
+	return uint64(*r)
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// GenRandomLogic builds a random combinational netlist with the given
+// number of primary inputs and gates. Gate inputs are wired to earlier
+// nets only, so the result is acyclic by construction. Deterministic in
+// seed.
+func GenRandomLogic(cell string, inputs, gates int, seed uint64) (*Schematic, error) {
+	if inputs < 1 || gates < 1 {
+		return nil, fmt.Errorf("schematic: random logic needs inputs and gates")
+	}
+	s := New(cell)
+	rng := lcg(seed ^ 0x9e3779b97f4a7c15) // golden-ratio mix keeps distinct seeds distinct
+	rng.next()
+	nets := make([]string, 0, inputs+gates)
+	for i := 0; i < inputs; i++ {
+		name := fmt.Sprintf("i%d", i)
+		if err := s.AddPort(name, In); err != nil {
+			return nil, err
+		}
+		nets = append(nets, name)
+	}
+	types := []GateType{Inv, And2, Or2, Nand2, Nor2, Xor2}
+	for g := 0; g < gates; g++ {
+		out := fmt.Sprintf("n%d", g)
+		if err := s.AddNet(out); err != nil {
+			return nil, err
+		}
+		t := types[rng.intn(len(types))]
+		nIn, err := GateInputs(t)
+		if err != nil {
+			return nil, err
+		}
+		ins := make([]string, nIn)
+		for i := range ins {
+			ins[i] = nets[rng.intn(len(nets))]
+		}
+		if err := s.AddGate(fmt.Sprintf("g%d", g), t, out, ins...); err != nil {
+			return nil, err
+		}
+		nets = append(nets, out)
+	}
+	// Expose the last net as the primary output.
+	if err := s.AddPort("out", Out); err != nil {
+		return nil, err
+	}
+	if err := s.AddGate("gout", Buf, "out", nets[len(nets)-1]); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// GenHierarchy builds a tree-shaped hierarchical design: each non-leaf
+// cell instantiates fanout children, depth levels deep. Returns the
+// schematics keyed by cell name; the root is named cell. Leaf cells hold a
+// small amount of real logic. The view of every instance is "schematic".
+func GenHierarchy(cell string, depth, fanout int) (map[string]*Schematic, error) {
+	if depth < 1 || fanout < 1 {
+		return nil, fmt.Errorf("schematic: hierarchy needs depth and fanout")
+	}
+	out := map[string]*Schematic{}
+	var build func(name string, level int) error
+	build = func(name string, level int) error {
+		s := New(name)
+		if err := s.AddPort("clk", In); err != nil {
+			return err
+		}
+		if level == depth {
+			// Leaf: a DFF and an inverter.
+			if err := s.AddPort("d", In); err != nil {
+				return err
+			}
+			if err := s.AddPort("q", Out); err != nil {
+				return err
+			}
+			if err := s.AddNet("qi"); err != nil {
+				return err
+			}
+			if err := s.AddGate("ff", Dff, "qi", "d", "clk"); err != nil {
+				return err
+			}
+			if err := s.AddGate("inv", Inv, "q", "qi"); err != nil {
+				return err
+			}
+			out[name] = s
+			return nil
+		}
+		for i := 0; i < fanout; i++ {
+			childName := fmt.Sprintf("%s_c%d", name, i)
+			inst := fmt.Sprintf("u%d", i)
+			if err := s.AddInstance(inst, childName, "schematic"); err != nil {
+				return err
+			}
+			if err := s.Connect(inst, "clk", "clk"); err != nil {
+				return err
+			}
+			if err := build(childName, level+1); err != nil {
+				return err
+			}
+		}
+		out[name] = s
+		return nil
+	}
+	if err := build(cell, 1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
