@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check build vet test race bench bench-contention clean
+
+## check is the CI gate: a fresh checkout must build, vet and pass the
+## full test suite under the race detector. This is what keeps the
+## missing-go.mod regression (and any data race in the sharded OMS
+## kernel) from ever landing again.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench regenerates every paper table/figure benchmark.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+## bench-contention runs only the section 3.1/3.6 concurrency benchmarks
+## used for the BENCH_*.json perf trajectory.
+bench-contention:
+	$(GO) test -bench 'BenchmarkE31LockContention|BenchmarkE36MetadataOps' -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -4,11 +4,13 @@
 //	BenchmarkTable1Mapping         Table 1 (object mapping round-trip)
 //	BenchmarkFigure1JCFModel       Figure 1 (JCF information architecture)
 //	BenchmarkFigure2FMCADModel     Figure 2 (FMCAD information architecture)
-//	BenchmarkE31LockContention*    section 3.1 (concurrency control)
+//	BenchmarkE31LockContention*    section 3.1 (concurrency control;
+//	                               *Parallel = goroutine-per-designer)
 //	BenchmarkE32ConsistencyCheck   section 3.2 (design management)
 //	BenchmarkE33HierarchySubmit    section 3.3 (hierarchy handling)
 //	BenchmarkE35FlowEnforcement    section 3.5 (flow management)
-//	BenchmarkE36MetadataOps        section 3.6 (metadata performance)
+//	BenchmarkE36MetadataOps*       section 3.6 (metadata performance;
+//	                               *Parallel = concurrent designers)
 //	BenchmarkE36DesignData*        section 3.6 (design-data performance)
 //
 // Run with: go test -bench=. -benchmem
@@ -17,12 +19,14 @@ package repro
 import (
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/jcf"
+	"repro/internal/oms"
 	"repro/internal/otod"
 )
 
@@ -62,10 +66,13 @@ func BenchmarkFigure2FMCADModel(b *testing.B) {
 	}
 }
 
+// benchDesigners is the team-size sweep the contention benchmarks share.
+var benchDesigners = []int{4, 16, 64}
+
 // BenchmarkE31LockContentionFMCAD runs the section 3.1 contention
 // workload against one shared FMCAD library.
 func BenchmarkE31LockContentionFMCAD(b *testing.B) {
-	for _, n := range []int{4, 16} {
+	for _, n := range benchDesigners {
 		b.Run(fmt.Sprintf("designers=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := experiments.FMCADContention(n, 4, 25); err != nil {
@@ -79,12 +86,141 @@ func BenchmarkE31LockContentionFMCAD(b *testing.B) {
 // BenchmarkE31LockContentionHybrid runs the same workload through the
 // hybrid framework's workspaces and parallel versions.
 func BenchmarkE31LockContentionHybrid(b *testing.B) {
-	for _, n := range []int{4, 16} {
+	for _, n := range benchDesigners {
 		b.Run(fmt.Sprintf("designers=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, _, err := experiments.HybridContention(n, 4, 25); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkE31LockContentionParallel runs the hybrid workload with every
+// designer as a real goroutine against the one shared OMS database — the
+// contention probe for the lock-striped kernel. The world is built once
+// per team size so the timed region is database traffic, not library and
+// file-system setup.
+func BenchmarkE31LockContentionParallel(b *testing.B) {
+	for _, n := range benchDesigners {
+		b.Run(fmt.Sprintf("designers=%d", n), func(b *testing.B) {
+			world, err := experiments.NewContentionWorld(n, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer world.Cleanup()
+			// Warm up so the version pool reaches steady state and the
+			// timed loop measures contention, not version derivation.
+			if _, _, _, err := world.RunSteps(25); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blocked, _, _, err := world.RunSteps(25)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if blocked != 0 {
+					b.Fatalf("hybrid blocked %d steps", blocked)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE31LockContentionOMS hits the OMS kernel directly with the
+// section 3.1 shape: designers share one database but work on disjoint
+// cells (that is the whole point of per-cell-version workspaces), so each
+// designer goroutine runs reservation-style traffic — attribute reads and
+// writes, relationship link/unlink, occasional name lookups — against its
+// own objects. This is the purest before/after probe for the lock-striped
+// kernel: with one global mutex every operation serializes; with striping
+// disjoint designers never contend.
+func BenchmarkE31LockContentionOMS(b *testing.B) {
+	for _, n := range benchDesigners {
+		b.Run(fmt.Sprintf("designers=%d", n), func(b *testing.B) {
+			schema := oms.NewSchema()
+			if err := schema.AddClass("User",
+				oms.AttrDef{Name: "name", Kind: oms.KindString, Required: true}); err != nil {
+				b.Fatal(err)
+			}
+			if err := schema.AddClass("CellVersion",
+				oms.AttrDef{Name: "num", Kind: oms.KindInt, Required: true},
+				oms.AttrDef{Name: "published", Kind: oms.KindBool}); err != nil {
+				b.Fatal(err)
+			}
+			if err := schema.AddRel(oms.RelDef{Name: "reserves", From: "User", To: "CellVersion",
+				FromCard: oms.Many, ToCard: oms.Many}); err != nil {
+				b.Fatal(err)
+			}
+			st := oms.NewStore(schema)
+			users := make([]oms.OID, n)
+			cvs := make([]oms.OID, n*4)
+			for d := 0; d < n; d++ {
+				u, err := st.Create("User", map[string]oms.Value{"name": oms.S(fmt.Sprintf("u%d", d))})
+				if err != nil {
+					b.Fatal(err)
+				}
+				users[d] = u
+			}
+			// One chip design's worth of accumulated metadata: thousands
+			// of versions beyond the handful each designer touches. The
+			// by-name Reserve lookup must not pay for them.
+			for i := 0; i < 5000; i++ {
+				if _, err := st.Create("CellVersion", map[string]oms.Value{"num": oms.I(int64(1000 + i))}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := range cvs {
+				cv, err := st.Create("CellVersion", map[string]oms.Value{"num": oms.I(int64(i))})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cvs[i] = cv
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for d := 0; d < n; d++ {
+					wg.Add(1)
+					go func(d int) {
+						defer wg.Done()
+						name := oms.S(fmt.Sprintf("u%d", d))
+						user := users[d]
+						for s := 0; s < 20; s++ {
+							// Each designer works their own four cell
+							// versions — the disjoint-cells regime of
+							// section 3.1.
+							cv := cvs[d*4+s%4]
+							if s%10 == 0 {
+								// Occasional desktop lookup by name (a
+								// session resolving its identity).
+								hits := st.FindByAttr("User", "name", name)
+								if len(hits) != 1 {
+									b.Errorf("user lookup: %v", hits)
+									return
+								}
+							}
+							_ = st.GetBool(cv, "published")
+							if err := st.Link("reserves", user, cv); err != nil {
+								b.Errorf("link: %v", err)
+								return
+							}
+							_ = st.Targets("reserves", user)
+							if err := st.Set(cv, "published", oms.B(s%2 == 0)); err != nil {
+								b.Errorf("set: %v", err)
+								return
+							}
+							_ = st.GetInt(cv, "num")
+							if err := st.Unlink("reserves", user, cv); err != nil {
+								b.Errorf("unlink: %v", err)
+								return
+							}
+						}
+					}(d)
+				}
+				wg.Wait()
 			}
 		})
 	}
@@ -201,6 +337,25 @@ func BenchmarkE36MetadataOps(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		world.MetadataOpOnce()
+	}
+}
+
+// BenchmarkE36MetadataOpsParallel measures the same desktop metadata
+// batch issued by 4/16/64 concurrent designers per iteration. Before the
+// kernel was lock-striped, every read serialized on one store mutex.
+func BenchmarkE36MetadataOpsParallel(b *testing.B) {
+	world, err := experiments.NewE36World(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer world.Cleanup()
+	for _, n := range benchDesigners {
+		b.Run(fmt.Sprintf("designers=%d", n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				world.MetadataOpsParallel(n, 50)
+			}
+		})
 	}
 }
 

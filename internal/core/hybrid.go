@@ -52,7 +52,9 @@ type Hybrid struct {
 
 	stage string // staging directory for OMS <-> file-system copies
 
-	mu       sync.Mutex
+	// mu guards the binding maps. The cross-probe and experiment hot paths
+	// only read them, so readers share the lock.
+	mu       sync.RWMutex
 	bindings map[oms.OID]*cellBinding // cell version -> slave binding
 	byCell   map[string]oms.OID       // fmcad cell name -> cell version
 	// overrides counts forced out-of-order activity executions that went
@@ -154,8 +156,8 @@ func (h *Hybrid) StageDir() string { return h.stage }
 // Overrides returns how many activities ran out of flow order through the
 // consistency-window escape hatch.
 func (h *Hybrid) Overrides() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.overrides
 }
 
@@ -227,8 +229,8 @@ func cellName(h *Hybrid, cell oms.OID) string { return h.JCF.CellName(cell) }
 
 // BindingFor returns the mapping state of a cell version.
 func (h *Hybrid) BindingFor(cv oms.OID) (Binding, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	b, ok := h.bindings[cv]
 	if !ok {
 		return Binding{}, fmt.Errorf("core: cell version %d has no FMCAD binding", cv)
@@ -243,8 +245,8 @@ func (h *Hybrid) BindingFor(cv oms.OID) (Binding, error) {
 // CellVersionFor resolves an FMCAD cell name back to its JCF cell version
 // — the inverse mapping, used by the cross-probe wrappers.
 func (h *Hybrid) CellVersionFor(fmcadCell string) (oms.OID, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	cv, ok := h.byCell[fmcadCell]
 	if !ok {
 		return oms.InvalidOID, fmt.Errorf("core: FMCAD cell %q has no JCF binding", fmcadCell)
@@ -254,8 +256,8 @@ func (h *Hybrid) CellVersionFor(fmcadCell string) (oms.OID, error) {
 
 // Bindings lists all bound FMCAD cell names, sorted.
 func (h *Hybrid) Bindings() []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([]string, 0, len(h.byCell))
 	for name := range h.byCell {
 		out = append(out, name)
@@ -269,12 +271,12 @@ func (h *Hybrid) Bindings() []string {
 // view types, and the inverse map must round-trip. It returns the problems
 // found (empty means consistent).
 func (h *Hybrid) VerifyMapping() []string {
-	h.mu.Lock()
+	h.mu.RLock()
 	bindings := make([]*cellBinding, 0, len(h.bindings))
 	for _, b := range h.bindings {
 		bindings = append(bindings, b)
 	}
-	h.mu.Unlock()
+	h.mu.RUnlock()
 
 	var problems []string
 	for _, b := range bindings {

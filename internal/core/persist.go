@@ -49,7 +49,7 @@ func (h *Hybrid) Save(dir string) error {
 	if err := h.JCF.Save(filepath.Join(dir, "master")); err != nil {
 		return err
 	}
-	h.mu.Lock()
+	h.mu.RLock()
 	state := persistedHybrid{Overrides: h.overrides}
 	for cv, b := range h.bindings {
 		dos := make(map[string]oms.OID, len(b.designObjects))
@@ -62,7 +62,7 @@ func (h *Hybrid) Save(dir string) error {
 			DesignObjs:  dos,
 		})
 	}
-	h.mu.Unlock()
+	h.mu.RUnlock()
 	sort.Slice(state.Bindings, func(i, j int) bool {
 		return state.Bindings[i].CellVersion < state.Bindings[j].CellVersion
 	})

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/fmcad"
@@ -77,6 +79,19 @@ func RunE31(w io.Writer) error {
 	fmt.Fprintf(w, "hybrid JCF-FMCAD: %s\n", possible(hybridPossible))
 	if fmcadPossible || !hybridPossible {
 		return fmt.Errorf("E31 shape violated: fmcad=%t hybrid=%t", fmcadPossible, hybridPossible)
+	}
+
+	header(w, "C: true multi-threaded designers against one shared OMS database")
+	fmt.Fprintf(w, "%-10s %-22s %s\n", "designers", "blocked work steps", "versions derived")
+	for _, n := range []int{2, 4, 8} {
+		blocked, derivedP, _, err := HybridContentionParallel(n, 4, 25)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10d %-22d %d\n", n, blocked, derivedP)
+		if blocked != 0 {
+			return fmt.Errorf("E31C shape violated: hybrid blocked %d steps at n=%d", blocked, n)
+		}
 	}
 	fmt.Fprintf(w, "result: matches the paper — conflicts grow with team size in FMCAD,\n")
 	fmt.Fprintf(w, "        the hybrid works conflict-free by deriving parallel cell versions\n")
@@ -251,6 +266,152 @@ func HybridContention(designers, cells, steps int) (blocked int64, derived int, 
 		}
 	}
 	return blocked, derived, totalAttempts, nil
+}
+
+// ContentionWorld is a populated hybrid shared by concurrent designer
+// goroutines — the workload of the paper's section 3.1 ("several designers
+// ... working simultaneously on one chip design") with every designer a
+// real goroutine hammering the one shared OMS database. The root benchmark
+// suite builds the world once and times RunSteps alone, so the measured
+// region is database traffic, not library/file-system setup.
+type ContentionWorld struct {
+	h         *core.Hybrid
+	team      oms.OID
+	designers int
+	states    []*contentionCell
+	// Cleanup removes all temporary state; callers must invoke it.
+	Cleanup func()
+}
+
+// contentionCell serializes version derivation per cell: deriving
+// allocates the next version number and the bound slave cell, which must
+// stay unique per cell. Reservation itself is the framework's job.
+type contentionCell struct {
+	mu       sync.Mutex
+	cell     oms.OID
+	versions []oms.OID
+}
+
+// NewContentionWorld builds a hybrid with `designers` team members and
+// `cells` design cells, ready for RunSteps.
+func NewContentionWorld(designers, cells int) (*ContentionWorld, error) {
+	h, project, team, cleanup, err := tempWorld(jcf.Release30, designers)
+	if err != nil {
+		return nil, err
+	}
+	cw := &ContentionWorld{h: h, team: team, designers: designers, Cleanup: cleanup}
+	for c := 0; c < cells; c++ {
+		cv, err := h.NewDesignCell(project, fmt.Sprintf("cell%d", c), h.DefaultFlowName(), team)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		cell, err := h.JCF.CellOf(cv)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		cw.states = append(cw.states, &contentionCell{cell: cell, versions: []oms.OID{cv}})
+	}
+	return cw, nil
+}
+
+// RunSteps drives every designer through `steps` work steps concurrently.
+// Designers reserve cell versions, run desktop metadata queries while the
+// workspace is held, and derive a fresh parallel version whenever every
+// existing one is busy — so no designer ever blocks (blocked stays 0).
+func (cw *ContentionWorld) RunSteps(steps int) (blocked, derived, totalAttempts int64, err error) {
+	var blockedN, derivedN, attemptsN atomic.Int64
+	// firstErr keeps the first failure from any designer goroutine. A
+	// mutex, not an atomic.Value: CompareAndSwap panics when two failures
+	// carry different concrete error types.
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(e error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	cells := len(cw.states)
+	for d := 0; d < cw.designers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			user := fmt.Sprintf("u%d", d)
+			rng := expRNG(0xE31C ^ uint64(d)*0x9E3779B97F4A7C15)
+			held := oms.InvalidOID
+			holdFor := 0
+			for s := 0; s < steps; s++ {
+				if held != oms.InvalidOID {
+					// Desktop metadata traffic while the workspace is held.
+					_, _ = cw.h.JCF.ReservedBy(held)
+					_ = cw.h.JCF.Published(held)
+					_, _ = cw.h.JCF.AttachedFlowName(held)
+					holdFor--
+					if holdFor <= 0 {
+						if err := cw.h.JCF.ReleaseReservation(user, held); err != nil {
+							fail(err)
+							return
+						}
+						held = oms.InvalidOID
+					}
+					continue
+				}
+				cs := cw.states[rng.intn(cells)]
+				attemptsN.Add(1)
+				cs.mu.Lock()
+				for _, cv := range cs.versions {
+					if err := cw.h.JCF.Reserve(user, cv); err == nil {
+						held = cv
+						break
+					}
+				}
+				if held == oms.InvalidOID {
+					// Every version busy: derive a new parallel version —
+					// the escape hatch FMCAD does not have.
+					cv, err := cw.h.NewCellVersion(cs.cell, cw.h.DefaultFlowName(), cw.team)
+					if err != nil {
+						cs.mu.Unlock()
+						fail(err)
+						return
+					}
+					cs.versions = append(cs.versions, cv)
+					derivedN.Add(1)
+					if err := cw.h.JCF.Reserve(user, cv); err != nil {
+						blockedN.Add(1) // cannot happen; counted defensively
+					} else {
+						held = cv
+					}
+				}
+				cs.mu.Unlock()
+				holdFor = 2 + rng.intn(3)
+			}
+			if held != oms.InvalidOID {
+				_ = cw.h.JCF.ReleaseReservation(user, held)
+			}
+		}(d)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, 0, 0, firstErr
+	}
+	return blockedN.Load(), derivedN.Load(), attemptsN.Load(), nil
+}
+
+// HybridContentionParallel is the one-shot form of the concurrent-designer
+// workload: build a world, run `steps` steps per designer, tear down.
+func HybridContentionParallel(designers, cells, steps int) (blocked int64, derived int64, totalAttempts int64, err error) {
+	cw, err := NewContentionWorld(designers, cells)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer cw.Cleanup()
+	return cw.RunSteps(steps)
 }
 
 // fmcadParallelVersions demonstrates that standalone FMCAD cannot let two

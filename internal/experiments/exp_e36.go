@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -283,6 +284,25 @@ func (w *E36World) MetadataOpOnce() {
 	_ = w.h.JCF.Published(w.cv)
 	_ = w.h.JCF.CellVersions(cell)
 	_, _ = w.h.JCF.AttachedFlowName(w.cv)
+}
+
+// MetadataOpsParallel runs opsPerDesigner metadata batches from `designers`
+// concurrent goroutines against the one shared database — the section 3.6
+// metadata workload under section 3.1 team pressure. It is the benchmark
+// probe for the lock-striped kernel: all designers read the same hot
+// objects, so the old single-mutex store serialized them completely.
+func (w *E36World) MetadataOpsParallel(designers, opsPerDesigner int) {
+	var wg sync.WaitGroup
+	for d := 0; d < designers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerDesigner; i++ {
+				w.MetadataOpOnce()
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // timeOp times reps calls of op.

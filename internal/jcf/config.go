@@ -107,14 +107,10 @@ func (fw *Framework) ConfigVersions(cfg oms.OID) []oms.OID {
 }
 
 // ConfigurationsOf returns the configurations attached to a cell version.
+// The configures backlink answers this directly — no scan over every
+// Configuration object in the store.
 func (fw *Framework) ConfigurationsOf(cv oms.OID) []oms.OID {
-	var out []oms.OID
-	for _, cfg := range fw.store.All("Configuration") {
-		if fw.store.Target(fw.rel.configures, cfg) == cv {
-			out = append(out, cfg)
-		}
-	}
-	return out
+	return fw.store.Sources(fw.rel.configures, cv)
 }
 
 // --- consistency checking ------------------------------------------------
@@ -130,58 +126,55 @@ type Inconsistency struct {
 // exist and be a cell version; every design object a variant uses must
 // exist; every configuration entry must point at a live version. It
 // returns all problems found (empty means consistent).
+// The master's sweep enumerates each relationship type straight from the
+// store's relationship index (Related) instead of walking every object of
+// the owning class and asking for its targets — on a populated design
+// database the sweep only ever visits objects that actually participate.
 func (fw *Framework) CheckConsistency() []Inconsistency {
 	var out []Inconsistency
-	for _, cv := range fw.store.All("CellVersion") {
-		for _, child := range fw.store.Targets(fw.rel.compOf, cv) {
-			if !fw.store.Exists(child) {
-				out = append(out, Inconsistency{
-					Kind:   "dangling-hierarchy",
-					Detail: fmt.Sprintf("cell version %d composed of missing %d", cv, child),
-				})
-			}
+	compOf := fw.store.Related(fw.rel.compOf)
+	for _, p := range compOf {
+		if !fw.store.Exists(p.To) {
+			out = append(out, Inconsistency{
+				Kind:   "dangling-hierarchy",
+				Detail: fmt.Sprintf("cell version %d composed of missing %d", p.From, p.To),
+			})
 		}
 	}
-	for _, v := range fw.store.All("Variant") {
-		for _, do := range fw.store.Targets(fw.rel.uses, v) {
-			if !fw.store.Exists(do) {
-				out = append(out, Inconsistency{
-					Kind:   "missing-design-object",
-					Detail: fmt.Sprintf("variant %d uses missing design object %d", v, do),
-				})
-			}
+	for _, p := range fw.store.Related(fw.rel.uses) {
+		if !fw.store.Exists(p.To) {
+			out = append(out, Inconsistency{
+				Kind:   "missing-design-object",
+				Detail: fmt.Sprintf("variant %d uses missing design object %d", p.From, p.To),
+			})
 		}
 	}
-	for _, cfgV := range fw.store.All("ConfigVersion") {
-		for _, e := range fw.store.Targets(fw.rel.hasEntry, cfgV) {
-			if !fw.store.Exists(e) {
-				out = append(out, Inconsistency{
-					Kind:   "dangling-config-entry",
-					Detail: fmt.Sprintf("config version %d binds missing version %d", cfgV, e),
-				})
-			}
+	for _, p := range fw.store.Related(fw.rel.hasEntry) {
+		if !fw.store.Exists(p.To) {
+			out = append(out, Inconsistency{
+				Kind:   "dangling-config-entry",
+				Detail: fmt.Sprintf("config version %d binds missing version %d", p.From, p.To),
+			})
 		}
 	}
 	// Hierarchy/version staleness: a published parent whose child cell has
 	// a newer published version than the one in the hierarchy.
-	for _, cv := range fw.store.All("CellVersion") {
-		for _, child := range fw.store.Targets(fw.rel.compOf, cv) {
-			cell, err := fw.CellOf(child)
-			if err != nil {
-				continue
-			}
-			versions := fw.CellVersions(cell)
-			if len(versions) == 0 {
-				continue
-			}
-			newest := versions[len(versions)-1]
-			if newest != child && fw.Published(newest) {
-				out = append(out, Inconsistency{
-					Kind: "stale-hierarchy",
-					Detail: fmt.Sprintf("cell version %d uses version %d of cell %q but version %d is published",
-						cv, fw.CellVersionNum(child), fw.CellName(cell), fw.CellVersionNum(newest)),
-				})
-			}
+	for _, p := range compOf {
+		cell, err := fw.CellOf(p.To)
+		if err != nil {
+			continue
+		}
+		versions := fw.CellVersions(cell)
+		if len(versions) == 0 {
+			continue
+		}
+		newest := versions[len(versions)-1]
+		if newest != p.To && fw.Published(newest) {
+			out = append(out, Inconsistency{
+				Kind: "stale-hierarchy",
+				Detail: fmt.Sprintf("cell version %d uses version %d of cell %q but version %d is published",
+					p.From, fw.CellVersionNum(p.To), fw.CellName(cell), fw.CellVersionNum(newest)),
+			})
 		}
 	}
 	return out

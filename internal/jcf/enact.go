@@ -22,12 +22,12 @@ func otodRel(name, from, to string) otod.Relationship {
 // enactment returns (creating lazily) the flow enactment of a cell
 // version.
 func (fw *Framework) enactment(cv oms.OID) (*flow.Enactment, error) {
-	fw.mu.Lock()
+	fw.mu.RLock()
 	if e, ok := fw.enactments[cv]; ok {
-		fw.mu.Unlock()
+		fw.mu.RUnlock()
 		return e, nil
 	}
-	fw.mu.Unlock()
+	fw.mu.RUnlock()
 
 	name, err := fw.AttachedFlowName(cv)
 	if err != nil {

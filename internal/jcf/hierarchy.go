@@ -124,8 +124,8 @@ func (fw *Framework) TypedChildren(parent oms.OID, viewType string) ([]oms.OID, 
 	if fw.release < Release40 {
 		return nil, fmt.Errorf("%w: typed hierarchies need release 4.0", ErrUnsupported)
 	}
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
 	return append([]oms.OID(nil), fw.typedHier[parent][viewType]...), nil
 }
 
@@ -179,7 +179,7 @@ func (fw *Framework) SharedCells(project oms.OID) ([]oms.OID, error) {
 	if fw.release < Release40 {
 		return nil, fmt.Errorf("%w: inter-project data sharing needs release 4.0", ErrUnsupported)
 	}
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
 	return append([]oms.OID(nil), fw.shares[project]...), nil
 }

@@ -93,9 +93,22 @@ type Framework struct {
 	model   *otod.Model
 	store   *oms.Store
 
-	mu sync.Mutex
-	// flows registered as resources, by name.
+	// numMu serializes count-then-create version/variant numbering
+	// (CreateCellVersion, CreateVariant, CheckInData) so concurrent
+	// designers on the same cell never allocate duplicate numbers.
+	numMu sync.Mutex
+
+	// mu guards the framework-level maps below. Reads vastly outnumber
+	// writes on the designers' hot path (reservation checks, flow lookups),
+	// so readers share the lock; the OMS store underneath does its own
+	// finer-grained striping.
+	mu sync.RWMutex
+	// flows registered as resources, by name. Entries appear only once a
+	// flow is fully materialized; in-flight registrations live in
+	// flowsPending so readers never observe a half-registered flow.
 	flows map[string]*flow.Flow
+	// flowsPending reserves flow names during RegisterFlow.
+	flowsPending map[string]bool
 	// flowOIDs maps flow name -> OMS Flow object.
 	flowOIDs map[string]oms.OID
 	// reservations: cell version OID -> user name holding the workspace.
@@ -130,6 +143,7 @@ func New(release Release) (*Framework, error) {
 		model:        model,
 		store:        oms.NewStore(schema),
 		flows:        map[string]*flow.Flow{},
+		flowsPending: map[string]bool{},
 		flowOIDs:     map[string]oms.OID{},
 		reservations: map[oms.OID]string{},
 		enactments:   map[oms.OID]*flow.Enactment{},
@@ -185,8 +199,8 @@ func (fw *Framework) BlobTraffic() (in, out int64) {
 
 // ReserveConflicts reports the number of rejected workspace reservations.
 func (fw *Framework) ReserveConflicts() int64 {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
 	return fw.statReserveConflicts
 }
 
@@ -275,12 +289,32 @@ func (fw *Framework) RegisterFlow(f *flow.Flow) (oms.OID, error) {
 	if err := f.Freeze(); err != nil {
 		return oms.InvalidOID, fmt.Errorf("jcf: registering flow: %w", err)
 	}
+	// Reserve the name under the write lock so two concurrent
+	// registrations of the same flow cannot both pass a read-locked
+	// duplicate check and materialize twice. The reservation lives in
+	// flowsPending, not flows, so Flow/Flows/Save never see the flow
+	// until it is fully materialized.
 	fw.mu.Lock()
+	if fw.flowsPending[f.Name] {
+		fw.mu.Unlock()
+		return oms.InvalidOID, fmt.Errorf("%w: flow %q", ErrExists, f.Name)
+	}
 	if _, dup := fw.flows[f.Name]; dup {
 		fw.mu.Unlock()
 		return oms.InvalidOID, fmt.Errorf("%w: flow %q", ErrExists, f.Name)
 	}
+	fw.flowsPending[f.Name] = true
 	fw.mu.Unlock()
+	// The deferred guard retracts the reservation on any error return;
+	// the success path below clears it itself.
+	registered := false
+	defer func() {
+		if !registered {
+			fw.mu.Lock()
+			delete(fw.flowsPending, f.Name)
+			fw.mu.Unlock()
+		}
+	}()
 
 	oid, err := fw.named("Flow", f.Name)
 	if err != nil {
@@ -321,14 +355,16 @@ func (fw *Framework) RegisterFlow(f *flow.Flow) (oms.OID, error) {
 	fw.mu.Lock()
 	fw.flows[f.Name] = f
 	fw.flowOIDs[f.Name] = oid
+	delete(fw.flowsPending, f.Name)
+	registered = true
 	fw.mu.Unlock()
 	return oid, nil
 }
 
 // Flow returns a registered flow by name.
 func (fw *Framework) Flow(name string) (*flow.Flow, error) {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
 	f, ok := fw.flows[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: flow %q", ErrNotFound, name)
@@ -338,8 +374,8 @@ func (fw *Framework) Flow(name string) (*flow.Flow, error) {
 
 // Flows returns the registered flow names, sorted.
 func (fw *Framework) Flows() []string {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
 	out := make([]string, 0, len(fw.flows))
 	for n := range fw.flows {
 		out = append(out, n)

@@ -49,7 +49,7 @@ func (fw *Framework) Save(dir string) error {
 	if err := fw.store.Save(filepath.Join(dir, "oms.json")); err != nil {
 		return err
 	}
-	fw.mu.Lock()
+	fw.mu.RLock()
 	state := persistedState{
 		Release:      fw.release,
 		Reservations: map[oms.OID]string{},
@@ -75,7 +75,7 @@ func (fw *Framework) Save(dir string) error {
 		flows[n] = f
 		flowOIDs[n] = fw.flowOIDs[n]
 	}
-	fw.mu.Unlock()
+	fw.mu.RUnlock()
 
 	for _, name := range sortedFlowNames(flows) {
 		f := flows[name]

@@ -80,23 +80,29 @@ func (fw *Framework) CellName(cell oms.OID) string {
 // cell version may carry a different flow and team (section 2.1). An
 // initial variant 1 is created along with it.
 func (fw *Framework) CreateCellVersion(cell oms.OID, flowName string, team oms.OID) (oms.OID, error) {
-	fw.mu.Lock()
+	fw.mu.RLock()
 	flowOID, ok := fw.flowOIDs[flowName]
-	fw.mu.Unlock()
+	fw.mu.RUnlock()
 	if !ok {
 		return oms.InvalidOID, fmt.Errorf("%w: flow %q", ErrNotFound, flowName)
 	}
+	// numMu spans the count and the link that makes the new version
+	// countable, so concurrent designers never allocate the same number.
+	fw.numMu.Lock()
 	num := int64(len(fw.store.Targets(fw.rel.cellHasVersion, cell)) + 1)
 	cv, err := fw.store.Create("CellVersion", map[string]oms.Value{
 		"num":       oms.I(num),
 		"published": oms.B(false),
 	})
 	if err != nil {
+		fw.numMu.Unlock()
 		return oms.InvalidOID, err
 	}
 	if err := fw.store.Link(fw.rel.cellHasVersion, cell, cv); err != nil {
+		fw.numMu.Unlock()
 		return oms.InvalidOID, err
 	}
+	fw.numMu.Unlock()
 	if err := fw.store.Link(fw.rel.attachedFlow, cv, flowOID); err != nil {
 		return oms.InvalidOID, err
 	}
@@ -156,6 +162,8 @@ func (fw *Framework) AttachedTeam(cv oms.OID) (oms.OID, error) {
 // automatically). Variants let users "store the modifications and select
 // the optimal design solution" (section 2.1).
 func (fw *Framework) CreateVariant(cv oms.OID) (oms.OID, error) {
+	fw.numMu.Lock()
+	defer fw.numMu.Unlock()
 	num := int64(len(fw.store.Targets(fw.rel.hasVariant, cv)) + 1)
 	v, err := fw.store.Create("Variant", map[string]oms.Value{"num": oms.I(num)})
 	if err != nil {
@@ -306,15 +314,19 @@ func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.O
 	if err := fw.requireReservation(user, cv); err != nil {
 		return oms.InvalidOID, err
 	}
+	fw.numMu.Lock()
 	prev := fw.LatestVersion(do)
 	num := int64(len(fw.DesignObjectVersions(do)) + 1)
 	dov, err := fw.store.Create("DesignObjectVersion", map[string]oms.Value{"num": oms.I(num)})
 	if err != nil {
+		fw.numMu.Unlock()
 		return oms.InvalidOID, err
 	}
 	if err := fw.store.Link(fw.rel.doHasVersion, do, dov); err != nil {
+		fw.numMu.Unlock()
 		return oms.InvalidOID, err
 	}
+	fw.numMu.Unlock()
 	if _, err := fw.store.CopyIn(dov, "data", srcPath); err != nil {
 		return oms.InvalidOID, err
 	}

@@ -58,26 +58,28 @@ func (fw *Framework) ReleaseReservation(user string, cv oms.OID) error {
 // the reservation, making the data readable (and the version reservable)
 // by other team members.
 func (fw *Framework) Publish(user string, cv oms.OID) error {
+	// Check, publish and release under one write lock: a check-then-act
+	// window here could evict a reservation another user acquired in
+	// between. fw.mu may be held across store calls (the store never
+	// calls back into the framework, so the lock order fw.mu -> stripe
+	// is acyclic).
 	fw.mu.Lock()
-	holder := fw.reservations[cv]
-	fw.mu.Unlock()
-	if holder != user {
+	defer fw.mu.Unlock()
+	if fw.reservations[cv] != user {
 		return fmt.Errorf("%w (user %s)", ErrNotReserved, user)
 	}
 	if err := fw.store.Set(cv, "published", oms.B(true)); err != nil {
 		return err
 	}
-	fw.mu.Lock()
 	delete(fw.reservations, cv)
-	fw.mu.Unlock()
 	return nil
 }
 
 // ReservedBy returns the user holding the workspace reservation on a cell
 // version, and whether it is held at all.
 func (fw *Framework) ReservedBy(cv oms.OID) (string, bool) {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
 	u, ok := fw.reservations[cv]
 	return u, ok
 }

@@ -20,12 +20,37 @@
 // "direct access to the internal structure of the stored data by an
 // appropriate interface is not possible" — callers get copies, never
 // internal references.
+//
+// # Concurrency
+//
+// The store is the shared kernel that many concurrent designers hit at
+// once (section 3.1), so it is lock-striped rather than globally locked:
+// objects are sharded across numStripes stripes keyed by OID, each with
+// its own RWMutex, so designers touching disjoint objects never contend.
+// Secondary indexes (per class and per relationship type) let All /
+// Count / FindByAttr / Related visit only relevant objects instead of
+// scanning the whole object map.
+//
+// The secondary indexes live inside the stripes, keyed by the same OID
+// hash, so index maintenance happens under the stripe lock the mutation
+// already holds — no extra global lock on the write path.
+//
+// Internal lock ordering (never acquire in any other order):
+//
+//  1. stripe mutexes, ascending stripe index (lockPair / lockAll)
+//  2. logMu (transaction log) — leaf; only taken while a transaction is
+//     open (txOpen fast path); Rollback detaches the log under logMu,
+//     then replays the undo entries in one atomic step with every stripe
+//     write-locked
+//
+// allocMu (OID allocation) and the stat counters (atomics) stand alone.
 package oms
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // OID identifies an object inside one Store. OIDs are never reused.
@@ -242,11 +267,31 @@ func (s *Schema) AddRel(def RelDef) error {
 	return nil
 }
 
-// Class returns the class declaration, or nil.
-func (s *Schema) Class(name string) *Class { return s.classes[name] }
+// class returns the live class declaration for internal schema checks.
+func (s *Schema) class(name string) *Class { return s.classes[name] }
 
-// Rel returns the relationship declaration, or nil.
-func (s *Schema) Rel(name string) *RelDef { return s.rels[name] }
+// rel returns the live relationship declaration for internal checks.
+func (s *Schema) rel(name string) *RelDef { return s.rels[name] }
+
+// Class returns a copy of the class declaration, or nil. Callers get a
+// private copy — mutating the result never changes the schema.
+func (s *Schema) Class(name string) *Class {
+	c, ok := s.classes[name]
+	if !ok {
+		return nil
+	}
+	return &Class{Name: c.Name, Attrs: append([]AttrDef(nil), c.Attrs...)}
+}
+
+// Rel returns a copy of the relationship declaration, or nil.
+func (s *Schema) Rel(name string) *RelDef {
+	r, ok := s.rels[name]
+	if !ok {
+		return nil
+	}
+	cp := *r
+	return &cp
+}
 
 // Classes returns all class names, sorted.
 func (s *Schema) Classes() []string {
@@ -289,26 +334,100 @@ func newObject(oid OID, class string) *object {
 	}
 }
 
+// stripeShift sets the shard count of the object map: numStripes = 2^5 =
+// 32 keeps far more stripes than the hardware has cores, which is what
+// makes disjoint-object traffic contention-free. The stripe hash derives
+// from stripeShift so the two can never drift apart.
+const (
+	stripeShift = 5
+	numStripes  = 1 << stripeShift
+)
+
+// stripe is one shard of the object map with its own lock. The secondary
+// indexes are sharded the same way: a stripe indexes exactly the objects
+// it stores, so every index update rides the stripe lock the mutation
+// already holds.
+type stripe struct {
+	mu      sync.RWMutex
+	objects map[OID]*object
+	// byClass indexes this stripe's live objects by class name.
+	byClass map[string]map[OID]struct{}
+	// relFrom indexes, per relationship type, this stripe's objects that
+	// currently hold at least one outgoing link of that type.
+	relFrom map[string]map[OID]struct{}
+}
+
+// addClass/delClass/addRelFrom/delRelFrom maintain the stripe-local
+// indexes; the caller holds s.mu for writing.
+
+func (s *stripe) addClass(class string, oid OID) {
+	set := s.byClass[class]
+	if set == nil {
+		set = map[OID]struct{}{}
+		s.byClass[class] = set
+	}
+	set[oid] = struct{}{}
+}
+
+func (s *stripe) delClass(class string, oid OID) {
+	delete(s.byClass[class], oid)
+}
+
+func (s *stripe) addRelFrom(rel string, oid OID) {
+	set := s.relFrom[rel]
+	if set == nil {
+		set = map[OID]struct{}{}
+		s.relFrom[rel] = set
+	}
+	set[oid] = struct{}{}
+}
+
+func (s *stripe) delRelFrom(rel string, oid OID) {
+	delete(s.relFrom[rel], oid)
+}
+
 // Store is a live OMS database instance. All methods are safe for concurrent
 // use.
 type Store struct {
-	mu      sync.RWMutex
 	schema  *Schema
-	objects map[OID]*object
+	stripes [numStripes]stripe
+
+	// allocMu guards OID allocation only.
+	allocMu sync.Mutex
 	nextOID OID
-	tx      *txLog // non-nil while a transaction is open
+
+	// logMu guards the transaction pointer and its undo log. It is a leaf
+	// lock: record() may take it while stripe locks are held, but nothing
+	// acquires stripes while holding it. txOpen holds the generation of
+	// the open transaction (0 when none), so the no-transaction fast path
+	// of record() is a single atomic load instead of a global mutex on
+	// every mutation, and a mutation can never append its undo entry to a
+	// *different* transaction's log than the one it observed open.
+	logMu  sync.Mutex
+	tx     *txLog // non-nil while a transaction is open
+	txGen  uint64 // guarded by logMu; last generation handed out
+	txOpen atomic.Uint64
 
 	// stats for the performance experiments (section 3.6).
-	statOps      int64
-	statBlobIn   int64 // bytes copied into the database
-	statBlobOut  int64 // bytes copied out of the database
-	statCommits  int64
-	statRollback int64
+	statOps      atomic.Int64
+	statBlobIn   atomic.Int64 // bytes copied into the database
+	statBlobOut  atomic.Int64 // bytes copied out of the database
+	statCommits  atomic.Int64
+	statRollback atomic.Int64
 }
 
 // NewStore returns an empty store enforcing schema.
 func NewStore(schema *Schema) *Store {
-	return &Store{schema: schema, objects: map[OID]*object{}, nextOID: 1}
+	st := &Store{
+		schema:  schema,
+		nextOID: 1,
+	}
+	for i := range st.stripes {
+		st.stripes[i].objects = map[OID]*object{}
+		st.stripes[i].byClass = map[string]map[OID]struct{}{}
+		st.stripes[i].relFrom = map[string]map[OID]struct{}{}
+	}
+	return st
 }
 
 // Schema returns the schema the store enforces.
@@ -317,9 +436,73 @@ func (st *Store) Schema() *Schema { return st.schema }
 // Stats reports cumulative operation counters (ops, blob bytes in, blob
 // bytes out). Used by the section 3.6 experiments.
 func (st *Store) Stats() (ops, blobIn, blobOut int64) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.statOps, st.statBlobIn, st.statBlobOut
+	return st.statOps.Load(), st.statBlobIn.Load(), st.statBlobOut.Load()
+}
+
+// --- striping ---------------------------------------------------------
+
+// stripeIdx maps an OID onto its stripe (Fibonacci hashing so sequential
+// OIDs spread across stripes instead of clustering): the top stripeShift
+// bits of the hash select among the numStripes stripes.
+func stripeIdx(oid OID) int {
+	return int((uint64(oid) * 0x9E3779B97F4A7C15) >> (64 - stripeShift))
+}
+
+func (st *Store) stripeOf(oid OID) *stripe { return &st.stripes[stripeIdx(oid)] }
+
+// lockPair write-locks the stripes of two OIDs in ascending stripe order
+// (once when they collide) and returns the matching unlock.
+func (st *Store) lockPair(a, b OID) func() {
+	i, j := stripeIdx(a), stripeIdx(b)
+	if i == j {
+		s := &st.stripes[i]
+		s.mu.Lock()
+		return s.mu.Unlock
+	}
+	if i > j {
+		i, j = j, i
+	}
+	si, sj := &st.stripes[i], &st.stripes[j]
+	si.mu.Lock()
+	sj.mu.Lock()
+	return func() { sj.mu.Unlock(); si.mu.Unlock() }
+}
+
+// lockAll write-locks every stripe in ascending order. Used by the cold
+// multi-object paths (Delete and its rollback).
+func (st *Store) lockAll() {
+	for i := range st.stripes {
+		st.stripes[i].mu.Lock()
+	}
+}
+
+func (st *Store) unlockAll() {
+	for i := len(st.stripes) - 1; i >= 0; i-- {
+		st.stripes[i].mu.Unlock()
+	}
+}
+
+// forEachStripeRLocked visits every stripe under its read lock — the
+// shared scaffolding of all gather-style queries.
+func (st *Store) forEachStripeRLocked(fn func(s *stripe)) {
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.RLock()
+		fn(s)
+		s.mu.RUnlock()
+	}
+}
+
+// classOIDs gathers the class-index entries of every stripe, sorted.
+func (st *Store) classOIDs(class string) []OID {
+	var out []OID
+	st.forEachStripeRLocked(func(s *stripe) {
+		for oid := range s.byClass[class] {
+			out = append(out, oid)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // --- transactions -----------------------------------------------------
@@ -327,6 +510,7 @@ func (st *Store) Stats() (ops, blobIn, blobOut int64) {
 type undoFn func(st *Store)
 
 type txLog struct {
+	gen  uint64 // the txOpen generation this log belongs to
 	undo []undoFn
 }
 
@@ -334,54 +518,89 @@ type txLog struct {
 // nested Begin is an error. Operations performed while a transaction is open
 // are rolled back by Rollback.
 func (st *Store) Begin() error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.logMu.Lock()
 	if st.tx != nil {
+		st.logMu.Unlock()
 		return fmt.Errorf("oms: transaction already open")
 	}
-	st.tx = &txLog{}
+	st.txGen++
+	st.tx = &txLog{gen: st.txGen}
+	st.txOpen.Store(st.txGen)
+	st.logMu.Unlock()
+	// Barrier: every mutation calls record() while still holding its
+	// stripe locks, so cycling through all stripes here (after releasing
+	// logMu — logMu sits below the stripes in the lock order) guarantees
+	// that in-flight mutations have consulted txOpen and drained, and any
+	// operation starting after Begin returns observes txOpen true. Without
+	// this, a mutation racing Begin could slip past the undo log.
+	st.lockAll()
+	st.unlockAll()
 	return nil
 }
 
 // Commit closes the open transaction, keeping all changes.
 func (st *Store) Commit() error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.logMu.Lock()
+	defer st.logMu.Unlock()
 	if st.tx == nil {
 		return fmt.Errorf("oms: no open transaction")
 	}
 	st.tx = nil
-	st.statCommits++
+	st.txOpen.Store(0)
+	st.statCommits.Add(1)
 	return nil
 }
 
-// Rollback undoes every operation performed since Begin.
+// Rollback undoes every operation performed since Begin. Every stripe is
+// write-locked FIRST (the stripes-then-logMu order every mutation also
+// uses), then the log is detached and replayed in place, so the whole
+// rollback is one atomic step: mutations that completed while the
+// transaction was open are undone, concurrent designers never observe a
+// half-rolled-back store, and a write acknowledged after the transaction
+// closed can never be reverted.
 func (st *Store) Rollback() error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.lockAll()
+	st.logMu.Lock()
 	if st.tx == nil {
+		st.logMu.Unlock()
+		st.unlockAll()
 		return fmt.Errorf("oms: no open transaction")
 	}
 	log := st.tx
 	st.tx = nil // undo functions run outside the tx
+	st.txOpen.Store(0)
+	st.logMu.Unlock()
 	for i := len(log.undo) - 1; i >= 0; i-- {
 		log.undo[i](st)
 	}
-	st.statRollback++
+	st.unlockAll()
+	st.statRollback.Add(1)
 	return nil
 }
 
 // InTx reports whether a transaction is open.
 func (st *Store) InTx() bool {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	st.logMu.Lock()
+	defer st.logMu.Unlock()
 	return st.tx != nil
 }
 
+// record appends an undo entry when a transaction is open. The common
+// no-transaction case is a single atomic load — mutations from concurrent
+// designers never serialize on the log. The generation check ensures the
+// entry lands only in the log of the very transaction the mutation saw
+// open: if that transaction closed (and even if a new one opened) in the
+// meantime, the entry is dropped rather than corrupting a later log.
 func (st *Store) record(fn undoFn) {
-	if st.tx != nil {
+	gen := st.txOpen.Load()
+	if gen == 0 {
+		return
+	}
+	st.logMu.Lock()
+	if st.tx != nil && st.tx.gen == gen {
 		st.tx.undo = append(st.tx.undo, fn)
 	}
+	st.logMu.Unlock()
 }
 
 // --- object lifecycle -------------------------------------------------
@@ -389,9 +608,7 @@ func (st *Store) record(fn undoFn) {
 // Create allocates a new object of the given class with the given attribute
 // values. Required attributes must be present; kinds must match the schema.
 func (st *Store) Create(class string, attrs map[string]Value) (OID, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	cls := st.schema.Class(class)
+	cls := st.schema.class(class)
 	if cls == nil {
 		return InvalidOID, fmt.Errorf("oms: unknown class %q", class)
 	}
@@ -411,26 +628,46 @@ func (st *Store) Create(class string, attrs map[string]Value) (OID, error) {
 			}
 		}
 	}
+	st.allocMu.Lock()
 	oid := st.nextOID
 	st.nextOID++
+	st.allocMu.Unlock()
+
 	obj := newObject(oid, class)
 	for name, v := range attrs {
 		obj.attrs[name] = v.clone()
 		if v.Kind == KindBlob {
-			st.statBlobIn += int64(len(v.Blob))
+			st.statBlobIn.Add(int64(len(v.Blob)))
 		}
 	}
-	st.objects[oid] = obj
-	st.statOps++
-	st.record(func(s *Store) { delete(s.objects, oid) })
+	s := st.stripeOf(oid)
+	s.mu.Lock()
+	s.objects[oid] = obj
+	s.addClass(class, oid)
+	st.record(func(u *Store) { u.undoCreate(oid, class) })
+	s.mu.Unlock()
+	st.statOps.Add(1)
 	return oid, nil
 }
 
-// Delete removes an object and all relationships it participates in.
+// The undo helpers below run during Rollback's replay, which holds every
+// stripe write-locked — they must not lock anything themselves.
+
+func (st *Store) undoCreate(oid OID, class string) {
+	s := st.stripeOf(oid)
+	delete(s.objects, oid)
+	s.delClass(class, oid)
+}
+
+// Delete removes an object and all relationships it participates in. It is
+// the one multi-object operation whose reach is unbounded (links may point
+// anywhere), so it takes every stripe — correct and simple; deletion is not
+// on the designers' hot path.
 func (st *Store) Delete(oid OID) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	obj, ok := st.objects[oid]
+	st.lockAll()
+	defer st.unlockAll()
+	s := st.stripeOf(oid)
+	obj, ok := s.objects[oid]
 	if !ok {
 		return fmt.Errorf("oms: no object %d", oid)
 	}
@@ -445,25 +682,34 @@ func (st *Store) Delete(oid OID) error {
 			st.unlinkLocked(rel, from, oid)
 		}
 	}
-	delete(st.objects, oid)
-	st.statOps++
-	st.record(func(s *Store) { s.objects[oid] = obj })
+	delete(s.objects, oid)
+	s.delClass(obj.class, oid)
+	st.statOps.Add(1)
+	st.record(func(u *Store) { u.undoDelete(oid, obj) })
 	return nil
+}
+
+func (st *Store) undoDelete(oid OID, obj *object) {
+	s := st.stripeOf(oid)
+	s.objects[oid] = obj
+	s.addClass(obj.class, oid)
 }
 
 // Exists reports whether oid names a live object.
 func (st *Store) Exists(oid OID) bool {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	_, ok := st.objects[oid]
+	s := st.stripeOf(oid)
+	s.mu.RLock()
+	_, ok := s.objects[oid]
+	s.mu.RUnlock()
 	return ok
 }
 
 // ClassOf returns the class of an object.
 func (st *Store) ClassOf(oid OID) (string, error) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	obj, ok := st.objects[oid]
+	s := st.stripeOf(oid)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[oid]
 	if !ok {
 		return "", fmt.Errorf("oms: no object %d", oid)
 	}
@@ -474,13 +720,14 @@ func (st *Store) ClassOf(oid OID) (string, error) {
 
 // Set assigns an attribute value, checked against the schema.
 func (st *Store) Set(oid OID, name string, v Value) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	obj, ok := st.objects[oid]
+	s := st.stripeOf(oid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[oid]
 	if !ok {
 		return fmt.Errorf("oms: no object %d", oid)
 	}
-	def, ok := st.schema.Class(obj.class).attr(name)
+	def, ok := st.schema.class(obj.class).attr(name)
 	if !ok {
 		return fmt.Errorf("oms: class %q has no attribute %q", obj.class, name)
 	}
@@ -490,38 +737,44 @@ func (st *Store) Set(oid OID, name string, v Value) error {
 	old, had := obj.attrs[name]
 	obj.attrs[name] = v.clone()
 	if v.Kind == KindBlob {
-		st.statBlobIn += int64(len(v.Blob))
+		st.statBlobIn.Add(int64(len(v.Blob)))
 	}
-	st.statOps++
-	st.record(func(s *Store) {
-		if o, ok := s.objects[oid]; ok {
-			if had {
-				o.attrs[name] = old
-			} else {
-				delete(o.attrs, name)
-			}
-		}
-	})
+	st.statOps.Add(1)
+	st.record(func(u *Store) { u.undoSet(oid, name, old, had) })
 	return nil
+}
+
+func (st *Store) undoSet(oid OID, name string, old Value, had bool) {
+	if o, ok := st.stripeOf(oid).objects[oid]; ok {
+		if had {
+			o.attrs[name] = old
+		} else {
+			delete(o.attrs, name)
+		}
+	}
 }
 
 // Get returns a copy of an attribute value. The bool reports presence.
 func (st *Store) Get(oid OID, name string) (Value, bool, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	obj, ok := st.objects[oid]
+	s := st.stripeOf(oid)
+	s.mu.RLock()
+	obj, ok := s.objects[oid]
 	if !ok {
+		s.mu.RUnlock()
 		return Value{}, false, fmt.Errorf("oms: no object %d", oid)
 	}
 	v, ok := obj.attrs[name]
 	if !ok {
+		s.mu.RUnlock()
 		return Value{}, false, nil
 	}
-	if v.Kind == KindBlob {
-		st.statBlobOut += int64(len(v.Blob))
+	out := v.clone()
+	s.mu.RUnlock()
+	if out.Kind == KindBlob {
+		st.statBlobOut.Add(int64(len(out.Blob)))
 	}
-	st.statOps++
-	return v.clone(), true, nil
+	st.statOps.Add(1)
+	return out, true, nil
 }
 
 // GetString is a convenience accessor returning "" when absent.
@@ -554,19 +807,19 @@ func (st *Store) GetBool(oid OID, name string) bool {
 // --- relationships ------------------------------------------------------
 
 // Link creates a relationship instance rel: from -> to, enforcing endpoint
-// classes and cardinalities.
+// classes and cardinalities. Only the two stripes involved are locked.
 func (st *Store) Link(rel string, from, to OID) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	def := st.schema.Rel(rel)
+	def := st.schema.rel(rel)
 	if def == nil {
 		return fmt.Errorf("oms: unknown relationship %q", rel)
 	}
-	fobj, ok := st.objects[from]
+	unlock := st.lockPair(from, to)
+	defer unlock()
+	fobj, ok := st.stripeOf(from).objects[from]
 	if !ok {
 		return fmt.Errorf("oms: no object %d", from)
 	}
-	tobj, ok := st.objects[to]
+	tobj, ok := st.stripeOf(to).objects[to]
 	if !ok {
 		return fmt.Errorf("oms: no object %d", to)
 	}
@@ -593,25 +846,31 @@ func (st *Store) Link(rel string, from, to OID) error {
 	}
 	fobj.links[rel][to] = true
 	tobj.backlinks[rel][from] = true
-	st.statOps++
-	st.record(func(s *Store) { s.unlinkNoUndo(rel, from, to) })
+	st.stripeOf(from).addRelFrom(rel, from)
+	st.statOps.Add(1)
+	st.record(func(u *Store) { u.undoLink(rel, from, to) })
 	return nil
+}
+
+func (st *Store) undoLink(rel string, from, to OID) {
+	st.unlinkNoUndo(rel, from, to)
 }
 
 // Unlink removes a relationship instance if present.
 func (st *Store) Unlink(rel string, from, to OID) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.schema.Rel(rel) == nil {
+	if st.schema.rel(rel) == nil {
 		return fmt.Errorf("oms: unknown relationship %q", rel)
 	}
+	unlock := st.lockPair(from, to)
+	defer unlock()
 	st.unlinkLocked(rel, from, to)
 	return nil
 }
 
-// unlinkLocked removes the link and records undo; caller holds mu.
+// unlinkLocked removes the link and records undo; caller holds the stripes
+// of both from and to.
 func (st *Store) unlinkLocked(rel string, from, to OID) {
-	fobj, ok := st.objects[from]
+	fobj, ok := st.stripeOf(from).objects[from]
 	if !ok {
 		return
 	}
@@ -619,38 +878,50 @@ func (st *Store) unlinkLocked(rel string, from, to OID) {
 		return
 	}
 	st.unlinkNoUndo(rel, from, to)
-	st.statOps++
-	st.record(func(s *Store) {
-		f, ok1 := s.objects[from]
-		t, ok2 := s.objects[to]
-		if !ok1 || !ok2 {
-			return
-		}
-		if f.links[rel] == nil {
-			f.links[rel] = map[OID]bool{}
-		}
-		if t.backlinks[rel] == nil {
-			t.backlinks[rel] = map[OID]bool{}
-		}
-		f.links[rel][to] = true
-		t.backlinks[rel][from] = true
-	})
+	st.statOps.Add(1)
+	st.record(func(u *Store) { u.undoUnlink(rel, from, to) })
 }
 
-func (st *Store) unlinkNoUndo(rel string, from, to OID) {
-	if f, ok := st.objects[from]; ok {
-		delete(f.links[rel], to)
+func (st *Store) undoUnlink(rel string, from, to OID) {
+	f, ok1 := st.stripeOf(from).objects[from]
+	t, ok2 := st.stripeOf(to).objects[to]
+	if !ok1 || !ok2 {
+		return
 	}
-	if t, ok := st.objects[to]; ok {
+	if f.links[rel] == nil {
+		f.links[rel] = map[OID]bool{}
+	}
+	if t.backlinks[rel] == nil {
+		t.backlinks[rel] = map[OID]bool{}
+	}
+	f.links[rel][to] = true
+	t.backlinks[rel][from] = true
+	st.stripeOf(from).addRelFrom(rel, from)
+}
+
+// unlinkNoUndo removes the link; caller holds the stripes of from and to.
+func (st *Store) unlinkNoUndo(rel string, from, to OID) {
+	if f, ok := st.stripeOf(from).objects[from]; ok {
+		delete(f.links[rel], to)
+		if len(f.links[rel]) == 0 {
+			delete(f.links, rel)
+			st.stripeOf(from).delRelFrom(rel, from)
+		}
+	}
+	if t, ok := st.stripeOf(to).objects[to]; ok {
 		delete(t.backlinks[rel], from)
+		if len(t.backlinks[rel]) == 0 {
+			delete(t.backlinks, rel)
+		}
 	}
 }
 
 // Targets returns the OIDs that from points to via rel, sorted.
 func (st *Store) Targets(rel string, from OID) []OID {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	obj, ok := st.objects[from]
+	s := st.stripeOf(from)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[from]
 	if !ok {
 		return nil
 	}
@@ -659,9 +930,10 @@ func (st *Store) Targets(rel string, from OID) []OID {
 
 // Sources returns the OIDs that point to `to` via rel, sorted.
 func (st *Store) Sources(rel string, to OID) []OID {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	obj, ok := st.objects[to]
+	s := st.stripeOf(to)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.objects[to]
 	if !ok {
 		return nil
 	}
@@ -689,49 +961,100 @@ func sortedOIDs(m map[OID]bool) []OID {
 // --- queries ------------------------------------------------------------
 
 // All returns the OIDs of every object of the given class, sorted. An empty
-// class returns every object in the store.
+// class returns every object in the store. Class queries answer from the
+// class index without touching the object stripes.
 func (st *Store) All(class string) []OID {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	if class != "" {
+		return st.classOIDs(class)
+	}
 	var out []OID
-	for oid, obj := range st.objects {
-		if class == "" || obj.class == class {
+	st.forEachStripeRLocked(func(s *stripe) {
+		for oid := range s.objects {
 			out = append(out, oid)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // FindByAttr returns every object of class whose attribute name equals v.
+// With a class given, only that class's objects are visited (via the class
+// index) instead of the whole store.
 func (st *Store) FindByAttr(class, name string, v Value) []OID {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
 	var out []OID
-	for oid, obj := range st.objects {
-		if class != "" && obj.class != class {
-			continue
-		}
+	match := func(obj *object) {
 		if got, ok := obj.attrs[name]; ok && got.Equal(v) {
-			out = append(out, oid)
+			out = append(out, obj.oid)
 		}
 	}
+	st.forEachStripeRLocked(func(s *stripe) {
+		if class != "" {
+			for oid := range s.byClass[class] {
+				if obj, ok := s.objects[oid]; ok {
+					match(obj)
+				}
+			}
+			return
+		}
+		for _, obj := range s.objects {
+			match(obj)
+		}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Count returns the number of live objects of a class ("" counts all).
+// Class counts answer straight from the index.
 func (st *Store) Count(class string) int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	if class == "" {
-		return len(st.objects)
-	}
 	n := 0
-	for _, obj := range st.objects {
-		if obj.class == class {
-			n++
+	st.forEachStripeRLocked(func(s *stripe) {
+		if class != "" {
+			n += len(s.byClass[class])
+		} else {
+			n += len(s.objects)
 		}
-	}
+	})
 	return n
+}
+
+// LinkPair is one (from, to) instance of a relationship type.
+type LinkPair struct {
+	From, To OID
+}
+
+// Related returns every (from, to) pair of the given relationship type,
+// sorted by from then to. The relationship index narrows the visit to
+// objects that actually hold links of that type — no full-store scan.
+func (st *Store) Related(rel string) []LinkPair {
+	var out []LinkPair
+	st.forEachStripeRLocked(func(s *stripe) {
+		for from := range s.relFrom[rel] {
+			if obj, ok := s.objects[from]; ok {
+				for to := range obj.links[rel] {
+					out = append(out, LinkPair{From: from, To: to})
+				}
+			}
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// ObjectsOf returns the objects participating in the given relationship
+// type on the From side, sorted — an index lookup, not a scan.
+func (st *Store) ObjectsOf(rel string) []OID {
+	var out []OID
+	st.forEachStripeRLocked(func(s *stripe) {
+		for oid := range s.relFrom[rel] {
+			out = append(out, oid)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

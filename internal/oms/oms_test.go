@@ -1,10 +1,12 @@
 package oms
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -584,5 +586,361 @@ func TestValueEqualAndString(t *testing.T) {
 	}
 	if Kind(99).String() == "" {
 		t.Error("unknown kind String empty")
+	}
+}
+
+// --- sharded-kernel tests ------------------------------------------------
+
+func TestRelatedAndObjectsOf(t *testing.T) {
+	st := NewStore(testSchema(t))
+	c1 := mustCreate(t, st, "Cell", map[string]Value{"name": S("a")})
+	c2 := mustCreate(t, st, "Cell", map[string]Value{"name": S("b")})
+	v1 := mustCreate(t, st, "Version", map[string]Value{"num": I(1)})
+	v2 := mustCreate(t, st, "Version", map[string]Value{"num": I(2)})
+	if err := st.Link("hasVersion", c1, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Link("hasVersion", c2, v2); err != nil {
+		t.Fatal(err)
+	}
+	got := st.Related("hasVersion")
+	want := []LinkPair{{From: c1, To: v1}, {From: c2, To: v2}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Related = %v, want %v", got, want)
+	}
+	if objs := st.ObjectsOf("hasVersion"); len(objs) != 2 || objs[0] != c1 || objs[1] != c2 {
+		t.Fatalf("ObjectsOf = %v", objs)
+	}
+	// Unlinking the last link of an object drops it from the index.
+	if err := st.Unlink("hasVersion", c1, v1); err != nil {
+		t.Fatal(err)
+	}
+	if objs := st.ObjectsOf("hasVersion"); len(objs) != 1 || objs[0] != c2 {
+		t.Fatalf("ObjectsOf after unlink = %v", objs)
+	}
+	if pairs := st.Related("nope"); len(pairs) != 0 {
+		t.Fatalf("Related(unknown) = %v", pairs)
+	}
+}
+
+func TestClassIndexSurvivesDeleteAndRollback(t *testing.T) {
+	st := NewStore(testSchema(t))
+	a := mustCreate(t, st, "Cell", map[string]Value{"name": S("a")})
+	b := mustCreate(t, st, "Cell", map[string]Value{"name": S("b")})
+	if err := st.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.All("Cell"); len(got) != 1 || got[0] != b {
+		t.Fatalf("All after delete = %v", got)
+	}
+	if st.Count("Cell") != 1 {
+		t.Fatalf("Count after delete = %d", st.Count("Cell"))
+	}
+	// Rollback of a delete must restore the index entry.
+	if err := st.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count("Cell") != 0 {
+		t.Fatal("index not updated inside tx")
+	}
+	if err := st.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.All("Cell"); len(got) != 1 || got[0] != b {
+		t.Fatalf("All after rollback = %v", got)
+	}
+	// Rollback of creates must remove index entries.
+	if err := st.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, st, "Cell", map[string]Value{"name": S("tmp")})
+	if err := st.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count("Cell") != 1 {
+		t.Fatalf("Count after create-rollback = %d", st.Count("Cell"))
+	}
+}
+
+// TestNoInternalAliasing is the regression test for the "callers get
+// copies, never internal references" invariant: mutate everything a getter
+// returns and assert the store is unchanged.
+func TestNoInternalAliasing(t *testing.T) {
+	schema := testSchema(t)
+	st := NewStore(schema)
+	c := mustCreate(t, st, "Cell", map[string]Value{"name": S("a"), "data": Bytes([]byte("orig"))})
+	v := mustCreate(t, st, "Version", map[string]Value{"num": I(1)})
+	if err := st.Link("hasVersion", c, v); err != nil {
+		t.Fatal(err)
+	}
+
+	// Blob values are copies both ways (also covered by TestBlobIsolation).
+	val, _, _ := st.Get(c, "data")
+	copy(val.Blob, "XXXX")
+	if again, _, _ := st.Get(c, "data"); string(again.Blob) != "orig" {
+		t.Fatalf("Get leaked internal blob: %q", again.Blob)
+	}
+
+	// Relationship listings are private slices.
+	ts := st.Targets("hasVersion", c)
+	ts[0] = 9999
+	if again := st.Targets("hasVersion", c); len(again) != 1 || again[0] != v {
+		t.Fatalf("Targets leaked internal state: %v", again)
+	}
+	ss := st.Sources("hasVersion", v)
+	ss[0] = 9999
+	if again := st.Sources("hasVersion", v); len(again) != 1 || again[0] != c {
+		t.Fatalf("Sources leaked internal state: %v", again)
+	}
+
+	// Schema declarations are copies: mutating them must not corrupt
+	// the store's validation.
+	cls := schema.Class("Cell")
+	cls.Attrs[0] = AttrDef{Name: "hacked", Kind: KindInt}
+	cls.Name = "Hacked"
+	if _, err := st.Create("Cell", map[string]Value{"name": S("b")}); err != nil {
+		t.Fatalf("schema corrupted through Class() copy: %v", err)
+	}
+	rel := schema.Rel("hasVersion")
+	rel.ToCard = One
+	if err := st.Link("hasVersion", c, mustCreateVersion(t, st, 2)); err != nil {
+		t.Fatalf("schema corrupted through Rel() copy: %v", err)
+	}
+	if schema.Class("Nope") != nil || schema.Rel("nope") != nil {
+		t.Fatal("unknown lookups must return nil")
+	}
+
+	// Related pairs are private slices.
+	pairs := st.Related("hasVersion")
+	if len(pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	pairs[0] = LinkPair{From: 1234, To: 4321}
+	if again := st.Related("hasVersion"); again[0].From != c {
+		t.Fatalf("Related leaked internal state: %v", again)
+	}
+}
+
+func mustCreateVersion(t *testing.T, st *Store, num int64) OID {
+	t.Helper()
+	return mustCreate(t, st, "Version", map[string]Value{"num": I(num)})
+}
+
+// TestStressParallelMixedOps hammers the striped store from many
+// goroutines with creates, sets, links, reads and deletes. Run under
+// -race it is the kernel's data-race detector; the final invariants check
+// that indexes and object maps agree after the storm.
+func TestStressParallelMixedOps(t *testing.T) {
+	st := NewStore(testSchema(t))
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine []OID
+			for i := 0; i < perWorker; i++ {
+				cell, err := st.Create("Cell", map[string]Value{"name": S("c")})
+				if err != nil {
+					t.Errorf("Create: %v", err)
+					return
+				}
+				ver, err := st.Create("Version", map[string]Value{"num": I(int64(i))})
+				if err != nil {
+					t.Errorf("Create: %v", err)
+					return
+				}
+				if err := st.Set(cell, "rev", I(int64(i))); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+				if err := st.Link("hasVersion", cell, ver); err != nil {
+					t.Errorf("Link: %v", err)
+					return
+				}
+				_ = st.GetInt(cell, "rev")
+				_ = st.Targets("hasVersion", cell)
+				_ = st.Count("Cell")
+				if i%10 == 0 {
+					_ = st.All("Cell")
+					_ = st.Related("hasVersion")
+				}
+				mine = append(mine, cell)
+				// Periodically delete one of our own earlier cells (its
+				// version link detaches with it).
+				if i%7 == 3 && len(mine) > 1 {
+					victim := mine[0]
+					mine = mine[1:]
+					if err := st.Delete(victim); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Index and object map must agree exactly.
+	for _, class := range []string{"Cell", "Version"} {
+		oids := st.All(class)
+		if len(oids) != st.Count(class) {
+			t.Fatalf("index/count mismatch for %s: %d vs %d", class, len(oids), st.Count(class))
+		}
+		for _, oid := range oids {
+			got, err := st.ClassOf(oid)
+			if err != nil || got != class {
+				t.Fatalf("index entry %d: ClassOf = %q, %v", oid, got, err)
+			}
+		}
+	}
+	// Every remaining hasVersion pair must join two live objects.
+	for _, p := range st.Related("hasVersion") {
+		if !st.Exists(p.From) || !st.Exists(p.To) {
+			t.Fatalf("dangling pair %v", p)
+		}
+	}
+}
+
+// TestStressConcurrentTransactions drives transactions from many
+// goroutines: whoever wins Begin does work and rolls back while everyone
+// else performs plain operations. The store must stay race-free and every
+// winner's rollback must restore its own object count.
+func TestStressConcurrentTransactions(t *testing.T) {
+	st := NewStore(testSchema(t))
+	base := mustCreate(t, st, "Cell", map[string]Value{"name": S("base"), "rev": I(1)})
+	const workers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	var rollbacks atomic.Int64
+	// txGate serializes the goroutines that do transactional writes so the
+	// winner's count assertion cannot race a successor's creates; everyone
+	// else still hammers Begin/Rollback and reads concurrently.
+	var txGate sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if txGate.TryLock() {
+					if err := st.Begin(); err != nil {
+						// A contender holds a read-only tx; retry later.
+						txGate.Unlock()
+						continue
+					}
+					before := st.Count("Version")
+					a, err := st.Create("Version", map[string]Value{"num": I(int64(i))})
+					if err != nil {
+						t.Errorf("tx Create: %v", err)
+						txGate.Unlock()
+						return
+					}
+					b, err := st.Create("Version", map[string]Value{"num": I(int64(i + 1))})
+					if err != nil {
+						t.Errorf("tx Create: %v", err)
+						txGate.Unlock()
+						return
+					}
+					_ = a
+					if err := st.Delete(b); err != nil {
+						t.Errorf("tx Delete: %v", err)
+						txGate.Unlock()
+						return
+					}
+					if err := st.Rollback(); err != nil {
+						t.Errorf("Rollback: %v", err)
+						txGate.Unlock()
+						return
+					}
+					if after := st.Count("Version"); after != before {
+						t.Errorf("rollback leaked: %d -> %d versions", before, after)
+						txGate.Unlock()
+						return
+					}
+					rollbacks.Add(1)
+					txGate.Unlock()
+				} else {
+					// Contenders: exercise the Begin/Rollback rejection
+					// paths and concurrent reads, never writes — so the
+					// gate holder's undo log stays entirely its own.
+					if err := st.Begin(); err == nil {
+						_ = st.Rollback()
+					}
+					_ = st.GetInt(base, "rev")
+					_ = st.Exists(base)
+					_ = st.Count("Cell")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rollbacks.Load() == 0 {
+		t.Fatal("no goroutine ever won a transaction")
+	}
+	if !st.Exists(base) {
+		t.Fatal("base object lost")
+	}
+}
+
+// TestStripeDistribution guards the stripe hash: sequential OIDs must
+// spread across many stripes, not cluster in one.
+func TestStripeDistribution(t *testing.T) {
+	seen := map[int]bool{}
+	for oid := OID(1); oid <= 256; oid++ {
+		idx := stripeIdx(oid)
+		if idx < 0 || idx >= numStripes {
+			t.Fatalf("stripeIdx(%d) = %d out of range", oid, idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) < numStripes/2 {
+		t.Fatalf("sequential OIDs hit only %d/%d stripes", len(seen), numStripes)
+	}
+}
+
+func TestLoadRejectsCorruptAttributes(t *testing.T) {
+	schema := testSchema(t)
+	st := NewStore(schema)
+	mustCreate(t, st, "Cell", map[string]Value{"name": S("x"), "rev": I(1)})
+	path := filepath.Join(t.TempDir(), "oms.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kind mismatch: rev declared int, snapshot says string.
+	bad := strings.Replace(string(orig), `"rev": {"kind":1`, `"rev": {"kind":0`, 1)
+	if bad == string(orig) {
+		bad = strings.Replace(string(orig), `"kind": 1`, `"kind": 0`, 1)
+	}
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, schema); err == nil {
+		t.Fatal("kind-mismatched snapshot accepted")
+	}
+	// Missing required attribute: delete "name" from the object entirely
+	// (renaming it would trip the unknown-attribute check instead).
+	var snap map[string]any
+	if err := json.Unmarshal(orig, &snap); err != nil {
+		t.Fatal(err)
+	}
+	attrs := snap["objects"].([]any)[0].(map[string]any)["attrs"].(map[string]any)
+	delete(attrs, "name")
+	missing, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, missing, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, schema); err == nil {
+		t.Fatal("snapshot missing a required attribute accepted")
 	}
 }

@@ -37,20 +37,29 @@ type snapshotLink struct {
 }
 
 // Save writes the full store content to path as JSON. The write is atomic:
-// data goes to a temporary file first, then renamed into place.
+// data goes to a temporary file first, then renamed into place. Every
+// stripe is read-locked for the duration so the snapshot is consistent.
 func (st *Store) Save(path string) error {
-	st.mu.RLock()
+	st.allocMu.Lock()
 	snap := snapshot{NextOID: st.nextOID}
-	oids := make([]OID, 0, len(st.objects))
-	for oid := range st.objects {
-		oids = append(oids, oid)
+	st.allocMu.Unlock()
+
+	for i := range st.stripes {
+		st.stripes[i].mu.RLock()
 	}
-	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
-	for _, oid := range oids {
-		obj := st.objects[oid]
-		so := snapshotObj{OID: oid, Class: obj.class, Attrs: map[string]snapValue{}}
+	var objs []*object
+	for i := range st.stripes {
+		for _, obj := range st.stripes[i].objects {
+			objs = append(objs, obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].oid < objs[j].oid })
+	for _, obj := range objs {
+		so := snapshotObj{OID: obj.oid, Class: obj.class, Attrs: map[string]snapValue{}}
 		for name, v := range obj.attrs {
-			so.Attrs[name] = snapValue{Kind: v.Kind, Str: v.Str, Int: v.Int, Bool: v.Bool, Blob: v.Blob}
+			// Copy the blob: the snapshot must not alias store internals
+			// once the stripe locks are released.
+			so.Attrs[name] = snapValue{Kind: v.Kind, Str: v.Str, Int: v.Int, Bool: v.Bool, Blob: append([]byte(nil), v.Blob...)}
 		}
 		snap.Objects = append(snap.Objects, so)
 		rels := make([]string, 0, len(obj.links))
@@ -60,11 +69,13 @@ func (st *Store) Save(path string) error {
 		sort.Strings(rels)
 		for _, rel := range rels {
 			for _, to := range sortedOIDs(obj.links[rel]) {
-				snap.Links = append(snap.Links, snapshotLink{Rel: rel, From: oid, To: to})
+				snap.Links = append(snap.Links, snapshotLink{Rel: rel, From: obj.oid, To: to})
 			}
 		}
 	}
-	st.mu.RUnlock()
+	for i := len(st.stripes) - 1; i >= 0; i-- {
+		st.stripes[i].mu.RUnlock()
+	}
 
 	data, err := json.MarshalIndent(&snap, "", " ")
 	if err != nil {
@@ -95,24 +106,37 @@ func Load(path string, schema *Schema) (*Store, error) {
 	st := NewStore(schema)
 	st.nextOID = snap.NextOID
 	for _, so := range snap.Objects {
-		cls := schema.Class(so.Class)
+		cls := schema.class(so.Class)
 		if cls == nil {
 			return nil, fmt.Errorf("oms: load %s: unknown class %q", path, so.Class)
 		}
 		obj := newObject(so.OID, so.Class)
 		for name, sv := range so.Attrs {
-			if _, ok := cls.attr(name); !ok {
+			def, ok := cls.attr(name)
+			if !ok {
 				return nil, fmt.Errorf("oms: load %s: class %q has no attribute %q", path, so.Class, name)
+			}
+			if def.Kind != sv.Kind {
+				return nil, fmt.Errorf("oms: load %s: attribute %s.%s wants %s, got %s", path, so.Class, name, def.Kind, sv.Kind)
 			}
 			obj.attrs[name] = Value{Kind: sv.Kind, Str: sv.Str, Int: sv.Int, Bool: sv.Bool, Blob: sv.Blob}
 		}
-		st.objects[so.OID] = obj
+		for _, def := range cls.Attrs {
+			if def.Required {
+				if _, ok := so.Attrs[def.Name]; !ok {
+					return nil, fmt.Errorf("oms: load %s: class %q requires attribute %q", path, so.Class, def.Name)
+				}
+			}
+		}
+		s := st.stripeOf(so.OID)
+		s.objects[so.OID] = obj
+		s.addClass(so.Class, so.OID)
 		if so.OID >= st.nextOID {
 			st.nextOID = so.OID + 1
 		}
 	}
 	for _, l := range snap.Links {
-		if schema.Rel(l.Rel) == nil {
+		if schema.rel(l.Rel) == nil {
 			return nil, fmt.Errorf("oms: load %s: unknown relationship %q", path, l.Rel)
 		}
 		if err := st.Link(l.Rel, l.From, l.To); err != nil {
