@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-contention clean
+.PHONY: check build vet test race stress-persist bench bench-contention bench-persist clean
 
 ## check is the CI gate: a fresh checkout must build, vet and pass the
-## full test suite under the race detector. This is what keeps the
-## missing-go.mod regression (and any data race in the sharded OMS
-## kernel) from ever landing again.
-check: build vet race
+## full test suite under the race detector, plus an extra multi-count run
+## of the persistence crash-consistency stress test. This is what keeps
+## the missing-go.mod regression, data races in the sharded OMS kernel,
+## and torn (oms, framework) snapshot pairs from ever landing again.
+check: build vet race stress-persist
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+## stress-persist hammers Framework.Save against concurrent designers
+## under the race detector: every saved pair must Load and stay mutually
+## consistent (see internal/jcf/stress_test.go).
+stress-persist:
+	$(GO) test -race -count=3 -run 'TestSaveCrashConsistencyUnderLoad|TestDeriveConfigVersionConcurrent' ./internal/jcf/
+
 ## bench regenerates every paper table/figure benchmark.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -28,6 +35,12 @@ bench:
 ## used for the BENCH_*.json perf trajectory.
 bench-contention:
 	$(GO) test -bench 'BenchmarkE31LockContention|BenchmarkE36MetadataOps' -run '^$$' .
+
+## bench-persist runs the writer-stall ablation behind BENCH_2.json:
+## p99 Set latency during a concurrent snapshot, stop-the-world capture
+## vs consistent cut. Record medians of the three counts.
+bench-persist:
+	$(GO) test -bench 'BenchmarkE37SnapshotWriterStall' -run '^$$' -benchtime 150000x -count 3 .
 
 clean:
 	$(GO) clean ./...

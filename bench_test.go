@@ -12,6 +12,9 @@
 //	BenchmarkE36MetadataOps*       section 3.6 (metadata performance;
 //	                               *Parallel = concurrent designers)
 //	BenchmarkE36DesignData*        section 3.6 (design-data performance)
+//	BenchmarkE37SnapshotWriterStall  writer p99 latency during a concurrent
+//	                               snapshot save (BENCH_2.json; not a paper
+//	                               artifact — the PR 2 persistence ablation)
 //
 // Run with: go test -bench=. -benchmem
 package repro
@@ -19,8 +22,13 @@ package repro
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -433,6 +441,164 @@ func BenchmarkE36DesignDataWriteHybrid(b *testing.B) {
 		if err := world.HybridWriteOnce(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkE37SnapshotWriterStall measures what a designer feels while
+// the framework persists itself: the latency distribution of Set calls
+// issued against a blob-heavy store (the realistic shape — design data
+// dwarfs metadata) while a save loop runs concurrently. Two modes:
+//
+//   - stop-the-world: SnapshotStopTheWorld, the pre-PR-2 capture that
+//     holds every stripe read lock while copying all blob bytes out.
+//   - consistent-cut: Snapshot — stripes are held only for the
+//     O(headers) cut; blob bytes are shared (immutable, CoW).
+//
+// Everything around the capture — JSON encode, atomic file write, the
+// pause between saves — is byte-identical in both modes, so the modes
+// differ exactly in how long the stripe locks are held. The headline
+// metric is the p99 of Sets that overlap a capture (p99-during-snap-ns):
+// capture is the only phase either mode holds locks, and gating to it
+// keeps single-core scheduler noise from the lock-free encode phase from
+// burying the stall being measured.
+//
+// The writer is open-loop: Sets are scheduled at a fixed arrival rate
+// and latency is measured from the scheduled instant, not from when the
+// blocked loop got around to issuing the op. A closed loop would issue
+// exactly one op per stall and bury it in the percentile (coordinated
+// omission); open-loop scheduling charges a 30ms lock hold with every
+// op that should have completed during it.
+//
+// Reported metrics are per-Set percentiles in nanoseconds plus the
+// number of saves that completed while the writer was being measured.
+// BENCH_2.json records the ablation; regenerate with `make bench-persist`.
+func BenchmarkE37SnapshotWriterStall(b *testing.B) {
+	const (
+		objects  = 128
+		blobSize = 256 << 10 // 32 MiB of design data total
+	)
+	for _, mode := range []string{"stop-the-world", "consistent-cut"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			schema := oms.NewSchema()
+			if err := schema.AddClass("DesignObjectVersion",
+				oms.AttrDef{Name: "data", Kind: oms.KindBlob},
+				oms.AttrDef{Name: "rev", Kind: oms.KindInt}); err != nil {
+				b.Fatal(err)
+			}
+			st := oms.NewStore(schema)
+			blob := make([]byte, blobSize)
+			for i := range blob {
+				blob[i] = byte(i)
+			}
+			oids := make([]oms.OID, objects)
+			for i := range oids {
+				oid, err := st.Create("DesignObjectVersion", map[string]oms.Value{
+					"data": oms.Bytes(blob),
+					"rev":  oms.I(0),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				oids[i] = oid
+			}
+			// Snapshots land on tmpfs when the host has one: the file
+			// write is outside all locks in BOTH modes, so slow-disk
+			// writeback would only inject minutes-long system stalls that
+			// drown the lock behaviour this benchmark isolates.
+			dir := b.TempDir()
+			if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+				if d, err := os.MkdirTemp("/dev/shm", "omsbench"); err == nil {
+					dir = d
+					b.Cleanup(func() { os.RemoveAll(d) })
+				}
+			}
+			path := filepath.Join(dir, "oms.json")
+			capture := st.Snapshot
+			if mode == "stop-the-world" {
+				capture = st.SnapshotStopTheWorld
+			}
+			var stop, inCapture atomic.Bool
+			var saves atomic.Int64
+			var captureNS []time.Duration // saver-owned; read after wg.Wait
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					c0 := time.Now()
+					inCapture.Store(true)
+					snap := capture()
+					inCapture.Store(false)
+					captureNS = append(captureNS, time.Since(c0))
+					data, err := snap.EncodeJSON()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					tmp := path + ".tmp"
+					if err := os.WriteFile(tmp, data, 0o644); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := os.Rename(tmp, path); err != nil {
+						b.Error(err)
+						return
+					}
+					saves.Add(1)
+					// Pause between saves so the writer's queue drains:
+					// the measured tail is then the per-save stall, not
+					// sustained CPU saturation from back-to-back encodes.
+					time.Sleep(400 * time.Millisecond)
+				}
+			}()
+			const interval = 50 * time.Microsecond // 20k Sets/s arrival rate
+			lat := make([]time.Duration, 0, b.N)   // every op (open-loop, from sched)
+			var latDuring []time.Duration          // block time of Sets overlapping a capture
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				sched := start.Add(time.Duration(i) * interval)
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				overlapped := inCapture.Load()
+				t0 := time.Now()
+				if err := st.Set(oids[i%objects], "rev", oms.I(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+				now := time.Now()
+				lat = append(lat, now.Sub(sched))
+				if overlapped || inCapture.Load() {
+					// This Set ran while the capture held the stripe
+					// locks; its call duration is the stall it ate.
+					latDuring = append(latDuring, now.Sub(t0))
+				}
+			}
+			b.StopTimer()
+			stop.Store(true)
+			wg.Wait()
+			var captureTotal time.Duration
+			maxCapture := time.Duration(0)
+			for _, d := range captureNS {
+				captureTotal += d
+				if d > maxCapture {
+					maxCapture = d
+				}
+			}
+			pct := func(ds []time.Duration, p float64) float64 {
+				if len(ds) == 0 {
+					return 0
+				}
+				sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+				return float64(ds[int(p*float64(len(ds)-1))].Nanoseconds())
+			}
+			b.ReportMetric(pct(lat, 0.50), "p50-set-ns")
+			b.ReportMetric(pct(latDuring, 0.99), "p99-set-during-snap-ns")
+			b.ReportMetric(float64(len(latDuring)), "snap-overlap-ops")
+			b.ReportMetric(float64(captureTotal.Nanoseconds())/float64(len(captureNS)), "mean-capture-ns")
+			b.ReportMetric(float64(maxCapture.Nanoseconds()), "max-capture-ns")
+			b.ReportMetric(float64(saves.Load()), "saves")
+		})
 	}
 }
 

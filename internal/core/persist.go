@@ -12,6 +12,7 @@ import (
 	"repro/internal/itc"
 	"repro/internal/jcf"
 	"repro/internal/oms"
+	"repro/internal/oms/backend"
 )
 
 // Hybrid persistence: the slave library is inherently persistent (a
@@ -70,11 +71,13 @@ func (h *Hybrid) Save(dir string) error {
 	if err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
-	tmp := filepath.Join(dir, "hybrid.json.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// The bindings commit through the same atomic-rename backend the
+	// master's snapshot pairs use — one Put, never a torn hybrid.json.
+	b, err := backend.OpenFile(dir)
+	if err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, "hybrid.json")); err != nil {
+	if err := b.Put("hybrid.json", data); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
 	return nil

@@ -74,6 +74,13 @@ func (b *Bus) Unsubscribe(id int) {
 // Publish delivers a message to every subscriber of its topic, in
 // subscription order. The first handler error aborts delivery and is
 // returned to the publisher.
+//
+// Delivery counting: the per-topic counter is bumped once per Publish,
+// after the handler loop, not once per handler — handlers run lock-free
+// and publishers on one topic no longer serialize on the counter. A
+// vetoed publication counts its partial deliveries: every handler that
+// ran and accepted the message before the veto is counted; the vetoing
+// handler itself is not.
 func (b *Bus) Publish(msg Message) error {
 	if msg.Topic == "" {
 		return fmt.Errorf("itc: empty topic")
@@ -81,15 +88,21 @@ func (b *Bus) Publish(msg Message) error {
 	b.mu.Lock()
 	subs := append([]subscription(nil), b.subs[msg.Topic]...)
 	b.mu.Unlock()
+	delivered := 0
+	var vetoErr error
 	for _, s := range subs {
 		if err := s.handler(msg); err != nil {
-			return fmt.Errorf("itc: handler of %s (topic %s): %w", s.tool, msg.Topic, err)
+			vetoErr = fmt.Errorf("itc: handler of %s (topic %s): %w", s.tool, msg.Topic, err)
+			break
 		}
+		delivered++
+	}
+	if delivered > 0 {
 		b.mu.Lock()
-		b.delivered[msg.Topic]++
+		b.delivered[msg.Topic] += delivered
 		b.mu.Unlock()
 	}
-	return nil
+	return vetoErr
 }
 
 // Delivered returns how many deliveries happened on a topic.

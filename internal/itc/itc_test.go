@@ -55,6 +55,24 @@ func TestVeto(t *testing.T) {
 	}
 }
 
+// TestVetoCountsPartialDeliveries pins the documented counting rule: a
+// vetoed publication counts the handlers that accepted the message
+// before the veto; the vetoing handler and everything after it do not
+// count.
+func TestVetoCountsPartialDeliveries(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("t", "ok1", func(Message) error { return nil })
+	b.Subscribe("t", "ok2", func(Message) error { return nil })
+	b.Subscribe("t", "veto", func(Message) error { return errors.New("no") })
+	b.Subscribe("t", "after", func(Message) error { t.Error("ran after veto"); return nil })
+	if err := b.Publish(Message{Topic: "t"}); err == nil {
+		t.Fatal("veto not propagated")
+	}
+	if got := b.Delivered("t"); got != 2 {
+		t.Fatalf("Delivered after veto = %d, want 2 (the pre-veto deliveries)", got)
+	}
+}
+
 func TestUnsubscribe(t *testing.T) {
 	b := NewBus()
 	n := 0

@@ -51,16 +51,35 @@ func (fw *Framework) DeriveConfigVersion(from oms.OID) (oms.OID, error) {
 	if len(cfgSrc) == 0 {
 		return oms.InvalidOID, fmt.Errorf("%w: configuration of version", ErrNotFound)
 	}
-	num := int64(len(fw.store.Targets(fw.rel.cfgHasVersion, cfgSrc[0])) + 1)
+	// numMu spans the numbering decision and the cfgHasVersion link that
+	// makes the new version visible to it — the same discipline
+	// CreateCellVersion and CreateVariant use — so concurrent derives on
+	// one configuration never allocate duplicate numbers. The number is
+	// max+1 rather than count+1: a retracted losing derive (below) may
+	// leave a gap, and a count would then re-issue a live number.
+	fw.numMu.Lock()
+	num := int64(1)
+	for _, v := range fw.store.Targets(fw.rel.cfgHasVersion, cfgSrc[0]) {
+		if n := fw.store.GetInt(v, "num"); n >= num {
+			num = n + 1
+		}
+	}
 	next, err := fw.newConfigVersion(cfgSrc[0], num)
+	fw.numMu.Unlock()
 	if err != nil {
 		return oms.InvalidOID, err
 	}
 	if err := fw.store.Link(fw.rel.cfgPrecedes, from, next); err != nil {
+		// A concurrent derive from the same predecessor won the race (a
+		// config version has at most one successor). Retract the created
+		// version — Delete detaches its links — so the losing derive
+		// leaves no half-created state behind.
+		_ = fw.store.Delete(next)
 		return oms.InvalidOID, err
 	}
 	for _, e := range fw.store.Targets(fw.rel.hasEntry, from) {
 		if err := fw.store.Link(fw.rel.hasEntry, next, e); err != nil {
+			_ = fw.store.Delete(next)
 			return oms.InvalidOID, err
 		}
 	}

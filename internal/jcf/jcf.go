@@ -94,9 +94,14 @@ type Framework struct {
 	store   *oms.Store
 
 	// numMu serializes count-then-create version/variant numbering
-	// (CreateCellVersion, CreateVariant, CheckInData) so concurrent
-	// designers on the same cell never allocate duplicate numbers.
+	// (CreateCellVersion, CreateVariant, CheckInData,
+	// DeriveConfigVersion) so concurrent designers on the same cell
+	// never allocate duplicate numbers.
 	numMu sync.Mutex
+
+	// saveMu serializes Save/SaveTo: the commit epoch is a
+	// read-modify-write on the backend. Designers never touch it.
+	saveMu sync.Mutex
 
 	// mu guards the framework-level maps below. Reads vastly outnumber
 	// writes on the designers' hot path (reservation checks, flow lookups),

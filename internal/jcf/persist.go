@@ -1,25 +1,49 @@
 package jcf
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/flow"
 	"repro/internal/oms"
+	"repro/internal/oms/backend"
 	"repro/internal/otod"
 )
 
-// Framework persistence. The OMS database already persists itself
-// (oms.Store.Save); this file adds the framework-level state around it —
-// registered flows, workspace reservations, typed hierarchies and shares —
-// so a JCF instance survives desktop restarts like the original did.
+// Framework persistence: one crash-consistent cut over the OMS database
+// and the framework metadata around it — registered flows, workspace
+// reservations, typed hierarchies and shares — committed through a
+// pluggable storage backend.
 //
-// Layout under the state directory:
+// The failure this design removes: the old Save wrote oms.json, *then*
+// captured framework state, so a designer reserving or linking in the
+// gap produced a framework.json referencing OIDs absent from oms.json.
+// Now both halves are captured under a single cut (fw.mu held across the
+// store's stripe-locked Snapshot) and committed by ONE atomic manifest
+// Put; Load refuses any pair that is not mutually consistent.
 //
-//	oms.json        the object database snapshot
-//	framework.json  release, flows, reservations, 4.0 extension state
+// Layout through the backend (file backend shown; the segment backend
+// stores the same names in its write-ahead log):
+//
+//	CURRENT          commit manifest: epoch, payload names, checksums.
+//	                 Its atomic replacement is the commit point.
+//	oms@<epoch>        the object database snapshot payload
+//	framework@<epoch>  release, flows, reservations, 4.0 extension state
+//
+// Older epochs are garbage-collected after a successful commit. Legacy
+// state directories (oms.json + framework.json, written before the
+// manifest scheme) still load via a fallback.
+//
+// Flow enactments are not persisted: like the original, activity
+// execution state lives with the session, while all design data and
+// metadata live in the database.
 
 // persistedFlow serializes one registered flow.
 type persistedFlow struct {
@@ -29,7 +53,7 @@ type persistedFlow struct {
 	OID        oms.OID             `json:"oid"`
 }
 
-// persistedState is the framework.json content.
+// persistedState is the framework payload content.
 type persistedState struct {
 	Release      Release                          `json:"release"`
 	Flows        []persistedFlow                  `json:"flows"`
@@ -38,17 +62,61 @@ type persistedState struct {
 	Shares       map[oms.OID][]oms.OID            `json:"shares,omitempty"`
 }
 
-// Save writes the framework state into dir (created if needed). Flow
-// enactments are not persisted: like the original, activity execution
-// state lives with the session, while all design data and metadata live
-// in the database.
+// saveManifest is the CURRENT payload: the one object whose atomic
+// replacement commits a (framework, oms) snapshot pair.
+type saveManifest struct {
+	Epoch        int64  `json:"epoch"`
+	OMS          string `json:"oms"`
+	Framework    string `json:"framework"`
+	OMSSum       string `json:"oms_sha256"`
+	FrameworkSum string `json:"framework_sha256"`
+}
+
+const (
+	manifestKey = "CURRENT"
+	legacyOMS   = "oms.json"
+	legacyFW    = "framework.json"
+	omsPrefix   = "oms@"
+	fwPrefix    = "framework@"
+)
+
+// Save persists the framework into dir (created if needed) through the
+// default atomic-rename file backend. See SaveTo.
 func (fw *Framework) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("jcf: save: %w", err)
 	}
-	if err := fw.store.Save(filepath.Join(dir, "oms.json")); err != nil {
-		return err
+	b, err := backend.OpenFile(dir)
+	if err != nil {
+		return fmt.Errorf("jcf: save: %w", err)
 	}
+	return fw.SaveTo(b)
+}
+
+// SaveTo persists the framework through an arbitrary storage backend.
+//
+// The capture is one consistent cut: the framework maps are copied and
+// the store snapshot is taken while fw.mu is held, so every OID the
+// framework state references exists in the store payload. Designers are
+// stalled only for that capture — encoding and the backend writes run
+// outside all locks. The pair becomes visible atomically when the
+// CURRENT manifest is Put; a crash at any earlier point leaves the
+// previous epoch fully intact.
+func (fw *Framework) SaveTo(b backend.Backend) error {
+	// One saver at a time per framework: the epoch read-modify-write and
+	// the old-epoch GC below are not meant to race with themselves.
+	// Designers never take saveMu, so they are unaffected.
+	fw.saveMu.Lock()
+	defer fw.saveMu.Unlock()
+
+	epoch := int64(1)
+	if prev, err := loadManifest(b); err == nil {
+		epoch = prev.Epoch + 1
+	} else if !errors.Is(err, backend.ErrNotFound) {
+		return fmt.Errorf("jcf: save: reading previous manifest: %w", err)
+	}
+
+	// --- the consistent cut -------------------------------------------
 	fw.mu.RLock()
 	state := persistedState{
 		Release:      fw.release,
@@ -75,7 +143,13 @@ func (fw *Framework) Save(dir string) error {
 		flows[n] = f
 		flowOIDs[n] = fw.flowOIDs[n]
 	}
+	// The store cut is taken while fw.mu is still held: anything the
+	// captured framework state references was created strictly before
+	// this point, so it is inside the cut. Lock order fw.mu -> stripes is
+	// the one Publish already uses.
+	snap := fw.store.Snapshot()
 	fw.mu.RUnlock()
+	// --- everything below runs outside all framework/store locks ------
 
 	for _, name := range sortedFlowNames(flows) {
 		f := flows[name]
@@ -92,18 +166,88 @@ func (fw *Framework) Save(dir string) error {
 		}
 		state.Flows = append(state.Flows, pf)
 	}
-	data, err := json.MarshalIndent(&state, "", " ")
+	fwPayload, err := json.MarshalIndent(&state, "", " ")
 	if err != nil {
 		return fmt.Errorf("jcf: save: %w", err)
 	}
-	tmp := filepath.Join(dir, "framework.json.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	omsPayload, err := snap.EncodeJSON()
+	if err != nil {
 		return fmt.Errorf("jcf: save: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, "framework.json")); err != nil {
+
+	omsName := fmt.Sprintf("%s%d", omsPrefix, epoch)
+	fwName := fmt.Sprintf("%s%d", fwPrefix, epoch)
+	if err := b.Put(omsName, omsPayload); err != nil {
 		return fmt.Errorf("jcf: save: %w", err)
 	}
+	if err := b.Put(fwName, fwPayload); err != nil {
+		return fmt.Errorf("jcf: save: %w", err)
+	}
+	manifest := saveManifest{
+		Epoch:        epoch,
+		OMS:          omsName,
+		Framework:    fwName,
+		OMSSum:       sha256Hex(omsPayload),
+		FrameworkSum: sha256Hex(fwPayload),
+	}
+	mdata, err := json.MarshalIndent(&manifest, "", " ")
+	if err != nil {
+		return fmt.Errorf("jcf: save: %w", err)
+	}
+	// The commit point: one atomic Put flips readers to the new pair.
+	if err := b.Put(manifestKey, mdata); err != nil {
+		return fmt.Errorf("jcf: save: %w", err)
+	}
+	gcOldEpochs(b, epoch)
 	return nil
+}
+
+// gcOldEpochs drops superseded snapshot payloads, always retaining the
+// just-committed epoch AND its predecessor: a concurrent LoadFrom that
+// read the previous CURRENT moments before this commit must still find
+// the payloads it names. Best effort: a failure leaves stale-but-
+// unreferenced names behind, never a broken commit.
+func gcOldEpochs(b backend.Backend, committed int64) {
+	names, err := b.List()
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		var prefix string
+		switch {
+		case strings.HasPrefix(n, omsPrefix):
+			prefix = omsPrefix
+		case strings.HasPrefix(n, fwPrefix):
+			prefix = fwPrefix
+		default:
+			continue
+		}
+		e, err := strconv.ParseInt(n[len(prefix):], 10, 64)
+		if err != nil || e >= committed-1 {
+			continue
+		}
+		_ = b.Delete(n)
+	}
+}
+
+func sha256Hex(p []byte) string {
+	sum := sha256.Sum256(p)
+	return hex.EncodeToString(sum[:])
+}
+
+func loadManifest(b backend.Backend) (saveManifest, error) {
+	var m saveManifest
+	data, err := b.Get(manifestKey)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("corrupt manifest: %w", err)
+	}
+	if m.OMS == "" || m.Framework == "" {
+		return m, fmt.Errorf("corrupt manifest: missing payload names")
+	}
+	return m, nil
 }
 
 func sortedFlowNames(m map[string]*flow.Flow) []string {
@@ -112,22 +256,69 @@ func sortedFlowNames(m map[string]*flow.Flow) []string {
 		out = append(out, n)
 	}
 	// Insertion-order independence: sort for deterministic files.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 
-// Load restores a framework saved by Save.
+// Load restores a framework saved by Save from a state directory.
 func Load(dir string) (*Framework, error) {
-	data, err := os.ReadFile(filepath.Join(dir, "framework.json"))
+	b, err := backend.OpenFile(dir)
 	if err != nil {
 		return nil, fmt.Errorf("jcf: load: %w", err)
 	}
+	return LoadFrom(b)
+}
+
+// LoadFrom restores a framework from a storage backend. The manifest's
+// checksums are verified and the (framework, oms) pair is validated for
+// mutual consistency — a torn pair (one that references objects the
+// store payload does not contain) is rejected rather than resurrected.
+//
+// Backends without a CURRENT manifest fall back to the legacy layout
+// (framework.json + oms.json as two independent files).
+func LoadFrom(b backend.Backend) (*Framework, error) {
+	manifest, err := loadManifest(b)
+	if errors.Is(err, backend.ErrNotFound) {
+		return loadLegacy(b)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jcf: load: %w", err)
+	}
+	fwPayload, err := b.Get(manifest.Framework)
+	if err != nil {
+		return nil, fmt.Errorf("jcf: load: manifest epoch %d: %w", manifest.Epoch, err)
+	}
+	omsPayload, err := b.Get(manifest.OMS)
+	if err != nil {
+		return nil, fmt.Errorf("jcf: load: manifest epoch %d: %w", manifest.Epoch, err)
+	}
+	if got := sha256Hex(fwPayload); got != manifest.FrameworkSum {
+		return nil, fmt.Errorf("jcf: load: %s checksum mismatch (corrupt payload)", manifest.Framework)
+	}
+	if got := sha256Hex(omsPayload); got != manifest.OMSSum {
+		return nil, fmt.Errorf("jcf: load: %s checksum mismatch (corrupt payload)", manifest.OMS)
+	}
+	return decodePair(fwPayload, omsPayload)
+}
+
+// loadLegacy reads the pre-manifest two-file layout.
+func loadLegacy(b backend.Backend) (*Framework, error) {
+	fwPayload, err := b.Get(legacyFW)
+	if err != nil {
+		return nil, fmt.Errorf("jcf: load: %w", err)
+	}
+	omsPayload, err := b.Get(legacyOMS)
+	if err != nil {
+		return nil, fmt.Errorf("jcf: load: %w", err)
+	}
+	return decodePair(fwPayload, omsPayload)
+}
+
+// decodePair rebuilds a framework from the two snapshot payloads and
+// validates their mutual consistency.
+func decodePair(fwPayload, omsPayload []byte) (*Framework, error) {
 	var state persistedState
-	if err := json.Unmarshal(data, &state); err != nil {
+	if err := json.Unmarshal(fwPayload, &state); err != nil {
 		return nil, fmt.Errorf("jcf: load: %w", err)
 	}
 	fw, err := New(state.Release)
@@ -139,9 +330,9 @@ func Load(dir string) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := oms.Load(filepath.Join(dir, "oms.json"), schema)
+	store, err := oms.DecodeSnapshot(omsPayload, schema)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("jcf: load: %w", err)
 	}
 	fw.store = store
 
@@ -178,5 +369,52 @@ func Load(dir string) (*Framework, error) {
 		fw.shares = state.Shares
 	}
 	fw.mu.Unlock()
+	if err := fw.validateLoadedState(); err != nil {
+		return nil, err
+	}
 	return fw, nil
+}
+
+// validateLoadedState cross-checks the restored framework metadata
+// against the restored store: every OID the framework half references
+// must resolve. A failure means the pair was written by something other
+// than a single-cut Save (e.g. hand-edited or mixed epochs) — exactly
+// the torn snapshot Load must refuse to resurrect.
+func (fw *Framework) validateLoadedState() error {
+	torn := func(format string, args ...any) error {
+		return fmt.Errorf("jcf: load: torn snapshot pair: %s", fmt.Sprintf(format, args...))
+	}
+	for cv, user := range fw.reservations {
+		if !fw.store.Exists(cv) {
+			return torn("reservation by %q names missing cell version %d", user, cv)
+		}
+	}
+	for name, oid := range fw.flowOIDs {
+		if oid != oms.InvalidOID && !fw.store.Exists(oid) {
+			return torn("flow %q names missing object %d", name, oid)
+		}
+	}
+	for p, m := range fw.typedHier {
+		if !fw.store.Exists(p) {
+			return torn("typed hierarchy names missing parent %d", p)
+		}
+		for vt, kids := range m {
+			for _, k := range kids {
+				if !fw.store.Exists(k) {
+					return torn("typed hierarchy %d/%s names missing child %d", p, vt, k)
+				}
+			}
+		}
+	}
+	for p, cells := range fw.shares {
+		if !fw.store.Exists(p) {
+			return torn("share names missing project %d", p)
+		}
+		for _, c := range cells {
+			if !fw.store.Exists(c) {
+				return torn("project %d shares missing cell %d", p, c)
+			}
+		}
+	}
+	return nil
 }

@@ -1,12 +1,14 @@
 package jcf
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/oms"
+	"repro/internal/oms/backend"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -165,6 +167,36 @@ func TestLoadErrors(t *testing.T) {
 	_ = errSentinel
 }
 
+// readCommitted resolves the committed payload pair of a state dir
+// through its CURRENT manifest.
+func readCommitted(t *testing.T, dir string) (fwPayload, omsPayload []byte) {
+	t.Helper()
+	b, err := backend.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, err := b.Get("CURRENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		OMS       string `json:"oms"`
+		Framework string `json:"framework"`
+	}
+	if err := json.Unmarshal(mdata, &m); err != nil {
+		t.Fatal(err)
+	}
+	fwPayload, err = b.Get(m.Framework)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omsPayload, err = b.Get(m.OMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fwPayload, omsPayload
+}
+
 func TestSaveIsDeterministic(t *testing.T) {
 	w := newWorld(t, Release30)
 	dir1, dir2 := t.TempDir(), t.TempDir()
@@ -174,15 +206,149 @@ func TestSaveIsDeterministic(t *testing.T) {
 	if err := w.fw.Save(dir2); err != nil {
 		t.Fatal(err)
 	}
-	a, err := os.ReadFile(filepath.Join(dir1, "framework.json"))
+	fw1, oms1 := readCommitted(t, dir1)
+	fw2, oms2 := readCommitted(t, dir2)
+	if string(fw1) != string(fw2) {
+		t.Fatal("framework payload not deterministic")
+	}
+	if string(oms1) != string(oms2) {
+		t.Fatal("oms payload not deterministic")
+	}
+}
+
+// TestSaveCommitIsAtomic corrupts a committed payload and expects Load to
+// reject the pair via the manifest checksums instead of resurrecting
+// inconsistent state.
+func TestSaveCommitIsAtomic(t *testing.T) {
+	w := newWorld(t, Release30)
+	dir := t.TempDir()
+	if err := w.fw.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the committed oms payload, bypassing Save.
+	var m struct {
+		OMS string `json:"oms"`
+	}
+	mdata, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := os.ReadFile(filepath.Join(dir2, "framework.json"))
+	if err := json.Unmarshal(mdata, &m); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := os.ReadFile(filepath.Join(dir, m.OMS))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(a) != string(b) {
-		t.Fatal("framework.json not deterministic")
+	payload[len(payload)/2] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, m.OMS), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt committed payload accepted")
+	}
+}
+
+// TestLoadRejectsTornPair builds, by hand, the exact artifact the old
+// two-cut Save could produce — a framework payload whose reservation
+// names a cell version absent from the oms payload — and expects Load to
+// refuse it.
+func TestLoadRejectsTornPair(t *testing.T) {
+	w := newWorld(t, Release30)
+	if err := w.fw.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := w.fw.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Pair the committed framework payload (reservation included) with
+	// the oms payload of an EMPTY framework — mixed cuts.
+	empty, err := New(Release30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyDir := t.TempDir()
+	if err := empty.Save(emptyDir); err != nil {
+		t.Fatal(err)
+	}
+	fwPayload, _ := readCommitted(t, dir)
+	_, emptyOMS := readCommitted(t, emptyDir)
+
+	torn := t.TempDir()
+	b, err := backend.OpenFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("framework.json", fwPayload); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("oms.json", emptyOMS); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(torn); err == nil {
+		t.Fatal("torn (framework, oms) pair accepted")
+	}
+}
+
+// TestSaveLoadThroughSegmentBackend round-trips the framework through the
+// append-only WAL backend — the same public Save/Load semantics over the
+// second storage implementation.
+func TestSaveLoadThroughSegmentBackend(t *testing.T) {
+	w := newWorld(t, Release30)
+	if err := w.fw.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	seg, err := backend.OpenSegment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.fw.SaveTo(seg); err != nil {
+		t.Fatal(err)
+	}
+	// Save twice: epochs advance, old payloads are GCed, latest wins.
+	if err := w.fw.SaveTo(seg); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := backend.OpenSegment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := LoadFrom(reopened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holder, held := ld.ReservedBy(w.cv)
+	if !held || holder != "anna" {
+		t.Fatalf("reservation lost through segment backend: %q,%t", holder, held)
+	}
+	if got := ld.Flows(); len(got) != 1 || got[0] != "asic" {
+		t.Fatalf("flows = %v", got)
+	}
+	names, err := reopened.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The committed epoch AND its predecessor are retained (a reader of
+	// the previous CURRENT must still find its payloads); anything older
+	// is collected. After two saves: CURRENT + epochs 1 and 2.
+	if len(names) != 5 {
+		t.Fatalf("after 2 saves want CURRENT + 2 epoch pairs, got %v", names)
+	}
+	if err := ld.SaveTo(reopened); err != nil { // epoch 3: epoch 1 collected
+		t.Fatal(err)
+	}
+	names, err = reopened.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5 {
+		t.Fatalf("after 3 saves want CURRENT + epochs 2,3, got %v", names)
+	}
+	for _, n := range names {
+		if n == "oms@1" || n == "framework@1" {
+			t.Fatalf("epoch 1 not collected: %v", names)
+		}
 	}
 }

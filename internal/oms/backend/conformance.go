@@ -1,0 +1,187 @@
+package backend
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Factory opens a Backend over dir. Conformance calls it repeatedly on
+// the same directory to check that state survives a reopen (the crash /
+// restart story), and on fresh directories for isolated cases.
+type Factory func(tb testing.TB, dir string) Backend
+
+// Conformance runs the Backend contract against an implementation. Both
+// shipped backends — and any future one — must pass it unchanged; the
+// framework's commit protocol relies on exactly these semantics.
+func Conformance(t *testing.T, open Factory) {
+	t.Run("GetMissing", func(t *testing.T) {
+		b := open(t, t.TempDir())
+		if _, err := b.Get("absent"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("PutGetRoundTrip", func(t *testing.T) {
+		b := open(t, t.TempDir())
+		payloads := map[string][]byte{
+			"small":      []byte("hello"),
+			"empty":      {},
+			"binary.bin": {0, 1, 2, 255, 254, '\n', 0},
+			"large@7":    bytes.Repeat([]byte{0xAB, 0xCD}, 1<<19), // 1 MiB
+		}
+		for name, p := range payloads {
+			if err := b.Put(name, p); err != nil {
+				t.Fatalf("Put(%s): %v", name, err)
+			}
+		}
+		for name, p := range payloads {
+			got, err := b.Get(name)
+			if err != nil {
+				t.Fatalf("Get(%s): %v", name, err)
+			}
+			if !bytes.Equal(got, p) {
+				t.Fatalf("Get(%s) = %d bytes, want %d (content differs)", name, len(got), len(p))
+			}
+		}
+	})
+
+	t.Run("ReturnedPayloadIsPrivate", func(t *testing.T) {
+		b := open(t, t.TempDir())
+		if err := b.Put("n", []byte("immutable")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Get("n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			got[i] = 'X'
+		}
+		again, err := b.Get("n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != "immutable" {
+			t.Fatalf("stored payload corrupted by caller mutation: %q", again)
+		}
+	})
+
+	t.Run("OverwriteReturnsLatest", func(t *testing.T) {
+		b := open(t, t.TempDir())
+		for i := 0; i < 5; i++ {
+			if err := b.Put("n", []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := b.Get("n")
+		if err != nil || string(got) != "v4" {
+			t.Fatalf("Get after overwrites = %q, %v", got, err)
+		}
+	})
+
+	t.Run("ListSortedAndDeleteAware", func(t *testing.T) {
+		b := open(t, t.TempDir())
+		for _, n := range []string{"zeta", "alpha", "mid"} {
+			if err := b.Put(n, []byte(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		names, err := b.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+			t.Fatalf("List = %v", names)
+		}
+		if err := b.Delete("mid"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Delete("never-existed"); err != nil {
+			t.Fatalf("Delete of absent name: %v", err)
+		}
+		names, err = b.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+			t.Fatalf("List after delete = %v", names)
+		}
+		if _, err := b.Get("mid"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(deleted) = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("RejectsHostileNames", func(t *testing.T) {
+		b := open(t, t.TempDir())
+		for _, n := range []string{"", "../escape", "a/b", ".hidden", "a b", "x\x00y"} {
+			if err := b.Put(n, []byte("x")); err == nil {
+				t.Fatalf("Put(%q) accepted", n)
+			}
+			if _, err := b.Get(n); err == nil {
+				t.Fatalf("Get(%q) accepted", n)
+			}
+		}
+	})
+
+	t.Run("SurvivesReopen", func(t *testing.T) {
+		dir := t.TempDir()
+		b := open(t, dir)
+		if err := b.Put("keep", []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put("keep", []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put("other", bytes.Repeat([]byte("z"), 4096)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Delete("other"); err != nil {
+			t.Fatal(err)
+		}
+		re := open(t, dir) // same directory: simulated restart
+		got, err := re.Get("keep")
+		if err != nil || string(got) != "v2" {
+			t.Fatalf("after reopen Get(keep) = %q, %v", got, err)
+		}
+		if _, err := re.Get("other"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted name resurrected by reopen: %v", err)
+		}
+		names, err := re.List()
+		if err != nil || len(names) != 1 || names[0] != "keep" {
+			t.Fatalf("after reopen List = %v, %v", names, err)
+		}
+	})
+
+	t.Run("ConcurrentPutsDistinctNames", func(t *testing.T) {
+		b := open(t, t.TempDir())
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					name := fmt.Sprintf("g%d", g)
+					if err := b.Put(name, []byte(fmt.Sprintf("g%d-i%d", g, i))); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		for g := 0; g < 8; g++ {
+			got, err := b.Get(fmt.Sprintf("g%d", g))
+			if err != nil || string(got) != fmt.Sprintf("g%d-i9", g) {
+				t.Fatalf("Get(g%d) = %q, %v", g, got, err)
+			}
+		}
+	})
+}

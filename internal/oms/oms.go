@@ -43,7 +43,15 @@
 //     then replays the undo entries in one atomic step with every stripe
 //     write-locked
 //
-// allocMu (OID allocation) and the stat counters (atomics) stand alone.
+// allocMu (OID allocation) and the stat counters (atomics) stand alone,
+// with one exception: Snapshot reads nextOID under allocMu while holding
+// every stripe read lock (the consistent cut). That nests stripes →
+// allocMu; Create never holds allocMu and a stripe lock at the same
+// time, so the order stays acyclic.
+//
+// Blob values are immutable once stored: Set installs a private clone
+// (copy-on-write) and Get returns clones, so a Snapshot may share blob
+// backing arrays with the live store without copying them.
 package oms
 
 import (

@@ -915,9 +915,9 @@ func TestLoadRejectsCorruptAttributes(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Kind mismatch: rev declared int, snapshot says string.
-	bad := strings.Replace(string(orig), `"rev": {"kind":1`, `"rev": {"kind":0`, 1)
+	bad := strings.Replace(string(orig), `"rev":{"kind":1`, `"rev":{"kind":0`, 1)
 	if bad == string(orig) {
-		bad = strings.Replace(string(orig), `"kind": 1`, `"kind": 0`, 1)
+		bad = strings.Replace(string(orig), `"kind":1`, `"kind":0`, 1)
 	}
 	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
 		t.Fatal(err)

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/oms/backend"
 )
 
 // snapshot is the on-disk form of a Store. It intentionally contains only
@@ -36,56 +38,87 @@ type snapshotLink struct {
 	To   OID    `json:"to"`
 }
 
-// Save writes the full store content to path as JSON. The write is atomic:
-// data goes to a temporary file first, then renamed into place. Every
-// stripe is read-locked for the duration so the snapshot is consistent.
+// Save writes the full store content to path as JSON. The write is atomic
+// (temporary file + rename) and the content is a consistent cut taken via
+// Snapshot: writers stall only for the brief header copy, never for the
+// encode or the disk write.
 func (st *Store) Save(path string) error {
+	data, err := st.Snapshot().EncodeJSON()
+	if err != nil {
+		return fmt.Errorf("oms: save: %w", err)
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return fmt.Errorf("oms: save: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via the backend layer's fsynced
+// temp-file + atomic-rename helper, so a snapshot file is never torn
+// and survives a power loss once Save returns.
+func writeFileAtomic(path string, data []byte) error {
+	return backend.AtomicWriteFile(filepath.Dir(path), filepath.Base(path), data)
+}
+
+// SnapshotStopTheWorld is the pre-PR-2 capture strategy, retained only
+// as the ablation baseline for the writer-stall benchmark
+// (BenchmarkE37SnapshotWriterStall / BENCH_2.json): every stripe is
+// read-locked while the full content — blob bytes included — is deep-
+// copied out, so writers stall for O(total blob bytes) instead of
+// Snapshot's O(object headers). New code must use Snapshot.
+//
+// It also reproduces the allocation-window bug Snapshot fixes: nextOID
+// is read before the stripe locks, so an object created in the gap can
+// be captured with OID >= NextOID.
+func (st *Store) SnapshotStopTheWorld() *Snapshot {
 	st.allocMu.Lock()
-	snap := snapshot{NextOID: st.nextOID}
+	sn := &Snapshot{nextOID: st.nextOID}
 	st.allocMu.Unlock()
 
 	for i := range st.stripes {
 		st.stripes[i].mu.RLock()
 	}
-	var objs []*object
 	for i := range st.stripes {
 		for _, obj := range st.stripes[i].objects {
-			objs = append(objs, obj)
-		}
-	}
-	sort.Slice(objs, func(i, j int) bool { return objs[i].oid < objs[j].oid })
-	for _, obj := range objs {
-		so := snapshotObj{OID: obj.oid, Class: obj.class, Attrs: map[string]snapValue{}}
-		for name, v := range obj.attrs {
-			// Copy the blob: the snapshot must not alias store internals
-			// once the stripe locks are released.
-			so.Attrs[name] = snapValue{Kind: v.Kind, Str: v.Str, Int: v.Int, Bool: v.Bool, Blob: append([]byte(nil), v.Blob...)}
-		}
-		snap.Objects = append(snap.Objects, so)
-		rels := make([]string, 0, len(obj.links))
-		for rel := range obj.links {
-			rels = append(rels, rel)
-		}
-		sort.Strings(rels)
-		for _, rel := range rels {
-			for _, to := range sortedOIDs(obj.links[rel]) {
-				snap.Links = append(snap.Links, snapshotLink{Rel: rel, From: obj.oid, To: to})
+			h := snapObjHdr{
+				oid:   obj.oid,
+				class: obj.class,
+				attrs: make(map[string]Value, len(obj.attrs)),
 			}
+			for name, v := range obj.attrs {
+				// The stop-the-world property: blob bytes are copied
+				// while every stripe lock is held.
+				h.attrs[name] = v.clone()
+			}
+			if len(obj.links) > 0 {
+				h.links = make(map[string][]OID, len(obj.links))
+				for rel, targets := range obj.links {
+					ts := make([]OID, 0, len(targets))
+					for to := range targets {
+						ts = append(ts, to)
+					}
+					h.links[rel] = ts
+				}
+			}
+			sn.objs = append(sn.objs, h)
 		}
 	}
 	for i := len(st.stripes) - 1; i >= 0; i-- {
 		st.stripes[i].mu.RUnlock()
 	}
+	sort.Slice(sn.objs, func(i, j int) bool { return sn.objs[i].oid < sn.objs[j].oid })
+	return sn
+}
 
-	data, err := json.MarshalIndent(&snap, "", " ")
+// SaveStopTheWorld is Save with the stop-the-world capture — the full
+// pre-PR-2 persistence path, kept for the same ablation purpose as
+// SnapshotStopTheWorld.
+func (st *Store) SaveStopTheWorld(path string) error {
+	data, err := st.SnapshotStopTheWorld().EncodeJSON()
 	if err != nil {
 		return fmt.Errorf("oms: save: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("oms: save: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := writeFileAtomic(path, data); err != nil {
 		return fmt.Errorf("oms: save: %w", err)
 	}
 	return nil
@@ -99,32 +132,44 @@ func Load(path string, schema *Schema) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("oms: load: %w", err)
 	}
+	st, err := DecodeSnapshot(data, schema)
+	if err != nil {
+		return nil, fmt.Errorf("oms: load %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// DecodeSnapshot rebuilds a store from an encoded snapshot payload (the
+// bytes Snapshot.EncodeJSON or Save produced), regardless of which
+// storage backend held them. The payload is validated against the schema;
+// unknown classes, attributes or relationships fail the decode.
+func DecodeSnapshot(data []byte, schema *Schema) (*Store, error) {
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("oms: load %s: %w", path, err)
+		return nil, fmt.Errorf("decode snapshot: %w", err)
 	}
 	st := NewStore(schema)
 	st.nextOID = snap.NextOID
 	for _, so := range snap.Objects {
 		cls := schema.class(so.Class)
 		if cls == nil {
-			return nil, fmt.Errorf("oms: load %s: unknown class %q", path, so.Class)
+			return nil, fmt.Errorf("decode snapshot: unknown class %q", so.Class)
 		}
 		obj := newObject(so.OID, so.Class)
 		for name, sv := range so.Attrs {
 			def, ok := cls.attr(name)
 			if !ok {
-				return nil, fmt.Errorf("oms: load %s: class %q has no attribute %q", path, so.Class, name)
+				return nil, fmt.Errorf("decode snapshot: class %q has no attribute %q", so.Class, name)
 			}
 			if def.Kind != sv.Kind {
-				return nil, fmt.Errorf("oms: load %s: attribute %s.%s wants %s, got %s", path, so.Class, name, def.Kind, sv.Kind)
+				return nil, fmt.Errorf("decode snapshot: attribute %s.%s wants %s, got %s", so.Class, name, def.Kind, sv.Kind)
 			}
 			obj.attrs[name] = Value{Kind: sv.Kind, Str: sv.Str, Int: sv.Int, Bool: sv.Bool, Blob: sv.Blob}
 		}
 		for _, def := range cls.Attrs {
 			if def.Required {
 				if _, ok := so.Attrs[def.Name]; !ok {
-					return nil, fmt.Errorf("oms: load %s: class %q requires attribute %q", path, so.Class, def.Name)
+					return nil, fmt.Errorf("decode snapshot: class %q requires attribute %q", so.Class, def.Name)
 				}
 			}
 		}
@@ -137,10 +182,10 @@ func Load(path string, schema *Schema) (*Store, error) {
 	}
 	for _, l := range snap.Links {
 		if schema.rel(l.Rel) == nil {
-			return nil, fmt.Errorf("oms: load %s: unknown relationship %q", path, l.Rel)
+			return nil, fmt.Errorf("decode snapshot: unknown relationship %q", l.Rel)
 		}
 		if err := st.Link(l.Rel, l.From, l.To); err != nil {
-			return nil, fmt.Errorf("oms: load %s: %w", path, err)
+			return nil, fmt.Errorf("decode snapshot: %w", err)
 		}
 	}
 	return st, nil
