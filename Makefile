@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race stress-persist bench bench-contention bench-persist clean
+.PHONY: check build vet test race stress-persist stress-atomic bench bench-contention bench-persist bench-batch clean
 
 ## check is the CI gate: a fresh checkout must build, vet and pass the
 ## full test suite under the race detector, plus an extra multi-count run
 ## of the persistence crash-consistency stress test. This is what keeps
 ## the missing-go.mod regression, data races in the sharded OMS kernel,
 ## and torn (oms, framework) snapshot pairs from ever landing again.
-check: build vet race stress-persist
+check: build vet race stress-persist stress-atomic
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ race:
 stress-persist:
 	$(GO) test -race -count=3 -run 'TestSaveCrashConsistencyUnderLoad|TestDeriveConfigVersionConcurrent' ./internal/jcf/
 
+## stress-atomic hammers the grouped-operation paths under the race
+## detector: batches must stay all-or-nothing against concurrent readers
+## and CheckInData must only commit while the reservation is held (see
+## internal/oms/batch_test.go and internal/jcf/atomic_test.go).
+stress-atomic:
+	$(GO) test -race -count=3 -run 'TestBatchAtomicUnderConcurrency|TestCheckInDataVsPublishRace|TestDeriveVariantConcurrent' ./internal/oms/ ./internal/jcf/
+
 ## bench regenerates every paper table/figure benchmark.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -41,6 +48,16 @@ bench-contention:
 ## vs consistent cut. Record medians of the three counts.
 bench-persist:
 	$(GO) test -bench 'BenchmarkE37SnapshotWriterStall' -run '^$$' -benchtime 150000x -count 3 .
+
+## bench-batch runs the grouped-checkin ablation behind BENCH_3.json:
+## the section 3.6 copy-in sequence, op-by-op vs one atomic batch, at
+## 4/16/64 concurrent designers. Each mode runs in its own process with
+## a fixed iteration count so both do identical work on identical store
+## sizes (heap/store growth otherwise penalizes whichever mode runs
+## second). Record per-designer-count medians of the three counts.
+bench-batch:
+	$(GO) test -bench 'BenchmarkE38BatchCheckin/mode=op-by-op' -run '^$$' -benchtime 300x -count 3 .
+	$(GO) test -bench 'BenchmarkE38BatchCheckin/mode=batched' -run '^$$' -benchtime 300x -count 3 .
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,9 @@
 //	BenchmarkE37SnapshotWriterStall  writer p99 latency during a concurrent
 //	                               snapshot save (BENCH_2.json; not a paper
 //	                               artifact — the PR 2 persistence ablation)
+//	BenchmarkE38BatchCheckin       grouped vs op-by-op checkin under
+//	                               concurrent designers (BENCH_3.json; the
+//	                               PR 3 batched-operations ablation)
 //
 // Run with: go test -bench=. -benchmem
 package repro
@@ -599,6 +602,120 @@ func BenchmarkE37SnapshotWriterStall(b *testing.B) {
 			b.ReportMetric(float64(maxCapture.Nanoseconds()), "max-capture-ns")
 			b.ReportMetric(float64(saves.Load()), "saves")
 		})
+	}
+}
+
+// BenchmarkE38BatchCheckin measures the copy-in checkin sequence of
+// section 3.6 — version create + ownership link + data blob + derivation
+// link — through both checkin paths at 4/16/64 concurrent designers:
+//
+//   - op-by-op: CheckInDataOpByOp, the pre-batch path retained as the
+//     ablation baseline; every op pays its own stripe-lock round-trip and
+//     the sequence can be observed (or left) half-done.
+//   - batched: CheckInData over oms.Batch/Store.Apply; the touched
+//     stripe set is locked once for all four ops and the group is
+//     all-or-nothing.
+//
+// Designers work on disjoint cells (their own reserved cell versions),
+// the section 3.1 regime, and each checks a fresh design object in
+// checkinsPerOp times per benchmark iteration so per-design-object
+// version lists stay short and the measured cost is the checkin itself,
+// not version-history scans.
+//
+// Store and process heap grow monotonically across a benchmark process's
+// lifetime and measurably slow every later sub-benchmark, so a fair
+// ablation runs the two modes in SEPARATE processes with a fixed
+// iteration count (equal work on equal store sizes) — that is what
+// `make bench-batch` does; compare per-designer-count medians between
+// the two invocations. BENCH_3.json records the result.
+func BenchmarkE38BatchCheckin(b *testing.B) {
+	const checkinsPerOp = 10
+	for _, n := range benchDesigners {
+		for _, mode := range []string{"op-by-op", "batched"} {
+			b.Run(fmt.Sprintf("mode=%s/designers=%d", mode, n), func(b *testing.B) {
+				fw, err := jcf.New(jcf.Release30)
+				if err != nil {
+					b.Fatal(err)
+				}
+				team, err := fw.CreateTeam("bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				f := flow.New("bench-flow")
+				if err := f.AddActivity(flow.Activity{Name: "edit"}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fw.RegisterFlow(f); err != nil {
+					b.Fatal(err)
+				}
+				project, err := fw.CreateProject("p", team)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vt, err := fw.CreateViewType("schematic")
+				if err != nil {
+					b.Fatal(err)
+				}
+				users := make([]string, n)
+				variants := make([]oms.OID, n)
+				for d := 0; d < n; d++ {
+					users[d] = fmt.Sprintf("u%d", d)
+					uid, err := fw.CreateUser(users[d])
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := fw.AddMember(team, uid); err != nil {
+						b.Fatal(err)
+					}
+					cell, err := fw.CreateCell(project, fmt.Sprintf("c%d", d))
+					if err != nil {
+						b.Fatal(err)
+					}
+					cv, err := fw.CreateCellVersion(cell, "bench-flow", team)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := fw.Reserve(users[d], cv); err != nil {
+						b.Fatal(err)
+					}
+					variants[d] = fw.Variants(cv)[0]
+				}
+				src := filepath.Join(b.TempDir(), "design.dat")
+				payload := make([]byte, 256)
+				for i := range payload {
+					payload[i] = byte(i)
+				}
+				if err := os.WriteFile(src, payload, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				checkin := fw.CheckInData
+				if mode == "op-by-op" {
+					checkin = fw.CheckInDataOpByOp
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for d := 0; d < n; d++ {
+						wg.Add(1)
+						go func(d int) {
+							defer wg.Done()
+							do, err := fw.CreateDesignObject(variants[d], fmt.Sprintf("do-%d-%d", d, i), vt)
+							if err != nil {
+								b.Errorf("create design object: %v", err)
+								return
+							}
+							for s := 0; s < checkinsPerOp; s++ {
+								if _, err := checkin(users[d], do, src); err != nil {
+									b.Errorf("checkin: %v", err)
+									return
+								}
+							}
+						}(d)
+					}
+					wg.Wait()
+				}
+			})
+		}
 	}
 }
 

@@ -297,7 +297,9 @@ func (h *Hybrid) VerifyMapping() []string {
 			if !viewSet[view] {
 				problems = append(problems, fmt.Sprintf("slave cell %s lacks cellview %s", b.fmcadCell, view))
 			}
-			if got := h.JCF.ViewTypeOf(do); got != view {
+			if got, err := h.JCF.ViewTypeOf(do); err != nil {
+				problems = append(problems, fmt.Sprintf("design object %d has no view type: %v", do, err))
+			} else if got != view {
 				problems = append(problems, fmt.Sprintf("design object %d has view type %q, want %q", do, got, view))
 			}
 		}

@@ -57,14 +57,21 @@ func (b *Bus) Subscribe(topic, tool string, h Handler) int {
 	return b.nextID
 }
 
-// Unsubscribe removes a subscription by id. Unknown ids are ignored.
+// Unsubscribe removes a subscription by id. Unknown ids are ignored. A
+// topic whose last subscriber leaves is removed from the table entirely:
+// an empty-but-present slice would make Topics report a stale topic
+// forever (and leak an entry per topic name ever used).
 func (b *Bus) Unsubscribe(id int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for topic, subs := range b.subs {
 		for i, s := range subs {
 			if s.id == id {
-				b.subs[topic] = append(subs[:i:i], subs[i+1:]...)
+				if len(subs) == 1 {
+					delete(b.subs, topic)
+				} else {
+					b.subs[topic] = append(subs[:i:i], subs[i+1:]...)
+				}
 				return
 			}
 		}
@@ -119,6 +126,20 @@ func (b *Bus) Subscribers(topic string) []string {
 	var out []string
 	for _, s := range b.subs[topic] {
 		out = append(out, s.tool)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Topics returns the topics that currently have at least one subscriber,
+// sorted. Unsubscribe removes emptied topics from the table, so a topic
+// never lingers here after its last subscriber left.
+func (b *Bus) Topics() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.subs))
+	for topic := range b.subs {
+		out = append(out, topic)
 	}
 	sort.Strings(out)
 	return out

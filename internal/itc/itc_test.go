@@ -130,3 +130,34 @@ func TestConcurrentPublish(t *testing.T) {
 		t.Fatalf("Delivered = %d", b.Delivered("t"))
 	}
 }
+
+func TestUnsubscribeRemovesEmptyTopics(t *testing.T) {
+	b := NewBus()
+	nop := func(Message) error { return nil }
+	id1 := b.Subscribe("crossprobe", "schematic", nop)
+	id2 := b.Subscribe("crossprobe", "layout", nop)
+	id3 := b.Subscribe("status", "dsim", nop)
+	if got := b.Topics(); len(got) != 2 || got[0] != "crossprobe" || got[1] != "status" {
+		t.Fatalf("Topics = %v", got)
+	}
+	b.Unsubscribe(id3)
+	if got := b.Topics(); len(got) != 1 || got[0] != "crossprobe" {
+		t.Fatalf("Topics after emptying status = %v; stale topic reported", got)
+	}
+	b.Unsubscribe(id1)
+	if got := b.Topics(); len(got) != 1 {
+		t.Fatalf("Topics after partial unsubscribe = %v", got)
+	}
+	if got := b.Subscribers("crossprobe"); len(got) != 1 || got[0] != "layout" {
+		t.Fatalf("Subscribers = %v", got)
+	}
+	b.Unsubscribe(id2)
+	if got := b.Topics(); len(got) != 0 {
+		t.Fatalf("Topics after last unsubscribe = %v; stale topic reported", got)
+	}
+	// Resubscribing a drained topic works from scratch.
+	b.Subscribe("crossprobe", "schematic", nop)
+	if got := b.Topics(); len(got) != 1 || got[0] != "crossprobe" {
+		t.Fatalf("Topics after resubscribe = %v", got)
+	}
+}

@@ -2,7 +2,6 @@ package jcf
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/oms"
 )
@@ -119,9 +118,7 @@ func (fw *Framework) ConfigEntries(cfgVersion oms.OID) []oms.OID {
 // ConfigVersions returns the version OIDs of a configuration in order.
 func (fw *Framework) ConfigVersions(cfg oms.OID) []oms.OID {
 	vs := fw.store.Targets(fw.rel.cfgHasVersion, cfg)
-	sort.Slice(vs, func(i, j int) bool {
-		return fw.store.GetInt(vs[i], "num") < fw.store.GetInt(vs[j], "num")
-	})
+	fw.sortByIntAttr(vs, "num")
 	return vs
 }
 

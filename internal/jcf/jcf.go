@@ -94,14 +94,23 @@ type Framework struct {
 	store   *oms.Store
 
 	// numMu serializes count-then-create version/variant numbering
-	// (CreateCellVersion, CreateVariant, CheckInData,
+	// (CreateCellVersion, CreateVariant, DeriveVariant, CheckInData,
 	// DeriveConfigVersion) so concurrent designers on the same cell
-	// never allocate duplicate numbers.
+	// never allocate duplicate numbers. Lock order: fw.mu may be held
+	// when numMu is taken (CheckInData holds fw.mu for reading across
+	// its whole batch so the reservation check stays true until the
+	// commit); never the reverse. Store stripe locks are always the
+	// innermost.
 	numMu sync.Mutex
 
 	// saveMu serializes Save/SaveTo: the commit epoch is a
 	// read-modify-write on the backend. Designers never touch it.
 	saveMu sync.Mutex
+
+	// batchPool recycles oms.Batch builders for the hot grouped paths
+	// (CheckInData, CreateDesignObject): one checkin = one small batch,
+	// and pooling keeps the builder allocation off the per-checkin cost.
+	batchPool sync.Pool
 
 	// mu guards the framework-level maps below. Reads vastly outnumber
 	// writes on the designers' hot path (reservation checks, flow lookups),
@@ -179,6 +188,22 @@ func New(release Release) (*Framework, error) {
 		configures:      r("configures", "Configuration", "CellVersion"),
 	}
 	return fw, nil
+}
+
+// getBatch fetches a pooled, reset batch builder; putBatch returns it.
+// Safe because Apply takes no lasting references into the batch (staged
+// values are either transferred into store objects or dropped) and Reset
+// zeroes every slot before the batch is reused.
+func (fw *Framework) getBatch() *oms.Batch {
+	if b, ok := fw.batchPool.Get().(*oms.Batch); ok {
+		return b
+	}
+	return oms.NewBatch()
+}
+
+func (fw *Framework) putBatch(b *oms.Batch) {
+	b.Reset()
+	fw.batchPool.Put(b)
 }
 
 // Release returns the framework release level.
@@ -321,42 +346,42 @@ func (fw *Framework) RegisterFlow(f *flow.Flow) (oms.OID, error) {
 		}
 	}()
 
-	oid, err := fw.named("Flow", f.Name)
-	if err != nil {
-		return oms.InvalidOID, err
+	if f.Name == "" {
+		return oms.InvalidOID, fmt.Errorf("jcf: empty Flow name")
 	}
-	// Materialize activities + proxies so the metadata is queryable.
+	if hits := fw.store.FindByAttr("Flow", "name", oms.S(f.Name)); len(hits) > 0 {
+		return oms.InvalidOID, fmt.Errorf("%w: Flow %q", ErrExists, f.Name)
+	}
+	// Materialize the flow object, its activities and their proxies as ONE
+	// batch so the queryable metadata appears atomically: no concurrent
+	// reader (or crash-consistent snapshot) ever sees a Flow object whose
+	// activities are still being wired up, and any failure leaves no
+	// half-materialized flow to collide with a retry.
 	proxyRel := fw.model.SchemaRelName(otod.Relationship{Name: "proxies", From: "ActivityProxy", To: "Activity"})
 	containsRel := fw.model.SchemaRelName(otod.Relationship{Name: "contains", From: "Flow", To: "ActivityProxy"})
 	performedBy := fw.model.SchemaRelName(otod.Relationship{Name: "performedBy", From: "Activity", To: "Tool"})
+	b := oms.NewBatch()
+	flowPH := b.CreateOwned("Flow", map[string]oms.Value{"name": oms.S(f.Name)})
 	for _, name := range f.Activities() {
 		a, err := f.Activity(name)
 		if err != nil {
 			return oms.InvalidOID, err
 		}
-		actOID, err := fw.store.Create("Activity", map[string]oms.Value{"name": oms.S(f.Name + "/" + name)})
-		if err != nil {
-			return oms.InvalidOID, err
-		}
-		proxyOID, err := fw.store.Create("ActivityProxy", map[string]oms.Value{"name": oms.S(f.Name + "/" + name + "#proxy")})
-		if err != nil {
-			return oms.InvalidOID, err
-		}
-		if err := fw.store.Link(containsRel, oid, proxyOID); err != nil {
-			return oms.InvalidOID, err
-		}
-		if err := fw.store.Link(proxyRel, proxyOID, actOID); err != nil {
-			return oms.InvalidOID, err
-		}
+		actPH := b.CreateOwned("Activity", map[string]oms.Value{"name": oms.S(f.Name + "/" + name)})
+		proxyPH := b.CreateOwned("ActivityProxy", map[string]oms.Value{"name": oms.S(f.Name + "/" + name + "#proxy")})
+		b.Link(containsRel, flowPH, proxyPH)
+		b.Link(proxyRel, proxyPH, actPH)
 		if a.Tool != "" {
-			toolOID, err := fw.lookupNamed("Tool", a.Tool)
-			if err == nil {
-				if err := fw.store.Link(performedBy, actOID, toolOID); err != nil {
-					return oms.InvalidOID, err
-				}
+			if toolOID, err := fw.lookupNamed("Tool", a.Tool); err == nil {
+				b.Link(performedBy, actPH, toolOID)
 			}
 		}
 	}
+	created, err := fw.store.Apply(b)
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	oid := created[0]
 	fw.mu.Lock()
 	fw.flows[f.Name] = f
 	fw.flowOIDs[f.Name] = oid

@@ -272,8 +272,11 @@ func TestDesignObjectsAndData(t *testing.T) {
 	if fw.DesignObjectName(do) != "alu-sch" {
 		t.Fatal("DesignObjectName")
 	}
-	if fw.ViewTypeOf(do) != "schematic" {
-		t.Fatalf("ViewTypeOf = %q", fw.ViewTypeOf(do))
+	if vt, err := fw.ViewTypeOf(do); err != nil || vt != "schematic" {
+		t.Fatalf("ViewTypeOf = %q, %v", vt, err)
+	}
+	if _, err := fw.ViewTypeOf(w.cv); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ViewTypeOf on an object without an ofViewType link = %v, want ErrNotFound", err)
 	}
 	if got, err := fw.DesignObjectByName(v1, "alu-sch"); err != nil || got != do {
 		t.Fatal("DesignObjectByName")

@@ -1,7 +1,9 @@
 package jcf
 
 import (
+	"cmp"
 	"fmt"
+	"os"
 	"sort"
 
 	"repro/internal/oms"
@@ -79,6 +81,14 @@ func (fw *Framework) CellName(cell oms.OID) string {
 // responsible team. The version number is assigned automatically. Each
 // cell version may carry a different flow and team (section 2.1). An
 // initial variant 1 is created along with it.
+//
+// The whole six-op sequence (version + ownership link + flow link + team
+// link + initial variant + its link) commits as one oms.Batch: a failure
+// anywhere — say, team is not a Team object — leaves no half-wired cell
+// version behind, where the old op-by-op path could leave a version
+// without flow, team or variant. numMu spans the count and the Apply that
+// makes the new version countable, so concurrent designers never allocate
+// the same number.
 func (fw *Framework) CreateCellVersion(cell oms.OID, flowName string, team oms.OID) (oms.OID, error) {
 	fw.mu.RLock()
 	flowOID, ok := fw.flowOIDs[flowName]
@@ -86,41 +96,63 @@ func (fw *Framework) CreateCellVersion(cell oms.OID, flowName string, team oms.O
 	if !ok {
 		return oms.InvalidOID, fmt.Errorf("%w: flow %q", ErrNotFound, flowName)
 	}
-	// numMu spans the count and the link that makes the new version
-	// countable, so concurrent designers never allocate the same number.
 	fw.numMu.Lock()
+	defer fw.numMu.Unlock()
 	num := int64(len(fw.store.Targets(fw.rel.cellHasVersion, cell)) + 1)
-	cv, err := fw.store.Create("CellVersion", map[string]oms.Value{
+	b := oms.NewBatch()
+	cv := b.CreateOwned("CellVersion", map[string]oms.Value{
 		"num":       oms.I(num),
 		"published": oms.B(false),
 	})
+	b.Link(fw.rel.cellHasVersion, cell, cv)
+	b.Link(fw.rel.attachedFlow, cv, flowOID)
+	b.Link(fw.rel.attachedTeam, cv, team)
+	v := b.CreateOwned("Variant", map[string]oms.Value{"num": oms.I(1)})
+	b.Link(fw.rel.hasVariant, cv, v)
+	created, err := fw.store.Apply(b)
 	if err != nil {
-		fw.numMu.Unlock()
 		return oms.InvalidOID, err
 	}
-	if err := fw.store.Link(fw.rel.cellHasVersion, cell, cv); err != nil {
-		fw.numMu.Unlock()
-		return oms.InvalidOID, err
+	return created[0], nil
+}
+
+// sortByIntAttr orders OIDs by an int attribute, fetching each key from
+// the store once up front — O(n) lock round-trips instead of the
+// O(n log n) a store-hitting sort comparator pays.
+func (fw *Framework) sortByIntAttr(oids []oms.OID, attr string) {
+	keys := make([]int64, len(oids))
+	for i, o := range oids {
+		keys[i] = fw.store.GetInt(o, attr)
 	}
-	fw.numMu.Unlock()
-	if err := fw.store.Link(fw.rel.attachedFlow, cv, flowOID); err != nil {
-		return oms.InvalidOID, err
+	sort.Sort(&byKey[int64]{oids: oids, keys: keys})
+}
+
+// sortByStringAttr is sortByIntAttr for string keys.
+func (fw *Framework) sortByStringAttr(oids []oms.OID, attr string) {
+	keys := make([]string, len(oids))
+	for i, o := range oids {
+		keys[i] = fw.store.GetString(o, attr)
 	}
-	if err := fw.store.Link(fw.rel.attachedTeam, cv, team); err != nil {
-		return oms.InvalidOID, err
-	}
-	if _, err := fw.CreateVariant(cv); err != nil {
-		return oms.InvalidOID, err
-	}
-	return cv, nil
+	sort.Sort(&byKey[string]{oids: oids, keys: keys})
+}
+
+// byKey sorts an OID slice by a parallel slice of pre-fetched keys.
+type byKey[K cmp.Ordered] struct {
+	oids []oms.OID
+	keys []K
+}
+
+func (s *byKey[K]) Len() int           { return len(s.oids) }
+func (s *byKey[K]) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey[K]) Swap(i, j int) {
+	s.oids[i], s.oids[j] = s.oids[j], s.oids[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // CellVersions returns the cell version OIDs of a cell, in version order.
 func (fw *Framework) CellVersions(cell oms.OID) []oms.OID {
 	cvs := fw.store.Targets(fw.rel.cellHasVersion, cell)
-	sort.Slice(cvs, func(i, j int) bool {
-		return fw.store.GetInt(cvs[i], "num") < fw.store.GetInt(cvs[j], "num")
-	})
+	fw.sortByIntAttr(cvs, "num")
 	return cvs
 }
 
@@ -160,50 +192,60 @@ func (fw *Framework) AttachedTeam(cv oms.OID) (oms.OID, error) {
 
 // CreateVariant creates a fresh variant under a cell version (numbered
 // automatically). Variants let users "store the modifications and select
-// the optimal design solution" (section 2.1).
+// the optimal design solution" (section 2.1). Creation and the hasVariant
+// link commit as one batch: a numbered variant can never exist detached
+// from its cell version.
 func (fw *Framework) CreateVariant(cv oms.OID) (oms.OID, error) {
 	fw.numMu.Lock()
 	defer fw.numMu.Unlock()
 	num := int64(len(fw.store.Targets(fw.rel.hasVariant, cv)) + 1)
-	v, err := fw.store.Create("Variant", map[string]oms.Value{"num": oms.I(num)})
+	b := oms.NewBatch()
+	v := b.CreateOwned("Variant", map[string]oms.Value{"num": oms.I(num)})
+	b.Link(fw.rel.hasVariant, cv, v)
+	created, err := fw.store.Apply(b)
 	if err != nil {
 		return oms.InvalidOID, err
 	}
-	if err := fw.store.Link(fw.rel.hasVariant, cv, v); err != nil {
-		return oms.InvalidOID, err
-	}
-	return v, nil
+	return created[0], nil
 }
 
 // DeriveVariant creates a new variant derived from an existing one,
 // recording the precedes relation. The new variant shares the design
 // objects of its predecessor (they are "used" by both until replaced).
+//
+// The derivation is one atomic batch: variant, hasVariant link,
+// variantPrecedes link and every shared-uses link land together, so a
+// failure can no longer strand a numbered variant that is attached to the
+// cell version but has no precedes edge or design objects. The source's
+// cell version is resolved inside the numbering lock — resolving it
+// before numMu let a concurrent re-parent race the count.
 func (fw *Framework) DeriveVariant(from oms.OID) (oms.OID, error) {
+	fw.numMu.Lock()
+	defer fw.numMu.Unlock()
 	cvSrc := fw.store.Sources(fw.rel.hasVariant, from)
 	if len(cvSrc) == 0 {
 		return oms.InvalidOID, fmt.Errorf("%w: variant %d", ErrNotFound, from)
 	}
-	v, err := fw.CreateVariant(cvSrc[0])
+	cv := cvSrc[0]
+	num := int64(len(fw.store.Targets(fw.rel.hasVariant, cv)) + 1)
+	b := oms.NewBatch()
+	v := b.CreateOwned("Variant", map[string]oms.Value{"num": oms.I(num)})
+	b.Link(fw.rel.hasVariant, cv, v)
+	b.Link(fw.rel.variantPrecedes, from, v)
+	for _, do := range fw.store.Targets(fw.rel.uses, from) {
+		b.Link(fw.rel.uses, v, do)
+	}
+	created, err := fw.store.Apply(b)
 	if err != nil {
 		return oms.InvalidOID, err
 	}
-	if err := fw.store.Link(fw.rel.variantPrecedes, from, v); err != nil {
-		return oms.InvalidOID, err
-	}
-	for _, do := range fw.store.Targets(fw.rel.uses, from) {
-		if err := fw.store.Link(fw.rel.uses, v, do); err != nil {
-			return oms.InvalidOID, err
-		}
-	}
-	return v, nil
+	return created[0], nil
 }
 
 // Variants returns the variant OIDs of a cell version in variant order.
 func (fw *Framework) Variants(cv oms.OID) []oms.OID {
 	vs := fw.store.Targets(fw.rel.hasVariant, cv)
-	sort.Slice(vs, func(i, j int) bool {
-		return fw.store.GetInt(vs[i], "num") < fw.store.GetInt(vs[j], "num")
-	})
+	fw.sortByIntAttr(vs, "num")
 	return vs
 }
 
@@ -230,31 +272,30 @@ func (fw *Framework) VariantPredecessor(v oms.OID) oms.OID {
 // --- design objects ---------------------------------------------------------
 
 // CreateDesignObject creates a named, view-typed design object used by a
-// variant.
+// variant. Object, uses link and ofViewType link commit as one batch —
+// passing a non-ViewType OID no longer leaves an untyped design object
+// attached to the variant.
 func (fw *Framework) CreateDesignObject(variant oms.OID, name string, viewType oms.OID) (oms.OID, error) {
 	if name == "" {
 		return oms.InvalidOID, fmt.Errorf("jcf: empty design object name")
 	}
-	do, err := fw.store.Create("DesignObject", map[string]oms.Value{"name": oms.S(name)})
+	b := fw.getBatch()
+	defer fw.putBatch(b)
+	do := b.CreateOwned("DesignObject", map[string]oms.Value{"name": oms.S(name)})
+	b.Link(fw.rel.uses, variant, do)
+	b.Link(fw.rel.ofViewType, do, viewType)
+	created, err := fw.store.Apply(b)
 	if err != nil {
 		return oms.InvalidOID, err
 	}
-	if err := fw.store.Link(fw.rel.uses, variant, do); err != nil {
-		return oms.InvalidOID, err
-	}
-	if err := fw.store.Link(fw.rel.ofViewType, do, viewType); err != nil {
-		return oms.InvalidOID, err
-	}
-	return do, nil
+	return created[0], nil
 }
 
 // DesignObjects returns the design objects used by a variant, sorted by
 // name.
 func (fw *Framework) DesignObjects(variant oms.OID) []oms.OID {
 	dos := fw.store.Targets(fw.rel.uses, variant)
-	sort.Slice(dos, func(i, j int) bool {
-		return fw.store.GetString(dos[i], "name") < fw.store.GetString(dos[j], "name")
-	})
+	fw.sortByStringAttr(dos, "name")
 	return dos
 }
 
@@ -271,19 +312,23 @@ func (fw *Framework) DesignObjectByName(variant oms.OID, name string) (oms.OID, 
 	return oms.InvalidOID, fmt.Errorf("%w: design object %q", ErrNotFound, name)
 }
 
-// ViewTypeOf returns the view type name of a design object.
-func (fw *Framework) ViewTypeOf(do oms.OID) string {
+// ViewTypeOf returns the view type name of a design object. A design
+// object without an ofViewType link is an error, like its sibling
+// accessors — the old signature silently answered "" and callers could
+// not tell a missing link from a view type actually named "".
+func (fw *Framework) ViewTypeOf(do oms.OID) (string, error) {
 	vt := fw.store.Target(fw.rel.ofViewType, do)
-	return fw.store.GetString(vt, "name")
+	if vt == oms.InvalidOID {
+		return "", fmt.Errorf("%w: view type of design object %d", ErrNotFound, do)
+	}
+	return fw.store.GetString(vt, "name"), nil
 }
 
 // DesignObjectVersions returns the version OIDs of a design object in
 // version order.
 func (fw *Framework) DesignObjectVersions(do oms.OID) []oms.OID {
 	vs := fw.store.Targets(fw.rel.doHasVersion, do)
-	sort.Slice(vs, func(i, j int) bool {
-		return fw.store.GetInt(vs[i], "num") < fw.store.GetInt(vs[j], "num")
-	})
+	fw.sortByIntAttr(vs, "num")
 	return vs
 }
 
@@ -305,8 +350,68 @@ func (fw *Framework) VersionNum(dov oms.OID) int64 { return fw.store.GetInt(dov,
 // CheckInData reads the design file at srcPath into the database as the
 // next version of the design object, automatically recording a derivation
 // from the previous version. The caller must hold the workspace
-// reservation on the owning cell version (checked through reservedFor).
+// reservation on the owning cell version.
+//
+// The checkin is the paper's copy-in sequence (section 3.6) and commits
+// as ONE atomic batch — version create, doHasVersion link, data blob,
+// derivation link — so a failure anywhere leaves no orphaned, dataless
+// DesignObjectVersion behind (the old op-by-op path could). The design
+// file is staged into memory first, outside every lock; then fw.mu is
+// held for reading from the reservation check until the batch has
+// committed, so a concurrent Publish or ReleaseReservation (fw.mu
+// writers) can no longer drop the reservation between the check and the
+// blob landing: the batch commits only while the user still holds the
+// workspace. Lock order: fw.mu -> numMu -> store stripes.
 func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.OID, error) {
+	cv, err := fw.cellVersionOfDesignObject(do)
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	// Cheap unlocked pre-check so a caller without the reservation is
+	// rejected before the file is read; the verdict that matters is the
+	// re-check below, under the same fw.mu hold the commit runs in.
+	if err := fw.requireReservation(user, cv); err != nil {
+		return oms.InvalidOID, err
+	}
+	data, err := os.ReadFile(srcPath)
+	if err != nil {
+		return oms.InvalidOID, fmt.Errorf("jcf: check-in: %w", err)
+	}
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
+	if err := fw.requireReservationLocked(user, cv); err != nil {
+		return oms.InvalidOID, err
+	}
+	fw.numMu.Lock()
+	defer fw.numMu.Unlock()
+	// One version-history read answers both the predecessor and the next
+	// number (the op-by-op path paid for two).
+	versions := fw.DesignObjectVersions(do)
+	num := int64(len(versions) + 1)
+	b := fw.getBatch()
+	defer fw.putBatch(b)
+	dov := b.CreateOwned("DesignObjectVersion", map[string]oms.Value{"num": oms.I(num)})
+	b.Link(fw.rel.doHasVersion, do, dov)
+	b.CopyInBytes(dov, "data", data)
+	if len(versions) > 0 {
+		b.Link(fw.rel.derived, versions[len(versions)-1], dov)
+	}
+	created, err := fw.store.Apply(b)
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	return created[0], nil
+}
+
+// CheckInDataOpByOp is the pre-batch checkin retained as the ablation
+// baseline for BenchmarkE38BatchCheckin (BENCH_3.json), exactly like
+// SaveStopTheWorld documents the pre-snapshot persistence path. It pays
+// one lock round-trip per op and reproduces the two bugs the batched
+// path closes: a failing CopyIn or derivation link strands a linked,
+// dataless DesignObjectVersion, and the reservation can be released
+// between the requireReservation check and the blob write. New code must
+// use CheckInData.
+func (fw *Framework) CheckInDataOpByOp(user string, do oms.OID, srcPath string) (oms.OID, error) {
 	cv, err := fw.cellVersionOfDesignObject(do)
 	if err != nil {
 		return oms.InvalidOID, err

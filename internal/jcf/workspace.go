@@ -113,3 +113,16 @@ func (fw *Framework) requireReservation(user string, cv oms.OID) error {
 	}
 	return nil
 }
+
+// requireReservationLocked is requireReservation for callers already
+// holding fw.mu (fw.mu is not reentrant, so they must not detour through
+// CanWrite/ReservedBy). CheckInData holds fw.mu for reading from this
+// check until its batch has committed, so a concurrent Publish or
+// ReleaseReservation — both need fw.mu for writing — can no longer drop
+// the reservation between the check and the blob landing.
+func (fw *Framework) requireReservationLocked(user string, cv oms.OID) error {
+	if holder, held := fw.reservations[cv]; !held || holder != user {
+		return fmt.Errorf("%w (user %s)", ErrNotReserved, user)
+	}
+	return nil
+}

@@ -613,48 +613,79 @@ func (st *Store) record(fn undoFn) {
 
 // --- object lifecycle -------------------------------------------------
 
-// Create allocates a new object of the given class with the given attribute
-// values. Required attributes must be present; kinds must match the schema.
-func (st *Store) Create(class string, attrs map[string]Value) (OID, error) {
+// validateCreate checks class and attribute values against the schema —
+// the lock-free half of Create, shared with Apply's validation phase.
+func (st *Store) validateCreate(class string, attrs map[string]Value) error {
 	cls := st.schema.class(class)
 	if cls == nil {
-		return InvalidOID, fmt.Errorf("oms: unknown class %q", class)
+		return fmt.Errorf("oms: unknown class %q", class)
 	}
 	for name, v := range attrs {
 		def, ok := cls.attr(name)
 		if !ok {
-			return InvalidOID, fmt.Errorf("oms: class %q has no attribute %q", class, name)
+			return fmt.Errorf("oms: class %q has no attribute %q", class, name)
 		}
 		if def.Kind != v.Kind {
-			return InvalidOID, fmt.Errorf("oms: attribute %s.%s wants %s, got %s", class, name, def.Kind, v.Kind)
+			return fmt.Errorf("oms: attribute %s.%s wants %s, got %s", class, name, def.Kind, v.Kind)
 		}
 	}
 	for _, def := range cls.Attrs {
 		if def.Required {
 			if _, ok := attrs[def.Name]; !ok {
-				return InvalidOID, fmt.Errorf("oms: class %q requires attribute %q", class, def.Name)
+				return fmt.Errorf("oms: class %q requires attribute %q", class, def.Name)
 			}
 		}
 	}
+	return nil
+}
+
+// allocOID hands out the next OID. Never called with a stripe lock held,
+// keeping the stripes → allocMu order (Snapshot's cut) acyclic.
+func (st *Store) allocOID() OID {
 	st.allocMu.Lock()
 	oid := st.nextOID
 	st.nextOID++
 	st.allocMu.Unlock()
+	return oid
+}
 
+// insertLocked installs a validated object. The caller holds oid's stripe
+// write lock and hands over ownership of attrs (values must already be
+// private copies) — the map is adopted as the object's attribute map, not
+// copied. Returns the undo entry; the caller decides whether it goes to
+// the transaction log (single ops) or a batch undo list (Apply).
+func (st *Store) insertLocked(oid OID, class string, attrs map[string]Value) undoFn {
 	obj := newObject(oid, class)
-	for name, v := range attrs {
-		obj.attrs[name] = v.clone()
-		if v.Kind == KindBlob {
-			st.statBlobIn.Add(int64(len(v.Blob)))
+	if attrs != nil {
+		obj.attrs = attrs
+		for _, v := range attrs {
+			if v.Kind == KindBlob {
+				st.statBlobIn.Add(int64(len(v.Blob)))
+			}
 		}
 	}
 	s := st.stripeOf(oid)
-	s.mu.Lock()
 	s.objects[oid] = obj
 	s.addClass(class, oid)
-	st.record(func(u *Store) { u.undoCreate(oid, class) })
-	s.mu.Unlock()
 	st.statOps.Add(1)
+	return func(u *Store) { u.undoCreate(oid, class) }
+}
+
+// Create allocates a new object of the given class with the given attribute
+// values. Required attributes must be present; kinds must match the schema.
+func (st *Store) Create(class string, attrs map[string]Value) (OID, error) {
+	if err := st.validateCreate(class, attrs); err != nil {
+		return InvalidOID, err
+	}
+	oid := st.allocOID()
+	cp := make(map[string]Value, len(attrs))
+	for name, v := range attrs {
+		cp[name] = v.clone()
+	}
+	s := st.stripeOf(oid)
+	s.mu.Lock()
+	st.record(st.insertLocked(oid, class, cp))
+	s.mu.Unlock()
 	return oid, nil
 }
 
@@ -674,27 +705,46 @@ func (st *Store) undoCreate(oid OID, class string) {
 func (st *Store) Delete(oid OID) error {
 	st.lockAll()
 	defer st.unlockAll()
+	undo, err := st.deleteLockedU(oid)
+	if err != nil {
+		return err
+	}
+	for _, fn := range undo {
+		st.record(fn)
+	}
+	return nil
+}
+
+// deleteLockedU is Delete's body: detach every link (both directions),
+// then remove the object. The caller holds every stripe write lock. The
+// returned undo entries are ordered for reverse replay (links re-attach
+// after the object is re-inserted).
+func (st *Store) deleteLockedU(oid OID) ([]undoFn, error) {
 	s := st.stripeOf(oid)
 	obj, ok := s.objects[oid]
 	if !ok {
-		return fmt.Errorf("oms: no object %d", oid)
+		return nil, fmt.Errorf("oms: no object %d", oid)
 	}
-	// Detach all links (both directions) first, recording undo entries.
+	var undo []undoFn
 	for rel, targets := range obj.links {
 		for to := range targets {
-			st.unlinkLocked(rel, oid, to)
+			if fn := st.unlinkLockedU(rel, oid, to); fn != nil {
+				undo = append(undo, fn)
+			}
 		}
 	}
 	for rel, sources := range obj.backlinks {
 		for from := range sources {
-			st.unlinkLocked(rel, from, oid)
+			if fn := st.unlinkLockedU(rel, from, oid); fn != nil {
+				undo = append(undo, fn)
+			}
 		}
 	}
 	delete(s.objects, oid)
 	s.delClass(obj.class, oid)
 	st.statOps.Add(1)
-	st.record(func(u *Store) { u.undoDelete(oid, obj) })
-	return nil
+	undo = append(undo, func(u *Store) { u.undoDelete(oid, obj) })
+	return undo, nil
 }
 
 func (st *Store) undoDelete(oid OID, obj *object) {
@@ -728,28 +778,45 @@ func (st *Store) ClassOf(oid OID) (string, error) {
 
 // Set assigns an attribute value, checked against the schema.
 func (st *Store) Set(oid OID, name string, v Value) error {
+	return st.setOwned(oid, name, v.clone())
+}
+
+// setOwned assigns an attribute value whose ownership transfers to the
+// store (the caller must not retain or mutate v's backing storage). It is
+// what lets CopyIn install freshly-read file bytes with a single copy.
+func (st *Store) setOwned(oid OID, name string, v Value) error {
 	s := st.stripeOf(oid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	obj, ok := s.objects[oid]
+	fn, err := st.setLockedU(oid, name, v)
+	if err != nil {
+		return err
+	}
+	st.record(fn)
+	return nil
+}
+
+// setLockedU is Set's body. The caller holds oid's stripe write lock and
+// hands over ownership of v (already a private copy).
+func (st *Store) setLockedU(oid OID, name string, v Value) (undoFn, error) {
+	obj, ok := st.stripeOf(oid).objects[oid]
 	if !ok {
-		return fmt.Errorf("oms: no object %d", oid)
+		return nil, fmt.Errorf("oms: no object %d", oid)
 	}
 	def, ok := st.schema.class(obj.class).attr(name)
 	if !ok {
-		return fmt.Errorf("oms: class %q has no attribute %q", obj.class, name)
+		return nil, fmt.Errorf("oms: class %q has no attribute %q", obj.class, name)
 	}
 	if def.Kind != v.Kind {
-		return fmt.Errorf("oms: attribute %s.%s wants %s, got %s", obj.class, name, def.Kind, v.Kind)
+		return nil, fmt.Errorf("oms: attribute %s.%s wants %s, got %s", obj.class, name, def.Kind, v.Kind)
 	}
 	old, had := obj.attrs[name]
-	obj.attrs[name] = v.clone()
+	obj.attrs[name] = v
 	if v.Kind == KindBlob {
 		st.statBlobIn.Add(int64(len(v.Blob)))
 	}
 	st.statOps.Add(1)
-	st.record(func(u *Store) { u.undoSet(oid, name, old, had) })
-	return nil
+	return func(u *Store) { u.undoSet(oid, name, old, had) }, nil
 }
 
 func (st *Store) undoSet(oid OID, name string, old Value, had bool) {
@@ -817,34 +884,51 @@ func (st *Store) GetBool(oid OID, name string) bool {
 // Link creates a relationship instance rel: from -> to, enforcing endpoint
 // classes and cardinalities. Only the two stripes involved are locked.
 func (st *Store) Link(rel string, from, to OID) error {
-	def := st.schema.rel(rel)
-	if def == nil {
+	if st.schema.rel(rel) == nil {
 		return fmt.Errorf("oms: unknown relationship %q", rel)
 	}
 	unlock := st.lockPair(from, to)
 	defer unlock()
+	fn, err := st.linkLockedU(rel, from, to)
+	if err != nil {
+		return err
+	}
+	if fn != nil {
+		st.record(fn)
+	}
+	return nil
+}
+
+// linkLockedU is Link's body. The caller holds the stripe write locks of
+// both endpoints. Returns a nil undo entry (and nil error) when the link
+// already existed — the idempotent no-op.
+func (st *Store) linkLockedU(rel string, from, to OID) (undoFn, error) {
+	def := st.schema.rel(rel)
+	if def == nil {
+		return nil, fmt.Errorf("oms: unknown relationship %q", rel)
+	}
 	fobj, ok := st.stripeOf(from).objects[from]
 	if !ok {
-		return fmt.Errorf("oms: no object %d", from)
+		return nil, fmt.Errorf("oms: no object %d", from)
 	}
 	tobj, ok := st.stripeOf(to).objects[to]
 	if !ok {
-		return fmt.Errorf("oms: no object %d", to)
+		return nil, fmt.Errorf("oms: no object %d", to)
 	}
 	if fobj.class != def.From {
-		return fmt.Errorf("oms: relationship %q: from must be %q, got %q", rel, def.From, fobj.class)
+		return nil, fmt.Errorf("oms: relationship %q: from must be %q, got %q", rel, def.From, fobj.class)
 	}
 	if tobj.class != def.To {
-		return fmt.Errorf("oms: relationship %q: to must be %q, got %q", rel, def.To, tobj.class)
+		return nil, fmt.Errorf("oms: relationship %q: to must be %q, got %q", rel, def.To, tobj.class)
 	}
 	if fobj.links[rel][to] {
-		return nil // already linked; idempotent
+		return nil, nil // already linked; idempotent
 	}
 	if def.ToCard == One && len(fobj.links[rel]) >= 1 {
-		return fmt.Errorf("oms: relationship %q: object %d already has its single %q link", rel, from, def.To)
+		return nil, fmt.Errorf("oms: relationship %q: object %d already has its single %q link", rel, from, def.To)
 	}
 	if def.FromCard == One && len(tobj.backlinks[rel]) >= 1 {
-		return fmt.Errorf("oms: relationship %q: object %d already has its single inbound link", rel, to)
+		return nil, fmt.Errorf("oms: relationship %q: object %d already has its single inbound link", rel, to)
 	}
 	if fobj.links[rel] == nil {
 		fobj.links[rel] = map[OID]bool{}
@@ -856,8 +940,7 @@ func (st *Store) Link(rel string, from, to OID) error {
 	tobj.backlinks[rel][from] = true
 	st.stripeOf(from).addRelFrom(rel, from)
 	st.statOps.Add(1)
-	st.record(func(u *Store) { u.undoLink(rel, from, to) })
-	return nil
+	return func(u *Store) { u.undoLink(rel, from, to) }, nil
 }
 
 func (st *Store) undoLink(rel string, from, to OID) {
@@ -878,16 +961,24 @@ func (st *Store) Unlink(rel string, from, to OID) error {
 // unlinkLocked removes the link and records undo; caller holds the stripes
 // of both from and to.
 func (st *Store) unlinkLocked(rel string, from, to OID) {
+	if fn := st.unlinkLockedU(rel, from, to); fn != nil {
+		st.record(fn)
+	}
+}
+
+// unlinkLockedU is Unlink's body; caller holds the stripes of both from
+// and to. Returns nil when the link did not exist.
+func (st *Store) unlinkLockedU(rel string, from, to OID) undoFn {
 	fobj, ok := st.stripeOf(from).objects[from]
 	if !ok {
-		return
+		return nil
 	}
 	if !fobj.links[rel][to] {
-		return
+		return nil
 	}
 	st.unlinkNoUndo(rel, from, to)
 	st.statOps.Add(1)
-	st.record(func(u *Store) { u.undoUnlink(rel, from, to) })
+	return func(u *Store) { u.undoUnlink(rel, from, to) }
 }
 
 func (st *Store) undoUnlink(rel string, from, to OID) {

@@ -199,13 +199,15 @@ func DecodeSnapshot(data []byte, schema *Schema) (*Store, error) {
 // an encapsulated tool only ever sees plain files.
 
 // CopyIn reads the file at srcPath and stores its content as the named blob
-// attribute of object oid. It returns the number of bytes copied.
+// attribute of object oid. It returns the number of bytes copied. The
+// freshly-read bytes are installed directly (setOwned) — one copy from the
+// file system into the database, not two.
 func (st *Store) CopyIn(oid OID, attr, srcPath string) (int64, error) {
 	data, err := os.ReadFile(srcPath)
 	if err != nil {
 		return 0, fmt.Errorf("oms: copy-in: %w", err)
 	}
-	if err := st.Set(oid, attr, Bytes(data)); err != nil {
+	if err := st.setOwned(oid, attr, Value{Kind: KindBlob, Blob: data}); err != nil {
 		return 0, err
 	}
 	return int64(len(data)), nil
