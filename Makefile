@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race stress-persist stress-atomic bench bench-contention bench-persist bench-batch clean
+.PHONY: check build vet test race stress-persist stress-atomic stress-feed bench bench-contention bench-persist bench-batch bench-feed clean
 
 ## check is the CI gate: a fresh checkout must build, vet and pass the
 ## full test suite under the race detector, plus an extra multi-count run
 ## of the persistence crash-consistency stress test. This is what keeps
 ## the missing-go.mod regression, data races in the sharded OMS kernel,
 ## and torn (oms, framework) snapshot pairs from ever landing again.
-check: build vet race stress-persist stress-atomic
+check: build vet race stress-persist stress-atomic stress-feed
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,14 @@ stress-persist:
 stress-atomic:
 	$(GO) test -race -count=3 -run 'TestBatchAtomicUnderConcurrency|TestCheckInDataVsPublishRace|TestDeriveVariantConcurrent' ./internal/oms/ ./internal/jcf/
 
+## stress-feed hammers the change feed under the race detector: every
+## committed op must reach a Watch subscriber exactly once in LSN order
+## with batch groups delivered whole (internal/oms/feed_test.go), and
+## differential saves looping against concurrent designers must always
+## load into a consistent pair (internal/jcf/feed_test.go).
+stress-feed:
+	$(GO) test -race -count=3 -run 'TestFeedConformanceStress|TestDifferentialSaveCrashConsistencyUnderLoad|TestNotifierPublishesFrameworkEvents' ./internal/oms/ ./internal/jcf/
+
 ## bench regenerates every paper table/figure benchmark.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -58,6 +66,14 @@ bench-persist:
 bench-batch:
 	$(GO) test -bench 'BenchmarkE38BatchCheckin/mode=op-by-op' -run '^$$' -benchtime 300x -count 3 .
 	$(GO) test -bench 'BenchmarkE38BatchCheckin/mode=batched' -run '^$$' -benchtime 300x -count 3 .
+
+## bench-feed runs the change-feed ablation behind BENCH_4.json: full vs
+## differential Framework.SaveTo on the segment backend as the store
+## grows (equal churn per save in both modes), plus the Watch delivery
+## latency probe. Record medians.
+bench-feed:
+	$(GO) test -bench 'BenchmarkE39DifferentialSave' -run '^$$' -benchtime 20x -count 3 .
+	$(GO) test -bench 'BenchmarkFeedWatchLatency' -run '^$$' -benchtime 20000x -count 3 .
 
 clean:
 	$(GO) clean ./...

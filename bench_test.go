@@ -38,6 +38,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/jcf"
 	"repro/internal/oms"
+	"repro/internal/oms/backend"
 	"repro/internal/otod"
 )
 
@@ -716,6 +717,168 @@ func BenchmarkE38BatchCheckin(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkE39DifferentialSave measures Framework.SaveTo on the segment
+// backend at growing store sizes, full-snapshot vs differential
+// (BENCH_4.json; the PR 4 change-feed ablation):
+//
+//   - full: SetDifferentialSave(false) — every save re-encodes and
+//     re-appends the entire store, so cost grows with store size.
+//   - differential: each save writes only the change-feed suffix since
+//     the previous commit (here: `churn` checkins), so cost tracks the
+//     churn, not the store. Every 64th save compacts back to a full
+//     base (the chain bound) and is included in the timing — the
+//     amortized honest number.
+//
+// The two modes do identical designer work per iteration. The crossover
+// is immediate and widens with store size: at equal churn, differential
+// cost is flat while full cost is linear in accumulated design data.
+// Regenerate with `make bench-feed`.
+func BenchmarkE39DifferentialSave(b *testing.B) {
+	const churn = 8 // checkins between saves
+	for _, objects := range []int{500, 2000, 8000} {
+		for _, mode := range []string{"full", "differential"} {
+			b.Run(fmt.Sprintf("objects=%d/mode=%s", objects, mode), func(b *testing.B) {
+				fw, err := jcf.New(jcf.Release30)
+				if err != nil {
+					b.Fatal(err)
+				}
+				team, err := fw.CreateTeam("bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				uid, err := fw.CreateUser("u")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := fw.AddMember(team, uid); err != nil {
+					b.Fatal(err)
+				}
+				f := flow.New("bench-flow")
+				if err := f.AddActivity(flow.Activity{Name: "edit"}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fw.RegisterFlow(f); err != nil {
+					b.Fatal(err)
+				}
+				project, err := fw.CreateProject("p", team)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vt, err := fw.CreateViewType("schematic")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cell, err := fw.CreateCell(project, "c")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cv, err := fw.CreateCellVersion(cell, "bench-flow", team)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := fw.Reserve("u", cv); err != nil {
+					b.Fatal(err)
+				}
+				variant := fw.Variants(cv)[0]
+				src := filepath.Join(b.TempDir(), "design.dat")
+				payload := make([]byte, 512)
+				for i := range payload {
+					payload[i] = byte(i)
+				}
+				if err := os.WriteFile(src, payload, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				checkin := func(tag string) {
+					do, err := fw.CreateDesignObject(variant, tag, vt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := fw.CheckInData("u", do, src); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for i := 0; i < objects; i++ {
+					checkin(fmt.Sprintf("seed-%d", i))
+				}
+				fw.SetDifferentialSave(mode == "differential")
+				dir := b.TempDir()
+				if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+					if d, err := os.MkdirTemp("/dev/shm", "omsfeed"); err == nil {
+						dir = d
+						b.Cleanup(func() { os.RemoveAll(d) })
+					}
+				}
+				seg, err := backend.OpenSegment(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := fw.SaveTo(seg); err != nil { // the base epoch
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					for c := 0; c < churn; c++ {
+						checkin(fmt.Sprintf("churn-%d-%d", i, c))
+					}
+					b.StartTimer()
+					if err := fw.SaveTo(seg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFeedWatchLatency measures end-to-end change-feed delivery:
+// the time from issuing a Set to a Watch subscriber holding the
+// committed record (publisher and subscriber on the same machine —
+// the in-process bound a second-machine replica would add its network
+// to). Regenerate with `make bench-feed`.
+func BenchmarkFeedWatchLatency(b *testing.B) {
+	schema := oms.NewSchema()
+	if err := schema.AddClass("Cell",
+		oms.AttrDef{Name: "rev", Kind: oms.KindInt}); err != nil {
+		b.Fatal(err)
+	}
+	st := oms.NewStore(schema)
+	oid, err := st.Create("Cell", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, err := st.Watch(st.FeedLSN(), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if err := st.Set(oid, "rev", oms.I(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		target := st.FeedLSN()
+		for {
+			g, ok := <-sub.C()
+			if !ok {
+				b.Fatal("subscription closed")
+			}
+			if g[len(g)-1].LSN >= target {
+				break
+			}
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-delivery-ns")
+		b.ReportMetric(float64(lat[int(0.99*float64(len(lat)-1))].Nanoseconds()), "p99-delivery-ns")
 	}
 }
 

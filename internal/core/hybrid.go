@@ -52,11 +52,18 @@ type Hybrid struct {
 
 	stage string // staging directory for OMS <-> file-system copies
 
-	// mu guards the binding maps. The cross-probe and experiment hot paths
-	// only read them, so readers share the lock.
+	// mu guards the binding maps and the feed-sync state. The cross-probe
+	// and experiment hot paths only read them, so readers share the lock.
 	mu       sync.RWMutex
 	bindings map[oms.OID]*cellBinding // cell version -> slave binding
 	byCell   map[string]oms.OID       // fmcad cell name -> cell version
+	// sync is the coupling's cursor into the master's change feed
+	// (dirty bindings, pending library imports; see feedsync.go).
+	sync feedSyncState
+	// syncLibMu serializes SyncLibrary runs so two concurrent syncs
+	// cannot both import the same pending version; the library I/O
+	// itself runs outside h.mu (see SyncLibrary).
+	syncLibMu sync.Mutex
 	// overrides counts forced out-of-order activity executions that went
 	// through a consistency window.
 	overrides int64
@@ -101,6 +108,7 @@ func NewHybrid(release jcf.Release, dir string) (*Hybrid, error) {
 		bindings: map[oms.OID]*cellBinding{},
 		byCell:   map[string]oms.OID{},
 	}
+	h.initFeedSync()
 
 	// Slave-side views for the encapsulated tools.
 	for view, vt := range map[string]string{
@@ -221,6 +229,7 @@ func (h *Hybrid) NewCellVersion(cell oms.OID, flowName string, team oms.OID) (om
 	h.mu.Lock()
 	h.bindings[cv] = binding
 	h.byCell[fmcadCell] = cv
+	h.registerBindingLocked(binding)
 	h.mu.Unlock()
 	return cv, nil
 }
@@ -266,44 +275,6 @@ func (h *Hybrid) Bindings() []string {
 	return out
 }
 
-// VerifyMapping checks the live mapping against Table 1: every bound cell
-// version must have a slave cell whose cellviews match the design objects'
-// view types, and the inverse map must round-trip. It returns the problems
-// found (empty means consistent).
-func (h *Hybrid) VerifyMapping() []string {
-	h.mu.RLock()
-	bindings := make([]*cellBinding, 0, len(h.bindings))
-	for _, b := range h.bindings {
-		bindings = append(bindings, b)
-	}
-	h.mu.RUnlock()
-
-	var problems []string
-	for _, b := range bindings {
-		cv, err := h.CellVersionFor(b.fmcadCell)
-		if err != nil || cv != b.cellVersion {
-			problems = append(problems, fmt.Sprintf("inverse mapping broken for %s", b.fmcadCell))
-		}
-		views, err := h.Lib.Cellviews(b.fmcadCell)
-		if err != nil {
-			problems = append(problems, fmt.Sprintf("slave cell %s missing: %v", b.fmcadCell, err))
-			continue
-		}
-		viewSet := map[string]bool{}
-		for _, v := range views {
-			viewSet[v] = true
-		}
-		for view, do := range b.designObjects {
-			if !viewSet[view] {
-				problems = append(problems, fmt.Sprintf("slave cell %s lacks cellview %s", b.fmcadCell, view))
-			}
-			if got, err := h.JCF.ViewTypeOf(do); err != nil {
-				problems = append(problems, fmt.Sprintf("design object %d has no view type: %v", do, err))
-			} else if got != view {
-				problems = append(problems, fmt.Sprintf("design object %d has view type %q, want %q", do, got, view))
-			}
-		}
-	}
-	sort.Strings(problems)
-	return problems
-}
+// VerifyMapping lives in feedsync.go: the feed-driven fast path
+// re-verifies only bindings the master's change feed dirtied since the
+// last call; VerifyMappingFull keeps the unconditional rescan.

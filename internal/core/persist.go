@@ -115,18 +115,21 @@ func LoadHybrid(dir string) (*Hybrid, error) {
 		bindings: map[oms.OID]*cellBinding{},
 		byCell:   map[string]oms.OID{},
 	}
+	h.initFeedSync()
 	h.overrides = state.Overrides
 	for _, pb := range state.Bindings {
 		dos := make(map[string]oms.OID, len(pb.DesignObjs))
 		for k, v := range pb.DesignObjs {
 			dos[k] = v
 		}
-		h.bindings[pb.CellVersion] = &cellBinding{
+		b := &cellBinding{
 			cellVersion:   pb.CellVersion,
 			fmcadCell:     pb.FMCADCell,
 			designObjects: dos,
 		}
+		h.bindings[pb.CellVersion] = b
 		h.byCell[pb.FMCADCell] = pb.CellVersion
+		h.registerBindingLocked(b)
 	}
 	// Reinstall the standard customization (menu locks + consistency
 	// window trigger).

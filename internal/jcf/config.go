@@ -13,76 +13,67 @@ import (
 // strength the paper attributes to JCF (section 3.2).
 
 // CreateConfiguration creates a named configuration for a cell version
-// with an initial configuration version 1.
+// with an initial configuration version 1. Configuration, its configures
+// link, the initial version and its ownership link commit as ONE batch:
+// a failure anywhere (say, cv is not a CellVersion) leaves no detached
+// Configuration or versionless stub behind.
 func (fw *Framework) CreateConfiguration(cv oms.OID, name string) (cfg, cfgVersion oms.OID, err error) {
 	if name == "" {
 		return oms.InvalidOID, oms.InvalidOID, fmt.Errorf("jcf: empty configuration name")
 	}
-	cfg, err = fw.store.Create("Configuration", map[string]oms.Value{"name": oms.S(name)})
+	b := fw.getBatch()
+	defer fw.putBatch(b)
+	cfgPH := b.CreateOwned("Configuration", map[string]oms.Value{"name": oms.S(name)})
+	b.Link(fw.rel.configures, cfgPH, cv)
+	verPH := b.CreateOwned("ConfigVersion", map[string]oms.Value{"num": oms.I(1)})
+	b.Link(fw.rel.cfgHasVersion, cfgPH, verPH)
+	created, err := fw.store.Apply(b)
 	if err != nil {
 		return oms.InvalidOID, oms.InvalidOID, err
 	}
-	if err = fw.store.Link(fw.rel.configures, cfg, cv); err != nil {
-		return oms.InvalidOID, oms.InvalidOID, err
-	}
-	cfgVersion, err = fw.newConfigVersion(cfg, 1)
-	if err != nil {
-		return oms.InvalidOID, oms.InvalidOID, err
-	}
-	return cfg, cfgVersion, nil
-}
-
-func (fw *Framework) newConfigVersion(cfg oms.OID, num int64) (oms.OID, error) {
-	cfgV, err := fw.store.Create("ConfigVersion", map[string]oms.Value{"num": oms.I(num)})
-	if err != nil {
-		return oms.InvalidOID, err
-	}
-	if err := fw.store.Link(fw.rel.cfgHasVersion, cfg, cfgV); err != nil {
-		return oms.InvalidOID, err
-	}
-	return cfgV, nil
+	return created[0], created[1], nil
 }
 
 // DeriveConfigVersion creates the next configuration version, copying the
 // entries of the predecessor and recording the precedes relation.
+//
+// The whole derivation — version, ownership link, precedes edge and the
+// copied entry links — is one atomic batch. A losing concurrent derive
+// (a config version has at most one successor, so only one precedes
+// link can land) fails the batch and leaves nothing behind; the old
+// op-by-op path had to retract a half-created version by hand.
 func (fw *Framework) DeriveConfigVersion(from oms.OID) (oms.OID, error) {
 	cfgSrc := fw.store.Sources(fw.rel.cfgHasVersion, from)
 	if len(cfgSrc) == 0 {
 		return oms.InvalidOID, fmt.Errorf("%w: configuration of version", ErrNotFound)
 	}
-	// numMu spans the numbering decision and the cfgHasVersion link that
-	// makes the new version visible to it — the same discipline
-	// CreateCellVersion and CreateVariant use — so concurrent derives on
-	// one configuration never allocate duplicate numbers. The number is
-	// max+1 rather than count+1: a retracted losing derive (below) may
-	// leave a gap, and a count would then re-issue a live number.
+	// numMu spans the numbering decision and the Apply that makes the
+	// new version visible to it — the same discipline CreateCellVersion
+	// and CreateVariant use — so concurrent derives on one configuration
+	// never allocate duplicate numbers. The number is max+1 rather than
+	// count+1: a failed losing derive leaves a numbering gap, and a
+	// count would then re-issue a live number.
 	fw.numMu.Lock()
+	defer fw.numMu.Unlock()
 	num := int64(1)
 	for _, v := range fw.store.Targets(fw.rel.cfgHasVersion, cfgSrc[0]) {
 		if n := fw.store.GetInt(v, "num"); n >= num {
 			num = n + 1
 		}
 	}
-	next, err := fw.newConfigVersion(cfgSrc[0], num)
-	fw.numMu.Unlock()
+	b := fw.getBatch()
+	defer fw.putBatch(b)
+	next := b.CreateOwned("ConfigVersion", map[string]oms.Value{"num": oms.I(num)})
+	b.Link(fw.rel.cfgHasVersion, cfgSrc[0], next)
+	b.Link(fw.rel.cfgPrecedes, from, next)
+	for _, e := range fw.store.Targets(fw.rel.hasEntry, from) {
+		b.Link(fw.rel.hasEntry, next, e)
+	}
+	created, err := fw.store.Apply(b)
 	if err != nil {
 		return oms.InvalidOID, err
 	}
-	if err := fw.store.Link(fw.rel.cfgPrecedes, from, next); err != nil {
-		// A concurrent derive from the same predecessor won the race (a
-		// config version has at most one successor). Retract the created
-		// version — Delete detaches its links — so the losing derive
-		// leaves no half-created state behind.
-		_ = fw.store.Delete(next)
-		return oms.InvalidOID, err
-	}
-	for _, e := range fw.store.Targets(fw.rel.hasEntry, from) {
-		if err := fw.store.Link(fw.rel.hasEntry, next, e); err != nil {
-			_ = fw.store.Delete(next)
-			return oms.InvalidOID, err
-		}
-	}
-	return next, nil
+	return created[0], nil
 }
 
 // AddConfigEntry binds a design object version into a configuration

@@ -66,30 +66,53 @@ func (fw *Framework) StartActivity(user string, cv oms.OID, activity string) err
 	if err := e.Start(activity); err != nil {
 		return err
 	}
-	fw.recordExec(cv, activity, "running:"+user)
+	if err := fw.recordExec(cv, activity, "running:"+user); err != nil {
+		// Surface the bookkeeping failure WITHOUT leaving the enactment
+		// claiming an activity the caller was told did not start: mark
+		// the start failed, which the flow engine treats as retryable.
+		_ = e.Finish(activity, false)
+		return err
+	}
 	return nil
 }
 
-// recordExec creates the ActiveExecVersion object for an activity start.
-// Failures here are swallowed: execution bookkeeping must never block the
-// designer (the enactment itself stays authoritative).
-func (fw *Framework) recordExec(cv oms.OID, activity, state string) {
+// recordExec creates the ActiveExecVersion object for an activity
+// start/finish. Object and activeExec link commit as one batch, so a
+// failed link can no longer strand a detached ActiveExecVersion — and
+// the error is surfaced to the designer instead of being discarded (the
+// old path silently dropped the link error, leaving execution history
+// that CheckConsistency could never reach). A cell version without
+// variants records nothing (the enactment stays authoritative).
+func (fw *Framework) recordExec(cv oms.OID, activity, state string) error {
 	variants := fw.Variants(cv)
 	if len(variants) == 0 {
-		return
+		return nil
 	}
-	exec, err := fw.store.Create("ActiveExecVersion", map[string]oms.Value{
+	return fw.recordExecOn(variants[len(variants)-1], activity, state)
+}
+
+// recordExecOn is recordExec's batched body, keyed by the variant the
+// execution entry attaches to.
+func (fw *Framework) recordExecOn(variant oms.OID, activity, state string) error {
+	b := fw.getBatch()
+	defer fw.putBatch(b)
+	exec := b.CreateOwned("ActiveExecVersion", map[string]oms.Value{
 		"state": oms.S(activity + "/" + state),
 	})
-	if err != nil {
-		return
-	}
 	rel := fw.model.SchemaRelName(otodRel("activeExec", "Variant", "ActiveExecVersion"))
-	_ = fw.store.Link(rel, variants[len(variants)-1], exec)
+	b.Link(rel, variant, exec)
+	if _, err := fw.store.Apply(b); err != nil {
+		return fmt.Errorf("jcf: recording activity execution: %w", err)
+	}
+	return nil
 }
 
 // FinishActivity completes a running activity (ok=false marks it failed,
 // allowing a retry). The outcome is recorded as another execution entry.
+// A returned error from the recording step means the activity DID
+// finish in the flow engine but its history entry is missing — the
+// enactment stays authoritative; only the queryable metadata is short
+// one entry.
 func (fw *Framework) FinishActivity(user string, cv oms.OID, activity string, ok bool) error {
 	if err := fw.requireReservation(user, cv); err != nil {
 		return err
@@ -105,8 +128,7 @@ func (fw *Framework) FinishActivity(user string, cv oms.OID, activity string, ok
 	if !ok {
 		outcome = "failed"
 	}
-	fw.recordExec(cv, activity, outcome)
-	return nil
+	return fw.recordExec(cv, activity, outcome)
 }
 
 // ExecutionHistory returns the recorded activity-execution entries of a

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/oms"
+	"repro/internal/oms/backend"
 	"repro/internal/otod"
 )
 
@@ -105,7 +106,17 @@ type Framework struct {
 
 	// saveMu serializes Save/SaveTo: the commit epoch is a
 	// read-modify-write on the backend. Designers never touch it.
-	saveMu sync.Mutex
+	// The lastSave fields (guarded by saveMu) anchor differential
+	// saves: a delta continues from the previous commit only when this
+	// framework instance wrote that commit to the same backend — any
+	// mismatch (first save, different backend, loaded framework) falls
+	// back to a full base snapshot.
+	saveMu        sync.Mutex
+	lastSaveTo    backend.Backend
+	lastSaveEpoch int64
+	lastSaveLSN   uint64
+	maxDeltaChain int  // 0 means defaultMaxDeltaChain
+	fullSaveOnly  bool // SetDifferentialSave(false): ablation/benchmark knob
 
 	// batchPool recycles oms.Batch builders for the hot grouped paths
 	// (CheckInData, CreateDesignObject): one checkin = one small batch,

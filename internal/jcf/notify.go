@@ -1,0 +1,164 @@
+package jcf
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/itc"
+	"repro/internal/oms"
+)
+
+// Feed-driven tool notification.
+//
+// The paper's coupling problem (section 2.4) is keeping the tools on the
+// ITC bus informed about design-management events without opening JCF's
+// closed interfaces. Before the change feed, each interested call site
+// would have had to publish its own bus message — scattered, easy to
+// miss, and invisible for state that commits through a batch. The
+// notifier replaces call-site publication wholesale: it subscribes to
+// the OMS change feed and translates committed low-level records into
+// framework-level messages, so every path that mutates the database —
+// single ops, grouped batches, even future ones — feeds tool
+// notification automatically and in commit (LSN) order.
+//
+// Because Watch delivers whole commit groups, a notification is emitted
+// only once its group committed completely: tools never hear about half
+// a checkin.
+
+// Notification topics published on the itc.Bus.
+const (
+	// TopicCheckin announces a committed design-data checkin. Fields:
+	// dov, do (OIDs), lsn.
+	TopicCheckin = "jcf.checkin"
+	// TopicPublish announces a published cell version. Fields: cv, lsn.
+	TopicPublish = "jcf.publish"
+	// TopicReservation announces workspace reservation traffic. Fields:
+	// cv, user ("" when released), action ("reserved"/"released"), lsn.
+	TopicReservation = "jcf.reservation"
+	// TopicVariant announces a variant derivation. Fields: variant,
+	// from (the predecessor variant; absent for an original variant),
+	// cv, lsn.
+	TopicVariant = "jcf.variant"
+)
+
+// NotifierTool is the From name the notifier signs its messages with.
+const NotifierTool = "jcf-notifier"
+
+// Notifier is a running feed→bus bridge; Stop cancels it.
+type Notifier struct {
+	sub  *oms.Subscription
+	done sync.WaitGroup
+}
+
+// StartNotifier bridges the framework's change feed onto an ITC bus,
+// starting with changes committed after this call. Delivery runs on its
+// own goroutine in feed order; bus handler vetoes are ignored (a tool
+// cannot veto history — the change already committed).
+func (fw *Framework) StartNotifier(bus *itc.Bus) (*Notifier, error) {
+	sub, err := fw.store.Watch(fw.store.FeedLSN(), 64)
+	if err != nil {
+		return nil, fmt.Errorf("jcf: notifier: %w", err)
+	}
+	n := &Notifier{sub: sub}
+	n.done.Add(1)
+	go func() {
+		defer n.done.Done()
+		for group := range sub.C() {
+			fw.notifyGroup(bus, group)
+		}
+	}()
+	return n, nil
+}
+
+// Stop cancels the bridge and waits for the delivery goroutine.
+func (n *Notifier) Stop() {
+	n.sub.Close()
+	n.done.Wait()
+}
+
+// Lagged reports whether the bridge lost its subscription because it
+// fell behind the feed's retention window. A lagged notifier has
+// stopped; the caller restarts one (missed events are gone — tools that
+// need completeness resynchronize from the database, not the bus).
+func (n *Notifier) Lagged() bool { return n.sub.Lagged() }
+
+// notifyGroup translates one committed feed group into framework-level
+// bus messages.
+func (fw *Framework) notifyGroup(bus *itc.Bus, group []oms.Change) {
+	oidStr := func(o oms.OID) string { return strconv.FormatInt(int64(o), 10) }
+	lsn := strconv.FormatUint(group[0].Group, 10)
+	// Group-scoped link lookup: a checkin's doHasVersion link and a
+	// derivation's precedes link commit in the same group as the create
+	// they qualify.
+	linkTo := func(rel string, to oms.OID) (oms.OID, bool) {
+		for _, c := range group {
+			if c.Kind == oms.ChangeLink && c.Rel == rel && c.To == to {
+				return c.From, true
+			}
+		}
+		return oms.InvalidOID, false
+	}
+	for _, c := range group {
+		switch {
+		case c.Kind == oms.ChangeCreate && c.Class == "DesignObjectVersion":
+			do, ok := linkTo(fw.rel.doHasVersion, c.OID)
+			if !ok {
+				// A version created without its ownership link in the same
+				// group cannot be attributed; skip rather than misreport.
+				continue
+			}
+			_ = bus.Publish(itc.Message{Topic: TopicCheckin, From: NotifierTool, Fields: map[string]string{
+				"dov": oidStr(c.OID), "do": oidStr(do), "lsn": lsn,
+			}})
+		case c.Kind == oms.ChangeCreate && c.Class == "Variant":
+			cv, _ := linkTo(fw.rel.hasVariant, c.OID)
+			fields := map[string]string{"variant": oidStr(c.OID), "cv": oidStr(cv), "lsn": lsn}
+			if from, derived := linkTo(fw.rel.variantPrecedes, c.OID); derived {
+				fields["from"] = oidStr(from)
+			} else {
+				continue // original variants are part of cell version setup, not derivations
+			}
+			_ = bus.Publish(itc.Message{Topic: TopicVariant, From: NotifierTool, Fields: fields})
+		case c.Kind == oms.ChangeSet && c.Class == "CellVersion" && c.Attr == "published":
+			if c.Value.Kind == oms.KindBool && c.Value.Bool {
+				_ = bus.Publish(itc.Message{Topic: TopicPublish, From: NotifierTool, Fields: map[string]string{
+					"cv": oidStr(c.OID), "lsn": lsn,
+				}})
+			}
+		case c.Kind == oms.ChangeSet && c.Class == "CellVersion" && c.Attr == "reservedBy":
+			if c.Cleared {
+				continue // rollback compensation of a first-time reserve
+			}
+			action := "reserved"
+			if c.Value.Str == "" {
+				action = "released"
+			}
+			_ = bus.Publish(itc.Message{Topic: TopicReservation, From: NotifierTool, Fields: map[string]string{
+				"cv": oidStr(c.OID), "user": c.Value.Str, "action": action, "lsn": lsn,
+			}})
+		}
+	}
+}
+
+// --- change feed access for coupling layers ---------------------------
+
+// FeedLSN returns the database's committed change-feed position. See
+// oms.Store.FeedLSN.
+func (fw *Framework) FeedLSN() uint64 { return fw.store.FeedLSN() }
+
+// Changes returns the committed change records after `since` and
+// whether the range is complete (false: the feed ring evicted part of
+// it and the consumer must resynchronize from a full scan). The records
+// expose the database's low-level history; they are how the coupling
+// layer (internal/core) tracks the master incrementally despite JCF's
+// otherwise closed interfaces.
+func (fw *Framework) Changes(since uint64) ([]oms.Change, bool) {
+	return fw.store.Changes(since)
+}
+
+// Watch subscribes to the framework database's change feed. See
+// oms.Store.Watch.
+func (fw *Framework) Watch(since uint64, buf int) (*oms.Subscription, error) {
+	return fw.store.Watch(since, buf)
+}

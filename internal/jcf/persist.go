@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/flow"
@@ -64,12 +63,31 @@ type persistedState struct {
 
 // saveManifest is the CURRENT payload: the one object whose atomic
 // replacement commits a (framework, oms) snapshot pair.
+//
+// Differential commits (segment backend only): OMS names the full base
+// snapshot of BaseEpoch, and Deltas chains the change-feed suffixes
+// written since — Load replays them over the base in order. FeedLSN is
+// the store's change-feed position as of this epoch; the next
+// differential Save continues from it.
 type saveManifest struct {
-	Epoch        int64  `json:"epoch"`
-	OMS          string `json:"oms"`
-	Framework    string `json:"framework"`
-	OMSSum       string `json:"oms_sha256"`
-	FrameworkSum string `json:"framework_sha256"`
+	Epoch        int64      `json:"epoch"`
+	OMS          string     `json:"oms"`
+	Framework    string     `json:"framework"`
+	OMSSum       string     `json:"oms_sha256"`
+	FrameworkSum string     `json:"framework_sha256"`
+	BaseEpoch    int64      `json:"base_epoch,omitempty"`
+	BaseLSN      uint64     `json:"base_lsn,omitempty"`
+	Deltas       []deltaRef `json:"deltas,omitempty"`
+	FeedLSN      uint64     `json:"feed_lsn,omitempty"`
+}
+
+// deltaRef names one delta payload in a manifest's chain: the encoded
+// change records with FromLSN < LSN <= ToLSN.
+type deltaRef struct {
+	Name    string `json:"name"`
+	Sum     string `json:"sha256"`
+	FromLSN uint64 `json:"from_lsn"`
+	ToLSN   uint64 `json:"to_lsn"`
 }
 
 const (
@@ -78,6 +96,12 @@ const (
 	legacyFW    = "framework.json"
 	omsPrefix   = "oms@"
 	fwPrefix    = "framework@"
+	deltaPrefix = "delta@"
+
+	// defaultMaxDeltaChain bounds how many deltas may accumulate before
+	// Save compacts back to a full base snapshot: load time and GC reach
+	// grow with the chain, so it is periodically reset.
+	defaultMaxDeltaChain = 64
 )
 
 // Save persists the framework into dir (created if needed) through the
@@ -93,6 +117,16 @@ func (fw *Framework) Save(dir string) error {
 	return fw.SaveTo(b)
 }
 
+// SetDifferentialSave toggles differential saves (on by default). With
+// differential saves off — or on a backend that is not DeltaCapable —
+// every SaveTo writes a full base snapshot. The knob exists for the
+// full-vs-differential ablation (`make bench-feed`).
+func (fw *Framework) SetDifferentialSave(enabled bool) {
+	fw.saveMu.Lock()
+	defer fw.saveMu.Unlock()
+	fw.fullSaveOnly = !enabled
+}
+
 // SaveTo persists the framework through an arbitrary storage backend.
 //
 // The capture is one consistent cut: the framework maps are copied and
@@ -102,6 +136,16 @@ func (fw *Framework) Save(dir string) error {
 // outside all locks. The pair becomes visible atomically when the
 // CURRENT manifest is Put; a crash at any earlier point leaves the
 // previous epoch fully intact.
+//
+// On a DeltaCapable backend (the segment/WAL backend), a SaveTo that
+// follows a commit this same framework instance made writes only the
+// change-feed suffix since that commit — a delta payload of O(what
+// changed), not O(store) — and the manifest binds base epoch + delta
+// chain. The framework metadata payload is always written in full (it
+// is small). Save falls back to a full base snapshot whenever the
+// anchor is missing (first save, a different backend, a freshly loaded
+// framework), the feed ring has evicted part of the needed suffix, or
+// the chain has reached its compaction bound.
 func (fw *Framework) SaveTo(b backend.Backend) error {
 	// One saver at a time per framework: the epoch read-modify-write and
 	// the old-epoch GC below are not meant to race with themselves.
@@ -110,11 +154,25 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 	defer fw.saveMu.Unlock()
 
 	epoch := int64(1)
-	if prev, err := loadManifest(b); err == nil {
-		epoch = prev.Epoch + 1
+	var prev saveManifest
+	havePrev := false
+	if m, err := loadManifest(b); err == nil {
+		prev, havePrev = m, true
+		epoch = m.Epoch + 1
 	} else if !errors.Is(err, backend.ErrNotFound) {
 		return fmt.Errorf("jcf: save: reading previous manifest: %w", err)
 	}
+
+	maxChain := fw.maxDeltaChain
+	if maxChain <= 0 {
+		maxChain = defaultMaxDeltaChain
+	}
+	dc, deltaCapable := b.(backend.DeltaCapable)
+	wantDelta := !fw.fullSaveOnly &&
+		deltaCapable && dc.SupportsDeltas() &&
+		havePrev && fw.lastSaveTo == b && fw.lastSaveEpoch == prev.Epoch &&
+		prev.FeedLSN == fw.lastSaveLSN &&
+		len(prev.Deltas) < maxChain
 
 	// --- the consistent cut -------------------------------------------
 	fw.mu.RLock()
@@ -146,8 +204,30 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 	// The store cut is taken while fw.mu is still held: anything the
 	// captured framework state references was created strictly before
 	// this point, so it is inside the cut. Lock order fw.mu -> stripes is
-	// the one Publish already uses.
-	snap := fw.store.Snapshot()
+	// the one Publish already uses. The differential cut reads the
+	// change-feed suffix instead of snapshotting — same ordering
+	// argument: every OID the captured maps reference committed (and
+	// published) before this read, so the suffix up to the current feed
+	// watermark covers it.
+	var snap *oms.Snapshot
+	var delta []oms.Change
+	var deltaTo uint64
+	if wantDelta {
+		recs, ok := fw.store.Changes(fw.lastSaveLSN)
+		if ok {
+			delta, deltaTo = recs, fw.lastSaveLSN
+			if len(recs) > 0 {
+				deltaTo = recs[len(recs)-1].LSN
+			}
+		} else {
+			// The ring evicted part of the suffix (the framework fell
+			// more than the retention window behind): full snapshot.
+			wantDelta = false
+		}
+	}
+	if !wantDelta {
+		snap = fw.store.Snapshot()
+	}
 	fw.mu.RUnlock()
 	// --- everything below runs outside all framework/store locks ------
 
@@ -170,25 +250,63 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 	if err != nil {
 		return fmt.Errorf("jcf: save: %w", err)
 	}
-	omsPayload, err := snap.EncodeJSON()
-	if err != nil {
-		return fmt.Errorf("jcf: save: %w", err)
-	}
 
-	omsName := fmt.Sprintf("%s%d", omsPrefix, epoch)
 	fwName := fmt.Sprintf("%s%d", fwPrefix, epoch)
-	if err := b.Put(omsName, omsPayload); err != nil {
-		return fmt.Errorf("jcf: save: %w", err)
+	var manifest saveManifest
+	switch {
+	case wantDelta:
+		// Differential commit: the base payload and earlier deltas are
+		// already durable; only the new suffix (if any) is written.
+		manifest = saveManifest{
+			Epoch:        epoch,
+			OMS:          prev.OMS,
+			Framework:    fwName,
+			OMSSum:       prev.OMSSum,
+			FrameworkSum: sha256Hex(fwPayload),
+			BaseEpoch:    prev.BaseEpoch,
+			BaseLSN:      prev.BaseLSN,
+			Deltas:       append([]deltaRef(nil), prev.Deltas...),
+			FeedLSN:      deltaTo,
+		}
+		if len(delta) > 0 {
+			deltaPayload, err := oms.EncodeChanges(delta)
+			if err != nil {
+				return fmt.Errorf("jcf: save: %w", err)
+			}
+			deltaName := fmt.Sprintf("%s%d", deltaPrefix, epoch)
+			if err := b.Put(deltaName, deltaPayload); err != nil {
+				return fmt.Errorf("jcf: save: %w", err)
+			}
+			manifest.Deltas = append(manifest.Deltas, deltaRef{
+				Name:    deltaName,
+				Sum:     sha256Hex(deltaPayload),
+				FromLSN: fw.lastSaveLSN,
+				ToLSN:   deltaTo,
+			})
+		}
+	default:
+		// Full commit: a fresh base snapshot, empty delta chain.
+		omsPayload, err := snap.EncodeJSON()
+		if err != nil {
+			return fmt.Errorf("jcf: save: %w", err)
+		}
+		omsName := fmt.Sprintf("%s%d", omsPrefix, epoch)
+		if err := b.Put(omsName, omsPayload); err != nil {
+			return fmt.Errorf("jcf: save: %w", err)
+		}
+		manifest = saveManifest{
+			Epoch:        epoch,
+			OMS:          omsName,
+			Framework:    fwName,
+			OMSSum:       sha256Hex(omsPayload),
+			FrameworkSum: sha256Hex(fwPayload),
+			BaseEpoch:    epoch,
+			BaseLSN:      snap.LSN(),
+			FeedLSN:      snap.LSN(),
+		}
 	}
 	if err := b.Put(fwName, fwPayload); err != nil {
 		return fmt.Errorf("jcf: save: %w", err)
-	}
-	manifest := saveManifest{
-		Epoch:        epoch,
-		OMS:          omsName,
-		Framework:    fwName,
-		OMSSum:       sha256Hex(omsPayload),
-		FrameworkSum: sha256Hex(fwPayload),
 	}
 	mdata, err := json.MarshalIndent(&manifest, "", " ")
 	if err != nil {
@@ -198,32 +316,44 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 	if err := b.Put(manifestKey, mdata); err != nil {
 		return fmt.Errorf("jcf: save: %w", err)
 	}
-	gcOldEpochs(b, epoch)
+	fw.lastSaveTo, fw.lastSaveEpoch, fw.lastSaveLSN = b, epoch, manifest.FeedLSN
+	var prevRef *saveManifest
+	if havePrev {
+		prevRef = &prev
+	}
+	gcOldEpochs(b, &manifest, prevRef)
 	return nil
 }
 
-// gcOldEpochs drops superseded snapshot payloads, always retaining the
-// just-committed epoch AND its predecessor: a concurrent LoadFrom that
-// read the previous CURRENT moments before this commit must still find
-// the payloads it names. Best effort: a failure leaves stale-but-
-// unreferenced names behind, never a broken commit.
-func gcOldEpochs(b backend.Backend, committed int64) {
+// gcOldEpochs drops superseded snapshot payloads. Everything the new
+// manifest references (base snapshot, delta chain, framework payload)
+// is retained, and so is everything the immediately preceding manifest
+// referenced: a concurrent LoadFrom that read the previous CURRENT
+// moments before this commit must still find the payloads it names.
+// Best effort: a failure leaves stale-but-unreferenced names behind,
+// never a broken commit.
+func gcOldEpochs(b backend.Backend, committed, prev *saveManifest) {
 	names, err := b.List()
 	if err != nil {
 		return
 	}
-	for _, n := range names {
-		var prefix string
-		switch {
-		case strings.HasPrefix(n, omsPrefix):
-			prefix = omsPrefix
-		case strings.HasPrefix(n, fwPrefix):
-			prefix = fwPrefix
-		default:
+	keep := map[string]bool{}
+	for _, m := range []*saveManifest{committed, prev} {
+		if m == nil {
 			continue
 		}
-		e, err := strconv.ParseInt(n[len(prefix):], 10, 64)
-		if err != nil || e >= committed-1 {
+		keep[m.OMS] = true
+		keep[m.Framework] = true
+		for _, d := range m.Deltas {
+			keep[d.Name] = true
+		}
+	}
+	for _, n := range names {
+		if keep[n] {
+			continue
+		}
+		if !strings.HasPrefix(n, omsPrefix) && !strings.HasPrefix(n, fwPrefix) &&
+			!strings.HasPrefix(n, deltaPrefix) {
 			continue
 		}
 		_ = b.Delete(n)
@@ -274,6 +404,10 @@ func Load(dir string) (*Framework, error) {
 // mutual consistency — a torn pair (one that references objects the
 // store payload does not contain) is rejected rather than resurrected.
 //
+// A differential commit is restored by decoding the base snapshot and
+// replaying the manifest's delta chain in order; every payload is
+// checksum-verified and the chain's LSN ranges must be contiguous.
+//
 // Backends without a CURRENT manifest fall back to the legacy layout
 // (framework.json + oms.json as two independent files).
 func LoadFrom(b backend.Backend) (*Framework, error) {
@@ -298,7 +432,36 @@ func LoadFrom(b backend.Backend) (*Framework, error) {
 	if got := sha256Hex(omsPayload); got != manifest.OMSSum {
 		return nil, fmt.Errorf("jcf: load: %s checksum mismatch (corrupt payload)", manifest.OMS)
 	}
-	return decodePair(fwPayload, omsPayload)
+	store, err := decodeStore(omsPayload)
+	if err != nil {
+		return nil, err
+	}
+	// The chain must attach to the base's cut and stay contiguous — a
+	// gap replays incomplete history, which is refused as loudly as a
+	// torn pair.
+	prevTo := manifest.BaseLSN
+	for _, d := range manifest.Deltas {
+		payload, err := b.Get(d.Name)
+		if err != nil {
+			return nil, fmt.Errorf("jcf: load: manifest epoch %d: %w", manifest.Epoch, err)
+		}
+		if got := sha256Hex(payload); got != d.Sum {
+			return nil, fmt.Errorf("jcf: load: %s checksum mismatch (corrupt delta)", d.Name)
+		}
+		if d.FromLSN != prevTo {
+			return nil, fmt.Errorf("jcf: load: delta chain broken at %s: starts at %d, expected %d",
+				d.Name, d.FromLSN, prevTo)
+		}
+		recs, err := oms.DecodeChanges(payload)
+		if err != nil {
+			return nil, fmt.Errorf("jcf: load: %s: %w", d.Name, err)
+		}
+		if err := store.ReplayChanges(recs); err != nil {
+			return nil, fmt.Errorf("jcf: load: %s: %w", d.Name, err)
+		}
+		prevTo = d.ToLSN
+	}
+	return decodeFramework(fwPayload, store)
 }
 
 // loadLegacy reads the pre-manifest two-file layout.
@@ -315,8 +478,31 @@ func loadLegacy(b backend.Backend) (*Framework, error) {
 }
 
 // decodePair rebuilds a framework from the two snapshot payloads and
-// validates their mutual consistency.
+// validates their mutual consistency (the legacy non-differential path).
 func decodePair(fwPayload, omsPayload []byte) (*Framework, error) {
+	store, err := decodeStore(omsPayload)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFramework(fwPayload, store)
+}
+
+// decodeStore rebuilds the OMS store from a base snapshot payload.
+func decodeStore(omsPayload []byte) (*oms.Store, error) {
+	schema, err := otod.JCFModel().Schema()
+	if err != nil {
+		return nil, err
+	}
+	store, err := oms.DecodeSnapshot(omsPayload, schema)
+	if err != nil {
+		return nil, fmt.Errorf("jcf: load: %w", err)
+	}
+	return store, nil
+}
+
+// decodeFramework rebuilds the framework metadata around a restored
+// store and validates their mutual consistency.
+func decodeFramework(fwPayload []byte, store *oms.Store) (*Framework, error) {
 	var state persistedState
 	if err := json.Unmarshal(fwPayload, &state); err != nil {
 		return nil, fmt.Errorf("jcf: load: %w", err)
@@ -324,15 +510,6 @@ func decodePair(fwPayload, omsPayload []byte) (*Framework, error) {
 	fw, err := New(state.Release)
 	if err != nil {
 		return nil, err
-	}
-	model := otod.JCFModel()
-	schema, err := model.Schema()
-	if err != nil {
-		return nil, err
-	}
-	store, err := oms.DecodeSnapshot(omsPayload, schema)
-	if err != nil {
-		return nil, fmt.Errorf("jcf: load: %w", err)
 	}
 	fw.store = store
 

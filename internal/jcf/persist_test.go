@@ -3,6 +3,7 @@ package jcf
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -307,7 +308,9 @@ func TestSaveLoadThroughSegmentBackend(t *testing.T) {
 	if err := w.fw.SaveTo(seg); err != nil {
 		t.Fatal(err)
 	}
-	// Save twice: epochs advance, old payloads are GCed, latest wins.
+	// Save twice: the segment backend is delta-capable, and nothing
+	// changed since epoch 1, so epoch 2 is a differential commit that
+	// re-binds the epoch-1 base snapshot — no second OMS payload exists.
 	if err := w.fw.SaveTo(seg); err != nil {
 		t.Fatal(err)
 	}
@@ -330,25 +333,23 @@ func TestSaveLoadThroughSegmentBackend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The committed epoch AND its predecessor are retained (a reader of
-	// the previous CURRENT must still find its payloads); anything older
-	// is collected. After two saves: CURRENT + epochs 1 and 2.
-	if len(names) != 5 {
-		t.Fatalf("after 2 saves want CURRENT + 2 epoch pairs, got %v", names)
+	want := []string{"CURRENT", "framework@1", "framework@2", "oms@1"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("after full + differential save want %v, got %v", want, names)
 	}
-	if err := ld.SaveTo(reopened); err != nil { // epoch 3: epoch 1 collected
+	// A loaded framework has no differential anchor, so its next save is
+	// a full base snapshot (epoch 3). GC retains what the new AND the
+	// previous manifest reference — the epoch-2 manifest still names the
+	// epoch-1 base — and collects the rest (framework@1).
+	if err := ld.SaveTo(reopened); err != nil {
 		t.Fatal(err)
 	}
 	names, err = reopened.List()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(names) != 5 {
-		t.Fatalf("after 3 saves want CURRENT + epochs 2,3, got %v", names)
-	}
-	for _, n := range names {
-		if n == "oms@1" || n == "framework@1" {
-			t.Fatalf("epoch 1 not collected: %v", names)
-		}
+	want = []string{"CURRENT", "framework@2", "framework@3", "oms@1", "oms@3"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("after full save over differential chain want %v, got %v", want, names)
 	}
 }

@@ -463,6 +463,24 @@ func (fw *Framework) CheckOutData(user string, dov oms.OID, dstPath string) erro
 	return err
 }
 
+// VersionExists reports whether a design object version OID still
+// names a live object — the liveness probe the coupling layer uses to
+// drop feed-announced checkins whose version has since been deleted or
+// rolled back.
+func (fw *Framework) VersionExists(dov oms.OID) bool {
+	return fw.store.Exists(dov)
+}
+
+// ExportVersionData copies a design object version's data blob to
+// dstPath without a user-permission check — the trusted export the
+// coupling layer (internal/core) uses to mirror feed-announced checkins
+// into the slave library. Tools never call this; they go through
+// CheckOutData, which enforces the workspace rules.
+func (fw *Framework) ExportVersionData(dov oms.OID, dstPath string) error {
+	_, err := fw.store.CopyOut(dov, "data", dstPath)
+	return err
+}
+
 // DataSize returns the stored size in bytes of a design object version.
 func (fw *Framework) DataSize(dov oms.OID) (int64, error) {
 	v, ok, err := fw.store.Get(dov, "data")

@@ -39,6 +39,13 @@ func (fw *Framework) Reserve(user string, cv oms.OID) error {
 		}
 		return fmt.Errorf("%w (held by %s, wanted by %s)", ErrReserved, holder, user)
 	}
+	// Mirror the reservation into the database: the Set rides the change
+	// feed, which is how tools learn about workspace traffic (the
+	// feed-driven notification bridge) and how a second machine replays
+	// it. The in-memory map stays authoritative for access checks.
+	if err := fw.store.Set(cv, "reservedBy", oms.S(user)); err != nil {
+		return err
+	}
 	fw.reservations[cv] = user
 	return nil
 }
@@ -49,6 +56,9 @@ func (fw *Framework) ReleaseReservation(user string, cv oms.OID) error {
 	defer fw.mu.Unlock()
 	if fw.reservations[cv] != user {
 		return fmt.Errorf("%w (user %s)", ErrNotReserved, user)
+	}
+	if err := fw.store.Set(cv, "reservedBy", oms.S("")); err != nil {
+		return err
 	}
 	delete(fw.reservations, cv)
 	return nil
@@ -68,7 +78,14 @@ func (fw *Framework) Publish(user string, cv oms.OID) error {
 	if fw.reservations[cv] != user {
 		return fmt.Errorf("%w (user %s)", ErrNotReserved, user)
 	}
-	if err := fw.store.Set(cv, "published", oms.B(true)); err != nil {
+	// Publish and reservation release commit as ONE batch — one feed
+	// group — so no feed consumer ever observes a published version whose
+	// reservation still looks held (or vice versa).
+	b := fw.getBatch()
+	defer fw.putBatch(b)
+	b.Set(cv, "published", oms.B(true))
+	b.Set(cv, "reservedBy", oms.S(""))
+	if _, err := fw.store.Apply(b); err != nil {
 		return err
 	}
 	delete(fw.reservations, cv)

@@ -50,6 +50,20 @@ type Backend interface {
 	Delete(name string) error
 }
 
+// DeltaCapable marks backends whose Put cost is dominated by payload
+// size rather than by rewrite amplification — appending a small delta
+// really is cheap. The segment/WAL backend qualifies (every Put is an
+// append to the active segment and old records are retained until
+// unreferenced); the one-file-per-name File backend does not gain
+// anything from deltas beyond smaller files, so it leaves the interface
+// unimplemented and the persistence layer keeps writing full snapshots
+// through it.
+type DeltaCapable interface {
+	// SupportsDeltas reports that incremental (delta-chain) persistence
+	// should be used against this backend.
+	SupportsDeltas() bool
+}
+
 // checkName rejects names that could escape the backend's directory or
 // collide with its internal bookkeeping files.
 func checkName(name string) error {

@@ -96,6 +96,12 @@ func OpenSegment(dir string) (*Segment, error) {
 // Dir returns the backend's root directory.
 func (s *Segment) Dir() string { return s.dir }
 
+// SupportsDeltas marks the segment backend as delta-capable: a Put is
+// an append to the active segment, so writing a small delta payload
+// costs O(delta), not O(store) — the property the framework's
+// differential Save exploits.
+func (s *Segment) SupportsDeltas() bool { return true }
+
 // segPath returns the path of a segment file name.
 func (s *Segment) segPath(name string) string { return filepath.Join(s.dir, name) }
 

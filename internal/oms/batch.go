@@ -299,48 +299,59 @@ func (st *Store) Apply(b *Batch) ([]OID, error) {
 	gen := st.txOpen.Load()
 
 	// Phase 4 — execute. The first error rolls back every applied op (in
-	// reverse) before the locks drop: all-or-nothing.
-	undo := make([]undoFn, 0, len(b.ops))
+	// reverse) before the locks drop: all-or-nothing. Nothing is
+	// published to the change feed until the whole batch has succeeded,
+	// so a failed batch leaves no trace in the feed either.
+	applieds := make([]applied, 0, len(b.ops))
 	nextCreate := 0
 	for i, op := range b.ops {
-		var fn undoFn
+		var a applied
 		var err error
 		switch op.kind {
 		case bCreate:
-			fn = st.insertLocked(created[nextCreate], op.s1, op.attrs)
+			a = st.insertLocked(created[nextCreate], op.s1, op.attrs)
 			nextCreate++
 		case bSet:
-			fn, err = st.setLockedU(res(op.oid), op.s1, op.val)
+			a, err = st.setLockedU(res(op.oid), op.s1, op.val)
 		case bCopyIn:
-			fn, err = st.setLockedU(res(op.oid), op.s1, staged[i])
+			a, err = st.setLockedU(res(op.oid), op.s1, staged[i])
 		case bLink:
-			fn, err = st.linkLockedU(op.s1, res(op.oid), res(op.to))
+			a, err = st.linkLockedU(op.s1, res(op.oid), res(op.to))
 		case bUnlink:
-			fn = st.unlinkLockedU(op.s1, res(op.oid), res(op.to))
+			a = st.unlinkLockedU(op.s1, res(op.oid), res(op.to))
 		case bDelete:
-			var fns []undoFn
-			fns, err = st.deleteLockedU(res(op.oid))
-			undo = append(undo, fns...)
+			var as []applied
+			as, err = st.deleteLockedU(res(op.oid))
+			applieds = append(applieds, as...)
 		}
 		if err != nil {
-			for j := len(undo) - 1; j >= 0; j-- {
-				undo[j](st)
+			for j := len(applieds) - 1; j >= 0; j-- {
+				applieds[j].undo(st)
 			}
 			unlock()
 			return nil, fmt.Errorf("oms: apply op %d: %w", i, err)
 		}
-		if fn != nil {
-			undo = append(undo, fn)
+		if a.undo != nil {
+			applieds = append(applieds, a)
 		}
 	}
 
-	// Phase 5 — the batch is now permanent; hand its undo entries to the
-	// transaction we observed open, if it still is (record()'s generation
-	// check, amortized over the whole batch).
+	// Phase 5 — the batch is now permanent: publish every effect to the
+	// change feed as ONE contiguous group (still under the stripe locks,
+	// so no subscriber can ever observe a torn batch), then hand the undo
+	// entries to the transaction we observed open, if it still is
+	// (record()'s generation check, amortized over the whole batch).
+	group := make([]Change, 0, len(applieds))
+	for _, a := range applieds {
+		group = append(group, a.change)
+	}
+	st.feed.publish(group)
 	if gen != 0 {
 		st.logMu.Lock()
 		if st.tx != nil && st.tx.gen == gen {
-			st.tx.undo = append(st.tx.undo, undo...)
+			for _, a := range applieds {
+				st.tx.undo = append(st.tx.undo, txEntry{fn: a.undo, comp: a.comp})
+			}
 		}
 		st.logMu.Unlock()
 	}

@@ -42,6 +42,10 @@
 //     open (txOpen fast path); Rollback detaches the log under logMu,
 //     then replays the undo entries in one atomic step with every stripe
 //     write-locked
+//  3. feedMu (the change feed ring, see feed.go) — leaf like logMu:
+//     every committed mutation publishes its sequenced change records
+//     while still holding its stripe write locks, which is what makes
+//     the feed's LSN order a valid serialization of store history
 //
 // allocMu (OID allocation) and the stat counters (atomics) stand alone,
 // with one exception: Snapshot reads nextOID under allocMu while holding
@@ -400,6 +404,10 @@ type Store struct {
 	schema  *Schema
 	stripes [numStripes]stripe
 
+	// feed is the sequenced change log every committed mutation
+	// publishes into (see feed.go).
+	feed *feed
+
 	// allocMu guards OID allocation only.
 	allocMu sync.Mutex
 	nextOID OID
@@ -429,6 +437,7 @@ func NewStore(schema *Schema) *Store {
 	st := &Store{
 		schema:  schema,
 		nextOID: 1,
+		feed:    newFeed(),
 	}
 	for i := range st.stripes {
 		st.stripes[i].objects = map[OID]*object{}
@@ -517,9 +526,27 @@ func (st *Store) classOIDs(class string) []OID {
 
 type undoFn func(st *Store)
 
+// applied describes one applied primitive mutation: the feed record it
+// publishes, the undo that reverts it, and the compensating record the
+// undo publishes if it runs during a transaction rollback. A no-op
+// (idempotent re-link, absent unlink) has a nil undo and publishes
+// nothing.
+type applied struct {
+	change Change
+	comp   Change
+	undo   undoFn
+}
+
+// txEntry is one undo-log slot: the revert closure plus the feed record
+// that announces the revert.
+type txEntry struct {
+	fn   undoFn
+	comp Change
+}
+
 type txLog struct {
 	gen  uint64 // the txOpen generation this log belongs to
-	undo []undoFn
+	undo []txEntry
 }
 
 // Begin opens a transaction. Only one transaction may be open at a time;
@@ -566,6 +593,11 @@ func (st *Store) Commit() error {
 // transaction was open are undone, concurrent designers never observe a
 // half-rolled-back store, and a write acknowledged after the transaction
 // closed can never be reverted.
+//
+// The feed records the transaction's operations published are not
+// rewritten; instead the rollback publishes their compensating records
+// (in replay order) as ONE commit group, so feed consumers replaying
+// history land on the rolled-back state without any special handling.
 func (st *Store) Rollback() error {
 	st.lockAll()
 	st.logMu.Lock()
@@ -578,9 +610,12 @@ func (st *Store) Rollback() error {
 	st.tx = nil // undo functions run outside the tx
 	st.txOpen.Store(0)
 	st.logMu.Unlock()
+	comps := make([]Change, 0, len(log.undo))
 	for i := len(log.undo) - 1; i >= 0; i-- {
-		log.undo[i](st)
+		log.undo[i].fn(st)
+		comps = append(comps, log.undo[i].comp)
 	}
+	st.feed.publish(comps)
 	st.unlockAll()
 	st.statRollback.Add(1)
 	return nil
@@ -599,16 +634,30 @@ func (st *Store) InTx() bool {
 // entry lands only in the log of the very transaction the mutation saw
 // open: if that transaction closed (and even if a new one opened) in the
 // meantime, the entry is dropped rather than corrupting a later log.
-func (st *Store) record(fn undoFn) {
+func (st *Store) record(a applied) {
+	if a.undo == nil {
+		return
+	}
 	gen := st.txOpen.Load()
 	if gen == 0 {
 		return
 	}
 	st.logMu.Lock()
 	if st.tx != nil && st.tx.gen == gen {
-		st.tx.undo = append(st.tx.undo, fn)
+		st.tx.undo = append(st.tx.undo, txEntry{fn: a.undo, comp: a.comp})
 	}
 	st.logMu.Unlock()
+}
+
+// commitApplied publishes a successful single-op mutation to the feed
+// and hands its undo to an open transaction. The caller still holds the
+// op's stripe write locks. No-ops (nil undo) publish nothing.
+func (st *Store) commitApplied(a applied) {
+	if a.undo == nil {
+		return
+	}
+	st.feed.publish([]Change{a.change})
+	st.record(a)
 }
 
 // --- object lifecycle -------------------------------------------------
@@ -652,13 +701,19 @@ func (st *Store) allocOID() OID {
 // insertLocked installs a validated object. The caller holds oid's stripe
 // write lock and hands over ownership of attrs (values must already be
 // private copies) — the map is adopted as the object's attribute map, not
-// copied. Returns the undo entry; the caller decides whether it goes to
-// the transaction log (single ops) or a batch undo list (Apply).
-func (st *Store) insertLocked(oid OID, class string, attrs map[string]Value) undoFn {
+// copied. Returns the applied record; the caller decides whether its
+// undo goes to the transaction log (single ops) or a batch undo list
+// (Apply), and publishes its change to the feed on commit. The change
+// record carries a private copy of the attribute map (Values shared —
+// they are immutable), so later Sets never mutate history.
+func (st *Store) insertLocked(oid OID, class string, attrs map[string]Value) applied {
 	obj := newObject(oid, class)
+	var recAttrs map[string]Value
 	if attrs != nil {
 		obj.attrs = attrs
-		for _, v := range attrs {
+		recAttrs = make(map[string]Value, len(attrs))
+		for name, v := range attrs {
+			recAttrs[name] = v
 			if v.Kind == KindBlob {
 				st.statBlobIn.Add(int64(len(v.Blob)))
 			}
@@ -668,7 +723,11 @@ func (st *Store) insertLocked(oid OID, class string, attrs map[string]Value) und
 	s.objects[oid] = obj
 	s.addClass(class, oid)
 	st.statOps.Add(1)
-	return func(u *Store) { u.undoCreate(oid, class) }
+	return applied{
+		change: Change{Kind: ChangeCreate, OID: oid, Class: class, Attrs: recAttrs},
+		comp:   Change{Kind: ChangeDelete, OID: oid, Class: class},
+		undo:   func(u *Store) { u.undoCreate(oid, class) },
+	}
 }
 
 // Create allocates a new object of the given class with the given attribute
@@ -684,7 +743,7 @@ func (st *Store) Create(class string, attrs map[string]Value) (OID, error) {
 	}
 	s := st.stripeOf(oid)
 	s.mu.Lock()
-	st.record(st.insertLocked(oid, class, cp))
+	st.commitApplied(st.insertLocked(oid, class, cp))
 	s.mu.Unlock()
 	return oid, nil
 }
@@ -701,50 +760,67 @@ func (st *Store) undoCreate(oid OID, class string) {
 // Delete removes an object and all relationships it participates in. It is
 // the one multi-object operation whose reach is unbounded (links may point
 // anywhere), so it takes every stripe — correct and simple; deletion is not
-// on the designers' hot path.
+// on the designers' hot path. The cascade (every link detach plus the
+// removal) publishes as one feed group.
 func (st *Store) Delete(oid OID) error {
 	st.lockAll()
 	defer st.unlockAll()
-	undo, err := st.deleteLockedU(oid)
+	as, err := st.deleteLockedU(oid)
 	if err != nil {
 		return err
 	}
-	for _, fn := range undo {
-		st.record(fn)
+	group := make([]Change, 0, len(as))
+	for _, a := range as {
+		group = append(group, a.change)
+	}
+	st.feed.publish(group)
+	for _, a := range as {
+		st.record(a)
 	}
 	return nil
 }
 
 // deleteLockedU is Delete's body: detach every link (both directions),
 // then remove the object. The caller holds every stripe write lock. The
-// returned undo entries are ordered for reverse replay (links re-attach
-// after the object is re-inserted).
-func (st *Store) deleteLockedU(oid OID) ([]undoFn, error) {
+// returned entries are ordered for reverse undo replay (links re-attach
+// after the object is re-inserted) and forward feed publication (the
+// unlinks precede the delete record).
+func (st *Store) deleteLockedU(oid OID) ([]applied, error) {
 	s := st.stripeOf(oid)
 	obj, ok := s.objects[oid]
 	if !ok {
 		return nil, fmt.Errorf("oms: no object %d", oid)
 	}
-	var undo []undoFn
+	var as []applied
 	for rel, targets := range obj.links {
 		for to := range targets {
-			if fn := st.unlinkLockedU(rel, oid, to); fn != nil {
-				undo = append(undo, fn)
+			if a := st.unlinkLockedU(rel, oid, to); a.undo != nil {
+				as = append(as, a)
 			}
 		}
 	}
 	for rel, sources := range obj.backlinks {
 		for from := range sources {
-			if fn := st.unlinkLockedU(rel, from, oid); fn != nil {
-				undo = append(undo, fn)
+			if a := st.unlinkLockedU(rel, from, oid); a.undo != nil {
+				as = append(as, a)
 			}
 		}
 	}
 	delete(s.objects, oid)
 	s.delClass(obj.class, oid)
 	st.statOps.Add(1)
-	undo = append(undo, func(u *Store) { u.undoDelete(oid, obj) })
-	return undo, nil
+	// The compensating create restores the object's attributes; its
+	// links are restored by the preceding unlink compensations.
+	recAttrs := make(map[string]Value, len(obj.attrs))
+	for name, v := range obj.attrs {
+		recAttrs[name] = v
+	}
+	as = append(as, applied{
+		change: Change{Kind: ChangeDelete, OID: oid, Class: obj.class},
+		comp:   Change{Kind: ChangeCreate, OID: oid, Class: obj.class, Attrs: recAttrs},
+		undo:   func(u *Store) { u.undoDelete(oid, obj) },
+	})
+	return as, nil
 }
 
 func (st *Store) undoDelete(oid OID, obj *object) {
@@ -788,27 +864,29 @@ func (st *Store) setOwned(oid OID, name string, v Value) error {
 	s := st.stripeOf(oid)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fn, err := st.setLockedU(oid, name, v)
+	a, err := st.setLockedU(oid, name, v)
 	if err != nil {
 		return err
 	}
-	st.record(fn)
+	st.commitApplied(a)
 	return nil
 }
 
 // setLockedU is Set's body. The caller holds oid's stripe write lock and
-// hands over ownership of v (already a private copy).
-func (st *Store) setLockedU(oid OID, name string, v Value) (undoFn, error) {
+// hands over ownership of v (already a private copy). Sharing v in the
+// change record is safe: Values are immutable once stored (Set replaces
+// them wholesale).
+func (st *Store) setLockedU(oid OID, name string, v Value) (applied, error) {
 	obj, ok := st.stripeOf(oid).objects[oid]
 	if !ok {
-		return nil, fmt.Errorf("oms: no object %d", oid)
+		return applied{}, fmt.Errorf("oms: no object %d", oid)
 	}
 	def, ok := st.schema.class(obj.class).attr(name)
 	if !ok {
-		return nil, fmt.Errorf("oms: class %q has no attribute %q", obj.class, name)
+		return applied{}, fmt.Errorf("oms: class %q has no attribute %q", obj.class, name)
 	}
 	if def.Kind != v.Kind {
-		return nil, fmt.Errorf("oms: attribute %s.%s wants %s, got %s", obj.class, name, def.Kind, v.Kind)
+		return applied{}, fmt.Errorf("oms: attribute %s.%s wants %s, got %s", obj.class, name, def.Kind, v.Kind)
 	}
 	old, had := obj.attrs[name]
 	obj.attrs[name] = v
@@ -816,7 +894,11 @@ func (st *Store) setLockedU(oid OID, name string, v Value) (undoFn, error) {
 		st.statBlobIn.Add(int64(len(v.Blob)))
 	}
 	st.statOps.Add(1)
-	return func(u *Store) { u.undoSet(oid, name, old, had) }, nil
+	return applied{
+		change: Change{Kind: ChangeSet, OID: oid, Class: obj.class, Attr: name, Value: v},
+		comp:   Change{Kind: ChangeSet, OID: oid, Class: obj.class, Attr: name, Value: old, Cleared: !had},
+		undo:   func(u *Store) { u.undoSet(oid, name, old, had) },
+	}, nil
 }
 
 func (st *Store) undoSet(oid OID, name string, old Value, had bool) {
@@ -889,46 +971,44 @@ func (st *Store) Link(rel string, from, to OID) error {
 	}
 	unlock := st.lockPair(from, to)
 	defer unlock()
-	fn, err := st.linkLockedU(rel, from, to)
+	a, err := st.linkLockedU(rel, from, to)
 	if err != nil {
 		return err
 	}
-	if fn != nil {
-		st.record(fn)
-	}
+	st.commitApplied(a)
 	return nil
 }
 
 // linkLockedU is Link's body. The caller holds the stripe write locks of
-// both endpoints. Returns a nil undo entry (and nil error) when the link
-// already existed — the idempotent no-op.
-func (st *Store) linkLockedU(rel string, from, to OID) (undoFn, error) {
+// both endpoints. Returns a no-op applied (nil undo, nil error) when the
+// link already existed — the idempotent case.
+func (st *Store) linkLockedU(rel string, from, to OID) (applied, error) {
 	def := st.schema.rel(rel)
 	if def == nil {
-		return nil, fmt.Errorf("oms: unknown relationship %q", rel)
+		return applied{}, fmt.Errorf("oms: unknown relationship %q", rel)
 	}
 	fobj, ok := st.stripeOf(from).objects[from]
 	if !ok {
-		return nil, fmt.Errorf("oms: no object %d", from)
+		return applied{}, fmt.Errorf("oms: no object %d", from)
 	}
 	tobj, ok := st.stripeOf(to).objects[to]
 	if !ok {
-		return nil, fmt.Errorf("oms: no object %d", to)
+		return applied{}, fmt.Errorf("oms: no object %d", to)
 	}
 	if fobj.class != def.From {
-		return nil, fmt.Errorf("oms: relationship %q: from must be %q, got %q", rel, def.From, fobj.class)
+		return applied{}, fmt.Errorf("oms: relationship %q: from must be %q, got %q", rel, def.From, fobj.class)
 	}
 	if tobj.class != def.To {
-		return nil, fmt.Errorf("oms: relationship %q: to must be %q, got %q", rel, def.To, tobj.class)
+		return applied{}, fmt.Errorf("oms: relationship %q: to must be %q, got %q", rel, def.To, tobj.class)
 	}
 	if fobj.links[rel][to] {
-		return nil, nil // already linked; idempotent
+		return applied{}, nil // already linked; idempotent
 	}
 	if def.ToCard == One && len(fobj.links[rel]) >= 1 {
-		return nil, fmt.Errorf("oms: relationship %q: object %d already has its single %q link", rel, from, def.To)
+		return applied{}, fmt.Errorf("oms: relationship %q: object %d already has its single %q link", rel, from, def.To)
 	}
 	if def.FromCard == One && len(tobj.backlinks[rel]) >= 1 {
-		return nil, fmt.Errorf("oms: relationship %q: object %d already has its single inbound link", rel, to)
+		return applied{}, fmt.Errorf("oms: relationship %q: object %d already has its single inbound link", rel, to)
 	}
 	if fobj.links[rel] == nil {
 		fobj.links[rel] = map[OID]bool{}
@@ -940,7 +1020,11 @@ func (st *Store) linkLockedU(rel string, from, to OID) (undoFn, error) {
 	tobj.backlinks[rel][from] = true
 	st.stripeOf(from).addRelFrom(rel, from)
 	st.statOps.Add(1)
-	return func(u *Store) { u.undoLink(rel, from, to) }, nil
+	return applied{
+		change: Change{Kind: ChangeLink, Rel: rel, From: from, To: to},
+		comp:   Change{Kind: ChangeUnlink, Rel: rel, From: from, To: to},
+		undo:   func(u *Store) { u.undoLink(rel, from, to) },
+	}, nil
 }
 
 func (st *Store) undoLink(rel string, from, to OID) {
@@ -958,27 +1042,29 @@ func (st *Store) Unlink(rel string, from, to OID) error {
 	return nil
 }
 
-// unlinkLocked removes the link and records undo; caller holds the stripes
-// of both from and to.
+// unlinkLocked removes the link, publishes and records undo; caller
+// holds the stripes of both from and to.
 func (st *Store) unlinkLocked(rel string, from, to OID) {
-	if fn := st.unlinkLockedU(rel, from, to); fn != nil {
-		st.record(fn)
-	}
+	st.commitApplied(st.unlinkLockedU(rel, from, to))
 }
 
 // unlinkLockedU is Unlink's body; caller holds the stripes of both from
-// and to. Returns nil when the link did not exist.
-func (st *Store) unlinkLockedU(rel string, from, to OID) undoFn {
+// and to. Returns a no-op applied when the link did not exist.
+func (st *Store) unlinkLockedU(rel string, from, to OID) applied {
 	fobj, ok := st.stripeOf(from).objects[from]
 	if !ok {
-		return nil
+		return applied{}
 	}
 	if !fobj.links[rel][to] {
-		return nil
+		return applied{}
 	}
 	st.unlinkNoUndo(rel, from, to)
 	st.statOps.Add(1)
-	return func(u *Store) { u.undoUnlink(rel, from, to) }
+	return applied{
+		change: Change{Kind: ChangeUnlink, Rel: rel, From: from, To: to},
+		comp:   Change{Kind: ChangeLink, Rel: rel, From: from, To: to},
+		undo:   func(u *Store) { u.undoUnlink(rel, from, to) },
+	}
 }
 
 func (st *Store) undoUnlink(rel string, from, to OID) {

@@ -37,6 +37,7 @@ type snapObjHdr struct {
 // encode from any goroutine while the originating store keeps mutating.
 type Snapshot struct {
 	nextOID OID
+	lsn     uint64       // change-feed position of the cut (see LSN)
 	objs    []snapObjHdr // sorted by OID
 }
 
@@ -56,6 +57,11 @@ func (st *Store) Snapshot() *Snapshot {
 	st.allocMu.Lock()
 	sn := &Snapshot{nextOID: st.nextOID}
 	st.allocMu.Unlock()
+	// The feed position is read inside the cut too: every mutation
+	// publishes while holding its stripe write locks, which the cut
+	// excludes, so exactly the changes with LSN <= sn.lsn are visible in
+	// the captured state — the anchor differential saves replay from.
+	sn.lsn = st.feed.lsn()
 	for i := range st.stripes {
 		for _, obj := range st.stripes[i].objects {
 			h := snapObjHdr{
@@ -90,6 +96,12 @@ func (st *Store) Snapshot() *Snapshot {
 
 // NextOID returns the allocator position captured by the cut.
 func (sn *Snapshot) NextOID() OID { return sn.nextOID }
+
+// LSN returns the change-feed position of the cut: every change with
+// LSN <= this value is reflected in the snapshot, none after. It is the
+// `since` anchor for Store.Changes/Store.Watch when building
+// differential persistence on top of a base snapshot.
+func (sn *Snapshot) LSN() uint64 { return sn.lsn }
 
 // Objects returns the number of objects in the cut.
 func (sn *Snapshot) Objects() int { return len(sn.objs) }

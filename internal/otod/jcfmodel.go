@@ -42,6 +42,10 @@ func JCFModel() *Model {
 	must(m.AddEntity(Entity{Name: "CellVersion", Region: "Project structure", Attrs: []oms.AttrDef{
 		{Name: "num", Kind: oms.KindInt, Required: true},
 		{Name: "published", Kind: oms.KindBool},
+		// reservedBy mirrors the workspace reservation into the database
+		// ("" when free) so reservation traffic rides the change feed and
+		// reaches tools via the feed-driven notification bridge.
+		{Name: "reservedBy", Kind: oms.KindString},
 	}}))
 	must(m.AddEntity(Entity{Name: "Part", Region: "Project structure", Attrs: []oms.AttrDef{name}}))
 
