@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test race stress-persist stress-atomic stress-feed bench bench-contention bench-persist bench-batch bench-feed clean
+.PHONY: check build vet test race stress-persist stress-atomic stress-feed stress-repl bench bench-contention bench-persist bench-batch bench-feed bench-repl clean
 
-## check is the CI gate: a fresh checkout must build, vet and pass the
-## full test suite under the race detector, plus an extra multi-count run
-## of the persistence crash-consistency stress test. This is what keeps
-## the missing-go.mod regression, data races in the sharded OMS kernel,
-## and torn (oms, framework) snapshot pairs from ever landing again.
-check: build vet race stress-persist stress-atomic stress-feed
+## check is the CI gate: a fresh checkout must build, vet (go vet ./...)
+## and pass the full test suite under the race detector, plus an extra
+## multi-count run of the persistence crash-consistency stress test.
+## This is what keeps the missing-go.mod regression, data races in the
+## sharded OMS kernel, torn (oms, framework) snapshot pairs, and
+## diverging replicas from ever landing again.
+check: build vet race stress-persist stress-atomic stress-feed stress-repl
 
 build:
 	$(GO) build ./...
@@ -42,6 +43,17 @@ stress-atomic:
 stress-feed:
 	$(GO) test -race -count=3 -run 'TestFeedConformanceStress|TestDifferentialSaveCrashConsistencyUnderLoad|TestNotifierPublishesFrameworkEvents' ./internal/oms/ ./internal/jcf/
 
+## stress-repl hammers the replication subsystem under the race
+## detector: the primary mutates under concurrent load while one replica
+## follows from the start and a second bootstraps mid-stream from a
+## snapshot, the transport is killed and reconnected twice, corrupt and
+## gapped streams are injected — final replica fingerprints must equal
+## the primary's and WaitFor barriers must observe the writes they cover
+## (internal/repl/repl_test.go, internal/jcf/replica_test.go). Runs over
+## both the in-process pipe and real TCP.
+stress-repl:
+	$(GO) test -race -count=3 -run 'TestReplicationConvergenceUnderLoad|TestReplicaStreamRobustness|TestReplicaReadOnlyView|TestReplicaViewPromote' ./internal/repl/ ./internal/jcf/
+
 ## bench regenerates every paper table/figure benchmark.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -74,6 +86,15 @@ bench-batch:
 bench-feed:
 	$(GO) test -bench 'BenchmarkE39DifferentialSave' -run '^$$' -benchtime 20x -count 3 .
 	$(GO) test -bench 'BenchmarkFeedWatchLatency' -run '^$$' -benchtime 20000x -count 3 .
+
+## bench-repl runs the replication benchmarks behind BENCH_5.json:
+## aggregate read throughput at 0 (primary-only baseline) / 1 / 2 / 4
+## replicas under a background write load, and commit-to-replica
+## visibility lag p50/p99 under sustained writes. Record medians of the
+## three counts.
+bench-repl:
+	$(GO) test -bench 'BenchmarkE40ReplicaReadScaling' -run '^$$' -benchtime 20000x -count 3 .
+	$(GO) test -bench 'BenchmarkE41ReplicationLag' -run '^$$' -benchtime 2000x -count 3 .
 
 clean:
 	$(GO) clean ./...

@@ -290,10 +290,20 @@ func BenchmarkE32ConsistencyCheck(b *testing.B) {
 		parents = append(parents, int64(v1))
 	}
 	_ = parents
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = fw.CheckConsistency()
-	}
+	// Two modes since the feed-driven cache landed: "full" is the
+	// unconditional sweep (the pre-cache behaviour), "cached" answers an
+	// unchanged store from the last verdict in O(changes) — the path
+	// replicas poll after catch-up.
+	b.Run("mode=full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = fw.CheckConsistencyFull()
+		}
+	})
+	b.Run("mode=cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = fw.CheckConsistency()
+		}
+	})
 }
 
 // BenchmarkE33HierarchySubmit measures the manual-desktop hierarchy
@@ -879,6 +889,147 @@ func BenchmarkFeedWatchLatency(b *testing.B) {
 	if len(lat) > 0 {
 		b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-delivery-ns")
 		b.ReportMetric(float64(lat[int(0.99*float64(len(lat)-1))].Nanoseconds()), "p99-delivery-ns")
+	}
+}
+
+// BenchmarkE40ReplicaReadScaling measures aggregate read throughput
+// against 1/2/4 read-only replica views while the primary keeps
+// mutating (BENCH_5.json, `make bench-repl`). Readers are distributed
+// round-robin across the replica views; the primary runs a continuous
+// constant-size write load in the background, so the replicas earn
+// their keep by taking the read traffic off the contended writer.
+func BenchmarkE40ReplicaReadScaling(b *testing.B) {
+	// replicas=0 is the baseline: reads served by the mutating primary
+	// itself (one replica is still wired up so the replication pipeline
+	// cost stays in the picture, but readers bypass it).
+	for _, n := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			world, err := experiments.NewReplicationWorld(max(n, 1), 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer world.Close()
+			views := world.Views
+			if n == 0 {
+				views = []*jcf.Framework{world.FW}
+			}
+			// Paced writer: a fixed ~5k writes/s background load, so every
+			// replica count faces the same write pressure (an unthrottled
+			// writer would starve readers unpredictably on a small box).
+			stop := make(chan struct{})
+			var writerDone sync.WaitGroup
+			writerDone.Add(1)
+			go func() {
+				defer writerDone.Done()
+				tick := time.NewTicker(200 * time.Microsecond)
+				defer tick.Stop()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+					if _, err := world.MutatePrimary(i); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+			var next atomic.Int64
+			b.SetParallelism(8) // spread readers across the views even on 1 CPU
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				view := views[int(next.Add(1))%len(views)]
+				i := 0
+				for pb.Next() {
+					if err := world.ReadProbe(view, i); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			writerDone.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+		})
+	}
+}
+
+// BenchmarkE41ReplicationLag measures commit-to-replica-visibility
+// latency: each iteration commits one write on the primary and waits for
+// the replica's read-your-writes barrier to cover it, while a paced
+// background writer keeps a sustained load on the feed and a paced
+// reader keeps the view busy (BENCH_5.json).
+func BenchmarkE41ReplicationLag(b *testing.B) {
+	world, err := experiments.NewReplicationWorld(1, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer world.Close()
+	rep := world.Replicas[0]
+	// Sustained background load: one paced writer (~5k writes/s on a
+	// second reservation target, so it never collides with the measured
+	// writer) plus one paced reader on the view — the barrier latency is
+	// measured under real replication traffic rather than on an idle
+	// feed, without starving the apply loop on a small box.
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			if err := world.ChurnPrimary(i); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		tick := time.NewTicker(100 * time.Microsecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			if err := world.ReadProbe(world.Views[0], i); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lsn, err := world.MutatePrimary(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		if err := rep.WaitFor(lsn, 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	close(stop)
+	bg.Wait()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-lag-ns")
+		b.ReportMetric(float64(lat[int(0.99*float64(len(lat)-1))].Nanoseconds()), "p99-lag-ns")
 	}
 }
 

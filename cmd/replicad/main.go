@@ -1,0 +1,165 @@
+// Command replicad runs the replication subsystem from the shell: one
+// process serves a primary framework's change feed over TCP, others
+// follow it into read-only replica stores.
+//
+//	replicad serve  -state DIR [-segment] [-listen ADDR]
+//	replicad follow -connect ADDR [-interval DUR] [-once]
+//
+// serve loads (or initializes) a JCF framework from a state directory,
+// publishes its change feed on the listen address, and — because the
+// state directory doubles as the seed backend — bootstraps far-behind
+// followers by shipping the committed base + delta chain instead of
+// cutting fresh snapshots. It keeps committing differential saves so
+// that chain stays current.
+//
+// follow tails a publisher into an in-memory follower store, prints
+// applied LSN / lag, and runs the incremental consistency check after
+// each catch-up — the convergence self-check. With -once it exits after
+// the first converged check (useful for scripted smoke tests).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/jcf"
+	"repro/internal/oms/backend"
+	"repro/internal/otod"
+	"repro/internal/repl"
+
+	"flag"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "follow":
+		err = follow(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replicad:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  replicad serve  -state DIR [-segment] [-listen ADDR] [-save-interval DUR]
+  replicad follow -connect ADDR [-interval DUR] [-once]`)
+}
+
+// openBackend opens the state directory as a file or segment backend.
+func openBackend(dir string, segment bool) (backend.Backend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if segment {
+		return backend.OpenSegment(dir)
+	}
+	return backend.OpenFile(dir)
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	state := fs.String("state", "", "framework state directory (required)")
+	segment := fs.Bool("segment", false, "use the segment/WAL backend (enables differential saves)")
+	listen := fs.String("listen", "127.0.0.1:7070", "replication listen address")
+	saveEvery := fs.Duration("save-interval", 5*time.Second, "differential save cadence (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *state == "" {
+		return fmt.Errorf("serve: -state is required")
+	}
+	b, err := openBackend(*state, *segment)
+	if err != nil {
+		return err
+	}
+	fw, err := jcf.LoadFrom(b)
+	if err != nil {
+		if _, lerr := backend.LoadManifest(b); lerr == nil {
+			return err // a committed state exists but will not load: surface it
+		}
+		fmt.Println("no committed state; initializing a fresh JCF 4.0 framework")
+		if fw, err = jcf.New(jcf.Release40); err != nil {
+			return err
+		}
+		if err := fw.SaveTo(b); err != nil {
+			return err
+		}
+	}
+	pub := repl.NewPublisher(fw.ReplicationSource(), repl.WithSeedBackend(b))
+	defer pub.Close()
+	ln, err := repl.ListenTCP(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving replication on %s (state %s, feed lsn %d)\n", ln.Addr(), *state, fw.FeedLSN())
+	if *saveEvery > 0 {
+		go func() {
+			for range time.Tick(*saveEvery) {
+				if err := fw.SaveTo(b); err != nil {
+					fmt.Fprintln(os.Stderr, "replicad: save:", err)
+				}
+			}
+		}()
+	}
+	return pub.Serve(ln)
+}
+
+func follow(args []string) error {
+	fs := flag.NewFlagSet("follow", flag.ExitOnError)
+	connect := fs.String("connect", "", "publisher address (required)")
+	interval := fs.Duration("interval", 2*time.Second, "status print cadence")
+	once := fs.Bool("once", false, "exit after the first converged consistency check")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("follow: -connect is required")
+	}
+	schema, err := otod.JCFModel().Schema()
+	if err != nil {
+		return err
+	}
+	rep := repl.NewReplica(schema, &repl.TCPDialer{Addr: *connect})
+	rep.Start()
+	defer rep.Close()
+	view, err := jcf.NewReplicaView(rep.Store(), jcf.Release40)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("following %s\n", *connect)
+	for range time.Tick(*interval) {
+		applied, lag := rep.AppliedLSN(), rep.Lag()
+		stats := rep.Stats()
+		status := "catching up"
+		if lag == 0 && (stats.FramesApplied > 0 || stats.Bootstraps > 0) {
+			if probs := view.CheckConsistency(); len(probs) == 0 {
+				status = "converged, consistent"
+			} else {
+				status = fmt.Sprintf("converged, %d inconsistencies", len(probs))
+			}
+		}
+		fmt.Printf("applied=%d lag=%d bootstraps=%d reconnects=%d gaps=%d objects=%d  %s\n",
+			applied, lag, stats.Bootstraps, stats.Reconnects, stats.Gaps,
+			rep.Store().Count(""), status)
+		if err := rep.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "replicad: last session error:", err)
+		}
+		if *once && status == "converged, consistent" {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/jcf"
+	"repro/internal/oms"
+	"repro/internal/otod"
+	"repro/internal/repl"
+)
+
+// Replication scale-out world (PR 5, BENCH_5.json).
+//
+// One primary JCF framework serves a population of writers; n read-only
+// replicas follow it over in-process pipe transports and serve the
+// read-mostly tool traffic. The world backs two benchmarks:
+//
+//   - BenchmarkE40ReplicaReadScaling: aggregate read throughput against
+//     1/2/4 replica views while the primary keeps mutating.
+//   - BenchmarkE41ReplicationLag: commit-to-replica-visibility latency
+//     (WaitFor barrier) under a sustained write load.
+
+// ReplicationWorld is a primary with n live replicas and their views.
+type ReplicationWorld struct {
+	FW        *jcf.Framework
+	Publisher *repl.Publisher
+	Replicas  []*repl.Replica
+	Views     []*jcf.Framework
+
+	// CVs are published cell versions (one per cell); DOVs the data
+	// versions checked into them — the read-side working set.
+	CVs  []oms.OID
+	DOVs []oms.OID
+	// ReserveCV and ChurnCV are spare, unpublished cell versions the
+	// write loads toggle reservations on (constant-size churn: one feed
+	// record per op, no store growth). Two distinct targets so a
+	// measured writer and a background writer never collide on the same
+	// reservation.
+	ReserveCV oms.OID
+	ChurnCV   oms.OID
+}
+
+// NewReplicationWorld builds the primary with `cells` published cells
+// (each with one checked-in design object version) and starts n replicas
+// following it.
+func NewReplicationWorld(n, cells int) (*ReplicationWorld, error) {
+	fw, err := jcf.New(jcf.Release30)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.CreateUser("anna"); err != nil {
+		return nil, err
+	}
+	team, err := fw.CreateTeam("vlsi")
+	if err != nil {
+		return nil, err
+	}
+	anna, err := fw.User("anna")
+	if err != nil {
+		return nil, err
+	}
+	if err := fw.AddMember(team, anna); err != nil {
+		return nil, err
+	}
+	vt, err := fw.CreateViewType("schematic")
+	if err != nil {
+		return nil, err
+	}
+	f := flow.New("repl-flow")
+	if err := f.AddActivity(flow.Activity{Name: "edit"}); err != nil {
+		return nil, err
+	}
+	if _, err := fw.RegisterFlow(f); err != nil {
+		return nil, err
+	}
+	project, err := fw.CreateProject("scaleout", team)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "repl-world")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	src := filepath.Join(dir, "data.sch")
+	if err := os.WriteFile(src, []byte("netlist payload for replication benchmarks"), 0o644); err != nil {
+		return nil, err
+	}
+
+	w := &ReplicationWorld{FW: fw}
+	for c := 0; c < cells; c++ {
+		cell, err := fw.CreateCell(project, fmt.Sprintf("cell%03d", c))
+		if err != nil {
+			return nil, err
+		}
+		cv, err := fw.CreateCellVersion(cell, "repl-flow", team)
+		if err != nil {
+			return nil, err
+		}
+		if err := fw.Reserve("anna", cv); err != nil {
+			return nil, err
+		}
+		variants := fw.Variants(cv)
+		do, err := fw.CreateDesignObject(variants[0], fmt.Sprintf("cell%03d-sch", c), vt)
+		if err != nil {
+			return nil, err
+		}
+		dov, err := fw.CheckInData("anna", do, src)
+		if err != nil {
+			return nil, err
+		}
+		if err := fw.Publish("anna", cv); err != nil {
+			return nil, err
+		}
+		w.CVs = append(w.CVs, cv)
+		w.DOVs = append(w.DOVs, dov)
+	}
+	spareCell, err := fw.CreateCell(project, "spare")
+	if err != nil {
+		return nil, err
+	}
+	if w.ReserveCV, err = fw.CreateCellVersion(spareCell, "repl-flow", team); err != nil {
+		return nil, err
+	}
+	if w.ChurnCV, err = fw.CreateCellVersion(spareCell, "repl-flow", team); err != nil {
+		return nil, err
+	}
+
+	w.Publisher = repl.NewPublisher(fw.ReplicationSource())
+	schema, err := otod.JCFModel().Schema()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		ln, d := repl.Pipe()
+		go func() { _ = w.Publisher.Serve(ln) }()
+		rep := repl.NewReplica(schema, d, repl.WithReconnectBackoff(time.Millisecond))
+		rep.Start()
+		view, err := jcf.NewReplicaView(rep.Store(), fw.Release())
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		w.Replicas = append(w.Replicas, rep)
+		w.Views = append(w.Views, view)
+	}
+	if err := w.CatchUp(30 * time.Second); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// CatchUp blocks until every replica has applied the primary's whole
+// feed, then has each view run the incremental consistency check — the
+// convergence self-check a follower performs after catch-up.
+func (w *ReplicationWorld) CatchUp(timeout time.Duration) error {
+	lsn := w.FW.FeedLSN()
+	for i, rep := range w.Replicas {
+		if err := rep.WaitFor(lsn, timeout); err != nil {
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+	}
+	for i, view := range w.Views {
+		if probs := view.CheckConsistency(); len(probs) != 0 {
+			return fmt.Errorf("replica %d inconsistent after catch-up: %v", i, probs)
+		}
+	}
+	return nil
+}
+
+// Close stops the replicas and the publisher.
+func (w *ReplicationWorld) Close() {
+	for _, rep := range w.Replicas {
+		rep.Close()
+	}
+	if w.Publisher != nil {
+		w.Publisher.Close()
+	}
+}
+
+// ReadProbe runs one representative read-mostly tool interaction against
+// a view: resolve a cell version's publication state, its variants and
+// design objects, and the stored size of its checked-in data.
+func (w *ReplicationWorld) ReadProbe(view *jcf.Framework, i int) error {
+	cv := w.CVs[i%len(w.CVs)]
+	if !view.Published(cv) {
+		return fmt.Errorf("cv %d not published on replica", cv)
+	}
+	variants := view.Variants(cv)
+	if len(variants) == 0 {
+		return fmt.Errorf("cv %d has no variants on replica", cv)
+	}
+	if dos := view.DesignObjects(variants[0]); len(dos) == 0 {
+		return fmt.Errorf("variant %d has no design objects on replica", variants[0])
+	}
+	if _, err := view.DataSize(w.DOVs[i%len(w.DOVs)]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MutatePrimary performs one constant-size write on the primary (a
+// reservation toggle on the spare cell version) and returns the commit
+// LSN — the measured write of the lag benchmark.
+func (w *ReplicationWorld) MutatePrimary(i int) (uint64, error) {
+	if err := w.toggle(w.ReserveCV, i); err != nil {
+		return 0, err
+	}
+	return w.FW.FeedLSN(), nil
+}
+
+// ChurnPrimary is MutatePrimary on a second target — the background
+// write load, kept off the measured writer's reservation so the two
+// never collide.
+func (w *ReplicationWorld) ChurnPrimary(i int) error {
+	return w.toggle(w.ChurnCV, i)
+}
+
+func (w *ReplicationWorld) toggle(cv oms.OID, i int) error {
+	if i%2 == 0 {
+		return w.FW.Reserve("anna", cv)
+	}
+	return w.FW.ReleaseReservation("anna", cv)
+}

@@ -18,6 +18,9 @@ import (
 // a failure anywhere (say, cv is not a CellVersion) leaves no detached
 // Configuration or versionless stub behind.
 func (fw *Framework) CreateConfiguration(cv oms.OID, name string) (cfg, cfgVersion oms.OID, err error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, oms.InvalidOID, err
+	}
 	if name == "" {
 		return oms.InvalidOID, oms.InvalidOID, fmt.Errorf("jcf: empty configuration name")
 	}
@@ -43,6 +46,9 @@ func (fw *Framework) CreateConfiguration(cv oms.OID, name string) (cfg, cfgVersi
 // link can land) fails the batch and leaves nothing behind; the old
 // op-by-op path had to retract a half-created version by hand.
 func (fw *Framework) DeriveConfigVersion(from oms.OID) (oms.OID, error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	cfgSrc := fw.store.Sources(fw.rel.cfgHasVersion, from)
 	if len(cfgSrc) == 0 {
 		return oms.InvalidOID, fmt.Errorf("%w: configuration of version", ErrNotFound)
@@ -81,6 +87,9 @@ func (fw *Framework) DeriveConfigVersion(from oms.OID) (oms.OID, error) {
 // constraint FMCAD configs have); a second bind for the same design object
 // replaces the old entry.
 func (fw *Framework) AddConfigEntry(cfgVersion, dov oms.OID) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	do, err := fw.designObjectOfVersion(dov)
 	if err != nil {
 		return err
@@ -133,11 +142,100 @@ type Inconsistency struct {
 // exist and be a cell version; every design object a variant uses must
 // exist; every configuration entry must point at a live version. It
 // returns all problems found (empty means consistent).
-// The master's sweep enumerates each relationship type straight from the
-// store's relationship index (Related) instead of walking every object of
-// the owning class and asking for its targets — on a populated design
-// database the sweep only ever visits objects that actually participate.
+//
+// It is feed-driven and incremental, the same dirty-tracking pattern the
+// coupling layer's VerifyMapping uses: the sweep's verdict is cached
+// together with the feed position it was computed at, and a later call
+// first scans the change-feed suffix — if nothing touched the checked
+// relationships (compOf / uses / hasEntry / version ownership), the
+// published flags or version numbering, the cached verdict is returned
+// without visiting the store at all. An unchanged (or
+// irrelevantly-changed) database answers in O(changes since last check);
+// checkin-heavy traffic in particular never invalidates. Any relevant
+// change — or a feed suffix the ring has already evicted — triggers a
+// full sweep. CheckConsistencyFull bypasses the cache.
+//
+// Replicas run this too (their follower stores republish the primary's
+// feed), which is what makes it a cheap post-catch-up convergence
+// self-check.
 func (fw *Framework) CheckConsistency() []Inconsistency {
+	fw.cc.mu.Lock()
+	defer fw.cc.mu.Unlock()
+	if fw.cc.valid {
+		recs, ok := fw.store.Changes(fw.cc.lsn)
+		if ok && !fw.consistencyRelevant(recs) {
+			if len(recs) > 0 {
+				fw.cc.lsn = recs[len(recs)-1].LSN
+			}
+			return append([]Inconsistency(nil), fw.cc.cache...)
+		}
+	}
+	return fw.refreshConsistencyLocked()
+}
+
+// CheckConsistencyFull runs the full sweep unconditionally (refreshing
+// the cache) — the pre-feed behaviour, kept for audits and for the
+// cached-vs-full ablation.
+func (fw *Framework) CheckConsistencyFull() []Inconsistency {
+	fw.cc.mu.Lock()
+	defer fw.cc.mu.Unlock()
+	return fw.refreshConsistencyLocked()
+}
+
+// refreshConsistencyLocked sweeps and refills the cache; caller holds
+// fw.cc.mu. The feed position is read BEFORE the sweep: changes landing
+// while the sweep runs are re-examined by the next call — conservative,
+// never stale.
+func (fw *Framework) refreshConsistencyLocked() []Inconsistency {
+	at := fw.store.FeedLSN()
+	out := fw.consistencySweep()
+	fw.cc.valid, fw.cc.lsn, fw.cc.cache = true, at, out
+	return append([]Inconsistency(nil), out...)
+}
+
+// consistencyRelevant reports whether any record in the suffix can
+// change the sweep's verdict.
+func (fw *Framework) consistencyRelevant(recs []oms.Change) bool {
+	for _, c := range recs {
+		switch c.Kind {
+		case oms.ChangeLink, oms.ChangeUnlink:
+			switch c.Rel {
+			case fw.rel.compOf, fw.rel.uses, fw.rel.hasEntry, fw.rel.cellHasVersion:
+				return true
+			}
+		case oms.ChangeSet:
+			// "published" drives the stale-hierarchy check, "num" the
+			// newest-version ordering. (c.Cleared sets ride the same
+			// attrs.)
+			if c.Attr == "published" || c.Attr == "num" {
+				return true
+			}
+		case oms.ChangeCreate:
+			// Creates cannot dangle an existing edge (OIDs are never
+			// reused); only a CellVersion create matters, via the
+			// newest-published-version ordering. In particular a
+			// DesignObjectVersion create — every checkin — does NOT
+			// invalidate, which is what keeps checkin-heavy traffic on
+			// the cached path.
+			if c.Class == "CellVersion" {
+				return true
+			}
+		case oms.ChangeDelete:
+			switch c.Class {
+			case "CellVersion", "Cell", "DesignObject", "DesignObjectVersion":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// consistencySweep is the actual store walk behind both entry points.
+// The sweep enumerates each relationship type straight from the store's
+// relationship index (Related) instead of walking every object of the
+// owning class and asking for its targets — on a populated design
+// database the sweep only ever visits objects that actually participate.
+func (fw *Framework) consistencySweep() []Inconsistency {
 	var out []Inconsistency
 	compOf := fw.store.Related(fw.rel.compOf)
 	for _, p := range compOf {

@@ -1,6 +1,7 @@
 package jcf
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -56,6 +57,9 @@ func (fw *Framework) enactment(cv oms.OID) (*flow.Enactment, error) {
 // database (Figure 1, Variants region), so the execution history is
 // queryable metadata.
 func (fw *Framework) StartActivity(user string, cv oms.OID, activity string) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	if err := fw.requireReservation(user, cv); err != nil {
 		return err
 	}
@@ -70,7 +74,12 @@ func (fw *Framework) StartActivity(user string, cv oms.OID, activity string) err
 		// Surface the bookkeeping failure WITHOUT leaving the enactment
 		// claiming an activity the caller was told did not start: mark
 		// the start failed, which the flow engine treats as retryable.
-		_ = e.Finish(activity, false)
+		// If even that abort fails, the enactment still claims a running
+		// activity — join both errors so the designer sees the whole
+		// state instead of only the bookkeeping half.
+		if ferr := e.Finish(activity, false); ferr != nil {
+			return errors.Join(err, fmt.Errorf("jcf: aborting activity %q after bookkeeping failure: %w", activity, ferr))
+		}
 		return err
 	}
 	return nil
@@ -114,6 +123,9 @@ func (fw *Framework) recordExecOn(variant oms.OID, activity, state string) error
 // enactment stays authoritative; only the queryable metadata is short
 // one entry.
 func (fw *Framework) FinishActivity(user string, cv oms.OID, activity string, ok bool) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	if err := fw.requireReservation(user, cv); err != nil {
 		return err
 	}

@@ -279,7 +279,7 @@ func TestDifferentialSaveRoundTrip(t *testing.T) {
 	if err := fw.SaveTo(seg); err != nil {
 		t.Fatal(err)
 	}
-	m1, err := loadManifest(seg)
+	m1, err := backend.LoadManifest(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestDifferentialSaveRoundTrip(t *testing.T) {
 	if err := fw.SaveTo(seg); err != nil {
 		t.Fatal(err)
 	}
-	m3, err := loadManifest(seg)
+	m3, err := backend.LoadManifest(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +367,7 @@ func TestDifferentialSaveCompaction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	m, err := loadManifest(seg)
+	m, err := backend.LoadManifest(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +382,7 @@ func TestDifferentialSaveCompaction(t *testing.T) {
 	if err := ld.SaveTo(seg); err != nil {
 		t.Fatal(err)
 	}
-	m5, err := loadManifest(seg)
+	m5, err := backend.LoadManifest(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +413,7 @@ func TestDifferentialSaveIgnoredOnFileBackend(t *testing.T) {
 	if err := fw.SaveTo(fb); err != nil {
 		t.Fatal(err)
 	}
-	m, err := loadManifest(fb)
+	m, err := backend.LoadManifest(fb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,7 +500,7 @@ func TestDifferentialSaveCrashConsistencyUnderLoad(t *testing.T) {
 		}
 		ld.mu.RUnlock()
 	}
-	m, err := loadManifest(seg)
+	m, err := backend.LoadManifest(seg)
 	if err == nil && len(m.Deltas) == 0 && m.Epoch > 1 {
 		t.Log("note: no differential commit happened (designers may have outrun the ring)")
 	}

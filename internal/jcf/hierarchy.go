@@ -21,6 +21,9 @@ import (
 // is composed of child. Cycles are rejected: a cell version cannot
 // transitively contain itself.
 func (fw *Framework) SubmitHierarchy(parent, child oms.OID) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	if parent == child {
 		return fmt.Errorf("jcf: cell version cannot contain itself")
 	}
@@ -81,6 +84,9 @@ func (fw *Framework) HierarchyClosure(root oms.OID) []oms.OID {
 // "JCF 3.0 does not yet support non-isomorphic hierarchies" (section 2.3);
 // Release 4.0 accepts it.
 func (fw *Framework) SubmitHierarchyTyped(parent, child oms.OID, viewType string) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	if fw.release < Release40 {
 		return fmt.Errorf("%w: non-isomorphic (per-view-type) hierarchies need release 4.0", ErrUnsupported)
 	}
@@ -153,6 +159,9 @@ func (fw *Framework) SubmitHierarchyProcedural(parent, child oms.OID) error {
 // data sharing between projects. It would be helpful to also provide
 // access to cells of other projects." Release 4.0 implements it.
 func (fw *Framework) ShareCell(cell, toProject oms.OID) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	if fw.release < Release40 {
 		return fmt.Errorf("%w: inter-project data sharing needs release 4.0", ErrUnsupported)
 	}

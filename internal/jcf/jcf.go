@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/flow"
 	"repro/internal/oms"
@@ -94,6 +95,11 @@ type Framework struct {
 	model   *otod.Model
 	store   *oms.Store
 
+	// replica marks a read-only replica view (see replica.go): every
+	// mutating entry point consults guardWrite before touching anything.
+	// Atomic because PromoteToPrimary flips it while readers query.
+	replica atomic.Bool
+
 	// numMu serializes count-then-create version/variant numbering
 	// (CreateCellVersion, CreateVariant, DeriveVariant, CheckInData,
 	// DeriveConfigVersion) so concurrent designers on the same cell
@@ -122,6 +128,17 @@ type Framework struct {
 	// (CheckInData, CreateDesignObject): one checkin = one small batch,
 	// and pooling keeps the builder allocation off the per-checkin cost.
 	batchPool sync.Pool
+
+	// cc is the feed-driven consistency-check cache (see
+	// CheckConsistency): the last sweep's verdict plus the feed position
+	// it was computed at. Guarded by cc.mu — its own lock, because a
+	// consistency check must not stall designers holding fw.mu.
+	cc struct {
+		mu    sync.Mutex
+		valid bool
+		lsn   uint64
+		cache []Inconsistency
+	}
 
 	// mu guards the framework-level maps below. Reads vastly outnumber
 	// writes on the designers' hot path (reservation checks, flow lookups),
@@ -249,6 +266,9 @@ func (fw *Framework) ReserveConflicts() int64 {
 
 // named creates a resource object with a unique name within its class.
 func (fw *Framework) named(class, name string) (oms.OID, error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	if name == "" {
 		return oms.InvalidOID, fmt.Errorf("jcf: empty %s name", class)
 	}
@@ -281,6 +301,9 @@ func (fw *Framework) CreateViewType(name string) (oms.OID, error) {
 
 // AddMember puts a user into a team.
 func (fw *Framework) AddMember(team oms.OID, user oms.OID) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	return fw.store.Link(fw.rel.memberOf, user, team)
 }
 
@@ -327,6 +350,9 @@ func (fw *Framework) Members(team oms.OID) []string {
 // fixed and cannot be modified afterwards (section 2.1). The flow's
 // activities and their tools are materialized as OMS objects.
 func (fw *Framework) RegisterFlow(f *flow.Flow) (oms.OID, error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	if err := f.Freeze(); err != nil {
 		return oms.InvalidOID, fmt.Errorf("jcf: registering flow: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/itc"
 	"repro/internal/oms"
@@ -47,25 +48,56 @@ const NotifierTool = "jcf-notifier"
 
 // Notifier is a running feed→bus bridge; Stop cancels it.
 type Notifier struct {
+	fw   *Framework
+	bus  *itc.Bus
 	sub  *oms.Subscription
 	done sync.WaitGroup
+
+	// Delivery-loss accounting (see Stats): a vetoed Publish means a bus
+	// handler refused the message — the event still happened (it is
+	// committed history), so the loss must be observable rather than
+	// silently discarded as it was before.
+	statPublished atomic.Int64
+	statVetoed    atomic.Int64
+}
+
+// NotifierStats reports how the feed→ITC bridge has fared.
+type NotifierStats struct {
+	// Published counts messages every subscribed handler accepted.
+	Published int64
+	// Vetoed counts messages a bus handler refused (or that failed to
+	// publish): framework events tools did NOT (all) hear about. A tool
+	// that needs completeness resynchronizes from the database.
+	Vetoed int64
+}
+
+// Stats returns cumulative delivery counters for the bridge.
+func (n *Notifier) Stats() NotifierStats {
+	return NotifierStats{
+		Published: n.statPublished.Load(),
+		Vetoed:    n.statVetoed.Load(),
+	}
 }
 
 // StartNotifier bridges the framework's change feed onto an ITC bus,
 // starting with changes committed after this call. Delivery runs on its
-// own goroutine in feed order; bus handler vetoes are ignored (a tool
-// cannot veto history — the change already committed).
+// own goroutine in feed order; a bus handler veto cannot stop history
+// (the change already committed) — it is counted in Stats as a dropped
+// delivery instead. Works on primaries and on replica views alike: a
+// follower store republishes the primary's commit groups into its own
+// feed, so tools colocated with a replica hear the same events in the
+// same commit order.
 func (fw *Framework) StartNotifier(bus *itc.Bus) (*Notifier, error) {
 	sub, err := fw.store.Watch(fw.store.FeedLSN(), 64)
 	if err != nil {
 		return nil, fmt.Errorf("jcf: notifier: %w", err)
 	}
-	n := &Notifier{sub: sub}
+	n := &Notifier{fw: fw, bus: bus, sub: sub}
 	n.done.Add(1)
 	go func() {
 		defer n.done.Done()
 		for group := range sub.C() {
-			fw.notifyGroup(bus, group)
+			n.notifyGroup(group)
 		}
 	}()
 	return n, nil
@@ -77,6 +109,16 @@ func (n *Notifier) Stop() {
 	n.done.Wait()
 }
 
+// publish sends one framework-level message, folding the outcome into
+// the bridge's loss accounting.
+func (n *Notifier) publish(msg itc.Message) {
+	if err := n.bus.Publish(msg); err != nil {
+		n.statVetoed.Add(1)
+		return
+	}
+	n.statPublished.Add(1)
+}
+
 // Lagged reports whether the bridge lost its subscription because it
 // fell behind the feed's retention window. A lagged notifier has
 // stopped; the caller restarts one (missed events are gone — tools that
@@ -85,7 +127,8 @@ func (n *Notifier) Lagged() bool { return n.sub.Lagged() }
 
 // notifyGroup translates one committed feed group into framework-level
 // bus messages.
-func (fw *Framework) notifyGroup(bus *itc.Bus, group []oms.Change) {
+func (n *Notifier) notifyGroup(group []oms.Change) {
+	fw := n.fw
 	oidStr := func(o oms.OID) string { return strconv.FormatInt(int64(o), 10) }
 	lsn := strconv.FormatUint(group[0].Group, 10)
 	// Group-scoped link lookup: a checkin's doHasVersion link and a
@@ -108,7 +151,7 @@ func (fw *Framework) notifyGroup(bus *itc.Bus, group []oms.Change) {
 				// group cannot be attributed; skip rather than misreport.
 				continue
 			}
-			_ = bus.Publish(itc.Message{Topic: TopicCheckin, From: NotifierTool, Fields: map[string]string{
+			n.publish(itc.Message{Topic: TopicCheckin, From: NotifierTool, Fields: map[string]string{
 				"dov": oidStr(c.OID), "do": oidStr(do), "lsn": lsn,
 			}})
 		case c.Kind == oms.ChangeCreate && c.Class == "Variant":
@@ -119,10 +162,10 @@ func (fw *Framework) notifyGroup(bus *itc.Bus, group []oms.Change) {
 			} else {
 				continue // original variants are part of cell version setup, not derivations
 			}
-			_ = bus.Publish(itc.Message{Topic: TopicVariant, From: NotifierTool, Fields: fields})
+			n.publish(itc.Message{Topic: TopicVariant, From: NotifierTool, Fields: fields})
 		case c.Kind == oms.ChangeSet && c.Class == "CellVersion" && c.Attr == "published":
 			if c.Value.Kind == oms.KindBool && c.Value.Bool {
-				_ = bus.Publish(itc.Message{Topic: TopicPublish, From: NotifierTool, Fields: map[string]string{
+				n.publish(itc.Message{Topic: TopicPublish, From: NotifierTool, Fields: map[string]string{
 					"cv": oidStr(c.OID), "lsn": lsn,
 				}})
 			}
@@ -134,7 +177,7 @@ func (fw *Framework) notifyGroup(bus *itc.Bus, group []oms.Change) {
 			if c.Value.Str == "" {
 				action = "released"
 			}
-			_ = bus.Publish(itc.Message{Topic: TopicReservation, From: NotifierTool, Fields: map[string]string{
+			n.publish(itc.Message{Topic: TopicReservation, From: NotifierTool, Fields: map[string]string{
 				"cv": oidStr(c.OID), "user": c.Value.Str, "action": action, "lsn": lsn,
 			}})
 		}

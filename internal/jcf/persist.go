@@ -1,8 +1,6 @@
 package jcf
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -61,37 +59,13 @@ type persistedState struct {
 	Shares       map[oms.OID][]oms.OID            `json:"shares,omitempty"`
 }
 
-// saveManifest is the CURRENT payload: the one object whose atomic
-// replacement commits a (framework, oms) snapshot pair.
-//
-// Differential commits (segment backend only): OMS names the full base
-// snapshot of BaseEpoch, and Deltas chains the change-feed suffixes
-// written since — Load replays them over the base in order. FeedLSN is
-// the store's change-feed position as of this epoch; the next
-// differential Save continues from it.
-type saveManifest struct {
-	Epoch        int64      `json:"epoch"`
-	OMS          string     `json:"oms"`
-	Framework    string     `json:"framework"`
-	OMSSum       string     `json:"oms_sha256"`
-	FrameworkSum string     `json:"framework_sha256"`
-	BaseEpoch    int64      `json:"base_epoch,omitempty"`
-	BaseLSN      uint64     `json:"base_lsn,omitempty"`
-	Deltas       []deltaRef `json:"deltas,omitempty"`
-	FeedLSN      uint64     `json:"feed_lsn,omitempty"`
-}
-
-// deltaRef names one delta payload in a manifest's chain: the encoded
-// change records with FromLSN < LSN <= ToLSN.
-type deltaRef struct {
-	Name    string `json:"name"`
-	Sum     string `json:"sha256"`
-	FromLSN uint64 `json:"from_lsn"`
-	ToLSN   uint64 `json:"to_lsn"`
-}
+// The CURRENT commit manifest — the one object whose atomic replacement
+// commits a (framework, oms) snapshot pair, with the base + delta-chain
+// bookkeeping of differential commits — is a shared format now: it lives
+// in the backend package (backend.Manifest) so the replication publisher
+// can ship the same commit stream this layer writes.
 
 const (
-	manifestKey = "CURRENT"
 	legacyOMS   = "oms.json"
 	legacyFW    = "framework.json"
 	omsPrefix   = "oms@"
@@ -147,6 +121,9 @@ func (fw *Framework) SetDifferentialSave(enabled bool) {
 // framework), the feed ring has evicted part of the needed suffix, or
 // the chain has reached its compaction bound.
 func (fw *Framework) SaveTo(b backend.Backend) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	// One saver at a time per framework: the epoch read-modify-write and
 	// the old-epoch GC below are not meant to race with themselves.
 	// Designers never take saveMu, so they are unaffected.
@@ -154,9 +131,9 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 	defer fw.saveMu.Unlock()
 
 	epoch := int64(1)
-	var prev saveManifest
+	var prev backend.Manifest
 	havePrev := false
-	if m, err := loadManifest(b); err == nil {
+	if m, err := backend.LoadManifest(b); err == nil {
 		prev, havePrev = m, true
 		epoch = m.Epoch + 1
 	} else if !errors.Is(err, backend.ErrNotFound) {
@@ -252,20 +229,20 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 	}
 
 	fwName := fmt.Sprintf("%s%d", fwPrefix, epoch)
-	var manifest saveManifest
+	var manifest backend.Manifest
 	switch {
 	case wantDelta:
 		// Differential commit: the base payload and earlier deltas are
 		// already durable; only the new suffix (if any) is written.
-		manifest = saveManifest{
+		manifest = backend.Manifest{
 			Epoch:        epoch,
 			OMS:          prev.OMS,
 			Framework:    fwName,
 			OMSSum:       prev.OMSSum,
-			FrameworkSum: sha256Hex(fwPayload),
+			FrameworkSum: backend.SHA256Hex(fwPayload),
 			BaseEpoch:    prev.BaseEpoch,
 			BaseLSN:      prev.BaseLSN,
-			Deltas:       append([]deltaRef(nil), prev.Deltas...),
+			Deltas:       append([]backend.DeltaRef(nil), prev.Deltas...),
 			FeedLSN:      deltaTo,
 		}
 		if len(delta) > 0 {
@@ -277,9 +254,9 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 			if err := b.Put(deltaName, deltaPayload); err != nil {
 				return fmt.Errorf("jcf: save: %w", err)
 			}
-			manifest.Deltas = append(manifest.Deltas, deltaRef{
+			manifest.Deltas = append(manifest.Deltas, backend.DeltaRef{
 				Name:    deltaName,
-				Sum:     sha256Hex(deltaPayload),
+				Sum:     backend.SHA256Hex(deltaPayload),
 				FromLSN: fw.lastSaveLSN,
 				ToLSN:   deltaTo,
 			})
@@ -294,12 +271,12 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 		if err := b.Put(omsName, omsPayload); err != nil {
 			return fmt.Errorf("jcf: save: %w", err)
 		}
-		manifest = saveManifest{
+		manifest = backend.Manifest{
 			Epoch:        epoch,
 			OMS:          omsName,
 			Framework:    fwName,
-			OMSSum:       sha256Hex(omsPayload),
-			FrameworkSum: sha256Hex(fwPayload),
+			OMSSum:       backend.SHA256Hex(omsPayload),
+			FrameworkSum: backend.SHA256Hex(fwPayload),
 			BaseEpoch:    epoch,
 			BaseLSN:      snap.LSN(),
 			FeedLSN:      snap.LSN(),
@@ -308,16 +285,12 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 	if err := b.Put(fwName, fwPayload); err != nil {
 		return fmt.Errorf("jcf: save: %w", err)
 	}
-	mdata, err := json.MarshalIndent(&manifest, "", " ")
-	if err != nil {
-		return fmt.Errorf("jcf: save: %w", err)
-	}
 	// The commit point: one atomic Put flips readers to the new pair.
-	if err := b.Put(manifestKey, mdata); err != nil {
+	if err := backend.PutManifest(b, manifest); err != nil {
 		return fmt.Errorf("jcf: save: %w", err)
 	}
 	fw.lastSaveTo, fw.lastSaveEpoch, fw.lastSaveLSN = b, epoch, manifest.FeedLSN
-	var prevRef *saveManifest
+	var prevRef *backend.Manifest
 	if havePrev {
 		prevRef = &prev
 	}
@@ -332,20 +305,18 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 // moments before this commit must still find the payloads it names.
 // Best effort: a failure leaves stale-but-unreferenced names behind,
 // never a broken commit.
-func gcOldEpochs(b backend.Backend, committed, prev *saveManifest) {
+func gcOldEpochs(b backend.Backend, committed, prev *backend.Manifest) {
 	names, err := b.List()
 	if err != nil {
 		return
 	}
 	keep := map[string]bool{}
-	for _, m := range []*saveManifest{committed, prev} {
+	for _, m := range []*backend.Manifest{committed, prev} {
 		if m == nil {
 			continue
 		}
-		keep[m.OMS] = true
-		keep[m.Framework] = true
-		for _, d := range m.Deltas {
-			keep[d.Name] = true
+		for _, n := range m.PayloadNames() {
+			keep[n] = true
 		}
 	}
 	for _, n := range names {
@@ -358,26 +329,6 @@ func gcOldEpochs(b backend.Backend, committed, prev *saveManifest) {
 		}
 		_ = b.Delete(n)
 	}
-}
-
-func sha256Hex(p []byte) string {
-	sum := sha256.Sum256(p)
-	return hex.EncodeToString(sum[:])
-}
-
-func loadManifest(b backend.Backend) (saveManifest, error) {
-	var m saveManifest
-	data, err := b.Get(manifestKey)
-	if err != nil {
-		return m, err
-	}
-	if err := json.Unmarshal(data, &m); err != nil {
-		return m, fmt.Errorf("corrupt manifest: %w", err)
-	}
-	if m.OMS == "" || m.Framework == "" {
-		return m, fmt.Errorf("corrupt manifest: missing payload names")
-	}
-	return m, nil
 }
 
 func sortedFlowNames(m map[string]*flow.Flow) []string {
@@ -411,7 +362,7 @@ func Load(dir string) (*Framework, error) {
 // Backends without a CURRENT manifest fall back to the legacy layout
 // (framework.json + oms.json as two independent files).
 func LoadFrom(b backend.Backend) (*Framework, error) {
-	manifest, err := loadManifest(b)
+	manifest, err := backend.LoadManifest(b)
 	if errors.Is(err, backend.ErrNotFound) {
 		return loadLegacy(b)
 	}
@@ -426,10 +377,10 @@ func LoadFrom(b backend.Backend) (*Framework, error) {
 	if err != nil {
 		return nil, fmt.Errorf("jcf: load: manifest epoch %d: %w", manifest.Epoch, err)
 	}
-	if got := sha256Hex(fwPayload); got != manifest.FrameworkSum {
+	if got := backend.SHA256Hex(fwPayload); got != manifest.FrameworkSum {
 		return nil, fmt.Errorf("jcf: load: %s checksum mismatch (corrupt payload)", manifest.Framework)
 	}
-	if got := sha256Hex(omsPayload); got != manifest.OMSSum {
+	if got := backend.SHA256Hex(omsPayload); got != manifest.OMSSum {
 		return nil, fmt.Errorf("jcf: load: %s checksum mismatch (corrupt payload)", manifest.OMS)
 	}
 	store, err := decodeStore(omsPayload)
@@ -445,7 +396,7 @@ func LoadFrom(b backend.Backend) (*Framework, error) {
 		if err != nil {
 			return nil, fmt.Errorf("jcf: load: manifest epoch %d: %w", manifest.Epoch, err)
 		}
-		if got := sha256Hex(payload); got != d.Sum {
+		if got := backend.SHA256Hex(payload); got != d.Sum {
 			return nil, fmt.Errorf("jcf: load: %s checksum mismatch (corrupt delta)", d.Name)
 		}
 		if d.FromLSN != prevTo {

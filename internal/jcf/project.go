@@ -34,6 +34,9 @@ func (fw *Framework) Project(name string) (oms.OID, error) {
 // CreateCell creates a cell within a project. Cell names are unique per
 // project.
 func (fw *Framework) CreateCell(project oms.OID, name string) (oms.OID, error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	if name == "" {
 		return oms.InvalidOID, fmt.Errorf("jcf: empty cell name")
 	}
@@ -90,6 +93,9 @@ func (fw *Framework) CellName(cell oms.OID) string {
 // makes the new version countable, so concurrent designers never allocate
 // the same number.
 func (fw *Framework) CreateCellVersion(cell oms.OID, flowName string, team oms.OID) (oms.OID, error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	fw.mu.RLock()
 	flowOID, ok := fw.flowOIDs[flowName]
 	fw.mu.RUnlock()
@@ -196,6 +202,9 @@ func (fw *Framework) AttachedTeam(cv oms.OID) (oms.OID, error) {
 // link commit as one batch: a numbered variant can never exist detached
 // from its cell version.
 func (fw *Framework) CreateVariant(cv oms.OID) (oms.OID, error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	fw.numMu.Lock()
 	defer fw.numMu.Unlock()
 	num := int64(len(fw.store.Targets(fw.rel.hasVariant, cv)) + 1)
@@ -220,6 +229,9 @@ func (fw *Framework) CreateVariant(cv oms.OID) (oms.OID, error) {
 // cell version is resolved inside the numbering lock — resolving it
 // before numMu let a concurrent re-parent race the count.
 func (fw *Framework) DeriveVariant(from oms.OID) (oms.OID, error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	fw.numMu.Lock()
 	defer fw.numMu.Unlock()
 	cvSrc := fw.store.Sources(fw.rel.hasVariant, from)
@@ -276,6 +288,9 @@ func (fw *Framework) VariantPredecessor(v oms.OID) oms.OID {
 // passing a non-ViewType OID no longer leaves an untyped design object
 // attached to the variant.
 func (fw *Framework) CreateDesignObject(variant oms.OID, name string, viewType oms.OID) (oms.OID, error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	if name == "" {
 		return oms.InvalidOID, fmt.Errorf("jcf: empty design object name")
 	}
@@ -363,6 +378,9 @@ func (fw *Framework) VersionNum(dov oms.OID) int64 { return fw.store.GetInt(dov,
 // blob landing: the batch commits only while the user still holds the
 // workspace. Lock order: fw.mu -> numMu -> store stripes.
 func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.OID, error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	cv, err := fw.cellVersionOfDesignObject(do)
 	if err != nil {
 		return oms.InvalidOID, err
@@ -412,6 +430,9 @@ func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.O
 // between the requireReservation check and the blob write. New code must
 // use CheckInData.
 func (fw *Framework) CheckInDataOpByOp(user string, do oms.OID, srcPath string) (oms.OID, error) {
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	cv, err := fw.cellVersionOfDesignObject(do)
 	if err != nil {
 		return oms.InvalidOID, err
@@ -522,12 +543,18 @@ func (fw *Framework) cellVersionOfDesignObject(do oms.OID) (oms.OID, error) {
 // version derived from a schematic version). JCF records all derivation
 // relationships between schematic and layout versions (section 2.4).
 func (fw *Framework) RecordDerivation(from, to oms.OID) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	return fw.store.Link(fw.rel.derived, from, to)
 }
 
 // RecordEquivalence records that two design object versions are equivalent
 // representations.
 func (fw *Framework) RecordEquivalence(a, b oms.OID) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	return fw.store.Link(fw.rel.equivalent, a, b)
 }
 

@@ -1,0 +1,96 @@
+package jcf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/oms"
+)
+
+// Read-only replica views.
+//
+// A replication follower (internal/repl) keeps a second OMS store
+// converged with a primary framework's database. NewReplicaView wraps
+// that follower store in a Framework so every read-side desktop API —
+// project browsing, version history, consistency checking, CheckOutData,
+// the feed→ITC notifier — works against the replica, while every
+// mutating entry point is rejected with ErrReadOnlyReplica: scaling the
+// read-mostly tool population across machines without ever forking the
+// design history.
+//
+// What a replica view can and cannot answer:
+//
+//   - Everything stored in the database — cells, versions, variants,
+//     design data, configurations, hierarchies, derivations — is served
+//     from the replicated store, as of the replica's applied LSN. Pair
+//     queries with repl.Replica.WaitFor for read-your-writes.
+//   - Workspace reservations are answered from the database's mirrored
+//     reservedBy attribute (the feed carries reservation traffic since
+//     PR 4), not from the in-memory map a primary maintains.
+//   - Registered flow *structures* (and therefore enactment state) are
+//     session metadata of the primary and are not replicated; Flow()
+//     and the activity APIs report ErrNotFound on a replica view. Flow
+//     objects themselves are queryable like any other metadata.
+//
+// Failover: after repl.Replica.Promote detaches the follower store,
+// PromoteToPrimary flips the view writable and rebuilds the reservation
+// map from the mirrored attributes, so held workspaces survive the
+// switch.
+
+// ErrReadOnlyReplica is returned by every mutating Framework method
+// invoked on a replica view.
+var ErrReadOnlyReplica = errors.New("jcf: mutation rejected: framework is a read-only replica view")
+
+// NewReplicaView wraps a replicated follower store in a read-only
+// Framework of the given release. The store stays live — queries observe
+// replicated history as the follower applies it.
+func NewReplicaView(st *oms.Store, release Release) (*Framework, error) {
+	fw, err := New(release)
+	if err != nil {
+		return nil, err
+	}
+	fw.store = st
+	fw.replica.Store(true)
+	return fw, nil
+}
+
+// IsReplicaView reports whether this framework is a read-only replica
+// view (and has not been promoted).
+func (fw *Framework) IsReplicaView() bool { return fw.replica.Load() }
+
+// guardWrite is the gate every mutating entry point passes: replicas
+// reject the mutation before any state — framework maps or store — is
+// touched.
+func (fw *Framework) guardWrite() error {
+	if fw.replica.Load() {
+		return ErrReadOnlyReplica
+	}
+	return nil
+}
+
+// PromoteToPrimary flips a replica view writable — the failover step
+// after repl.Replica.Promote has detached the underlying store. The
+// workspace reservation map is rebuilt from the database's mirrored
+// reservedBy attributes, so reservations held at the old primary remain
+// held. Flow structures are not replicated; re-register flows before
+// relying on flow enforcement on the new primary.
+func (fw *Framework) PromoteToPrimary() error {
+	if !fw.replica.Load() {
+		return fmt.Errorf("jcf: promote: framework is not a replica view")
+	}
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	for _, cv := range fw.store.All("CellVersion") {
+		if user := fw.store.GetString(cv, "reservedBy"); user != "" {
+			fw.reservations[cv] = user
+		}
+	}
+	fw.replica.Store(false)
+	return nil
+}
+
+// ReplicationSource exposes the underlying OMS store for a replication
+// publisher (repl.NewPublisher) — the one sanctioned way past the
+// framework's otherwise closed interfaces, read-only by convention.
+// Tools and coupling layers keep going through the desktop API.
+func (fw *Framework) ReplicationSource() *oms.Store { return fw.store }

@@ -19,6 +19,9 @@ import (
 // user must be a member of the team attached to the cell version, and no
 // other user may hold the reservation.
 func (fw *Framework) Reserve(user string, cv oms.OID) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	userOID, err := fw.User(user)
 	if err != nil {
 		return err
@@ -52,6 +55,9 @@ func (fw *Framework) Reserve(user string, cv oms.OID) error {
 
 // ReleaseReservation drops the user's reservation without publishing.
 func (fw *Framework) ReleaseReservation(user string, cv oms.OID) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	if fw.reservations[cv] != user {
@@ -68,6 +74,9 @@ func (fw *Framework) ReleaseReservation(user string, cv oms.OID) error {
 // the reservation, making the data readable (and the version reservable)
 // by other team members.
 func (fw *Framework) Publish(user string, cv oms.OID) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
 	// Check, publish and release under one write lock: a check-then-act
 	// window here could evict a reservation another user acquired in
 	// between. fw.mu may be held across store calls (the store never
@@ -93,8 +102,15 @@ func (fw *Framework) Publish(user string, cv oms.OID) error {
 }
 
 // ReservedBy returns the user holding the workspace reservation on a cell
-// version, and whether it is held at all.
+// version, and whether it is held at all. A replica view answers from the
+// database's mirrored reservedBy attribute (the feed replicates
+// reservation traffic); a primary answers from its authoritative
+// in-memory map.
 func (fw *Framework) ReservedBy(cv oms.OID) (string, bool) {
+	if fw.replica.Load() {
+		u := fw.store.GetString(cv, "reservedBy")
+		return u, u != ""
+	}
 	fw.mu.RLock()
 	defer fw.mu.RUnlock()
 	u, ok := fw.reservations[cv]

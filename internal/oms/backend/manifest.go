@@ -1,0 +1,94 @@
+package backend
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// The commit manifest — the one payload whose atomic replacement commits
+// a (database, framework-metadata) snapshot pair, plus the base-epoch +
+// delta-chain bookkeeping of differential commits.
+//
+// The format used to be private to the persistence layer (internal/jcf).
+// It lives here, next to the Backend contract it depends on, because two
+// layers now consume the commit stream: the persistence layer writes and
+// replays it locally, and the replication publisher (internal/repl)
+// ships it — base snapshot plus encoded delta chain — to bootstrap
+// remote follower stores without re-encoding the live database.
+
+// ManifestKey is the reserved backend name of the commit manifest; its
+// atomic Put is the commit point of every save epoch.
+const ManifestKey = "CURRENT"
+
+// Manifest names the payloads of one committed save epoch: the database
+// snapshot, the framework metadata, and (for differential commits) the
+// base epoch whose full snapshot the delta chain replays over. FeedLSN
+// is the database's change-feed position as of this epoch — where the
+// next differential save, or a replica bootstrapped from this manifest,
+// continues from.
+type Manifest struct {
+	Epoch        int64      `json:"epoch"`
+	OMS          string     `json:"oms"`
+	Framework    string     `json:"framework"`
+	OMSSum       string     `json:"oms_sha256"`
+	FrameworkSum string     `json:"framework_sha256"`
+	BaseEpoch    int64      `json:"base_epoch,omitempty"`
+	BaseLSN      uint64     `json:"base_lsn,omitempty"`
+	Deltas       []DeltaRef `json:"deltas,omitempty"`
+	FeedLSN      uint64     `json:"feed_lsn,omitempty"`
+}
+
+// DeltaRef names one delta payload in a manifest's chain: the encoded
+// change records with FromLSN < LSN <= ToLSN (an oms.EncodeChanges
+// payload).
+type DeltaRef struct {
+	Name    string `json:"name"`
+	Sum     string `json:"sha256"`
+	FromLSN uint64 `json:"from_lsn"`
+	ToLSN   uint64 `json:"to_lsn"`
+}
+
+// PayloadNames returns every backend name the manifest references — what
+// a garbage collector must retain and a mirror must copy.
+func (m *Manifest) PayloadNames() []string {
+	out := []string{m.OMS, m.Framework}
+	for _, d := range m.Deltas {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+// LoadManifest reads and validates the commit manifest of a backend.
+// Backends that have never committed return ErrNotFound (wrapped).
+func LoadManifest(b Backend) (Manifest, error) {
+	var m Manifest
+	data, err := b.Get(ManifestKey)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("backend: corrupt manifest: %w", err)
+	}
+	if m.OMS == "" || m.Framework == "" {
+		return m, fmt.Errorf("backend: corrupt manifest: missing payload names")
+	}
+	return m, nil
+}
+
+// PutManifest commits a manifest: one atomic Put of ManifestKey.
+func PutManifest(b Backend, m Manifest) error {
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return fmt.Errorf("backend: encode manifest: %w", err)
+	}
+	return b.Put(ManifestKey, data)
+}
+
+// SHA256Hex returns the hex-encoded SHA-256 of a payload — the checksum
+// format manifests carry.
+func SHA256Hex(p []byte) string {
+	sum := sha256.Sum256(p)
+	return hex.EncodeToString(sum[:])
+}

@@ -2,9 +2,17 @@ package oms
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrFeedGap reports that a replicated change sequence does not attach
+// contiguously to the store's committed feed position — the stream
+// skipped records. A consumer that sees it must resynchronize (reconnect
+// with its applied LSN, or re-bootstrap from a snapshot); nothing has
+// been applied.
+var ErrFeedGap = errors.New("oms: change sequence does not attach to the feed position")
 
 // The sequenced change feed.
 //
@@ -197,6 +205,65 @@ func (f *feed) publish(group []Change) {
 	f.mu.Unlock()
 }
 
+// publishAt appends one or more whole commit groups whose LSNs were
+// assigned elsewhere — by a primary's feed — preserving them, so a
+// follower store's feed mirrors the primary's commit sequence record for
+// record (which is what lets a replica serve Watch consumers, anchor
+// differential saves, and act as a publisher itself). The records must
+// attach exactly at the committed watermark and be contiguous; a
+// mismatch returns ErrFeedGap without touching the ring. The caller
+// holds the write locks of every stripe the records mutated, exactly
+// like publish.
+func (f *feed) publishAt(group []Change) error {
+	if len(group) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if group[0].LSN != f.last+1 {
+		return fmt.Errorf("%w: records start at %d, feed is at %d", ErrFeedGap, group[0].LSN, f.last)
+	}
+	for i := range group {
+		if group[i].LSN != group[0].LSN+uint64(i) {
+			return fmt.Errorf("%w: record %d follows %d", ErrFeedGap, group[i].LSN, group[0].LSN+uint64(i)-1)
+		}
+	}
+	need := int(f.last+1-f.start) + len(group)
+	for len(f.buf) < need && len(f.buf) < feedMaxRecords {
+		f.grow()
+	}
+	for i := range group {
+		lsn := group[i].LSN
+		if lsn-f.start >= uint64(len(f.buf)) {
+			f.evictOldest()
+		}
+		f.buf[(lsn-1)%uint64(len(f.buf))] = group[i]
+		f.blobBytes += changeBlobBytes(group[i])
+		f.last = lsn
+	}
+	for f.blobBytes > feedMaxBlobBytes && f.start <= f.last {
+		f.evictOldest()
+	}
+	f.cond.Broadcast()
+	return nil
+}
+
+// rebase empties the ring and repositions the committed watermark at
+// lsn — the feed of a store whose whole content was just replaced by a
+// base snapshot cut at that LSN. Live subscriptions wake: ones whose
+// cursor no longer attaches (the usual case after a re-bootstrap) close
+// with Lagged() true and their consumers resynchronize.
+func (f *feed) rebase(lsn uint64) {
+	f.mu.Lock()
+	for i := range f.buf {
+		f.buf[i] = Change{} // unpin retained blobs
+	}
+	f.blobBytes = 0
+	f.start, f.last = lsn+1, lsn
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
 // evictOldest drops the oldest retained record; caller holds f.mu and
 // guarantees the ring is non-empty.
 func (f *feed) evictOldest() {
@@ -292,8 +359,9 @@ func (st *Store) Watch(since uint64, buf int) (*Subscription, error) {
 	f := st.feed
 	f.mu.Lock()
 	if since+1 < f.start && since < f.last {
+		start := f.start // capture under f.mu; the error renders it unlocked
 		f.mu.Unlock()
-		return nil, fmt.Errorf("oms: watch from %d: records before %d already evicted", since, f.start)
+		return nil, fmt.Errorf("oms: watch from %d: records before %d already evicted", since, start)
 	}
 	f.subs++
 	f.mu.Unlock()

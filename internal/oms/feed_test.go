@@ -13,7 +13,7 @@ import (
 type atomicU64 = atomic.Uint64
 
 // feedSchema builds the small schema the feed tests share.
-func feedSchema(t *testing.T) *Schema {
+func feedSchema(t testing.TB) *Schema {
 	t.Helper()
 	s := NewSchema()
 	if err := s.AddClass("Cell",
@@ -37,7 +37,7 @@ func feedSchema(t *testing.T) *Schema {
 // the allocator position masked out (failed batches burn OIDs without
 // leaving records, so replayed stores may disagree on next_oid while
 // agreeing on every object and link).
-func fingerprint(t *testing.T, st *Store) string {
+func fingerprint(t testing.TB, st *Store) string {
 	t.Helper()
 	data, err := st.Snapshot().EncodeJSON()
 	if err != nil {

@@ -1,0 +1,121 @@
+package repl
+
+import (
+	"sync"
+)
+
+// The in-process pipe transport: a Listener/Dialer pair connected by
+// channels. It is the transport of the tests, the stress harness and the
+// benchmarks — no sockets, no serialization beyond the Frame structs
+// themselves — and of same-process replicas (a read-only view inside the
+// primary's process, e.g. to isolate heavy analytical queries).
+
+// pipeBuf is the per-direction frame buffer of a pipe connection.
+const pipeBuf = 16
+
+// Pipe returns a connected Listener/Dialer pair. Every Dial produces a
+// fresh connection accepted by the listener; closing the listener fails
+// further dials.
+func Pipe() (Listener, Dialer) {
+	ln := &pipeListener{ch: make(chan Conn), done: make(chan struct{})}
+	return ln, &pipeDialer{ln: ln}
+}
+
+type pipeListener struct {
+	ch        chan Conn
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *pipeListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *pipeListener) Addr() string { return "pipe" }
+
+func (l *pipeListener) Close() error {
+	l.closeOnce.Do(func() { close(l.done) })
+	return nil
+}
+
+type pipeDialer struct {
+	ln *pipeListener
+}
+
+func (d *pipeDialer) Dial() (Conn, error) {
+	a2b := make(chan Frame, pipeBuf)
+	b2a := make(chan Frame, pipeBuf)
+	cDone := make(chan struct{})
+	sDone := make(chan struct{})
+	client := &pipeConn{out: a2b, in: b2a, localDone: cDone, peerDone: sDone}
+	server := &pipeConn{out: b2a, in: a2b, localDone: sDone, peerDone: cDone}
+	select {
+	case d.ln.ch <- server:
+		return client, nil
+	case <-d.ln.done:
+		return nil, ErrClosed
+	}
+}
+
+// pipeConn is one end of an in-process connection. Frames pass by value;
+// payload slices are shared between the ends (both sides treat frame
+// payloads as immutable, like every feed consumer).
+type pipeConn struct {
+	out       chan<- Frame
+	in        <-chan Frame
+	localDone chan struct{} // closed by this end's Close
+	peerDone  chan struct{} // closed by the peer's Close
+	closeOnce sync.Once
+}
+
+func (c *pipeConn) Send(f Frame) error {
+	select {
+	case <-c.localDone:
+		return ErrClosed
+	case <-c.peerDone:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.out <- f:
+		return nil
+	case <-c.localDone:
+		return ErrClosed
+	case <-c.peerDone:
+		return ErrClosed
+	}
+}
+
+func (c *pipeConn) Recv() (Frame, error) {
+	// Drain frames already in flight even when the peer has closed —
+	// mirrors a socket, where buffered bytes are readable after the
+	// writer hangs up.
+	select {
+	case f := <-c.in:
+		return f, nil
+	default:
+	}
+	select {
+	case f := <-c.in:
+		return f, nil
+	case <-c.localDone:
+		return Frame{}, ErrClosed
+	case <-c.peerDone:
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+			return Frame{}, ErrClosed
+		}
+	}
+}
+
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() { close(c.localDone) })
+	return nil
+}

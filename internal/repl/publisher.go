@@ -1,0 +1,308 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/oms"
+	"repro/internal/oms/backend"
+)
+
+// Publisher wraps a primary oms.Store and serves its change feed to
+// follower sessions. One Publisher serves any number of listeners and
+// sessions concurrently; sessions are independent — a slow replica can
+// only lose its own subscription (and reconnect), never stall the
+// primary's writers or its siblings.
+type Publisher struct {
+	st   *oms.Store
+	seed backend.Backend // optional: manifest-chain bootstrap source
+	buf  int             // per-session Watch channel depth
+
+	mu        sync.Mutex
+	closed    bool
+	listeners map[Listener]struct{}
+	conns     map[Conn]struct{}
+	wg        sync.WaitGroup
+
+	statSessions   atomic.Int64
+	statSnapshots  atomic.Int64
+	statChainBoots atomic.Int64
+	statFrames     atomic.Int64
+	statBytes      atomic.Int64
+}
+
+// PublisherStats is a point-in-time counter snapshot.
+type PublisherStats struct {
+	// Sessions is the number of follower sessions ever accepted.
+	Sessions int64
+	// SnapshotBootstraps counts sessions bootstrapped with a fresh
+	// consistent-cut snapshot of the live store.
+	SnapshotBootstraps int64
+	// ChainBootstraps counts sessions bootstrapped by shipping the
+	// persistence layer's committed base + delta chain instead.
+	ChainBootstraps int64
+	// FramesSent / BytesSent count streamed frames and payload bytes.
+	FramesSent int64
+	BytesSent  int64
+}
+
+// PublisherOption configures NewPublisher.
+type PublisherOption func(*Publisher)
+
+// WithSeedBackend lets the publisher bootstrap followers by shipping the
+// base + delta chain already committed to b (the backend the primary's
+// Framework.SaveTo targets) instead of cutting and encoding a fresh
+// snapshot — the manifest commit stream reused as the bootstrap path.
+// The chain is only used while the feed still retains the manifest's
+// FeedLSN; otherwise the publisher falls back to a live snapshot.
+func WithSeedBackend(b backend.Backend) PublisherOption {
+	return func(p *Publisher) { p.seed = b }
+}
+
+// WithSessionBuffer sets the per-session Watch channel depth (default
+// 256 groups). Deeper buffers absorb longer consumer stalls before a
+// session lags out of the feed ring.
+func WithSessionBuffer(n int) PublisherOption {
+	return func(p *Publisher) { p.buf = n }
+}
+
+// NewPublisher returns a publisher for the primary store. Call Serve
+// with one or more listeners, then Close to stop everything.
+func NewPublisher(st *oms.Store, opts ...PublisherOption) *Publisher {
+	p := &Publisher{
+		st:        st,
+		buf:       256,
+		listeners: map[Listener]struct{}{},
+		conns:     map[Conn]struct{}{},
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Serve accepts follower sessions on ln until the listener or the
+// publisher is closed. It blocks; run it on its own goroutine when
+// serving multiple listeners.
+func (p *Publisher) Serve(ln Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.listeners[ln] = struct{}{}
+	p.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			delete(p.listeners, ln)
+			p.mu.Unlock()
+			if closed || errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = c.Close()
+			return nil
+		}
+		p.conns[c] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		p.statSessions.Add(1)
+		go p.session(c)
+	}
+}
+
+// DisconnectAll drops every live session (replicas reconnect and resume
+// from their applied LSN). Listeners stay open — the operational lever
+// for a rolling reconnect, and the stress tests' transport kill.
+func (p *Publisher) DisconnectAll() {
+	p.mu.Lock()
+	conns := make([]Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// Close stops every listener and session and waits for them.
+func (p *Publisher) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	lns := make([]Listener, 0, len(p.listeners))
+	for ln := range p.listeners {
+		lns = append(lns, ln)
+	}
+	conns := make([]Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	p.wg.Wait()
+}
+
+// Stats returns cumulative publisher counters.
+func (p *Publisher) Stats() PublisherStats {
+	return PublisherStats{
+		Sessions:           p.statSessions.Load(),
+		SnapshotBootstraps: p.statSnapshots.Load(),
+		ChainBootstraps:    p.statChainBoots.Load(),
+		FramesSent:         p.statFrames.Load(),
+		BytesSent:          p.statBytes.Load(),
+	}
+}
+
+// session runs one follower connection: hello → (bootstrap frames) →
+// live stream until either side drops.
+func (p *Publisher) session(c Conn) {
+	defer func() {
+		_ = c.Close()
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+		p.wg.Done()
+	}()
+	hello, err := c.Recv()
+	if err != nil || hello.Type != FrameHello {
+		return
+	}
+	needSnap := len(hello.Payload) > 0 && hello.Payload[0]&helloNeedSnapshot != 0
+	sub, bootstrap, err := p.attach(hello.LSN, needSnap)
+	if err != nil {
+		return
+	}
+	defer sub.Close()
+	// Watch the connection for peer departure so the stream loop (which
+	// may be parked in sub.C() with nothing to send) shuts down promptly.
+	go func() {
+		for {
+			if _, err := c.Recv(); err != nil {
+				sub.Close()
+				return
+			}
+		}
+	}()
+	for _, f := range bootstrap {
+		if !p.send(c, f) {
+			return
+		}
+	}
+	// Position frame: an empty changes payload carrying the committed
+	// watermark, so the follower knows its lag (and that it is converged)
+	// immediately instead of only after the next commit.
+	if pos, err := oms.EncodeChanges(nil); err == nil {
+		if !p.send(c, Frame{Type: FrameChanges, LSN: p.st.FeedLSN(), Payload: pos}) {
+			return
+		}
+	}
+	for group := range sub.C() {
+		payload, err := oms.EncodeChanges(group)
+		if err != nil {
+			return
+		}
+		if !p.send(c, Frame{Type: FrameChanges, LSN: p.st.FeedLSN(), Payload: payload}) {
+			return
+		}
+	}
+	// sub closed: the session lagged out of the feed ring (the replica
+	// reconnects and re-bootstraps), or the publisher/conn is closing.
+}
+
+func (p *Publisher) send(c Conn, f Frame) bool {
+	if err := c.Send(f); err != nil {
+		return false
+	}
+	p.statFrames.Add(1)
+	p.statBytes.Add(int64(len(f.Payload)))
+	return true
+}
+
+// attach picks a session's start strategy: resume straight from the feed
+// ring when it still retains the follower's position, else bootstrap —
+// by manifest chain when available, else by live snapshot — and returns
+// the live subscription plus the bootstrap frames to send first.
+func (p *Publisher) attach(resume uint64, needSnap bool) (*oms.Subscription, []Frame, error) {
+	if !needSnap && resume <= p.st.FeedLSN() {
+		if sub, err := p.st.Watch(resume, p.buf); err == nil {
+			return sub, nil, nil
+		}
+	}
+	if sub, frames, ok := p.chainBootstrap(); ok {
+		p.statChainBoots.Add(1)
+		return sub, frames, nil
+	}
+	// Live snapshot. Between the cut and the Watch the ring would have to
+	// evict the snapshot's LSN — ~32k commits — for the Watch to fail;
+	// retry the pair a few times rather than treating that as fatal.
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		snap := p.st.Snapshot()
+		data, err := snap.EncodeJSON()
+		if err != nil {
+			return nil, nil, err
+		}
+		sub, err := p.st.Watch(snap.LSN(), p.buf)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		p.statSnapshots.Add(1)
+		return sub, []Frame{{Type: FrameSnapshot, LSN: snap.LSN(), Payload: data}}, nil
+	}
+	return nil, nil, lastErr
+}
+
+// chainBootstrap builds bootstrap frames from the seed backend's commit
+// manifest: the base snapshot payload plus each delta payload, exactly
+// as the persistence layer wrote them. Usable only while the feed still
+// retains the manifest's FeedLSN (the chain must hand over to the live
+// stream without a gap); any missing or corrupt payload disqualifies the
+// chain and the caller falls back to a live snapshot.
+func (p *Publisher) chainBootstrap() (*oms.Subscription, []Frame, bool) {
+	if p.seed == nil {
+		return nil, nil, false
+	}
+	m, err := backend.LoadManifest(p.seed)
+	if err != nil {
+		return nil, nil, false
+	}
+	sub, err := p.st.Watch(m.FeedLSN, p.buf)
+	if err != nil {
+		return nil, nil, false
+	}
+	base, err := p.seed.Get(m.OMS)
+	if err != nil || backend.SHA256Hex(base) != m.OMSSum {
+		sub.Close()
+		return nil, nil, false
+	}
+	frames := []Frame{{Type: FrameSnapshot, LSN: m.BaseLSN, Payload: base}}
+	for _, d := range m.Deltas {
+		payload, err := p.seed.Get(d.Name)
+		if err != nil || backend.SHA256Hex(payload) != d.Sum {
+			sub.Close()
+			return nil, nil, false
+		}
+		frames = append(frames, Frame{Type: FrameChanges, LSN: m.FeedLSN, Payload: payload})
+	}
+	return sub, frames, true
+}

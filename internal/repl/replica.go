@@ -1,0 +1,404 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/oms"
+	"repro/internal/oms/backend"
+)
+
+// Replica is one follower store: it dials a Publisher, bootstraps, and
+// applies the primary's change feed in strict LSN order. The replica's
+// store mirrors the primary's commit sequence record for record
+// (ApplyReplicated republishes at the primary's LSNs), so AppliedLSN is
+// both the replication position and the store's own FeedLSN.
+//
+// Failure handling is uniform: any transport error, decode error, gap or
+// mid-apply failure ends the current session, and the next (re)connect
+// resumes from the applied LSN — or, when the store may be damaged
+// (mid-apply failure), demands a fresh bootstrap. The publisher decides
+// per session whether the resume position can be served from its feed
+// ring or needs a snapshot/chain bootstrap, mirroring the Watch
+// Lagged() fallback inside one process.
+type Replica struct {
+	st      *oms.Store
+	dial    Dialer
+	seed    backend.Backend // optional: local manifest chain for first boot
+	backoff time.Duration
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	applied   uint64 // == st.FeedLSN(); cached under mu for WaitFor
+	watermark uint64 // publisher's last reported committed LSN
+	poisoned  bool   // store state suspect; next hello demands a snapshot
+	gapStreak int    // consecutive gap-failed sessions; escalates to bootstrap
+	lastErr   error
+	closed    bool
+	done      chan struct{} // closed by Close; interrupts backoff sleeps
+	conn      Conn          // live connection, closed to interrupt follow()
+
+	wg sync.WaitGroup
+
+	stats ReplicaStats
+}
+
+// ReplicaStats counts a replica's lifecycle events (guarded by r.mu; read
+// via Stats).
+type ReplicaStats struct {
+	// Bootstraps counts snapshot installs (initial and re-bootstraps).
+	Bootstraps int64
+	// Reconnects counts sessions after the first.
+	Reconnects int64
+	// Gaps counts streams rejected because they skipped records.
+	Gaps int64
+	// FramesApplied counts applied change frames.
+	FramesApplied int64
+}
+
+// ReplicaOption configures NewReplica.
+type ReplicaOption func(*Replica)
+
+// WithLocalSeed seeds the first bootstrap from a local backend's commit
+// manifest (base + delta chain) before dialing — a replica colocated
+// with a state directory starts warm and asks the publisher only for the
+// suffix.
+func WithLocalSeed(b backend.Backend) ReplicaOption {
+	return func(r *Replica) { r.seed = b }
+}
+
+// WithReconnectBackoff sets the delay between failed sessions (default
+// 50ms). Dial errors and dropped connections both wait this long.
+func WithReconnectBackoff(d time.Duration) ReplicaOption {
+	return func(r *Replica) { r.backoff = d }
+}
+
+// NewReplica returns a stopped replica with an empty follower store
+// enforcing schema. Call Start to begin following.
+func NewReplica(schema *oms.Schema, d Dialer, opts ...ReplicaOption) *Replica {
+	r := &Replica{
+		st:      oms.NewStore(schema),
+		dial:    d,
+		backoff: 50 * time.Millisecond,
+		done:    make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Store returns the follower store. It is live — queries see replicated
+// state as it applies — and must be treated as STRICTLY read-only;
+// mutating it forks the replica from the primary. Query layers wrap it
+// in an enforcing view (jcf.NewReplicaView).
+func (r *Replica) Store() *oms.Store { return r.st }
+
+// Start launches the follow loop. It returns immediately.
+func (r *Replica) Start() {
+	r.wg.Add(1)
+	go r.run()
+}
+
+// AppliedLSN returns the highest primary LSN applied to the follower
+// store (0 before the first bootstrap).
+func (r *Replica) AppliedLSN() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Lag returns how many committed records the replica is known to be
+// behind the primary: the publisher's last reported watermark minus the
+// applied LSN. It is a lower bound — the primary may have committed more
+// since the last frame arrived.
+func (r *Replica) Lag() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.watermark <= r.applied {
+		return 0
+	}
+	return r.watermark - r.applied
+}
+
+// Err returns the error that ended the most recent session (nil after a
+// clean stretch). Sessions auto-retry; Err is diagnostic.
+func (r *Replica) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// Stats returns cumulative replica counters.
+func (r *Replica) Stats() ReplicaStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// WaitFor blocks until the replica has applied every record up to and
+// including lsn — the read-your-writes barrier: a client that wrote to
+// the primary at commit LSN n calls WaitFor(n) on its replica and then
+// reads its own write. It fails after timeout, or immediately once the
+// replica is closed or promoted.
+func (r *Replica) WaitFor(lsn uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer timer.Stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.applied < lsn {
+		if r.closed {
+			return fmt.Errorf("repl: wait for lsn %d: replica closed", lsn)
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("repl: wait for lsn %d: timeout at %d", lsn, r.applied)
+		}
+		r.cond.Wait()
+	}
+	return nil
+}
+
+// Close stops the follow loop and waits for it. Idempotent.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.done)
+		if r.conn != nil {
+			_ = r.conn.Close()
+		}
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// Promote detaches the replica for failover: the follow loop stops and
+// the follower store is returned as the new writable primary. Its feed
+// watermark already equals the applied LSN, so new commits continue the
+// primary's LSN sequence — snapshots, differential saves and replicas of
+// the promoted store all line up. The caller owns deciding that the old
+// primary is really dead; repl offers no quorum.
+func (r *Replica) Promote() *oms.Store {
+	r.Close()
+	return r.st
+}
+
+// run is the follow loop: dial, follow, back off, repeat.
+func (r *Replica) run() {
+	defer r.wg.Done()
+	if r.seed != nil {
+		r.seedLocal()
+	}
+	first := true
+	for {
+		if r.isClosed() {
+			return
+		}
+		if !first {
+			r.mu.Lock()
+			r.stats.Reconnects++
+			r.mu.Unlock()
+		}
+		first = false
+		c, err := r.dial.Dial()
+		if err != nil {
+			r.fail(err)
+			r.sleep()
+			continue
+		}
+		r.setConn(c)
+		err = r.follow(c)
+		_ = c.Close()
+		r.setConn(nil)
+		if r.isClosed() {
+			return
+		}
+		if err != nil {
+			r.fail(err)
+		}
+		r.sleep()
+	}
+}
+
+// follow runs one session: hello, then apply frames until the stream
+// ends. A nil return means the peer hung up cleanly (publisher closing
+// or dropping the session); the loop reconnects either way.
+func (r *Replica) follow(c Conn) error {
+	r.mu.Lock()
+	flags := byte(0)
+	if r.poisoned {
+		flags |= helloNeedSnapshot
+	}
+	resume := r.applied
+	r.mu.Unlock()
+	if err := c.Send(Frame{Type: FrameHello, LSN: resume, Payload: []byte{flags}}); err != nil {
+		return err
+	}
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch f.Type {
+		case FrameSnapshot:
+			// A healthy replica at or past the bootstrap base skips the
+			// install: rewinding the store below its applied LSN would
+			// transiently un-happen writes that WaitFor barriers already
+			// acknowledged. The frames that follow overlap-trim against
+			// the applied position and continue from there. A poisoned
+			// store takes the snapshot unconditionally — that is the
+			// point of demanding it.
+			r.mu.Lock()
+			skip := !r.poisoned && f.LSN <= r.applied
+			r.mu.Unlock()
+			if skip {
+				continue
+			}
+			if err := r.st.ResetFromSnapshot(f.Payload, f.LSN); err != nil {
+				// Nothing was installed; the store is whatever it was.
+				return err
+			}
+			r.mu.Lock()
+			r.poisoned = false
+			r.gapStreak = 0
+			r.stats.Bootstraps++
+			r.advanceLocked(f.LSN, f.LSN)
+			r.mu.Unlock()
+		case FrameChanges:
+			recs, err := oms.DecodeChanges(f.Payload)
+			if err != nil {
+				return err
+			}
+			// Drop records the store already holds — overlap is normal
+			// when a resume point sits inside a shipped delta chain.
+			applied := r.st.FeedLSN()
+			for len(recs) > 0 && recs[0].LSN <= applied {
+				recs = recs[1:]
+			}
+			if err := r.st.ApplyReplicated(recs); err != nil {
+				r.mu.Lock()
+				if errors.Is(err, oms.ErrFeedGap) {
+					// Nothing applied; resuming from the applied LSN is
+					// safe and the publisher will fill the gap. But a
+					// gap that persists across sessions means resume
+					// cannot converge (e.g. the replica's history has
+					// diverged from this primary's) — escalate to a
+					// forced bootstrap instead of reconnecting forever.
+					r.stats.Gaps++
+					if r.gapStreak++; r.gapStreak >= 3 {
+						r.poisoned = true
+					}
+				} else {
+					// Failed mid-group: the store is suspect. Demand a
+					// fresh snapshot on the next session.
+					r.poisoned = true
+				}
+				r.mu.Unlock()
+				return err
+			}
+			r.mu.Lock()
+			r.stats.FramesApplied++
+			if len(recs) > 0 {
+				// Real records attached — resume is converging. (Empty
+				// position frames don't count: they would reset the
+				// streak on every reconnect of a diverged replica.)
+				r.gapStreak = 0
+			}
+			r.advanceLocked(r.st.FeedLSN(), f.LSN)
+			r.mu.Unlock()
+		default:
+			return fmt.Errorf("repl: unexpected frame type %d", f.Type)
+		}
+	}
+}
+
+// advanceLocked moves the applied/watermark positions and wakes WaitFor;
+// caller holds r.mu.
+func (r *Replica) advanceLocked(applied, watermark uint64) {
+	r.applied = applied
+	if watermark > r.watermark {
+		r.watermark = watermark
+	}
+	if r.applied > r.watermark {
+		r.watermark = r.applied
+	}
+	r.cond.Broadcast()
+}
+
+// seedLocal installs the local backend's committed base + delta chain
+// before the first dial, so the publisher only streams the suffix. Best
+// effort: any failure leaves the store empty and the publisher
+// bootstraps as usual.
+func (r *Replica) seedLocal() {
+	m, err := backend.LoadManifest(r.seed)
+	if err != nil {
+		return
+	}
+	base, err := r.seed.Get(m.OMS)
+	if err != nil || backend.SHA256Hex(base) != m.OMSSum {
+		return
+	}
+	if err := r.st.ResetFromSnapshot(base, m.BaseLSN); err != nil {
+		return
+	}
+	for _, d := range m.Deltas {
+		payload, err := r.seed.Get(d.Name)
+		if err != nil || backend.SHA256Hex(payload) != d.Sum {
+			break
+		}
+		recs, err := oms.DecodeChanges(payload)
+		if err != nil {
+			break
+		}
+		if err := r.st.ApplyReplicated(recs); err != nil {
+			break
+		}
+	}
+	r.mu.Lock()
+	r.stats.Bootstraps++
+	r.advanceLocked(r.st.FeedLSN(), r.st.FeedLSN())
+	r.mu.Unlock()
+}
+
+func (r *Replica) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+func (r *Replica) setConn(c Conn) {
+	r.mu.Lock()
+	r.conn = c
+	if r.closed && c != nil {
+		_ = c.Close()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Replica) fail(err error) {
+	r.mu.Lock()
+	r.lastErr = err
+	r.mu.Unlock()
+}
+
+// sleep waits the reconnect backoff, returning early on Close.
+func (r *Replica) sleep() {
+	t := time.NewTimer(r.backoff)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.done:
+	}
+}

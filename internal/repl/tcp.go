@@ -1,0 +1,100 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP transport: length-prefixed frames (see writeFrame/readFrame)
+// over one TCP connection per replica session. Reconnection is not this
+// layer's job — the Replica redials through its Dialer and resumes from
+// its applied LSN, so a dropped connection costs at most a re-served
+// feed suffix.
+
+// ListenTCP starts a frame listener on addr (e.g. ":7070" or
+// "127.0.0.1:0"; Addr reports the bound address).
+func ListenTCP(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("repl: listen %s: %w", addr, err)
+	}
+	return &tcpListener{ln: ln}, nil
+}
+
+type tcpListener struct {
+	ln net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+
+func (l *tcpListener) Close() error { return l.ln.Close() }
+
+// TCPDialer dials a publisher endpoint. The zero Timeout means
+// defaultDialTimeout per attempt.
+type TCPDialer struct {
+	Addr    string
+	Timeout time.Duration
+}
+
+const defaultDialTimeout = 5 * time.Second
+
+// Dial opens one connection to the publisher.
+func (d *TCPDialer) Dial() (Conn, error) {
+	timeout := d.Timeout
+	if timeout <= 0 {
+		timeout = defaultDialTimeout
+	}
+	c, err := net.DialTimeout("tcp", d.Addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("repl: dial %s: %w", d.Addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+// tcpConn frames a net.Conn. Send and Recv each serialize under their
+// own mutex, so one sender and one receiver goroutine can run
+// concurrently (the session pattern both ends use).
+type tcpConn struct {
+	c  net.Conn
+	wm sync.Mutex
+	bw *bufio.Writer
+	rm sync.Mutex
+	br *bufio.Reader
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Frames are written whole and flushed; coalescing delay would
+		// only add replication lag.
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c, bw: bufio.NewWriter(c), br: bufio.NewReader(c)}
+}
+
+func (t *tcpConn) Send(f Frame) error {
+	t.wm.Lock()
+	defer t.wm.Unlock()
+	if err := writeFrame(t.bw, f); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+func (t *tcpConn) Recv() (Frame, error) {
+	t.rm.Lock()
+	defer t.rm.Unlock()
+	return readFrame(t.br)
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
