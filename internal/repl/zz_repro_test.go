@@ -1,0 +1,57 @@
+package repl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/jcf"
+	"repro/internal/oms/backend"
+)
+
+// Repro: serve a framework restored via LoadFrom (feed restarts at 0).
+func TestReproLoadThenServe(t *testing.T) {
+	dir := t.TempDir()
+	fw, err := jcf.New(jcf.Release40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := fw.CreateProject("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.CreateCell(p, "alu"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := backend.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw2, err := jcf.LoadFrom(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loaded primary: objects=%d feedLSN=%d", fw2.ReplicationSource().Count(""), fw2.ReplicationSource().FeedLSN())
+
+	pub := NewPublisher(fw2.ReplicationSource(), WithSeedBackend(b))
+	defer pub.Close()
+	ln, d := Pipe()
+	go pub.Serve(ln)
+	rep := NewReplica(fw2.ReplicationSource().Schema(), d)
+	rep.Start()
+	defer rep.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if rep.Lag() == 0 && rep.Stats().FramesApplied > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Logf("replica: objects=%d applied=%d lag=%d primary objects=%d",
+		rep.Store().Count(""), rep.AppliedLSN(), rep.Lag(), fw2.ReplicationSource().Count(""))
+	if rep.Store().Count("") != fw2.ReplicationSource().Count("") {
+		t.Fatalf("DIVERGED: replica has %d objects, primary has %d", rep.Store().Count(""), fw2.ReplicationSource().Count(""))
+	}
+}
