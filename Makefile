@@ -1,20 +1,38 @@
 GO ?= go
 
-.PHONY: check build vet test race stress-persist stress-atomic stress-feed stress-repl bench bench-contention bench-persist bench-batch bench-feed bench-repl clean
+.PHONY: check build vet lint fuzz-seed test race stress-persist stress-atomic stress-feed stress-repl bench bench-contention bench-persist bench-batch bench-feed bench-repl clean
 
-## check is the CI gate: a fresh checkout must build, vet (go vet ./...)
-## and pass the full test suite under the race detector, plus an extra
-## multi-count run of the persistence crash-consistency stress test.
-## This is what keeps the missing-go.mod regression, data races in the
-## sharded OMS kernel, torn (oms, framework) snapshot pairs, and
-## diverging replicas from ever landing again.
-check: build vet race stress-persist stress-atomic stress-feed stress-repl
+## check is the CI gate: a fresh checkout must build, vet (go vet ./...),
+## pass jcflint with zero unsuppressed findings, replay the decoder fuzz
+## seed corpus, and pass the full test suite under the race detector,
+## plus an extra multi-count run of the persistence crash-consistency
+## stress test. This is what keeps the missing-go.mod regression, data
+## races in the sharded OMS kernel, torn (oms, framework) snapshot
+## pairs, diverging replicas, and unguarded replica writes from ever
+## landing again.
+check: build vet lint fuzz-seed race stress-persist stress-atomic stress-feed stress-repl
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## lint runs jcflint — the repo-specific analyzer suite (stripe lock
+## ordering, the guardWrite replica gate, dropped errors, feed-publish
+## discipline, internal-alias returns; see README "Static analysis") —
+## and requires gofmt-clean sources. Suppressions take
+## //lint:allow <analyzer> <reason>; the reason is mandatory.
+lint:
+	$(GO) run ./cmd/jcflint ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt: the following files need formatting:"; echo "$$fmt_out"; exit 1; fi
+
+## fuzz-seed replays the FuzzDecodeChanges seed corpus deterministically
+## (no fuzzing engine): every seed the wire-format fuzzer ever minimized
+## must keep decoding without panics or round-trip drift.
+fuzz-seed:
+	$(GO) test -run FuzzDecodeChanges ./internal/oms/
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,82 @@
+// jcflint runs the repo's custom static-analysis suite
+// (internal/analysis) over the module tree and fails on findings. It
+// machine-enforces the invariants the kernel, replication, and desktop
+// layers rely on by convention:
+//
+//	lockorder    stripe mutexes multi-acquired only via the sorted helpers
+//	guardwrite   exported mutating jcf.Framework methods gate on guardWrite()
+//	noerrdrop    no silently discarded errors in internal/...
+//	feedpublish  feed LSN assignment only under the stripe hold
+//	noalias      exported API never returns internal maps/slices by reference
+//
+// Findings print as file:line: analyzer: message. A finding is
+// suppressed by a trailing (or directly preceding) comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// and the reason is mandatory — a reason-less directive is itself a
+// finding. Exit status is 1 when any unsuppressed finding remains.
+//
+// Usage: jcflint [./...]  (the argument is accepted for familiarity;
+// the tool always analyzes the module containing the working directory)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: jcflint [-list] [./...]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	modPath, err := analysis.ModulePath(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.LoadTree(root, modPath)
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.Run(pkgs, analysis.Analyzers())
+	for _, d := range diags {
+		// Print module-relative paths: stable across checkouts.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "jcflint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jcflint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: where, which analyzer, what.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	*Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker. Match scopes it to the packages it
+// understands (lockorder only ever looks at an OMS kernel, guardwrite at
+// a jcf desktop API); Run walks the package and reports.
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Match func(p *Package) bool
+	Run   func(pass *Pass)
+}
+
+// Analyzers returns the full jcflint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LockOrderAnalyzer,
+		GuardWriteAnalyzer,
+		NoErrDropAnalyzer,
+		FeedPublishAnalyzer,
+		NoAliasAnalyzer,
+	}
+}
+
+// Run applies each analyzer to every package it matches, resolves
+// //lint:allow suppressions, and returns the surviving findings sorted
+// by position. A suppression comment with no reason is itself reported:
+// the escape hatch requires writing down why.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			if a.Match != nil && !a.Match(pkg) {
+				continue
+			}
+			a.Run(&Pass{Package: pkg, analyzer: a, diags: &diags})
+		}
+	}
+	diags = applySuppressions(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// allowDirective is a parsed "//lint:allow <analyzer> <reason>" comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// collectAllows gathers every lint:allow directive in the package,
+// keyed by file:line. A directive suppresses matching findings on its
+// own line and on the line directly below (so it can sit above a long
+// statement).
+func collectAllows(pkgs []*Package) map[string][]allowDirective {
+	allows := map[string][]allowDirective{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					d := allowDirective{pos: pkg.Fset.Position(c.Pos())}
+					if len(fields) > 0 {
+						d.analyzer = fields[0]
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					key := d.pos.Filename
+					allows[key] = append(allows[key], d)
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// applySuppressions filters findings covered by a lint:allow directive
+// and converts reason-less directives into findings of their own.
+func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	allows := collectAllows(pkgs)
+	var out []Diagnostic
+	used := map[*allowDirective]bool{}
+	for _, d := range diags {
+		suppressed := false
+		for i := range allows[d.Pos.Filename] {
+			a := &allows[d.Pos.Filename][i]
+			if a.analyzer != d.Analyzer {
+				continue
+			}
+			if a.pos.Line == d.Pos.Line || a.pos.Line == d.Pos.Line-1 {
+				if a.reason != "" {
+					suppressed = true
+					used[a] = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	// A directive without a reason never suppresses anything — surface
+	// it so it gets a reason or gets deleted.
+	for _, ds := range allows {
+		for i := range ds {
+			a := &ds[i]
+			if a.reason == "" {
+				out = append(out, Diagnostic{
+					Pos:      a.pos,
+					Analyzer: "lint",
+					Message:  "lint:allow directive needs a reason: //lint:allow <analyzer> <why this is safe>",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// --- shared AST/type helpers -------------------------------------------
+
+// funcDecls maps every function and method declared in the package to
+// its declaration.
+func funcDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	m := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				m[obj] = fd
+			}
+		}
+	}
+	return m
+}
+
+// calleeFunc resolves the called function object of a call expression,
+// if it statically resolves to a named function or method.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(t)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// typeNameIs reports whether t (through pointers) is a named type with
+// the given name.
+func typeNameIs(t types.Type, name string) bool {
+	n := namedType(t)
+	return n != nil && n.Obj().Name() == name
+}
+
+// recvNamed returns the named type of a method's receiver, nil for
+// plain functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedType(sig.Recv().Type())
+}
+
+// returnsError reports whether the call's result type is or contains an
+// error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorIface)
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (e.g. st for st.stripes[i].mu), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

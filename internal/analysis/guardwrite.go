@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// guardwrite machine-checks the replica read-only gate: every exported
+// method on jcf.Framework that mutates shared state — reaches a mutating
+// oms.Store entry point (Apply/Create/Set/Link/Unlink/Delete/...) or
+// writes a framework-level map — must call guardWrite() before its first
+// mutation, so a read-only replica view rejects the call before any
+// state is touched. PR 5 established this by hand across ~25 entry
+// points; this analyzer is what keeps entry point #26 from silently
+// skipping it.
+//
+// Mutation reachability is computed over the package call graph:
+// an exported method that mutates only through an unexported helper is
+// still mutating. Propagation stops at callees that call guardWrite
+// themselves — they are self-guarding.
+var GuardWriteAnalyzer = &Analyzer{
+	Name: "guardwrite",
+	Doc:  "exported mutating jcf.Framework methods must call guardWrite() before their first store mutation",
+	Match: func(p *Package) bool {
+		return p.Name == "jcf" && p.Types.Scope().Lookup("Framework") != nil
+	},
+	Run: runGuardWrite,
+}
+
+// storeMutators are the oms.Store methods that mutate the database.
+// Begin/Commit/Rollback count: opening or closing a transaction on a
+// replica's store would corrupt replicated apply.
+var storeMutators = map[string]bool{
+	"Apply":             true,
+	"Create":            true,
+	"Set":               true,
+	"CopyIn":            true,
+	"CopyInBytes":       true,
+	"Link":              true,
+	"Unlink":            true,
+	"Delete":            true,
+	"Begin":             true,
+	"Commit":            true,
+	"Rollback":          true,
+	"ApplyReplicated":   true,
+	"ResetFromSnapshot": true,
+	"ReplayChanges":     true,
+}
+
+// guardFacts is what the analyzer knows about one function in the jcf
+// package. Exported for the real-tree regression test via GuardReport.
+type guardFacts struct {
+	decl         *ast.FuncDecl
+	guardPos     token.Pos // first guardWrite() call (NoPos if none)
+	directMutPos token.Pos // first direct store/map mutation (NoPos if none)
+	callees      []*types.Func
+	mutates      bool // direct or transitive (through unguarded callees)
+}
+
+func runGuardWrite(pass *Pass) {
+	facts := guardWriteFacts(pass)
+	for fn, f := range facts {
+		if !isExportedFrameworkMethod(fn, f.decl) {
+			continue
+		}
+		if f.mutates && f.guardPos == token.NoPos {
+			pass.Reportf(f.decl.Name.Pos(), "exported mutating Framework method %s does not call guardWrite(); a replica view could write through it", fn.Name())
+			continue
+		}
+		if f.guardPos != token.NoPos && f.directMutPos != token.NoPos && f.guardPos > f.directMutPos {
+			pass.Reportf(f.directMutPos, "%s mutates the store before calling guardWrite(); the guard must be the prologue", fn.Name())
+		}
+	}
+}
+
+func isExportedFrameworkMethod(fn *types.Func, decl *ast.FuncDecl) bool {
+	if decl == nil || !fn.Exported() {
+		return false
+	}
+	recv := recvNamed(fn)
+	return recv != nil && recv.Obj().Name() == "Framework"
+}
+
+// guardWriteFacts computes per-function guard/mutation facts and runs
+// the mutation propagation to fixpoint.
+func guardWriteFacts(pass *Pass) map[*types.Func]*guardFacts {
+	decls := funcDecls(pass.Package)
+	facts := map[*types.Func]*guardFacts{}
+	for fn, fd := range decls {
+		f := &guardFacts{decl: fd}
+		if fd.Body != nil {
+			collectGuardFacts(pass, fd, f)
+		}
+		f.mutates = f.directMutPos != token.NoPos
+		facts[fn] = f
+	}
+	// Propagate mutation through unguarded same-package callees.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range facts {
+			if f.mutates {
+				continue
+			}
+			for _, callee := range f.callees {
+				cf, ok := facts[callee]
+				if !ok {
+					continue
+				}
+				// A callee that guards itself rejects replica writes on
+				// its own; reaching mutation only through it is safe.
+				if cf.guardPos != token.NoPos {
+					continue
+				}
+				if cf.mutates {
+					f.mutates = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return facts
+}
+
+func collectGuardFacts(pass *Pass, fd *ast.FuncDecl, f *guardFacts) {
+	info := pass.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeFunc(info, nn)
+			if callee == nil {
+				// delete(fw.someMap, k) — builtin map mutation.
+				if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok && id.Name == "delete" && len(nn.Args) > 0 {
+					if isFrameworkMapExpr(pass, nn.Args[0]) {
+						f.noteMutation(nn.Pos())
+					}
+				}
+				return true
+			}
+			if callee.Name() == "guardWrite" && recvNamedIs(callee, "Framework") {
+				if f.guardPos == token.NoPos {
+					f.guardPos = nn.Pos()
+				}
+				return true
+			}
+			if storeMutators[callee.Name()] && recvNamedIs(callee, "Store") {
+				f.noteMutation(nn.Pos())
+				return true
+			}
+			if callee.Pkg() == pass.Types {
+				f.callees = append(f.callees, callee)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range nn.Lhs {
+				if isFrameworkMapWrite(pass, lhs) {
+					f.noteMutation(nn.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if isFrameworkMapWrite(pass, nn.X) {
+				f.noteMutation(nn.Pos())
+			}
+		}
+		return true
+	})
+}
+
+func (f *guardFacts) noteMutation(pos token.Pos) {
+	if f.directMutPos == token.NoPos || pos < f.directMutPos {
+		f.directMutPos = pos
+	}
+}
+
+func recvNamedIs(fn *types.Func, name string) bool {
+	recv := recvNamed(fn)
+	return recv != nil && recv.Obj().Name() == name
+}
+
+// GuardReport is guardwrite's classification of one exported Framework
+// method. Exposed for the real-tree regression test: lint only reports
+// MUTATING-and-unguarded methods, so if the classifier ever stops seeing
+// the mutation inside a known-mutating entry point, lint would go quiet
+// exactly when a deleted guardWrite() call matters most. The test pins
+// the classification itself.
+type GuardReport struct {
+	Method  string
+	Guarded bool // calls guardWrite()
+	Mutates bool // reaches a store mutator or framework-map write
+}
+
+// GuardWriteReport classifies every exported Framework method of pkg,
+// sorted by method name.
+func GuardWriteReport(pkg *Package) []GuardReport {
+	pass := &Pass{Package: pkg, analyzer: GuardWriteAnalyzer, diags: new([]Diagnostic)}
+	facts := guardWriteFacts(pass)
+	var out []GuardReport
+	for fn, f := range facts {
+		if !isExportedFrameworkMethod(fn, f.decl) {
+			continue
+		}
+		out = append(out, GuardReport{
+			Method:  fn.Name(),
+			Guarded: f.guardPos != token.NoPos,
+			Mutates: f.mutates,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Method < out[j].Method })
+	return out
+}
+
+// isFrameworkMapWrite reports whether the assignment target writes a
+// framework-level map: an index into (or wholesale replacement of) a
+// map-typed field reached from a Framework value.
+func isFrameworkMapWrite(pass *Pass, lhs ast.Expr) bool {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		return isFrameworkMapExpr(pass, x.X)
+	case *ast.SelectorExpr:
+		return isFrameworkMapExpr(pass, x)
+	}
+	return false
+}
+
+// isFrameworkMapExpr reports whether e is a map-typed expression rooted
+// in a *Framework value (fw.reservations, fw.typedHier[cv], ...).
+func isFrameworkMapExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		return false
+	}
+	return typeNameIs(obj.Type(), "Framework")
+}

@@ -1,0 +1,244 @@
+// Package analysis is jcflint's engine: a repo-specific static-analysis
+// suite that machine-enforces the conventions five PRs of growth have
+// come to depend on — stripe-lock ordering in the OMS kernel, the
+// guardWrite gate on every mutating jcf entry point, feed publishes only
+// under the stripe hold, no silently dropped errors, and no internal
+// maps/slices escaping by reference.
+//
+// The module proxy is not reachable from the build environment, so the
+// suite does not use golang.org/x/tools/go/analysis. This file is the
+// stdlib-only equivalent of go/packages: it walks the module tree,
+// parses every non-test file, and type-checks packages recursively with
+// go/types — module-internal imports resolve against the source tree,
+// standard-library imports through the gc source importer (which reads
+// GOROOT source and needs no network or export data).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit every analyzer
+// operates on.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/oms"
+	Name  string // package name, e.g. "oms"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // parsed with comments, non-test files only
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader loads and type-checks the packages of one module tree,
+// memoizing so shared dependencies check once. It doubles as the
+// types.Importer for its own checks.
+type loader struct {
+	fset    *token.FileSet
+	modPath string
+	modRoot string
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	stdPkgs map[string]*types.Package
+	loading map[string]bool
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modPath: modPath,
+		modRoot: modRoot,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Package{},
+		stdPkgs: map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer for the checks the loader runs.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if p, ok := l.stdPkgs[path]; ok {
+		return p, nil
+	}
+	p, err := l.std.ImportFrom(path, l.modRoot, 0)
+	if err != nil {
+		return nil, err
+	}
+	l.stdPkgs[path] = p
+	return p, nil
+}
+
+// dirFor maps a module-internal import path onto its directory.
+func (l *loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	return filepath.Join(l.modRoot, filepath.FromSlash(rel))
+}
+
+// load parses and type-checks one module-internal package (memoized).
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load %s: no Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	p := &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadTree loads every package under root (recursively), type-checked
+// against module path modPath. Directories named testdata, vendor, or
+// starting with "." or "_" are skipped, as are directories with no
+// non-test Go files. Packages come back sorted by import path.
+func LoadTree(root, modPath string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, modPath)
+	var paths []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		for _, seen := range paths {
+			if seen == ip {
+				return nil
+			}
+		}
+		paths = append(paths, ip)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		p, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ModulePath reads the module path out of the go.mod at root.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", root)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding
+// a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

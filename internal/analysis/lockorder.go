@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// lockorder enforces the OMS kernel's deadlock-freedom convention:
+// stripe mutexes are only ever multi-acquired in ascending stripe order,
+// and the only code allowed to do that is the small set of sorted
+// helpers. Everything else takes at most ONE stripe lock directly (the
+// single-op fast paths) — the moment a function wants a second stripe it
+// must go through lockPair/lockAll/rlockAll or Apply's stripe-set path,
+// because two hand-written acquisitions cannot be statically proven
+// ordered.
+//
+// Three shapes are flagged outside the allowed helpers:
+//
+//  1. indexed acquisition — st.stripes[i].mu.Lock(): raw index math over
+//     the stripe array is exactly how an out-of-order pair sneaks in;
+//  2. a second stripe-lock acquisition while another stripe lock is
+//     statically live in the same function;
+//  3. any stripe-lock acquisition inside a loop (a loop over stripes IS
+//     a multi-acquisition).
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "stripe mutexes may only be multi-acquired via the sorted helpers (lockPair/lockAll/rlockAll/Apply)",
+	Match: func(p *Package) bool {
+		return p.Name == "oms" && p.Types.Scope().Lookup("stripe") != nil
+	},
+	Run: runLockOrder,
+}
+
+// lockOrderAllowed are the sorted-acquisition helpers: the only
+// functions allowed to index the stripe array for locking or to hold
+// more than one stripe lock. Apply is the grouped-operation commit path
+// (its stripe-set mask loop is the batch equivalent of lockAll);
+// forEachStripeRLocked releases each stripe before taking the next.
+var lockOrderAllowed = map[string]bool{
+	"lockPair":             true,
+	"lockAll":              true,
+	"unlockAll":            true,
+	"rlockAll":             true,
+	"runlockAll":           true,
+	"forEachStripeRLocked": true,
+	"Apply":                true,
+}
+
+func runLockOrder(pass *Pass) {
+	decls := funcDecls(pass.Package)
+	for _, fd := range decls {
+		if fd.Body == nil || lockOrderAllowed[fd.Name.Name] {
+			continue
+		}
+		checkLockOrderFunc(pass, fd)
+	}
+}
+
+// stripeLockCall matches x.mu.Lock() / x.mu.RLock() (and the unlock
+// forms) where x is a stripe value: returns the stripe expression and
+// whether the call acquires (vs releases).
+func stripeLockCall(pass *Pass, call *ast.CallExpr) (stripeExpr ast.Expr, acquire bool, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	var isAcquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isAcquire = true
+	case "Unlock", "RUnlock":
+		isAcquire = false
+	default:
+		return nil, false, false
+	}
+	// sel.X must be the mutex expression <stripe>.mu
+	muSel, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel || muSel.Sel.Name != "mu" {
+		return nil, false, false
+	}
+	tv, okT := pass.Info.Types[muSel.X]
+	if !okT || !typeNameIs(tv.Type, "stripe") {
+		return nil, false, false
+	}
+	return muSel.X, isAcquire, true
+}
+
+// containsStripesIndex reports whether the expression reaches the
+// stripe through raw indexing of a field/var named "stripes".
+func containsStripesIndex(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ix, ok := n.(*ast.IndexExpr); ok {
+			if r := rootIdentOfSelector(ix.X); r != "" && r == "stripes" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdentOfSelector returns the name of the final selector (or ident)
+// an index expression indexes — "stripes" for st.stripes[i].
+func rootIdentOfSelector(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+func checkLockOrderFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Collect every stripe-lock call in source order, remembering loop
+	// nesting. Source order approximates execution order well enough
+	// here: the kernel's lock/unlock pairs are straight-line.
+	type lockEvent struct {
+		pos     token.Pos
+		expr    ast.Expr
+		acquire bool
+		inLoop  bool
+		indexed bool
+	}
+	var events []lockEvent
+	var loopDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			ast.Inspect(loopBody(nn), walk)
+			loopDepth--
+			return false
+		case *ast.CallExpr:
+			if se, acquire, ok := stripeLockCall(pass, nn); ok {
+				events = append(events, lockEvent{
+					pos:     nn.Pos(),
+					expr:    se,
+					acquire: acquire,
+					inLoop:  loopDepth > 0,
+					indexed: containsStripesIndex(se),
+				})
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+
+	// held tracks, per root identifier, how many acquisitions are
+	// statically live. Distinct roots held together = a hand-ordered
+	// multi-stripe hold.
+	held := map[string]int{}
+	liveRoots := 0
+	for _, ev := range events {
+		root := "?"
+		if id := rootIdent(ev.expr); id != nil {
+			root = id.Name
+		}
+		if !ev.acquire {
+			if held[root] > 0 {
+				held[root]--
+				if held[root] == 0 {
+					liveRoots--
+				}
+			}
+			continue
+		}
+		if ev.indexed {
+			pass.Reportf(ev.pos, "stripe lock acquired by indexing the stripe array directly; use lockPair/lockAll/rlockAll or Apply's stripe-set path")
+			continue
+		}
+		if ev.inLoop {
+			pass.Reportf(ev.pos, "stripe lock acquired inside a loop; a loop over stripes is a multi-acquisition and must use the sorted helpers")
+			continue
+		}
+		if liveRoots > 0 && held[root] == 0 {
+			pass.Reportf(ev.pos, "second stripe lock acquired while another stripe lock is held; unordered multi-stripe holds deadlock — use lockPair or lockAll")
+			continue
+		}
+		if held[root] == 0 {
+			liveRoots++
+		}
+		held[root]++
+	}
+}
+
+func loopBody(n ast.Node) ast.Node {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return n
+}

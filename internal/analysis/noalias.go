@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noalias hunts the PR 1 Schema.Class/Rel bug class: an exported
+// function or method handing an internal map or slice out by reference,
+// so a caller's mutation (or a later internal mutation) corrupts state
+// the API promised was encapsulated. Flagged: a return whose expression
+// selects a map- or slice-typed struct field reached from the receiver
+// or a package-level variable (including an index into such a field that
+// itself yields a map/slice). Returning a freshly built local is fine —
+// the analyzer only follows receiver- and global-rooted selector chains,
+// where aliasing means sharing live internal state.
+var NoAliasAnalyzer = &Analyzer{
+	Name: "noalias",
+	Doc:  "exported API must not return internal maps or mutable slices by reference; return copies",
+	Match: func(p *Package) bool {
+		return p.Name == "oms" || p.Name == "jcf"
+	},
+	Run: runNoAlias,
+}
+
+func runNoAlias(pass *Pass) {
+	decls := funcDecls(pass.Package)
+	for fn, fd := range decls {
+		if fd.Body == nil || !fn.Exported() {
+			continue
+		}
+		if recv := recvNamed(fn); recv != nil && !recv.Obj().Exported() {
+			continue
+		}
+		var recvObj types.Object
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			recvObj = pass.Info.Defs[fd.Recv.List[0].Names[0]]
+		}
+		checkNoAliasReturns(pass, fd, fn, recvObj)
+	}
+}
+
+func checkNoAliasReturns(pass *Pass, fd *ast.FuncDecl, fn *types.Func, recvObj types.Object) {
+	// Only the declaration's own returns count: a return inside a
+	// closure belongs to the closure, not the exported signature.
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range nn.Results {
+				checkAliasingExpr(pass, fn, recvObj, res)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkAliasingExpr flags res when it reads a map/slice struct field (or
+// an element of one that is itself a map/slice) rooted at the receiver
+// or a package-level variable.
+func checkAliasingExpr(pass *Pass, fn *types.Func, recvObj types.Object, res ast.Expr) {
+	res = ast.Unparen(res)
+	var fieldSel *ast.SelectorExpr
+	switch x := res.(type) {
+	case *ast.SelectorExpr:
+		fieldSel = x
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+			fieldSel = sel
+		}
+	default:
+		return
+	}
+	if fieldSel == nil || !isStructFieldSel(pass, fieldSel) {
+		return
+	}
+	// The returned value itself must be a map or mutable slice.
+	tv, ok := pass.Info.Types[res]
+	if !ok {
+		return
+	}
+	var kind string
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		kind = "map"
+	case *types.Slice:
+		kind = "slice"
+	default:
+		return
+	}
+	root := rootIdent(res)
+	if root == nil {
+		return
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		return
+	}
+	rooted := ""
+	switch {
+	case recvObj != nil && obj == recvObj:
+		rooted = "receiver"
+	case isPackageLevelVar(pass, obj):
+		rooted = "package"
+	default:
+		return
+	}
+	pass.Reportf(res.Pos(), "exported %s returns an internal %s by reference (%s-rooted); return a copy so callers cannot mutate internal state", fn.Name(), kind, rooted)
+}
+
+// isStructFieldSel reports whether sel selects a struct field (as
+// opposed to a package member or method value).
+func isStructFieldSel(pass *Pass, sel *ast.SelectorExpr) bool {
+	if s, ok := pass.Info.Selections[sel]; ok {
+		return s.Kind() == types.FieldVal
+	}
+	return false
+}
+
+func isPackageLevelVar(pass *Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Parent() == pass.Types.Scope()
+}

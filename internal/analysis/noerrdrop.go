@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// noerrdrop flags silently discarded errors in the internal packages:
+// `_ = f(...)` assignments and bare call statements where f returns an
+// error. Both of the bug classes earlier PRs fixed by hand (enact.go's
+// discarded Link error, StartActivity's dropped Finish) would have been
+// one jcflint run away. Deliberate discards take
+// //lint:allow noerrdrop <reason>.
+//
+// Excluded: fmt printing (Print*/Fprint* — the repo's experiment and
+// report writers emit hundreds of fmt.Fprintf calls into an io.Writer,
+// and a failed report write has no recovery path; important bytes go
+// through backend.Put and friends, which ARE checked), and
+// Write/WriteString on bytes.Buffer and strings.Builder, whose
+// contracts pin the error to nil.
+var NoErrDropAnalyzer = &Analyzer{
+	Name: "noerrdrop",
+	Doc:  "errors must be handled, returned, or explicitly allowed — not discarded",
+	Match: func(p *Package) bool {
+		return strings.Contains(p.Path, "/internal/") || strings.HasPrefix(p.Path, "internal/")
+	},
+	Run: runNoErrDrop,
+}
+
+func runNoErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := nn.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "result of %s discarded; handle the error or annotate //lint:allow noerrdrop")
+				}
+			case *ast.AssignStmt:
+				if allBlank(nn.Lhs) && len(nn.Rhs) == 1 {
+					if call, ok := nn.Rhs[0].(*ast.CallExpr); ok {
+						checkDroppedCall(pass, call, "error from %s assigned to _; handle it or annotate //lint:allow noerrdrop")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, format string) {
+	if !returnsError(pass.Info, call) || isNeverFailingWrite(pass, call) {
+		return
+	}
+	name := "call"
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		name = fn.Name()
+		if recv := recvNamed(fn); recv != nil {
+			name = recv.Obj().Name() + "." + name
+		} else if fn.Pkg() != nil && fn.Pkg() != pass.Types {
+			name = fn.Pkg().Name() + "." + name
+		}
+	}
+	pass.Reportf(call.Pos(), format, name)
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// isNeverFailingWrite excludes the error returns that exist only to
+// satisfy io interfaces: fmt printing to the standard streams and
+// writes into in-memory buffers.
+func isNeverFailingWrite(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	if recv := recvNamed(fn); recv != nil && isInMemoryWriterType(recv) {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}
+
+func isInMemoryWriterType(n *types.Named) bool {
+	if n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}

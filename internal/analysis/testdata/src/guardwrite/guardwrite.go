@@ -1,0 +1,77 @@
+// Package jcf (fixture) seeds guardwrite violations: exported Framework
+// methods that reach a Store mutator or write a framework map without
+// calling guardWrite() first, including mutation reached only through an
+// unexported helper.
+package jcf
+
+import "errors"
+
+var errReadOnly = errors.New("read-only replica")
+
+// Store mirrors the mutating surface the analyzer recognizes by name.
+type Store struct{ n int }
+
+func (s *Store) Apply(x int) (int, error) { s.n += x; return s.n, nil }
+
+func (s *Store) Get() int { return s.n }
+
+// Framework mirrors the desktop API shape: a store plus framework maps.
+type Framework struct {
+	store        *Store
+	reservations map[int]string
+	replica      bool
+}
+
+func (fw *Framework) guardWrite() error {
+	if fw.replica {
+		return errReadOnly
+	}
+	return nil
+}
+
+// Guarded guards before mutating — clean.
+func (fw *Framework) Guarded(x int) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
+	_, err := fw.store.Apply(x)
+	return err
+}
+
+// ReadOnly never mutates — clean without a guard.
+func (fw *Framework) ReadOnly() int {
+	return fw.store.Get()
+}
+
+// Unguarded reaches Store.Apply with no guard.
+func (fw *Framework) Unguarded(x int) error { // want guardwrite "does not call guardWrite"
+	_, err := fw.store.Apply(x)
+	return err
+}
+
+// helperMut is the unexported mutation the propagation must see through.
+func (fw *Framework) helperMut(x int) {
+	fw.reservations[x] = "held"
+}
+
+// UnguardedTransitive mutates only through an unguarded helper.
+func (fw *Framework) UnguardedTransitive(x int) { // want guardwrite "does not call guardWrite"
+	fw.helperMut(x)
+}
+
+// GuardedTransitive reaches mutation only through a self-guarding
+// callee — clean: the callee rejects replica writes on its own.
+func (fw *Framework) GuardedTransitive(x int) error {
+	return fw.Guarded(x)
+}
+
+// LateGuard mutates before the guard: the guard must be the prologue.
+func (fw *Framework) LateGuard(x int) error {
+	fw.reservations[x] = "held" // want guardwrite "before calling guardWrite"
+	return fw.guardWrite()
+}
+
+// DeleteEntry mutates through the delete builtin on a framework map.
+func (fw *Framework) DeleteEntry(x int) { // want guardwrite "does not call guardWrite"
+	delete(fw.reservations, x)
+}

@@ -1,0 +1,49 @@
+// Package noerrdrop (fixture) seeds discarded-error violations under an
+// internal/ path: bare call statements and blank assignments dropping an
+// error, alongside the shapes that must stay clean (handled errors, fmt
+// printing, in-memory writers).
+package noerrdrop
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func mayFail2() (int, error) { return 0, nil }
+
+// dropBare discards an error via a bare call statement.
+func dropBare() {
+	mayFail() // want noerrdrop "result of mayFail discarded"
+}
+
+// dropBlank discards through blank assignments.
+func dropBlank() {
+	_ = mayFail()     // want noerrdrop "error from mayFail assigned to _"
+	_, _ = mayFail2() // want noerrdrop "error from mayFail2 assigned to _"
+}
+
+// handled returns the error — clean.
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// partiallyUsed keeps the error — clean (not all-blank).
+func partiallyUsed() error {
+	_, err := mayFail2()
+	return err
+}
+
+// printing exercises the fmt and in-memory-writer exclusions — clean.
+func printing() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "x=%d", 1)
+	buf.WriteString("!")
+	fmt.Println("report written")
+	return buf.String()
+}

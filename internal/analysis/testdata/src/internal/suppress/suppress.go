@@ -1,0 +1,34 @@
+// Package suppress (fixture) exercises the //lint:allow protocol: a
+// directive with a reason suppresses a finding on its own line or the
+// line below; a reason-less directive suppresses nothing and is itself
+// reported. Asserted semantically by TestSuppression (no want comments —
+// a want comment cannot share a line with the directive under test).
+package suppress
+
+import "errors"
+
+func mayFail() error { return errors.New("x") }
+
+// allowedSameLine is suppressed by a same-line directive with a reason.
+func allowedSameLine() {
+	_ = mayFail() //lint:allow noerrdrop fixture: deliberate discard, reason given
+}
+
+// allowedLineAbove is suppressed by a directive on the line above.
+func allowedLineAbove() {
+	//lint:allow noerrdrop fixture: directive above the statement also covers it
+	_ = mayFail()
+}
+
+// reasonlessDiscard is NOT suppressed: the directive has no reason, so
+// it suppresses nothing and is reported as a finding of its own.
+func reasonlessDiscard() {
+	//lint:allow noerrdrop
+	_ = mayFail()
+}
+
+// wrongAnalyzer is NOT suppressed: the directive names a different
+// analyzer than the finding.
+func wrongAnalyzer() {
+	_ = mayFail() //lint:allow lockorder fixture: names the wrong analyzer
+}

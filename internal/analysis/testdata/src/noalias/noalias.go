@@ -1,0 +1,56 @@
+// Package oms (fixture) seeds noalias violations: exported API handing
+// internal maps and slices out by reference, from receiver fields,
+// elements of receiver fields, and package-level state.
+package oms
+
+// Store mirrors an API type with internal collection state.
+type Store struct {
+	classes map[string]int
+	order   []string
+	byClass map[string][]string
+}
+
+var cfg = struct {
+	items map[string]int
+}{items: map[string]int{}}
+
+// Classes leaks the internal map by reference.
+func (st *Store) Classes() map[string]int {
+	return st.classes // want noalias "internal map by reference"
+}
+
+// Order leaks the internal slice by reference.
+func (st *Store) Order() []string {
+	return st.order // want noalias "internal slice by reference"
+}
+
+// Members leaks an element slice of an internal map.
+func (st *Store) Members(c string) []string {
+	return st.byClass[c] // want noalias "internal slice by reference"
+}
+
+// Items leaks package-level state.
+func Items() map[string]int {
+	return cfg.items // want noalias "package-rooted"
+}
+
+// ClassesCopy returns a fresh copy — clean.
+func (st *Store) ClassesCopy() map[string]int {
+	out := make(map[string]int, len(st.classes))
+	for k, v := range st.classes {
+		out[k] = v
+	}
+	return out
+}
+
+// OrderCopy returns a fresh copy — clean.
+func (st *Store) OrderCopy() []string {
+	out := make([]string, len(st.order))
+	copy(out, st.order)
+	return out
+}
+
+// Count returns a scalar — clean.
+func (st *Store) Count() int {
+	return len(st.classes)
+}

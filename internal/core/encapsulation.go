@@ -92,9 +92,21 @@ func (h *Hybrid) endActivity(user string, cv oms.OID, activity string, forced, o
 	if !forced {
 		// A failed Finish here means the activity never started; nothing
 		// to clean up.
-		_ = h.JCF.FinishActivity(user, cv, activity, ok)
+		_ = h.JCF.FinishActivity(user, cv, activity, ok) //lint:allow noerrdrop a failed Finish means the activity never started; nothing to clean up
 	}
-	_ = h.Hooks.Fire("postActivity", fml.Str(activity))
+	// A post-activity veto cannot un-run the tool; firing is best-effort.
+	_ = h.Hooks.Fire("postActivity", fml.Str(activity)) //lint:allow noerrdrop post-activity hooks cannot veto a run that already happened
+}
+
+// abortSlave abandons the slave working copy after a failed run step and
+// returns the step's error. A cancel failure matters — it leaves the
+// cellview lock held, blocking every later checkout — so it is joined
+// after the primary error instead of being discarded.
+func abortSlave(session *fmcad.Session, wf *fmcad.Workfile, err error) error {
+	if cerr := session.Cancel(wf); cerr != nil {
+		return errors.Join(err, fmt.Errorf("core: canceling slave checkout: %w", cerr))
+	}
+	return err
 }
 
 // checkoutSlave acquires the slave cellview for the tool run.
@@ -175,8 +187,7 @@ func (h *Hybrid) RunSchematicEntry(user string, cv oms.OID, edit func(*schematic
 	// Load the working copy (may be empty on the first entry).
 	data, err := os.ReadFile(wf.Path)
 	if err != nil {
-		_ = session.Cancel(wf)
-		return res, fmt.Errorf("core: reading working copy: %w", err)
+		return res, abortSlave(session, wf, fmt.Errorf("core: reading working copy: %w", err))
 	}
 	var sch *schematic.Schematic
 	if len(data) == 0 {
@@ -184,21 +195,17 @@ func (h *Hybrid) RunSchematicEntry(user string, cv oms.OID, edit func(*schematic
 	} else {
 		sch, err = schematic.Parse(data)
 		if err != nil {
-			_ = session.Cancel(wf)
-			return res, fmt.Errorf("core: working copy corrupt: %w", err)
+			return res, abortSlave(session, wf, fmt.Errorf("core: working copy corrupt: %w", err))
 		}
 	}
 	if err := edit(sch); err != nil {
-		_ = session.Cancel(wf)
-		return res, fmt.Errorf("core: schematic edit: %w", err)
+		return res, abortSlave(session, wf, fmt.Errorf("core: schematic edit: %w", err))
 	}
 	if problems := sch.Validate(); len(problems) > 0 {
-		_ = session.Cancel(wf)
-		return res, fmt.Errorf("core: schematic invalid: %s", problems[0])
+		return res, abortSlave(session, wf, fmt.Errorf("core: schematic invalid: %s", problems[0]))
 	}
 	if err := os.WriteFile(wf.Path, sch.Format(), 0o644); err != nil {
-		_ = session.Cancel(wf)
-		return res, fmt.Errorf("core: writing working copy: %w", err)
+		return res, abortSlave(session, wf, fmt.Errorf("core: writing working copy: %w", err))
 	}
 	dov, slaveV, err := h.captureResult(user, session, wf, binding.DesignObjects[ViewSchematic], oms.InvalidOID)
 	if err != nil {
@@ -258,8 +265,7 @@ func (h *Hybrid) RunSimulation(user string, cv oms.OID, stimulus []byte, opts Ru
 		return res, nil, err
 	}
 	if err := os.WriteFile(wf.Path, waves, 0o644); err != nil {
-		_ = session.Cancel(wf)
-		return res, nil, fmt.Errorf("core: writing waveform: %w", err)
+		return res, nil, abortSlave(session, wf, fmt.Errorf("core: writing waveform: %w", err))
 	}
 	dov, slaveV, err := h.captureResult(user, session, wf, binding.DesignObjects[ViewWaveform], inputDOV)
 	if err != nil {
@@ -308,27 +314,23 @@ func (h *Hybrid) RunLayoutEntry(user string, cv oms.OID, edit func(*layout.Layou
 	}
 	current, err := os.ReadFile(wf.Path)
 	if err != nil {
-		_ = session.Cancel(wf)
-		return res, fmt.Errorf("core: reading working copy: %w", err)
+		return res, abortSlave(session, wf, fmt.Errorf("core: reading working copy: %w", err))
 	}
 	var lay *layout.Layout
 	if len(current) == 0 {
 		lay, err = layout.FromSchematic(sch, 16)
 		if err != nil {
-			_ = session.Cancel(wf)
-			return res, err
+			return res, abortSlave(session, wf, err)
 		}
 	} else {
 		lay, err = layout.Parse(current)
 		if err != nil {
-			_ = session.Cancel(wf)
-			return res, fmt.Errorf("core: working copy corrupt: %w", err)
+			return res, abortSlave(session, wf, fmt.Errorf("core: working copy corrupt: %w", err))
 		}
 	}
 	if edit != nil {
 		if err := edit(lay); err != nil {
-			_ = session.Cancel(wf)
-			return res, fmt.Errorf("core: layout edit: %w", err)
+			return res, abortSlave(session, wf, fmt.Errorf("core: layout edit: %w", err))
 		}
 	}
 
@@ -337,14 +339,12 @@ func (h *Hybrid) RunLayoutEntry(user string, cv oms.OID, edit func(*layout.Layou
 	// schematic's.
 	if h.JCF.Release() < jcf.Release40 {
 		if !isomorphicInstances(sch, lay) {
-			_ = session.Cancel(wf)
-			return res, fmt.Errorf("%w: layout hierarchy differs from schematic (non-isomorphic); JCF 3.0 cannot represent it", jcf.ErrUnsupported)
+			return res, abortSlave(session, wf, fmt.Errorf("%w: layout hierarchy differs from schematic (non-isomorphic); JCF 3.0 cannot represent it", jcf.ErrUnsupported))
 		}
 	}
 
 	if err := os.WriteFile(wf.Path, lay.Format(), 0o644); err != nil {
-		_ = session.Cancel(wf)
-		return res, fmt.Errorf("core: writing working copy: %w", err)
+		return res, abortSlave(session, wf, fmt.Errorf("core: writing working copy: %w", err))
 	}
 	dov, slaveV, err := h.captureResult(user, session, wf, binding.DesignObjects[ViewLayout], inputDOV)
 	if err != nil {

@@ -326,16 +326,14 @@ func (h *Hybrid) importVersion(cell, view string, dov oms.OID) (done, retryable 
 		return false, true, fmt.Errorf("core: sync library: %w", err)
 	}
 	if err := os.WriteFile(wf.Path, data, 0o644); err != nil {
-		_ = session.Cancel(wf)
-		return false, true, fmt.Errorf("core: sync library: %w", err)
+		return false, true, abortSlave(session, wf, fmt.Errorf("core: sync library: %w", err))
 	}
 	slaveV, err := session.Checkin(wf)
 	if err != nil {
 		// Release the cellview lock the checkout took, or every later
 		// retry (and every encapsulated run on this cellview) would
 		// fail its checkout against a lock nobody holds anymore.
-		_ = session.Cancel(wf)
-		return false, true, fmt.Errorf("core: sync library: %w", err)
+		return false, true, abortSlave(session, wf, fmt.Errorf("core: sync library: %w", err))
 	}
 	if err := h.Lib.SetProperty(cell, view, slaveV, PropJCFVersion, want); err != nil {
 		return true, false, fmt.Errorf("core: sync library: version %d imported but untagged: %w", slaveV, err)

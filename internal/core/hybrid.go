@@ -73,13 +73,18 @@ type Hybrid struct {
 // 2.4: schematic entry, then digital simulation, then layout entry.
 func DefaultFlow() *flow.Flow {
 	f := flow.New("fmcad-encapsulation")
-	// Errors are impossible for this fixed construction; the Freeze in
-	// RegisterFlow validates the result anyway.
-	_ = f.AddActivity(flow.Activity{Name: ActSchematicEntry, Tool: ToolSchematic, Creates: []string{ViewSchematic}})
-	_ = f.AddActivity(flow.Activity{Name: ActSimulate, Tool: ToolSimulator, Needs: []string{ViewSchematic}, Creates: []string{ViewWaveform}})
-	_ = f.AddActivity(flow.Activity{Name: ActLayoutEntry, Tool: ToolLayout, Needs: []string{ViewSchematic}, Creates: []string{ViewLayout}})
-	_ = f.AddPrecedes(ActSchematicEntry, ActSimulate)
-	_ = f.AddPrecedes(ActSimulate, ActLayoutEntry)
+	// Errors are impossible for this fixed construction (unique names,
+	// known references); assert that instead of discarding them.
+	must := func(err error) {
+		if err != nil {
+			panic("core: DefaultFlow construction: " + err.Error())
+		}
+	}
+	must(f.AddActivity(flow.Activity{Name: ActSchematicEntry, Tool: ToolSchematic, Creates: []string{ViewSchematic}}))
+	must(f.AddActivity(flow.Activity{Name: ActSimulate, Tool: ToolSimulator, Needs: []string{ViewSchematic}, Creates: []string{ViewWaveform}}))
+	must(f.AddActivity(flow.Activity{Name: ActLayoutEntry, Tool: ToolLayout, Needs: []string{ViewSchematic}, Creates: []string{ViewLayout}}))
+	must(f.AddPrecedes(ActSchematicEntry, ActSimulate))
+	must(f.AddPrecedes(ActSimulate, ActLayoutEntry))
 	return f
 }
 

@@ -351,7 +351,7 @@ func (cw *ContentionWorld) RunSteps(steps int) (blocked, derived, totalAttempts 
 					// Desktop metadata traffic while the workspace is held.
 					_, _ = cw.h.JCF.ReservedBy(held)
 					_ = cw.h.JCF.Published(held)
-					_, _ = cw.h.JCF.AttachedFlowName(held)
+					_, _ = cw.h.JCF.AttachedFlowName(held) //lint:allow noerrdrop load generator; only the lock traffic of the query matters
 					holdFor--
 					if holdFor <= 0 {
 						if err := cw.h.JCF.ReleaseReservation(user, held); err != nil {
@@ -392,7 +392,7 @@ func (cw *ContentionWorld) RunSteps(steps int) (blocked, derived, totalAttempts 
 				holdFor = 2 + rng.intn(3)
 			}
 			if held != oms.InvalidOID {
-				_ = cw.h.JCF.ReleaseReservation(user, held)
+				_ = cw.h.JCF.ReleaseReservation(user, held) //lint:allow noerrdrop end-of-run cleanup; the world is discarded right after
 			}
 		}(d)
 	}
@@ -453,7 +453,7 @@ func fmcadParallelVersions() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	defer func() { _ = sa.Cancel(wf2) }()
+	defer func() { _ = sa.Cancel(wf2) }() //lint:allow noerrdrop demonstration teardown; the library is discarded right after
 	sb := lib.NewSession("bert")
 	if _, err := sb.Checkout("alu", "schematic"); errors.Is(err, fmcad.ErrLocked) {
 		return false, nil // impossible, as the paper says

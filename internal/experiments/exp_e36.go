@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -210,7 +211,7 @@ func NewE36World(bits int) (*E36World, error) {
 		content:   gen.Format(),
 		stage:     stage,
 		Cleanup: func() {
-			os.RemoveAll(stage)
+			os.RemoveAll(stage) //lint:allow noerrdrop best-effort temp-dir teardown after the run
 			cleanup()
 		},
 	}, nil
@@ -225,8 +226,7 @@ func (w *E36World) NativeWriteOnce() error {
 		return err
 	}
 	if err := os.WriteFile(wf.Path, w.content, 0o644); err != nil {
-		_ = session.Cancel(wf)
-		return err
+		return errors.Join(err, session.Cancel(wf))
 	}
 	_, err = session.Checkin(wf)
 	return err
@@ -283,7 +283,7 @@ func (w *E36World) MetadataOpOnce() {
 	_, _ = w.h.JCF.ReservedBy(w.cv)
 	_ = w.h.JCF.Published(w.cv)
 	_ = w.h.JCF.CellVersions(cell)
-	_, _ = w.h.JCF.AttachedFlowName(w.cv)
+	_, _ = w.h.JCF.AttachedFlowName(w.cv) //lint:allow noerrdrop load generator; only the lock traffic of the query matters
 }
 
 // MetadataOpsParallel runs opsPerDesigner metadata batches from `designers`

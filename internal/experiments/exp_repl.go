@@ -137,7 +137,7 @@ func NewReplicationWorld(n, cells int) (*ReplicationWorld, error) {
 	}
 	for i := 0; i < n; i++ {
 		ln, d := repl.Pipe()
-		go func() { _ = w.Publisher.Serve(ln) }()
+		go func() { _ = w.Publisher.Serve(ln) }() //lint:allow noerrdrop Serve returns nil or ErrPublisherClosed at experiment teardown
 		rep := repl.NewReplica(schema, d, repl.WithReconnectBackoff(time.Millisecond))
 		rep.Start()
 		view, err := jcf.NewReplicaView(rep.Store(), fw.Release())

@@ -19,7 +19,7 @@ func tempWorld(release jcf.Release, users int) (h *core.Hybrid, project, team om
 	if err != nil {
 		return nil, 0, 0, nil, err
 	}
-	cleanup = func() { os.RemoveAll(dir) }
+	cleanup = func() { os.RemoveAll(dir) } //lint:allow noerrdrop best-effort temp-dir teardown after the run
 	h, err = core.NewHybrid(release, dir)
 	if err != nil {
 		cleanup()

@@ -201,7 +201,7 @@ func (s *Session) Checkin(wf *Workfile) (int, error) {
 		return 0, fmt.Errorf("fmcad: checkin: %w", err)
 	}
 	wf.done = true
-	_ = os.Remove(wf.Path)
+	_ = os.Remove(wf.Path) //lint:allow noerrdrop the version is committed; a leftover workfile is harmless scratch
 	return newVersion, nil
 }
 
@@ -229,6 +229,6 @@ func (s *Session) Cancel(wf *Workfile) error {
 		return err
 	}
 	wf.done = true
-	_ = os.Remove(wf.Path)
+	_ = os.Remove(wf.Path) //lint:allow noerrdrop the lock is released; a leftover workfile is harmless scratch
 	return nil
 }

@@ -161,6 +161,14 @@ func (fw *Framework) ExecutionHistory(cv oms.OID) []string {
 }
 
 // ActivityState returns the state of a flow activity on a cell version.
+//
+// The four flow-state queries below are read entry points that touch the
+// lazily built enactment cache. On a replica view they can never reach
+// the cache write: flows are session metadata of the primary, so
+// enactment() fails with ErrNotFound at the Flow lookup first — the
+// documented replica behaviour for the activity APIs.
+//
+//lint:allow guardwrite read path; enactment() returns ErrNotFound on replicas before its cache write (flows are not replicated)
 func (fw *Framework) ActivityState(cv oms.OID, activity string) (flow.State, error) {
 	e, err := fw.enactment(cv)
 	if err != nil {
@@ -170,6 +178,8 @@ func (fw *Framework) ActivityState(cv oms.OID, activity string) (flow.State, err
 }
 
 // StartableActivities returns which activities the flow permits next.
+//
+//lint:allow guardwrite read path; enactment() returns ErrNotFound on replicas before its cache write (flows are not replicated)
 func (fw *Framework) StartableActivities(cv oms.OID) ([]string, error) {
 	e, err := fw.enactment(cv)
 	if err != nil {
@@ -180,6 +190,8 @@ func (fw *Framework) StartableActivities(cv oms.OID) ([]string, error) {
 
 // FlowComplete reports whether every activity of the cell version's flow
 // is done.
+//
+//lint:allow guardwrite read path; enactment() returns ErrNotFound on replicas before its cache write (flows are not replicated)
 func (fw *Framework) FlowComplete(cv oms.OID) (bool, error) {
 	e, err := fw.enactment(cv)
 	if err != nil {
@@ -190,6 +202,8 @@ func (fw *Framework) FlowComplete(cv oms.OID) (bool, error) {
 
 // FlowRejections returns how many out-of-order Start attempts the flow
 // enforcement refused on this cell version.
+//
+//lint:allow guardwrite read path; enactment() returns ErrNotFound on replicas before its cache write (flows are not replicated)
 func (fw *Framework) FlowRejections(cv oms.OID) (int, error) {
 	e, err := fw.enactment(cv)
 	if err != nil {

@@ -16,6 +16,12 @@ import (
 
 // CreateProject creates a project supported by the given team.
 func (fw *Framework) CreateProject(name string, team oms.OID) (oms.OID, error) {
+	// The supports-Link below mutates the store directly, so this entry
+	// point needs its own guard — inheriting one from named() would leave
+	// the Link exposed if the body were ever reordered.
+	if err := fw.guardWrite(); err != nil {
+		return oms.InvalidOID, err
+	}
 	oid, err := fw.named("Project", name)
 	if err != nil {
 		return oms.InvalidOID, err

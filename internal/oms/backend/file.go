@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -57,12 +58,10 @@ func AtomicWriteFile(dir, name string, payload []byte) error {
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op once the rename has happened
 	if _, err := tmp.Write(payload); err != nil {
-		tmp.Close()
-		return err
+		return errors.Join(err, tmp.Close())
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
+		return errors.Join(err, tmp.Close())
 	}
 	if err := tmp.Close(); err != nil {
 		return err

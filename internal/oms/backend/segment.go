@@ -3,6 +3,7 @@ package backend
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -117,8 +118,7 @@ func (s *Segment) ensureActive() error {
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return fmt.Errorf("backend: open segment: %w", err)
+		return errors.Join(fmt.Errorf("backend: open segment: %w", err), f.Close())
 	}
 	s.active, s.activeName, s.activeSize = f, name, fi.Size()
 	return nil
@@ -193,7 +193,7 @@ func (s *Segment) commitManifest() error {
 // holds s.mu.
 func (s *Segment) invalidateActive() {
 	if s.active != nil {
-		s.active.Close()
+		s.active.Close() //lint:allow noerrdrop the handle is being discarded after a failed append; ensureActive re-Stats the truth
 		s.active = nil
 	}
 	s.activeName, s.activeSize = "", 0
@@ -223,7 +223,7 @@ func (s *Segment) collectGarbage() {
 		if e.IsDir() || len(n) < 4 || n[:4] != "seg-" || live[n] || n == current {
 			continue
 		}
-		os.Remove(s.segPath(n))
+		os.Remove(s.segPath(n)) //lint:allow noerrdrop best-effort GC; an unreferenced segment left behind is harmless
 	}
 }
 

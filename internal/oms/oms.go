@@ -499,6 +499,20 @@ func (st *Store) unlockAll() {
 	}
 }
 
+// rlockAll read-locks every stripe in ascending order — the consistent-
+// cut hold of the snapshot capture paths. Pairs with runlockAll.
+func (st *Store) rlockAll() {
+	for i := range st.stripes {
+		st.stripes[i].mu.RLock()
+	}
+}
+
+func (st *Store) runlockAll() {
+	for i := len(st.stripes) - 1; i >= 0; i-- {
+		st.stripes[i].mu.RUnlock()
+	}
+}
+
 // forEachStripeRLocked visits every stripe under its read lock — the
 // shared scaffolding of all gather-style queries.
 func (st *Store) forEachStripeRLocked(fn func(s *stripe)) {

@@ -75,9 +75,7 @@ func (st *Store) SnapshotStopTheWorld() *Snapshot {
 	sn := &Snapshot{nextOID: st.nextOID}
 	st.allocMu.Unlock()
 
-	for i := range st.stripes {
-		st.stripes[i].mu.RLock()
-	}
+	st.rlockAll()
 	for i := range st.stripes {
 		for _, obj := range st.stripes[i].objects {
 			h := snapObjHdr{
@@ -103,9 +101,7 @@ func (st *Store) SnapshotStopTheWorld() *Snapshot {
 			sn.objs = append(sn.objs, h)
 		}
 	}
-	for i := len(st.stripes) - 1; i >= 0; i-- {
-		st.stripes[i].mu.RUnlock()
-	}
+	st.runlockAll()
 	sort.Slice(sn.objs, func(i, j int) bool { return sn.objs[i].oid < sn.objs[j].oid })
 	return sn
 }

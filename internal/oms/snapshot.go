@@ -51,9 +51,7 @@ type Snapshot struct {
 // allocMu before touching any stripe, so the stripes→allocMu order is
 // acyclic.
 func (st *Store) Snapshot() *Snapshot {
-	for i := range st.stripes {
-		st.stripes[i].mu.RLock()
-	}
+	st.rlockAll()
 	st.allocMu.Lock()
 	sn := &Snapshot{nextOID: st.nextOID}
 	st.allocMu.Unlock()
@@ -85,9 +83,7 @@ func (st *Store) Snapshot() *Snapshot {
 			sn.objs = append(sn.objs, h)
 		}
 	}
-	for i := len(st.stripes) - 1; i >= 0; i-- {
-		st.stripes[i].mu.RUnlock()
-	}
+	st.runlockAll()
 	// Deterministic order is established outside the cut — sorting is not
 	// the writers' problem.
 	sort.Slice(sn.objs, func(i, j int) bool { return sn.objs[i].oid < sn.objs[j].oid })

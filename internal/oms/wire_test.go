@@ -69,11 +69,11 @@ func TestDecodeChangesRobustness(t *testing.T) {
 	// Structurally valid JSON with semantic nonsense decodes, but neither
 	// replay path may panic or accept it silently.
 	semantic := [][]byte{
-		[]byte(`[{"lsn":1,"group":1,"kind":99,"oid":5,"class":"Cell"}]`),           // unknown kind
-		[]byte(`[{"lsn":1,"group":1,"kind":0,"oid":5,"class":"NoSuchClass"}]`),     // unknown class
-		[]byte(`[{"lsn":1,"group":1,"kind":1,"oid":5,"attr":"rev"}]`),              // set on absent object
-		[]byte(`[{"lsn":1,"group":1,"kind":2,"rel":"nope","from":1,"to":2}]`),      // unknown rel
-		[]byte(`[{"lsn":1,"group":1,"kind":4,"oid":77,"class":"Cell"}]`),           // delete absent
+		[]byte(`[{"lsn":1,"group":1,"kind":99,"oid":5,"class":"Cell"}]`),                             // unknown kind
+		[]byte(`[{"lsn":1,"group":1,"kind":0,"oid":5,"class":"NoSuchClass"}]`),                       // unknown class
+		[]byte(`[{"lsn":1,"group":1,"kind":1,"oid":5,"attr":"rev"}]`),                                // set on absent object
+		[]byte(`[{"lsn":1,"group":1,"kind":2,"rel":"nope","from":1,"to":2}]`),                        // unknown rel
+		[]byte(`[{"lsn":1,"group":1,"kind":4,"oid":77,"class":"Cell"}]`),                             // delete absent
 		[]byte(`[{"lsn":1,"group":1,"kind":0,"oid":1,"class":"Cell","attrs":{"bogus":{"kind":0}}}]`), // unknown attr
 	}
 	for _, payload := range semantic {

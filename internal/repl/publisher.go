@@ -25,11 +25,22 @@ type Publisher struct {
 	conns     map[Conn]struct{}
 	wg        sync.WaitGroup
 
-	statSessions   atomic.Int64
-	statSnapshots  atomic.Int64
-	statChainBoots atomic.Int64
-	statFrames     atomic.Int64
-	statBytes      atomic.Int64
+	statSessions    atomic.Int64
+	statSnapshots   atomic.Int64
+	statChainBoots  atomic.Int64
+	statFrames      atomic.Int64
+	statBytes       atomic.Int64
+	statCloseErrors atomic.Int64
+}
+
+// closeConn tears a connection or listener down. Teardown failures
+// cannot be returned (the session is already gone) but they must not
+// vanish either — a transport that fails to close is a descriptor leak
+// in the making, so the failure is counted and surfaced in Stats.
+func (p *Publisher) closeConn(c interface{ Close() error }) {
+	if err := c.Close(); err != nil {
+		p.statCloseErrors.Add(1)
+	}
 }
 
 // PublisherStats is a point-in-time counter snapshot.
@@ -45,6 +56,9 @@ type PublisherStats struct {
 	// FramesSent / BytesSent count streamed frames and payload bytes.
 	FramesSent int64
 	BytesSent  int64
+	// CloseErrors counts connection/listener teardowns that themselves
+	// failed — otherwise-invisible descriptor-leak warnings.
+	CloseErrors int64
 }
 
 // PublisherOption configures NewPublisher.
@@ -108,7 +122,7 @@ func (p *Publisher) Serve(ln Listener) error {
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
-			_ = c.Close()
+			p.closeConn(c)
 			return nil
 		}
 		p.conns[c] = struct{}{}
@@ -130,7 +144,7 @@ func (p *Publisher) DisconnectAll() {
 	}
 	p.mu.Unlock()
 	for _, c := range conns {
-		_ = c.Close()
+		p.closeConn(c)
 	}
 }
 
@@ -153,10 +167,10 @@ func (p *Publisher) Close() {
 	}
 	p.mu.Unlock()
 	for _, ln := range lns {
-		_ = ln.Close()
+		p.closeConn(ln)
 	}
 	for _, c := range conns {
-		_ = c.Close()
+		p.closeConn(c)
 	}
 	p.wg.Wait()
 }
@@ -169,6 +183,7 @@ func (p *Publisher) Stats() PublisherStats {
 		ChainBootstraps:    p.statChainBoots.Load(),
 		FramesSent:         p.statFrames.Load(),
 		BytesSent:          p.statBytes.Load(),
+		CloseErrors:        p.statCloseErrors.Load(),
 	}
 }
 
@@ -176,7 +191,7 @@ func (p *Publisher) Stats() PublisherStats {
 // live stream until either side drops.
 func (p *Publisher) session(c Conn) {
 	defer func() {
-		_ = c.Close()
+		p.closeConn(c)
 		p.mu.Lock()
 		delete(p.conns, c)
 		p.mu.Unlock()

@@ -56,6 +56,27 @@ type ReplicaStats struct {
 	Gaps int64
 	// FramesApplied counts applied change frames.
 	FramesApplied int64
+	// CloseErrors counts connection teardowns that themselves failed —
+	// otherwise-invisible descriptor-leak warnings.
+	CloseErrors int64
+}
+
+// noteCloseErr closes a dead connection, counting (rather than
+// discarding) a teardown failure; the session it belonged to is already
+// over, so there is no error path left to return it on.
+func (r *Replica) noteCloseErr(c Conn) {
+	if err := c.Close(); err != nil {
+		r.mu.Lock()
+		r.stats.CloseErrors++
+		r.mu.Unlock()
+	}
+}
+
+// noteCloseErrLocked is noteCloseErr for callers already holding r.mu.
+func (r *Replica) noteCloseErrLocked(c Conn) {
+	if err := c.Close(); err != nil {
+		r.stats.CloseErrors++
+	}
 }
 
 // ReplicaOption configures NewReplica.
@@ -173,7 +194,7 @@ func (r *Replica) Close() {
 		r.closed = true
 		close(r.done)
 		if r.conn != nil {
-			_ = r.conn.Close()
+			r.noteCloseErrLocked(r.conn)
 		}
 		r.cond.Broadcast()
 	}
@@ -217,7 +238,7 @@ func (r *Replica) run() {
 		}
 		r.setConn(c)
 		err = r.follow(c)
-		_ = c.Close()
+		r.noteCloseErr(c)
 		r.setConn(nil)
 		if r.isClosed() {
 			return
@@ -382,7 +403,7 @@ func (r *Replica) setConn(c Conn) {
 	r.mu.Lock()
 	r.conn = c
 	if r.closed && c != nil {
-		_ = c.Close()
+		r.noteCloseErrLocked(c)
 	}
 	r.mu.Unlock()
 }

@@ -77,7 +77,7 @@ func newTCPConn(c net.Conn) *tcpConn {
 	if tc, ok := c.(*net.TCPConn); ok {
 		// Frames are written whole and flushed; coalescing delay would
 		// only add replication lag.
-		_ = tc.SetNoDelay(true)
+		_ = tc.SetNoDelay(true) //lint:allow noerrdrop best-effort socket tuning; the stream works (slower) without it
 	}
 	return &tcpConn{c: c, bw: bufio.NewWriter(c), br: bufio.NewReader(c)}
 }

@@ -15,7 +15,11 @@ func TestReproLoadThenServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := fw.CreateProject("p1")
+	team, err := fw.CreateTeam("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := fw.CreateProject("p1", team)
 	if err != nil {
 		t.Fatal(err)
 	}
