@@ -20,19 +20,24 @@ vet:
 
 ## lint runs jcflint — the repo-specific analyzer suite (stripe lock
 ## ordering, the guardWrite replica gate, dropped errors, feed-publish
-## discipline, internal-alias returns; see README "Static analysis") —
-## and requires gofmt-clean sources. Suppressions take
-## //lint:allow <analyzer> <reason>; the reason is mandatory.
+## discipline, internal-alias returns, the declared lock hierarchy in
+## docs/lock-hierarchy.md, Apply-atomicity of jcf entry points, and
+## ChangeKind switch exhaustiveness; see README "Static analysis") —
+## and requires gofmt-clean sources. The module is loaded once and the
+## analyzers run concurrently; -time prints the per-analyzer wall time.
+## Suppressions take //lint:allow <analyzer> <reason>; the reason is
+## mandatory.
 lint:
-	$(GO) run ./cmd/jcflint ./...
+	$(GO) run ./cmd/jcflint -time ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt: the following files need formatting:"; echo "$$fmt_out"; exit 1; fi
 
-## fuzz-seed replays the FuzzDecodeChanges seed corpus deterministically
-## (no fuzzing engine): every seed the wire-format fuzzer ever minimized
-## must keep decoding without panics or round-trip drift.
+## fuzz-seed replays the fuzz seed corpora deterministically (no fuzzing
+## engine): every seed the wire-format and frame-codec fuzzers ever
+## minimized must keep decoding without panics or round-trip drift.
 fuzz-seed:
 	$(GO) test -run FuzzDecodeChanges ./internal/oms/
+	$(GO) test -run FuzzReadFrame ./internal/repl/
 
 test:
 	$(GO) test ./...

@@ -8,75 +8,198 @@
 //	noerrdrop    no silently discarded errors in internal/...
 //	feedpublish  feed LSN assignment only under the stripe hold
 //	noalias      exported API never returns internal maps/slices by reference
+//	lockgraph    cross-package lock order matches docs/lock-hierarchy.md
+//	applyatomic  multi-mutation jcf entry points batch through one Store.Apply
+//	kindswitch   switches over oms.ChangeKind exhaustive or defaulted
 //
-// Findings print as file:line: analyzer: message. A finding is
-// suppressed by a trailing (or directly preceding) comment
+// The module is loaded and type-checked once; all analyzers run
+// concurrently over the shared snapshot and call graph.
+//
+// Findings print as file:line: analyzer: message (module-relative
+// paths), or as a JSON array with -json. A finding is suppressed by a
+// trailing (or directly preceding) comment
 //
 //	//lint:allow <analyzer> <reason>
 //
 // and the reason is mandatory — a reason-less directive is itself a
-// finding. Exit status is 1 when any unsuppressed finding remains.
+// finding.
 //
-// Usage: jcflint [./...]  (the argument is accepted for familiarity;
-// the tool always analyzes the module containing the working directory)
+// Usage: jcflint [flags] [./...]  (the argument is accepted for
+// familiarity; the tool always analyzes the module containing the
+// working directory)
+//
+//	-list        list analyzers with one-line docs and exit
+//	-run  a,b    run only the named analyzers
+//	-skip a,b    skip the named analyzers
+//	-json        machine-readable output
+//	-time        print per-analyzer wall time to stderr
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 )
 
+// jsonFinding is the -json wire shape of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: jcflint [-list] [./...]\n\nAnalyzers:\n")
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("jcflint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	runSel := fs.String("run", "", "comma-separated analyzers to run (default: all)")
+	skipSel := fs.String("skip", "", "comma-separated analyzers to skip")
+	asJSON := fs.Bool("json", false, "print findings as a JSON array")
+	timed := fs.Bool("time", false, "print per-analyzer wall time to stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: jcflint [-list] [-run a,b] [-skip a,b] [-json] [-time] [./...]\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*runSel, *skipSel)
+	if err != nil {
+		fmt.Fprintln(stderr, "jcflint:", err)
+		return 2
 	}
 
 	wd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "jcflint:", err)
+		return 2
 	}
 	root, err := analysis.FindModuleRoot(wd)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "jcflint:", err)
+		return 2
 	}
 	modPath, err := analysis.ModulePath(root)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "jcflint:", err)
+		return 2
 	}
-	pkgs, err := analysis.LoadTree(root, modPath)
+	snap, err := analysis.LoadSnapshot(root, modPath)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "jcflint:", err)
+		return 2
 	}
-	diags := analysis.Run(pkgs, analysis.Analyzers())
-	for _, d := range diags {
-		// Print module-relative paths: stable across checkouts.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+	diags, timings := analysis.RunTimed(snap, analyzers)
+	if *timed {
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "jcflint: %-12s %8.1fms\n", tm.Analyzer, float64(tm.Elapsed.Microseconds())/1000)
 		}
-		fmt.Println(d)
+	}
+
+	// Module-relative paths: stable across checkouts.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
+		}
+	}
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File:     filepath.ToSlash(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "jcflint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "jcflint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "jcflint: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "jcflint:", err)
-	os.Exit(1)
+// selectAnalyzers applies -run/-skip to the full suite. Unknown names
+// are usage errors: a typo must not silently run nothing.
+func selectAnalyzers(runSel, skipSel string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	known := map[string]bool{}
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	parse := func(sel string) (map[string]bool, error) {
+		if sel == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(sel, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	runSet, err := parse(runSel)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse(skipSel)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if runSet != nil && !runSet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("selection leaves no analyzers to run")
+	}
+	return out, nil
 }

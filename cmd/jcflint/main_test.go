@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The driver is exercised end to end against the fixture module under
+// testdata/module: a real go.mod tree (module fixmod) seeding exactly
+// one unsuppressed guardwrite finding plus one suppressed one. That
+// pins the pieces unit tests of the analyzers cannot: exit codes,
+// module discovery from the working directory, module-relative paths,
+// the -json wire shape, and flag handling.
+
+// chdir moves the process into dir for the duration of the test.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+func fixtureModule(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "module"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func runDriver(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	if dir != "" {
+		chdir(t, dir)
+	}
+	var out, errBuf bytes.Buffer
+	code = run(&out, &errBuf, args)
+	return code, out.String(), errBuf.String()
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	code, stdout, stderr := runDriver(t, fixtureModule(t))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the suppressed one must not print):\n%s", len(lines), stdout)
+	}
+	// Module-relative path, forward or native slashes aside.
+	if !strings.HasPrefix(lines[0], filepath.Join("jcf", "jcf.go")+":") {
+		t.Errorf("finding not module-relative: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "guardwrite:") || !strings.Contains(lines[0], "Bad") {
+		t.Errorf("unexpected finding: %q", lines[0])
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("stderr missing finding count: %q", stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runDriver(t, fixtureModule(t), "-json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d JSON findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.File != "jcf/jcf.go" {
+		t.Errorf("File = %q, want %q (module-relative, forward slashes)", f.File, "jcf/jcf.go")
+	}
+	if f.Analyzer != "guardwrite" {
+		t.Errorf("Analyzer = %q, want guardwrite", f.Analyzer)
+	}
+	if f.Line <= 0 || f.Column <= 0 {
+		t.Errorf("position not populated: line %d col %d", f.Line, f.Column)
+	}
+	if !strings.Contains(f.Message, "does not call guardWrite") {
+		t.Errorf("Message = %q", f.Message)
+	}
+}
+
+func TestRunAndSkipSelection(t *testing.T) {
+	// Running only an analyzer that has nothing to say there is clean...
+	code, stdout, stderr := runDriver(t, fixtureModule(t), "-run", "noerrdrop")
+	if code != 0 {
+		t.Errorf("-run noerrdrop: exit %d, want 0; stdout %q stderr %q", code, stdout, stderr)
+	}
+	// ...as is skipping the one analyzer with a finding.
+	code, stdout, stderr = runDriver(t, "", "-skip", "guardwrite")
+	if code != 0 {
+		t.Errorf("-skip guardwrite: exit %d, want 0; stdout %q stderr %q", code, stdout, stderr)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	code, _, stderr := runDriver(t, "", "-run", "nope")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown analyzer "nope"`) {
+		t.Errorf("stderr = %q", stderr)
+	}
+	if code, _, stderr = runDriver(t, "", "-skip", "everything"); code != 2 ||
+		!strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("-skip with unknown name: exit %d stderr %q, want usage error", code, stderr)
+	}
+}
+
+func TestEmptySelectionIsUsageError(t *testing.T) {
+	code, _, stderr := runDriver(t, "", "-skip",
+		"lockorder,guardwrite,noerrdrop,feedpublish,noalias,lockgraph,applyatomic,kindswitch")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no analyzers") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, stdout, _ := runDriver(t, "", "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("-list printed %d analyzers, want 8:\n%s", len(lines), stdout)
+	}
+	for _, name := range []string{
+		"lockorder", "guardwrite", "noerrdrop", "feedpublish",
+		"noalias", "lockgraph", "applyatomic", "kindswitch",
+	} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+func TestOutsideModuleIsLoadError(t *testing.T) {
+	code, _, stderr := runDriver(t, t.TempDir())
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr %q", code, stderr)
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	if code, _, _ := runDriver(t, "", "-frobnicate"); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

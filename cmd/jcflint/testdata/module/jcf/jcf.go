@@ -1,0 +1,50 @@
+// Package jcf (e2e fixture) seeds exactly one unsuppressed guardwrite
+// finding plus one suppressed one, so the driver test can pin exit
+// codes, module-relative paths, -json output, and the suppression
+// protocol end to end.
+package jcf
+
+import "errors"
+
+var errReadOnly = errors.New("read-only replica")
+
+// Store mirrors the mutating surface the analyzer recognizes by name.
+type Store struct{ n int }
+
+func (s *Store) Apply(x int) (int, error) { s.n += x; return s.n, nil }
+
+// Framework mirrors the desktop API shape.
+type Framework struct {
+	store   *Store
+	replica bool
+}
+
+func (fw *Framework) guardWrite() error {
+	if fw.replica {
+		return errReadOnly
+	}
+	return nil
+}
+
+// Good guards before mutating — clean.
+func (fw *Framework) Good(x int) error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
+	_, err := fw.store.Apply(x)
+	return err
+}
+
+// Bad mutates without a guard: the one finding the driver test expects.
+func (fw *Framework) Bad(x int) error {
+	_, err := fw.store.Apply(x)
+	return err
+}
+
+// Allowed mutates without a guard too, but carries a suppression.
+//
+//lint:allow guardwrite e2e fixture for the suppression protocol
+func (fw *Framework) Allowed(x int) error {
+	_, err := fw.store.Apply(x)
+	return err
+}

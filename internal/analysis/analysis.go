@@ -7,6 +7,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one finding: where, which analyzer, what.
@@ -36,17 +38,49 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one invariant checker. Match scopes it to the packages it
-// understands (lockorder only ever looks at an OMS kernel, guardwrite at
-// a jcf desktop API); Run walks the package and reports.
-type Analyzer struct {
-	Name  string
-	Doc   string
-	Match func(p *Package) bool
-	Run   func(pass *Pass)
+// ModulePass carries one whole-module analyzer's run over a Snapshot.
+// Module analyzers see every package at once plus the shared call graph.
+type ModulePass struct {
+	Snap     *Snapshot
+	analyzer *Analyzer
+	diags    *[]Diagnostic
 }
 
-// Analyzers returns the full jcflint suite in stable order.
+// Reportf records a finding at a source position.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Snap.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a finding at an already-resolved position — used for
+// findings anchored in non-Go files like docs/lock-hierarchy.md, which
+// have no token.Pos.
+func (p *ModulePass) ReportAt(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker. Package-local analyzers set Match
+// (scoping them to the packages they understand — lockorder only ever
+// looks at an OMS kernel) and Run; whole-module analyzers set RunModule
+// instead and see the full Snapshot with its shared call graph.
+type Analyzer struct {
+	Name      string
+	Doc       string
+	Match     func(p *Package) bool
+	Run       func(pass *Pass)
+	RunModule func(pass *ModulePass)
+}
+
+// Analyzers returns the full jcflint suite in stable order: the five
+// package-local analyzers from PR 6, then the three whole-module,
+// call-graph-aware analyzers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		LockOrderAnalyzer,
@@ -54,24 +88,75 @@ func Analyzers() []*Analyzer {
 		NoErrDropAnalyzer,
 		FeedPublishAnalyzer,
 		NoAliasAnalyzer,
+		LockGraphAnalyzer,
+		ApplyAtomicAnalyzer,
+		KindSwitchAnalyzer,
 	}
 }
 
-// Run applies each analyzer to every package it matches, resolves
-// //lint:allow suppressions, and returns the surviving findings sorted
-// by position. A suppression comment with no reason is itself reported:
-// the escape hatch requires writing down why.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+// Timing is one analyzer's wall time from a RunTimed call.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// Run applies each analyzer to the snapshot, resolves //lint:allow
+// suppressions, and returns the surviving findings sorted by position.
+// A suppression comment with no reason is itself reported: the escape
+// hatch requires writing down why.
+func Run(snap *Snapshot, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(snap, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall times. The module is loaded and
+// type-checked once (the Snapshot), the call graph is built once, and
+// the analyzers run concurrently — each into a private findings slice,
+// merged and sorted after the last one finishes, so output order is
+// deterministic regardless of scheduling.
+func RunTimed(snap *Snapshot, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
+	var timings []Timing
+	// Build the shared call graph up front so its cost shows up as its
+	// own line instead of being billed to whichever module analyzer's
+	// goroutine happens to get there first.
 	for _, a := range analyzers {
-		for _, pkg := range pkgs {
-			if a.Match != nil && !a.Match(pkg) {
-				continue
-			}
-			a.Run(&Pass{Package: pkg, analyzer: a, diags: &diags})
+		if a.RunModule != nil {
+			start := time.Now()
+			snap.CallGraph()
+			timings = append(timings, Timing{Analyzer: "(callgraph)", Elapsed: time.Since(start)})
+			break
 		}
 	}
-	diags = applySuppressions(pkgs, diags)
+	results := make([][]Diagnostic, len(analyzers))
+	perAnalyzer := make([]Timing, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			var local []Diagnostic
+			if a.RunModule != nil {
+				a.RunModule(&ModulePass{Snap: snap, analyzer: a, diags: &local})
+			} else {
+				for _, pkg := range snap.Pkgs {
+					if a.Match != nil && !a.Match(pkg) {
+						continue
+					}
+					a.Run(&Pass{Package: pkg, analyzer: a, diags: &local})
+				}
+			}
+			results[i] = local
+			perAnalyzer[i] = Timing{Analyzer: a.Name, Elapsed: time.Since(start)}
+		}()
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, r := range results {
+		diags = append(diags, r...)
+	}
+	timings = append(timings, perAnalyzer...)
+	diags = applySuppressions(snap.Pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -82,7 +167,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, timings
 }
 
 // allowDirective is a parsed "//lint:allow <analyzer> <reason>" comment.

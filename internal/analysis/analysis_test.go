@@ -19,19 +19,19 @@ import (
 
 var fixtureTree struct {
 	once sync.Once
-	pkgs []*Package
+	snap *Snapshot
 	err  error
 }
 
-func loadFixtureTree(t *testing.T) []*Package {
+func loadFixtureTree(t *testing.T) *Snapshot {
 	t.Helper()
 	fixtureTree.once.Do(func() {
-		fixtureTree.pkgs, fixtureTree.err = LoadTree(filepath.Join("testdata", "src"), "fixture")
+		fixtureTree.snap, fixtureTree.err = LoadSnapshot(filepath.Join("testdata", "src"), "fixture")
 	})
 	if fixtureTree.err != nil {
 		t.Fatalf("loading fixture tree: %v", fixtureTree.err)
 	}
-	return fixtureTree.pkgs
+	return fixtureTree.snap
 }
 
 // expectation is one parsed want comment.
@@ -76,9 +76,9 @@ func collectWants(t *testing.T) []*expectation {
 }
 
 func TestFixtures(t *testing.T) {
-	pkgs := loadFixtureTree(t)
+	snap := loadFixtureTree(t)
 	wants := collectWants(t)
-	diags := Run(pkgs, Analyzers())
+	diags := Run(snap, Analyzers())
 
 	for _, d := range diags {
 		base := filepath.Base(d.Pos.Filename)
@@ -110,8 +110,8 @@ func TestFixtures(t *testing.T) {
 // a reason-less directive suppresses nothing and is itself reported; a
 // directive naming the wrong analyzer suppresses nothing.
 func TestSuppression(t *testing.T) {
-	pkgs := loadFixtureTree(t)
-	diags := Run(pkgs, Analyzers())
+	snap := loadFixtureTree(t)
+	diags := Run(snap, Analyzers())
 
 	byAnalyzer := map[string]int{}
 	for _, d := range diags {
@@ -143,11 +143,11 @@ func TestSuppression(t *testing.T) {
 
 var repoTree struct {
 	once sync.Once
-	pkgs []*Package
+	snap *Snapshot
 	err  error
 }
 
-func loadRepoTree(t *testing.T) []*Package {
+func loadRepoTree(t *testing.T) *Snapshot {
 	t.Helper()
 	repoTree.once.Do(func() {
 		root, err := FindModuleRoot(".")
@@ -160,12 +160,12 @@ func loadRepoTree(t *testing.T) []*Package {
 			repoTree.err = err
 			return
 		}
-		repoTree.pkgs, repoTree.err = LoadTree(root, mod)
+		repoTree.snap, repoTree.err = LoadSnapshot(root, mod)
 	})
 	if repoTree.err != nil {
 		t.Fatalf("loading repository tree: %v", repoTree.err)
 	}
-	return repoTree.pkgs
+	return repoTree.snap
 }
 
 // TestRepoTreeClean is the tree-hygiene gate in test form: the full
@@ -191,8 +191,9 @@ func TestGuardWriteClassification(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module")
 	}
+	snap := loadRepoTree(t)
 	var jcfPkg *Package
-	for _, p := range loadRepoTree(t) {
+	for _, p := range snap.Pkgs {
 		if strings.HasSuffix(p.Path, "/internal/jcf") {
 			jcfPkg = p
 		}
@@ -202,7 +203,7 @@ func TestGuardWriteClassification(t *testing.T) {
 	}
 	byName := map[string]GuardReport{}
 	guardedMutating := 0
-	for _, r := range GuardWriteReport(jcfPkg) {
+	for _, r := range GuardWriteReport(snap, jcfPkg) {
 		byName[r.Method] = r
 		if r.Guarded && r.Mutates {
 			guardedMutating++

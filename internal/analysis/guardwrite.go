@@ -16,17 +16,16 @@ import (
 // points; this analyzer is what keeps entry point #26 from silently
 // skipping it.
 //
-// Mutation reachability is computed over the package call graph:
-// an exported method that mutates only through an unexported helper is
-// still mutating. Propagation stops at callees that call guardWrite
-// themselves — they are self-guarding.
+// Since PR 7, mutation reachability runs over the shared cross-package
+// call graph: an exported method that mutates only through a helper in
+// another package — a future jcf subpackage, a repl-side apply shim —
+// is still mutating. PR 6's version stopped at the package boundary and
+// would have gone quiet exactly there. Propagation still stops at
+// callees that call guardWrite themselves — they are self-guarding.
 var GuardWriteAnalyzer = &Analyzer{
-	Name: "guardwrite",
-	Doc:  "exported mutating jcf.Framework methods must call guardWrite() before their first store mutation",
-	Match: func(p *Package) bool {
-		return p.Name == "jcf" && p.Types.Scope().Lookup("Framework") != nil
-	},
-	Run: runGuardWrite,
+	Name:      "guardwrite",
+	Doc:       "exported mutating jcf.Framework methods must call guardWrite() before their first store mutation",
+	RunModule: runGuardWrite,
 }
 
 // storeMutators are the oms.Store methods that mutate the database.
@@ -49,23 +48,23 @@ var storeMutators = map[string]bool{
 	"ReplayChanges":     true,
 }
 
-// guardFacts is what the analyzer knows about one function in the jcf
-// package. Exported for the real-tree regression test via GuardReport.
+// guardFacts is what the analyzer knows about one module function.
 type guardFacts struct {
 	decl         *ast.FuncDecl
+	pkg          *Package
 	guardPos     token.Pos // first guardWrite() call (NoPos if none)
 	directMutPos token.Pos // first direct store/map mutation (NoPos if none)
 	callees      []*types.Func
-	mutates      bool // direct or transitive (through unguarded callees)
+	mutates      bool // reaches a mutation transitively (through any callee)
+	unguardedMut bool // reaches a mutation on a path with no guardWrite
 }
 
-func runGuardWrite(pass *Pass) {
-	facts := guardWriteFacts(pass)
-	for fn, f := range facts {
-		if !isExportedFrameworkMethod(fn, f.decl) {
+func runGuardWrite(pass *ModulePass) {
+	for fn, f := range guardWriteFacts(pass.Snap) {
+		if !isExportedFrameworkMethod(fn, f) {
 			continue
 		}
-		if f.mutates && f.guardPos == token.NoPos {
+		if f.unguardedMut && f.guardPos == token.NoPos {
 			pass.Reportf(f.decl.Name.Pos(), "exported mutating Framework method %s does not call guardWrite(); a replica view could write through it", fn.Name())
 			continue
 		}
@@ -75,48 +74,73 @@ func runGuardWrite(pass *Pass) {
 	}
 }
 
-func isExportedFrameworkMethod(fn *types.Func, decl *ast.FuncDecl) bool {
-	if decl == nil || !fn.Exported() {
+func isExportedFrameworkMethod(fn *types.Func, f *guardFacts) bool {
+	if f.decl == nil || !fn.Exported() || f.pkg.Name != "jcf" {
 		return false
 	}
 	recv := recvNamed(fn)
 	return recv != nil && recv.Obj().Name() == "Framework"
 }
 
-// guardWriteFacts computes per-function guard/mutation facts and runs
-// the mutation propagation to fixpoint.
-func guardWriteFacts(pass *Pass) map[*types.Func]*guardFacts {
-	decls := funcDecls(pass.Package)
+// guardWriteFacts computes per-function guard/mutation facts for the
+// whole module off the shared call graph and runs mutation propagation
+// to fixpoint across package boundaries.
+func guardWriteFacts(snap *Snapshot) map[*types.Func]*guardFacts {
+	g := snap.CallGraph()
 	facts := map[*types.Func]*guardFacts{}
-	for fn, fd := range decls {
-		f := &guardFacts{decl: fd}
-		if fd.Body != nil {
-			collectGuardFacts(pass, fd, f)
+	for fn, node := range g.Nodes {
+		f := &guardFacts{decl: node.Decl, pkg: node.Pkg}
+		if node.Decl.Body != nil {
+			scanMapWrites(node, f)
+		}
+		// Calls come from the graph timeline. Async (go-launched) calls
+		// count for mutation reachability too: a method that spawns a
+		// goroutine writing the store still writes the store.
+		classify := func(callee *types.Func, pos token.Pos) {
+			if callee.Name() == "guardWrite" && recvNamedIs(callee, "Framework") {
+				if f.guardPos == token.NoPos || pos < f.guardPos {
+					f.guardPos = pos
+				}
+				return
+			}
+			if storeMutators[callee.Name()] && recvNamedIs(callee, "Store") {
+				f.noteMutation(pos)
+				return
+			}
+			f.callees = append(f.callees, callee)
+		}
+		for _, ev := range node.Events {
+			if ev.Kind == EvCall {
+				classify(ev.Callee, ev.Pos)
+			}
+		}
+		for _, cr := range node.AsyncCalls {
+			classify(cr.Callee, cr.Pos)
 		}
 		f.mutates = f.directMutPos != token.NoPos
+		f.unguardedMut = f.mutates
 		facts[fn] = f
 	}
-	// Propagate mutation through unguarded same-package callees.
+	// Propagate mutation module-wide, to fixpoint. Two bits: `mutates`
+	// is plain reachability (the classification GuardWriteReport pins);
+	// `unguardedMut` — what lint reports on — stops at callees that call
+	// guardWrite themselves, since they reject replica writes on their
+	// own and reaching mutation only through them is safe.
 	for changed := true; changed; {
 		changed = false
 		for _, f := range facts {
-			if f.mutates {
-				continue
-			}
 			for _, callee := range f.callees {
 				cf, ok := facts[callee]
 				if !ok {
 					continue
 				}
-				// A callee that guards itself rejects replica writes on
-				// its own; reaching mutation only through it is safe.
-				if cf.guardPos != token.NoPos {
-					continue
-				}
-				if cf.mutates {
+				if cf.mutates && !f.mutates {
 					f.mutates = true
 					changed = true
-					break
+				}
+				if cf.unguardedMut && cf.guardPos == token.NoPos && !f.unguardedMut {
+					f.unguardedMut = true
+					changed = true
 				}
 			}
 		}
@@ -124,42 +148,29 @@ func guardWriteFacts(pass *Pass) map[*types.Func]*guardFacts {
 	return facts
 }
 
-func collectGuardFacts(pass *Pass, fd *ast.FuncDecl, f *guardFacts) {
-	info := pass.Info
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// scanMapWrites finds direct framework-map mutations — index
+// assignments, wholesale map replacement, ++/--, and the delete builtin
+// — which the call graph cannot see (they are not calls).
+func scanMapWrites(node *FuncNode, f *guardFacts) {
+	pkg := node.Pkg
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
 		switch nn := n.(type) {
 		case *ast.CallExpr:
-			callee := calleeFunc(info, nn)
-			if callee == nil {
-				// delete(fw.someMap, k) — builtin map mutation.
-				if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok && id.Name == "delete" && len(nn.Args) > 0 {
-					if isFrameworkMapExpr(pass, nn.Args[0]) {
+			if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok && id.Name == "delete" && len(nn.Args) > 0 {
+				if _, builtin := pkg.Info.Uses[id].(*types.Builtin); builtin { // not a shadow
+					if isFrameworkMapExpr(pkg, nn.Args[0]) {
 						f.noteMutation(nn.Pos())
 					}
 				}
-				return true
-			}
-			if callee.Name() == "guardWrite" && recvNamedIs(callee, "Framework") {
-				if f.guardPos == token.NoPos {
-					f.guardPos = nn.Pos()
-				}
-				return true
-			}
-			if storeMutators[callee.Name()] && recvNamedIs(callee, "Store") {
-				f.noteMutation(nn.Pos())
-				return true
-			}
-			if callee.Pkg() == pass.Types {
-				f.callees = append(f.callees, callee)
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range nn.Lhs {
-				if isFrameworkMapWrite(pass, lhs) {
+				if isFrameworkMapWrite(pkg, lhs) {
 					f.noteMutation(nn.Pos())
 				}
 			}
 		case *ast.IncDecStmt:
-			if isFrameworkMapWrite(pass, nn.X) {
+			if isFrameworkMapWrite(pkg, nn.X) {
 				f.noteMutation(nn.Pos())
 			}
 		}
@@ -190,14 +201,12 @@ type GuardReport struct {
 	Mutates bool // reaches a store mutator or framework-map write
 }
 
-// GuardWriteReport classifies every exported Framework method of pkg,
-// sorted by method name.
-func GuardWriteReport(pkg *Package) []GuardReport {
-	pass := &Pass{Package: pkg, analyzer: GuardWriteAnalyzer, diags: new([]Diagnostic)}
-	facts := guardWriteFacts(pass)
+// GuardWriteReport classifies every exported Framework method declared
+// in pkg (facts computed module-wide), sorted by method name.
+func GuardWriteReport(snap *Snapshot, pkg *Package) []GuardReport {
 	var out []GuardReport
-	for fn, f := range facts {
-		if !isExportedFrameworkMethod(fn, f.decl) {
+	for fn, f := range guardWriteFacts(snap) {
+		if f.pkg != pkg || !isExportedFrameworkMethod(fn, f) {
 			continue
 		}
 		out = append(out, GuardReport{
@@ -213,20 +222,20 @@ func GuardWriteReport(pkg *Package) []GuardReport {
 // isFrameworkMapWrite reports whether the assignment target writes a
 // framework-level map: an index into (or wholesale replacement of) a
 // map-typed field reached from a Framework value.
-func isFrameworkMapWrite(pass *Pass, lhs ast.Expr) bool {
+func isFrameworkMapWrite(pkg *Package, lhs ast.Expr) bool {
 	switch x := ast.Unparen(lhs).(type) {
 	case *ast.IndexExpr:
-		return isFrameworkMapExpr(pass, x.X)
+		return isFrameworkMapExpr(pkg, x.X)
 	case *ast.SelectorExpr:
-		return isFrameworkMapExpr(pass, x)
+		return isFrameworkMapExpr(pkg, x)
 	}
 	return false
 }
 
 // isFrameworkMapExpr reports whether e is a map-typed expression rooted
 // in a *Framework value (fw.reservations, fw.typedHier[cv], ...).
-func isFrameworkMapExpr(pass *Pass, e ast.Expr) bool {
-	tv, ok := pass.Info.Types[e]
+func isFrameworkMapExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
 	if !ok {
 		return false
 	}
@@ -237,7 +246,7 @@ func isFrameworkMapExpr(pass *Pass, e ast.Expr) bool {
 	if root == nil {
 		return false
 	}
-	obj := pass.Info.Uses[root]
+	obj := pkg.Info.Uses[root]
 	if obj == nil {
 		return false
 	}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// kindswitch machine-checks change-kind exhaustiveness: every switch
+// over oms.ChangeKind — in the wire codec, feed replay, the notifier,
+// replica apply, anywhere in the module — must either cover every
+// declared kind or carry an explicit default. Adding a sixth ChangeKind
+// const must fail lint at every consumer that has not decided what to
+// do with it, instead of silently no-opping the new kind through
+// replay, replication, or notification fan-out.
+//
+// Tag-less switches (`switch { case c.Kind == oms.ChangeCreate: ... }`)
+// comparing a ChangeKind somewhere get the same treatment: without a
+// default, an unmatched kind falls through silently, and no compiler or
+// exhaustiveness reasoning can ever see it — those must carry a default
+// or become tagged switches.
+var KindSwitchAnalyzer = &Analyzer{
+	Name:      "kindswitch",
+	Doc:       "switches over oms.ChangeKind must be exhaustive or carry an explicit default",
+	RunModule: runKindSwitch,
+}
+
+func runKindSwitch(pass *ModulePass) {
+	for _, pkg := range pass.Snap.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				if sw.Tag != nil {
+					checkTaggedKindSwitch(pass, pkg, sw)
+				} else {
+					checkTaglessKindSwitch(pass, pkg, sw)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// changeKindType returns t as the oms ChangeKind named type, or nil.
+func changeKindType(t types.Type) *types.Named {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return nil
+	}
+	if n.Obj().Name() == "ChangeKind" && n.Obj().Pkg().Name() == "oms" {
+		return n
+	}
+	return nil
+}
+
+// kindConsts enumerates the constants of the ChangeKind type declared
+// in its defining package, keyed by exact constant value.
+func kindConsts(kind *types.Named) map[string]string {
+	out := map[string]string{}
+	scope := kind.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), kind) {
+			continue
+		}
+		out[c.Val().ExactString()] = name
+	}
+	return out
+}
+
+func checkTaggedKindSwitch(pass *ModulePass, pkg *Package, sw *ast.SwitchStmt) {
+	tagType, ok := pkg.Info.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	kind := changeKindType(tagType.Type)
+	if kind == nil {
+		return
+	}
+	remaining := kindConsts(kind)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the consumer decided
+		}
+		for _, e := range cc.List {
+			tv, ok := pkg.Info.Types[e]
+			if !ok || tv.Value == nil {
+				// Non-constant case: exhaustiveness is undecidable
+				// here, so demand the default instead.
+				pass.Reportf(sw.Pos(), "switch over %s has a non-constant case and no default; add a default arm", kindLabel(kind))
+				return
+			}
+			delete(remaining, tv.Value.ExactString())
+		}
+	}
+	if len(remaining) == 0 {
+		return
+	}
+	missing := make([]string, 0, len(remaining))
+	for _, name := range remaining {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over %s is not exhaustive and has no default: missing %s; an unhandled kind would silently no-op",
+		kindLabel(kind), strings.Join(missing, ", "))
+}
+
+// checkTaglessKindSwitch flags `switch { case x.Kind == ...: }` shapes:
+// condition switches comparing a ChangeKind with no default arm.
+func checkTaglessKindSwitch(pass *ModulePass, pkg *Package, sw *ast.SwitchStmt) {
+	comparesKind := false
+	var kind *types.Named
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // has a default
+		}
+		for _, e := range cc.List {
+			ast.Inspect(e, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				for _, operand := range []ast.Expr{be.X, be.Y} {
+					if tv, ok := pkg.Info.Types[operand]; ok {
+						if k := changeKindType(tv.Type); k != nil {
+							comparesKind = true
+							kind = k
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if comparesKind {
+		pass.Reportf(sw.Pos(),
+			"tag-less switch comparing %s has no default: an unmatched kind falls through silently; use a tagged switch over the kind or add a default",
+			kindLabel(kind))
+	}
+}
+
+func kindLabel(kind *types.Named) string {
+	return kind.Obj().Pkg().Name() + "." + kind.Obj().Name()
+}

@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package: the unit every analyzer
@@ -152,18 +153,49 @@ func (l *loader) load(path string) (*Package, error) {
 	return p, nil
 }
 
-// LoadTree loads every package under root (recursively), type-checked
-// against module path modPath. Directories named testdata, vendor, or
-// starting with "." or "_" are skipped, as are directories with no
-// non-test Go files. Packages come back sorted by import path.
-func LoadTree(root, modPath string) ([]*Package, error) {
+// Snapshot is one loaded, type-checked module tree: every package plus
+// the shared cross-package infrastructure (the call graph and its
+// per-function lock/mutation summaries) that the whole-module analyzers
+// run on. The tree is loaded and type-checked ONCE; every analyzer —
+// and every concurrent analyzer goroutine — shares this snapshot.
+type Snapshot struct {
+	Root    string // module root directory (absolute)
+	ModPath string // module import path
+	Fset    *token.FileSet
+	Pkgs    []*Package
+
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// CallGraph returns the module's cross-package call graph, built on
+// first use and shared by every analyzer thereafter.
+func (s *Snapshot) CallGraph() *CallGraph {
+	s.graphOnce.Do(func() { s.graph = buildCallGraph(s) })
+	return s.graph
+}
+
+// LoadSnapshot loads every package under root (recursively),
+// type-checked against module path modPath, as one shared Snapshot.
+// Directories named testdata, vendor, or starting with "." or "_" are
+// skipped, as are directories with no non-test Go files. Packages come
+// back sorted by import path.
+func LoadSnapshot(root, modPath string) (*Snapshot, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
 	}
+	pkgs, fset, err := loadTree(root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{Root: root, ModPath: modPath, Fset: fset, Pkgs: pkgs}, nil
+}
+
+func loadTree(root, modPath string) ([]*Package, *token.FileSet, error) {
 	l := newLoader(root, modPath)
 	var paths []string
-	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -195,18 +227,18 @@ func LoadTree(root, modPath string) ([]*Package, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sort.Strings(paths)
 	pkgs := make([]*Package, 0, len(paths))
 	for _, ip := range paths {
 		p, err := l.load(ip)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pkgs = append(pkgs, p)
 	}
-	return pkgs, nil
+	return pkgs, l.fset, nil
 }
 
 // ModulePath reads the module path out of the go.mod at root.

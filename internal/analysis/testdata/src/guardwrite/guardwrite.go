@@ -4,7 +4,11 @@
 // unexported helper.
 package jcf
 
-import "errors"
+import (
+	"errors"
+
+	"fixture/storeops"
+)
 
 var errReadOnly = errors.New("read-only replica")
 
@@ -18,6 +22,7 @@ func (s *Store) Get() int { return s.n }
 // Framework mirrors the desktop API shape: a store plus framework maps.
 type Framework struct {
 	store        *Store
+	ops          *storeops.Store
 	reservations map[int]string
 	replica      bool
 }
@@ -74,4 +79,18 @@ func (fw *Framework) LateGuard(x int) error {
 // DeleteEntry mutates through the delete builtin on a framework map.
 func (fw *Framework) DeleteEntry(x int) { // want guardwrite "does not call guardWrite"
 	delete(fw.reservations, x)
+}
+
+// UnguardedCrossPackage mutates only through a helper in another
+// package — the module-wide propagation must still see it.
+func (fw *Framework) UnguardedCrossPackage() error { // want guardwrite "does not call guardWrite"
+	return storeops.Touch(fw.ops)
+}
+
+// GuardedCrossPackage is the same call, guarded — clean.
+func (fw *Framework) GuardedCrossPackage() error {
+	if err := fw.guardWrite(); err != nil {
+		return err
+	}
+	return storeops.Touch(fw.ops)
 }

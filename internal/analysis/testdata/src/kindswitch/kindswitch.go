@@ -1,0 +1,76 @@
+// Package oms (fixture) seeds kindswitch violations: switches over
+// ChangeKind that are neither exhaustive nor defaulted, tag-less kind
+// comparisons, and non-constant cases.
+package oms
+
+// ChangeKind mirrors the change-feed record kind by name.
+type ChangeKind uint8
+
+// The kinds; the analyzer enumerates these from the defining package.
+const (
+	ChangeCreate ChangeKind = iota
+	ChangeSet
+	ChangeLink
+	ChangeUnlink
+	ChangeDelete
+)
+
+// Change mirrors the feed record shape.
+type Change struct {
+	Kind ChangeKind
+}
+
+// Exhaustive covers every kind — clean without a default.
+func Exhaustive(c Change) string {
+	switch c.Kind {
+	case ChangeCreate:
+		return "create"
+	case ChangeSet:
+		return "set"
+	case ChangeLink, ChangeUnlink:
+		return "link"
+	case ChangeDelete:
+		return "delete"
+	}
+	return ""
+}
+
+// Defaulted handles the remainder explicitly — clean.
+func Defaulted(c Change) string {
+	switch c.Kind {
+	case ChangeCreate:
+		return "create"
+	default:
+		return "other"
+	}
+}
+
+// Missing is neither exhaustive nor defaulted.
+func Missing(c Change) string {
+	switch c.Kind { // want kindswitch "not exhaustive"
+	case ChangeCreate:
+		return "create"
+	case ChangeSet:
+		return "set"
+	}
+	return ""
+}
+
+// NonConstCase compares against a runtime kind — coverage can't be
+// proven, so a default is required.
+func NonConstCase(c Change, k ChangeKind) string {
+	switch c.Kind { // want kindswitch "non-constant case"
+	case k:
+		return "match"
+	}
+	return ""
+}
+
+// Tagless compares kinds in a tag-less switch with no default.
+func Tagless(c Change) string {
+	switch { // want kindswitch "tag-less switch"
+	case c.Kind == ChangeCreate:
+		return "create"
+	}
+	return ""
+}

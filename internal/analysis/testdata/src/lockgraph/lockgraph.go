@@ -1,0 +1,67 @@
+// Package repl (fixture) seeds lockgraph violations: the fixture doc
+// declares Publisher.mu → Replica.mu, so acquiring them the other way
+// round is both an undeclared edge and — together with the declared
+// direction — a lock-order cycle. A self-reacquisition seeds the
+// self-deadlock shape.
+package repl
+
+import "sync"
+
+// Publisher mirrors the replication publisher's lock by name.
+type Publisher struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Replica mirrors the replica state lock by name.
+type Replica struct {
+	mu sync.Mutex
+	n  int
+}
+
+// DeclaredOrder acquires Replica.mu under Publisher.mu — the declared
+// direction, clean.
+func DeclaredOrder(p *Publisher, r *Replica) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+	p.n++
+}
+
+// lockReplica is the helper the transitive witness path must name.
+func lockReplica(r *Replica) {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// DeclaredTransitive reaches the declared edge through a helper — the
+// edge is seen across the call, still clean.
+func DeclaredTransitive(p *Publisher, r *Replica) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lockReplica(r)
+	p.n++
+}
+
+// UndeclaredOrder acquires Publisher.mu under Replica.mu: the edge is
+// not declared, and with DeclaredOrder's edge it closes a cycle.
+func UndeclaredOrder(p *Publisher, r *Replica) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p.mu.Lock() // want lockgraph "edge not declared" // want lockgraph "lock-order cycle"
+	p.n++
+	p.mu.Unlock()
+	r.n++
+}
+
+// Reacquire takes Publisher.mu twice on one path.
+func Reacquire(p *Publisher) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mu.Lock() // want lockgraph "self-deadlock"
+	p.n++
+	p.mu.Unlock()
+}

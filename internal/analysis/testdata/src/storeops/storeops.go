@@ -1,0 +1,16 @@
+// Package storeops (fixture) hosts a cross-package mutation helper:
+// a jcf fixture method that mutates ONLY through this package exercises
+// guardwrite's module-wide propagation — the PR 6 version stopped at
+// the package boundary and would have gone quiet exactly here.
+package storeops
+
+// Store mirrors the mutating surface the analyzer recognizes by name.
+type Store struct{ n int }
+
+func (s *Store) Apply(x int) (int, error) { s.n += x; return s.n, nil }
+
+// Touch mutates the store on the caller's behalf.
+func Touch(s *Store) error {
+	_, err := s.Apply(1)
+	return err
+}

@@ -94,19 +94,24 @@ func (fw *Framework) AddConfigEntry(cfgVersion, dov oms.OID) error {
 	if err != nil {
 		return err
 	}
-	// Drop an existing entry for the same design object.
+	// Replace atomically: the unlink of the old entry and the link of
+	// the new one commit as one batch, so no reader of ConfigEntries
+	// ever observes the design object momentarily unbound (the window
+	// the op-by-op version had between Unlink and Link).
+	b := fw.getBatch()
+	defer fw.putBatch(b)
 	for _, e := range fw.store.Targets(fw.rel.hasEntry, cfgVersion) {
 		eDO, err := fw.designObjectOfVersion(e)
 		if err != nil {
 			continue
 		}
 		if eDO == do {
-			if err := fw.store.Unlink(fw.rel.hasEntry, cfgVersion, e); err != nil {
-				return err
-			}
+			b.Unlink(fw.rel.hasEntry, cfgVersion, e)
 		}
 	}
-	return fw.store.Link(fw.rel.hasEntry, cfgVersion, dov)
+	b.Link(fw.rel.hasEntry, cfgVersion, dov)
+	_, err = fw.store.Apply(b)
+	return err
 }
 
 // ConfigEntries returns the design object versions bound in a

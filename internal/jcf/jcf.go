@@ -265,7 +265,11 @@ func (fw *Framework) ReserveConflicts() int64 {
 // --- resources (administrator API) ---------------------------------------
 
 // named creates a resource object with a unique name within its class.
-func (fw *Framework) named(class, name string) (oms.OID, error) {
+// When stage is non-nil it adds further ops to the same batch, keyed to
+// the new object's placeholder OID, so the creation and its wiring
+// commit as ONE atomic group — no reader ever observes the object
+// half-linked.
+func (fw *Framework) named(class, name string, stage func(b *oms.Batch, oid oms.OID)) (oms.OID, error) {
 	if err := fw.guardWrite(); err != nil {
 		return oms.InvalidOID, err
 	}
@@ -275,28 +279,38 @@ func (fw *Framework) named(class, name string) (oms.OID, error) {
 	if hits := fw.store.FindByAttr(class, "name", oms.S(name)); len(hits) > 0 {
 		return oms.InvalidOID, fmt.Errorf("%w: %s %q", ErrExists, class, name)
 	}
-	return fw.store.Create(class, map[string]oms.Value{"name": oms.S(name)})
+	b := fw.getBatch()
+	defer fw.putBatch(b)
+	oid := b.Create(class, map[string]oms.Value{"name": oms.S(name)})
+	if stage != nil {
+		stage(b, oid)
+	}
+	created, err := fw.store.Apply(b)
+	if err != nil {
+		return oms.InvalidOID, err
+	}
+	return created[0], nil
 }
 
 // CreateUser registers a user resource.
 func (fw *Framework) CreateUser(name string) (oms.OID, error) {
-	return fw.named("User", name)
+	return fw.named("User", name, nil)
 }
 
 // CreateTeam registers a team resource.
 func (fw *Framework) CreateTeam(name string) (oms.OID, error) {
-	return fw.named("Team", name)
+	return fw.named("Team", name, nil)
 }
 
 // CreateTool registers a tool resource (an integrated or encapsulated
 // tool; the hybrid framework registers the three FMCAD tools here).
 func (fw *Framework) CreateTool(name string) (oms.OID, error) {
-	return fw.named("Tool", name)
+	return fw.named("Tool", name, nil)
 }
 
 // CreateViewType registers a view type resource.
 func (fw *Framework) CreateViewType(name string) (oms.OID, error) {
-	return fw.named("ViewType", name)
+	return fw.named("ViewType", name, nil)
 }
 
 // AddMember puts a user into a team.

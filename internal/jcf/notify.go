@@ -142,44 +142,60 @@ func (n *Notifier) notifyGroup(group []oms.Change) {
 		}
 		return oms.InvalidOID, false
 	}
+	// Tagged switch over the kind, exhaustive by construction: adding a
+	// sixth ChangeKind fails the kindswitch lint here until the notifier
+	// decides what (if anything) it means for subscribers.
 	for _, c := range group {
-		switch {
-		case c.Kind == oms.ChangeCreate && c.Class == "DesignObjectVersion":
-			do, ok := linkTo(fw.rel.doHasVersion, c.OID)
-			if !ok {
-				// A version created without its ownership link in the same
-				// group cannot be attributed; skip rather than misreport.
+		switch c.Kind {
+		case oms.ChangeCreate:
+			switch c.Class {
+			case "DesignObjectVersion":
+				do, ok := linkTo(fw.rel.doHasVersion, c.OID)
+				if !ok {
+					// A version created without its ownership link in the
+					// same group cannot be attributed; skip rather than
+					// misreport.
+					continue
+				}
+				n.publish(itc.Message{Topic: TopicCheckin, From: NotifierTool, Fields: map[string]string{
+					"dov": oidStr(c.OID), "do": oidStr(do), "lsn": lsn,
+				}})
+			case "Variant":
+				cv, _ := linkTo(fw.rel.hasVariant, c.OID)
+				fields := map[string]string{"variant": oidStr(c.OID), "cv": oidStr(cv), "lsn": lsn}
+				if from, derived := linkTo(fw.rel.variantPrecedes, c.OID); derived {
+					fields["from"] = oidStr(from)
+				} else {
+					continue // original variants are part of cell version setup, not derivations
+				}
+				n.publish(itc.Message{Topic: TopicVariant, From: NotifierTool, Fields: fields})
+			}
+		case oms.ChangeSet:
+			if c.Class != "CellVersion" {
 				continue
 			}
-			n.publish(itc.Message{Topic: TopicCheckin, From: NotifierTool, Fields: map[string]string{
-				"dov": oidStr(c.OID), "do": oidStr(do), "lsn": lsn,
-			}})
-		case c.Kind == oms.ChangeCreate && c.Class == "Variant":
-			cv, _ := linkTo(fw.rel.hasVariant, c.OID)
-			fields := map[string]string{"variant": oidStr(c.OID), "cv": oidStr(cv), "lsn": lsn}
-			if from, derived := linkTo(fw.rel.variantPrecedes, c.OID); derived {
-				fields["from"] = oidStr(from)
-			} else {
-				continue // original variants are part of cell version setup, not derivations
-			}
-			n.publish(itc.Message{Topic: TopicVariant, From: NotifierTool, Fields: fields})
-		case c.Kind == oms.ChangeSet && c.Class == "CellVersion" && c.Attr == "published":
-			if c.Value.Kind == oms.KindBool && c.Value.Bool {
-				n.publish(itc.Message{Topic: TopicPublish, From: NotifierTool, Fields: map[string]string{
-					"cv": oidStr(c.OID), "lsn": lsn,
+			switch c.Attr {
+			case "published":
+				if c.Value.Kind == oms.KindBool && c.Value.Bool {
+					n.publish(itc.Message{Topic: TopicPublish, From: NotifierTool, Fields: map[string]string{
+						"cv": oidStr(c.OID), "lsn": lsn,
+					}})
+				}
+			case "reservedBy":
+				if c.Cleared {
+					continue // rollback compensation of a first-time reserve
+				}
+				action := "reserved"
+				if c.Value.Str == "" {
+					action = "released"
+				}
+				n.publish(itc.Message{Topic: TopicReservation, From: NotifierTool, Fields: map[string]string{
+					"cv": oidStr(c.OID), "user": c.Value.Str, "action": action, "lsn": lsn,
 				}})
 			}
-		case c.Kind == oms.ChangeSet && c.Class == "CellVersion" && c.Attr == "reservedBy":
-			if c.Cleared {
-				continue // rollback compensation of a first-time reserve
-			}
-			action := "reserved"
-			if c.Value.Str == "" {
-				action = "released"
-			}
-			n.publish(itc.Message{Topic: TopicReservation, From: NotifierTool, Fields: map[string]string{
-				"cv": oidStr(c.OID), "user": c.Value.Str, "action": action, "lsn": lsn,
-			}})
+		case oms.ChangeLink, oms.ChangeUnlink, oms.ChangeDelete:
+			// Links are read group-scoped above (linkTo); no standalone
+			// notifications for these kinds.
 		}
 	}
 }

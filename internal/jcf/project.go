@@ -14,22 +14,17 @@ import (
 // objects (typed by view type) live under variants and are versioned with
 // derivation/equivalence relations (section 2.1).
 
-// CreateProject creates a project supported by the given team.
+// CreateProject creates a project supported by the given team. The
+// project object and its supports link commit as one batch: no reader
+// ever observes an unsupported project, and a bad team OID fails the
+// whole creation instead of stranding a linkless project.
 func (fw *Framework) CreateProject(name string, team oms.OID) (oms.OID, error) {
-	// The supports-Link below mutates the store directly, so this entry
-	// point needs its own guard — inheriting one from named() would leave
-	// the Link exposed if the body were ever reordered.
 	if err := fw.guardWrite(); err != nil {
 		return oms.InvalidOID, err
 	}
-	oid, err := fw.named("Project", name)
-	if err != nil {
-		return oms.InvalidOID, err
-	}
-	if err := fw.store.Link(fw.rel.supports, team, oid); err != nil {
-		return oms.InvalidOID, err
-	}
-	return oid, nil
+	return fw.named("Project", name, func(b *oms.Batch, oid oms.OID) {
+		b.Link(fw.rel.supports, team, oid)
+	})
 }
 
 // Project returns a project OID by name.
@@ -51,14 +46,17 @@ func (fw *Framework) CreateCell(project oms.OID, name string) (oms.OID, error) {
 			return oms.InvalidOID, fmt.Errorf("%w: cell %q in project", ErrExists, name)
 		}
 	}
-	oid, err := fw.store.Create("Cell", map[string]oms.Value{"name": oms.S(name)})
+	// One batch: the cell and its containment link are never observable
+	// apart, and a bad project OID cannot strand an unlinked cell.
+	b := fw.getBatch()
+	defer fw.putBatch(b)
+	oid := b.Create("Cell", map[string]oms.Value{"name": oms.S(name)})
+	b.Link(fw.rel.has, project, oid)
+	created, err := fw.store.Apply(b)
 	if err != nil {
 		return oms.InvalidOID, err
 	}
-	if err := fw.store.Link(fw.rel.has, project, oid); err != nil {
-		return oms.InvalidOID, err
-	}
-	return oid, nil
+	return created[0], nil
 }
 
 // Cell finds a cell by name within a project.
@@ -435,6 +433,8 @@ func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.O
 // dataless DesignObjectVersion, and the reservation can be released
 // between the requireReservation check and the blob write. New code must
 // use CheckInData.
+//
+//lint:allow applyatomic deliberate op-by-op ablation baseline for BENCH_3; the batched path is CheckInData
 func (fw *Framework) CheckInDataOpByOp(user string, do oms.OID, srcPath string) (oms.OID, error) {
 	if err := fw.guardWrite(); err != nil {
 		return oms.InvalidOID, err
