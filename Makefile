@@ -20,13 +20,16 @@ vet:
 
 ## lint runs jcflint — the repo-specific analyzer suite (stripe lock
 ## ordering, the guardWrite replica gate, dropped errors, feed-publish
-## discipline, internal-alias returns, the declared lock hierarchy in
-## docs/lock-hierarchy.md, Apply-atomicity of jcf entry points, and
-## ChangeKind switch exhaustiveness; see README "Static analysis") —
-## and requires gofmt-clean sources. The module is loaded once and the
+## discipline, internal-alias returns, the declared lock hierarchy AND
+## blocking-call allowlist in docs/lock-hierarchy.md, Apply-atomicity
+## of jcf entry points, ChangeKind switch exhaustiveness, blocking
+## calls under named locks, resource release on every path, and
+## wrap-safe sentinel-error handling; see docs/analyzers.md) — and
+## requires gofmt-clean sources. The module is loaded once and the 11
 ## analyzers run concurrently; -time prints the per-analyzer wall time.
 ## Suppressions take //lint:allow <analyzer> <reason>; the reason is
-## mandatory.
+## mandatory, and known-deliberate sites are pinned loud by
+## TestDeliberateBlockingStaysLoud.
 lint:
 	$(GO) run ./cmd/jcflint -time ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \

@@ -5,15 +5,19 @@
 //
 //	lockorder    stripe mutexes multi-acquired only via the sorted helpers
 //	guardwrite   exported mutating jcf.Framework methods gate on guardWrite()
-//	noerrdrop    no silently discarded errors in internal/...
+//	noerrdrop    no silently discarded errors in internal/... and cmd/...
 //	feedpublish  feed LSN assignment only under the stripe hold
 //	noalias      exported API never returns internal maps/slices by reference
 //	lockgraph    cross-package lock order matches docs/lock-hierarchy.md
 //	applyatomic  multi-mutation jcf entry points batch through one Store.Apply
 //	kindswitch   switches over oms.ChangeKind exhaustive or defaulted
+//	holdblock    no transitively-blocking call under a named lock (allowlist in docs/lock-hierarchy.md)
+//	releasepath  acquired conns/subscriptions/files/batches released or escaped on every path
+//	errflow      sentinel errors tested via errors.Is; wrapping uses %w
 //
 // The module is loaded and type-checked once; all analyzers run
-// concurrently over the shared snapshot and call graph.
+// concurrently over the shared snapshot, call graph, and dataflow
+// summaries. See docs/analyzers.md for the full catalog.
 //
 // Findings print as file:line: analyzer: message (module-relative
 // paths), or as a JSON array with -json. A finding is suppressed by a
@@ -28,11 +32,19 @@
 // familiarity; the tool always analyzes the module containing the
 // working directory)
 //
-//	-list        list analyzers with one-line docs and exit
-//	-run  a,b    run only the named analyzers
-//	-skip a,b    skip the named analyzers
-//	-json        machine-readable output
-//	-time        print per-analyzer wall time to stderr
+//	-list             list analyzers with one-line docs and exit
+//	-run  a,b         run only the named analyzers
+//	-skip a,b         skip the named analyzers
+//	-json             machine-readable output
+//	-time             print per-analyzer wall time to stderr
+//	-write-baseline f write the current findings snapshot to f and exit 0
+//	-baseline f       suppress findings recorded in f; fail only on new ones
+//
+// A baseline is a sorted "file:line: analyzer: message" snapshot. It
+// lets a new analyzer land warn-only — write the baseline, wire the
+// gate, then burn the baseline down — without ever muting NEW findings.
+// Matching is exact (file, line, analyzer, message), so edits that move
+// a baselined finding resurface it; that is the intended pressure.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
@@ -70,8 +82,10 @@ func run(stdout, stderr io.Writer, args []string) int {
 	skipSel := fs.String("skip", "", "comma-separated analyzers to skip")
 	asJSON := fs.Bool("json", false, "print findings as a JSON array")
 	timed := fs.Bool("time", false, "print per-analyzer wall time to stderr")
+	writeBaseline := fs.String("write-baseline", "", "write the findings snapshot to `file` and exit 0")
+	baseline := fs.String("baseline", "", "suppress findings recorded in `file`; fail only on new ones")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: jcflint [-list] [-run a,b] [-skip a,b] [-json] [-time] [./...]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: jcflint [-list] [-run a,b] [-skip a,b] [-json] [-time] [-write-baseline f | -baseline f] [./...]\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -124,6 +138,43 @@ func run(stdout, stderr io.Writer, args []string) int {
 		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
 			diags[i].Pos.Filename = rel
 		}
+	}
+
+	if *writeBaseline != "" {
+		var sb strings.Builder
+		for _, d := range diags {
+			sb.WriteString(d.String())
+			sb.WriteByte('\n')
+		}
+		if err := os.WriteFile(*writeBaseline, []byte(sb.String()), 0o644); err != nil {
+			fmt.Fprintln(stderr, "jcflint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "jcflint: wrote baseline with %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "jcflint:", err)
+			return 2
+		}
+		known := map[string]bool{}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				known[line] = true
+			}
+		}
+		var fresh []analysis.Diagnostic
+		for _, d := range diags {
+			if !known[d.String()] {
+				fresh = append(fresh, d)
+			}
+		}
+		if n := len(diags) - len(fresh); n > 0 {
+			fmt.Fprintf(stderr, "jcflint: %d baselined finding(s) suppressed\n", n)
+		}
+		diags = fresh
 	}
 
 	if *asJSON {

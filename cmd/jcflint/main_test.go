@@ -11,10 +11,11 @@ import (
 
 // The driver is exercised end to end against the fixture module under
 // testdata/module: a real go.mod tree (module fixmod) seeding exactly
-// one unsuppressed guardwrite finding plus one suppressed one. That
-// pins the pieces unit tests of the analyzers cannot: exit codes,
-// module discovery from the working directory, module-relative paths,
-// the -json wire shape, and flag handling.
+// two unsuppressed findings (one guardwrite in jcf/jcf.go, one errflow
+// in jcf/errs.go) plus one suppressed one. That pins the pieces unit
+// tests of the analyzers cannot: exit codes, module discovery from the
+// working directory, module-relative paths, the -json wire shape,
+// baseline write/compare, and flag handling.
 
 // chdir moves the process into dir for the duration of the test.
 func chdir(t *testing.T, dir string) {
@@ -54,17 +55,24 @@ func TestFindingsExitOne(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 1 {
-		t.Fatalf("got %d findings, want exactly 1 (the suppressed one must not print):\n%s", len(lines), stdout)
+	if len(lines) != 2 {
+		t.Fatalf("got %d findings, want exactly 2 (the suppressed one must not print):\n%s", len(lines), stdout)
 	}
-	// Module-relative path, forward or native slashes aside.
-	if !strings.HasPrefix(lines[0], filepath.Join("jcf", "jcf.go")+":") {
+	// Sorted by filename: errs.go's errflow seed, then jcf.go's
+	// guardwrite one. Module-relative paths either way.
+	if !strings.HasPrefix(lines[0], filepath.Join("jcf", "errs.go")+":") {
 		t.Errorf("finding not module-relative: %q", lines[0])
 	}
-	if !strings.Contains(lines[0], "guardwrite:") || !strings.Contains(lines[0], "Bad") {
-		t.Errorf("unexpected finding: %q", lines[0])
+	if !strings.Contains(lines[0], "errflow:") || !strings.Contains(lines[0], "errors.Is") {
+		t.Errorf("unexpected first finding: %q", lines[0])
 	}
-	if !strings.Contains(stderr, "1 finding(s)") {
+	if !strings.HasPrefix(lines[1], filepath.Join("jcf", "jcf.go")+":") {
+		t.Errorf("finding not module-relative: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "guardwrite:") || !strings.Contains(lines[1], "Bad") {
+		t.Errorf("unexpected second finding: %q", lines[1])
+	}
+	if !strings.Contains(stderr, "2 finding(s)") {
 		t.Errorf("stderr missing finding count: %q", stderr)
 	}
 }
@@ -78,10 +86,10 @@ func TestJSONOutput(t *testing.T) {
 	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
 		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
 	}
-	if len(findings) != 1 {
-		t.Fatalf("got %d JSON findings, want 1: %+v", len(findings), findings)
+	if len(findings) != 2 {
+		t.Fatalf("got %d JSON findings, want 2: %+v", len(findings), findings)
 	}
-	f := findings[0]
+	f := findings[1]
 	if f.File != "jcf/jcf.go" {
 		t.Errorf("File = %q, want %q (module-relative, forward slashes)", f.File, "jcf/jcf.go")
 	}
@@ -102,10 +110,10 @@ func TestRunAndSkipSelection(t *testing.T) {
 	if code != 0 {
 		t.Errorf("-run noerrdrop: exit %d, want 0; stdout %q stderr %q", code, stdout, stderr)
 	}
-	// ...as is skipping the one analyzer with a finding.
-	code, stdout, stderr = runDriver(t, "", "-skip", "guardwrite")
+	// ...as is skipping the two analyzers with findings.
+	code, stdout, stderr = runDriver(t, "", "-skip", "guardwrite,errflow")
 	if code != 0 {
-		t.Errorf("-skip guardwrite: exit %d, want 0; stdout %q stderr %q", code, stdout, stderr)
+		t.Errorf("-skip guardwrite,errflow: exit %d, want 0; stdout %q stderr %q", code, stdout, stderr)
 	}
 }
 
@@ -125,7 +133,7 @@ func TestUnknownAnalyzerIsUsageError(t *testing.T) {
 
 func TestEmptySelectionIsUsageError(t *testing.T) {
 	code, _, stderr := runDriver(t, "", "-skip",
-		"lockorder,guardwrite,noerrdrop,feedpublish,noalias,lockgraph,applyatomic,kindswitch")
+		"lockorder,guardwrite,noerrdrop,feedpublish,noalias,lockgraph,applyatomic,kindswitch,holdblock,releasepath,errflow")
 	if code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
 	}
@@ -140,12 +148,13 @@ func TestListAnalyzers(t *testing.T) {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) != 8 {
-		t.Fatalf("-list printed %d analyzers, want 8:\n%s", len(lines), stdout)
+	if len(lines) != 11 {
+		t.Fatalf("-list printed %d analyzers, want 11:\n%s", len(lines), stdout)
 	}
 	for _, name := range []string{
 		"lockorder", "guardwrite", "noerrdrop", "feedpublish",
 		"noalias", "lockgraph", "applyatomic", "kindswitch",
+		"holdblock", "releasepath", "errflow",
 	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %s", name)
@@ -163,5 +172,60 @@ func TestOutsideModuleIsLoadError(t *testing.T) {
 func TestBadFlagIsUsageError(t *testing.T) {
 	if code, _, _ := runDriver(t, "", "-frobnicate"); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestBaselineRoundTrip pins the warn-only landing workflow: write a
+// snapshot of the current findings, then a -baseline run against it is
+// clean (exit 0), while a NEW finding — here simulated by baselining
+// only one of the two seeded analyzers — still fails.
+func TestBaselineRoundTrip(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "lint.baseline")
+
+	code, _, stderr := runDriver(t, fixtureModule(t), "-write-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("-write-baseline: exit %d, want 0; stderr %q", code, stderr)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("baseline has %d line(s), want 2:\n%s", len(lines), data)
+	}
+	if !strings.Contains(lines[0], "errflow:") || !strings.Contains(lines[1], "guardwrite:") {
+		t.Errorf("baseline not the sorted findings snapshot:\n%s", data)
+	}
+
+	// Full run against the complete baseline: everything suppressed.
+	code, stdout, stderr := runDriver(t, "", "-baseline", baseline)
+	if code != 0 {
+		t.Errorf("-baseline with full snapshot: exit %d, want 0; stdout %q stderr %q", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "2 baselined finding(s) suppressed") {
+		t.Errorf("stderr missing suppression count: %q", stderr)
+	}
+
+	// A partial baseline must NOT mute the finding it does not record.
+	partial := filepath.Join(t.TempDir(), "partial.baseline")
+	if code, _, stderr := runDriver(t, "", "-run", "errflow", "-write-baseline", partial); code != 0 {
+		t.Fatalf("-run errflow -write-baseline: exit %d; stderr %q", code, stderr)
+	}
+	code, stdout, _ = runDriver(t, "", "-baseline", partial)
+	if code != 1 {
+		t.Fatalf("-baseline with partial snapshot: exit %d, want 1 (guardwrite finding is new)", code)
+	}
+	if !strings.Contains(stdout, "guardwrite:") || strings.Contains(stdout, "errflow:") {
+		t.Errorf("partial baseline suppressed the wrong findings:\n%s", stdout)
+	}
+}
+
+// TestBaselineMissingFileIsLoadError: a baseline that cannot be read is
+// a hard error, never silently treated as empty.
+func TestBaselineMissingFileIsLoadError(t *testing.T) {
+	code, _, stderr := runDriver(t, fixtureModule(t), "-baseline", filepath.Join(t.TempDir(), "nope"))
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr %q", code, stderr)
 	}
 }

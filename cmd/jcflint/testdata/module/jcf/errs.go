@@ -1,0 +1,19 @@
+// errs.go seeds exactly one errflow finding for the driver e2e tests:
+// a sentinel compared with == (IsStale), next to the wrap-safe
+// errors.Is form (IsStaleOK) that must stay clean.
+package jcf
+
+import "errors"
+
+// ErrStale is the fixture module's package-level sentinel.
+var ErrStale = errors.New("stale workspace")
+
+// IsStale tests the sentinel with ==: the errflow seed.
+func IsStale(err error) bool {
+	return err == ErrStale
+}
+
+// IsStaleOK is the wrap-safe form — clean.
+func IsStaleOK(err error) bool {
+	return errors.Is(err, ErrStale)
+}

@@ -79,8 +79,10 @@ type Analyzer struct {
 }
 
 // Analyzers returns the full jcflint suite in stable order: the five
-// package-local analyzers from PR 6, then the three whole-module,
-// call-graph-aware analyzers.
+// package-local analyzers from PR 6, the three whole-module
+// call-graph analyzers from PR 7, then the three dataflow analyzers
+// (holdblock, releasepath, errflow) built on the blocking/resource
+// summaries.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		LockOrderAnalyzer,
@@ -91,6 +93,9 @@ func Analyzers() []*Analyzer {
 		LockGraphAnalyzer,
 		ApplyAtomicAnalyzer,
 		KindSwitchAnalyzer,
+		HoldBlockAnalyzer,
+		ReleasePathAnalyzer,
+		ErrFlowAnalyzer,
 	}
 }
 
@@ -115,6 +120,36 @@ func Run(snap *Snapshot, analyzers []*Analyzer) []Diagnostic {
 // merged and sorted after the last one finishes, so output order is
 // deterministic regardless of scheduling.
 func RunTimed(snap *Snapshot, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
+	diags, timings := runAll(snap, analyzers)
+	diags = applySuppressions(snap.Pkgs, diags)
+	sortDiags(diags)
+	return diags, timings
+}
+
+// RunRaw is Run WITHOUT suppression filtering: every finding, including
+// ones covered by //lint:allow directives. The loudness tests use it to
+// prove a deliberate, annotated violation is still detected — that the
+// silence in make lint comes from the annotation, not a blind spot.
+func RunRaw(snap *Snapshot, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := runAll(snap, analyzers)
+	sortDiags(diags)
+	return diags
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+func runAll(snap *Snapshot, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	var timings []Timing
 	// Build the shared call graph up front so its cost shows up as its
 	// own line instead of being billed to whichever module analyzer's
@@ -156,17 +191,6 @@ func RunTimed(snap *Snapshot, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 		diags = append(diags, r...)
 	}
 	timings = append(timings, perAnalyzer...)
-	diags = applySuppressions(snap.Pkgs, diags)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		return a.Analyzer < b.Analyzer
-	})
 	return diags, timings
 }
 

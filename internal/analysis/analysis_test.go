@@ -231,3 +231,33 @@ func TestGuardWriteClassification(t *testing.T) {
 		t.Errorf("only %d exported Framework methods classified guarded-and-mutating; expected at least 15 — the classifier has gone blind", guardedMutating)
 	}
 }
+
+// TestDeliberateBlockingStaysLoud is the loudness test for the
+// suppression protocol: the deliberate Snapshot-under-fw.mu in
+// jcf.Framework.SaveTo must still be DETECTED by holdblock (RunRaw,
+// which skips suppression filtering), and silenced only by its
+// //lint:allow annotation (Run). If the raw finding disappears, the
+// analyzer has gone blind and the annotation is dead weight; if the
+// filtered run reports it, the annotation drifted off its line.
+func TestDeliberateBlockingStaysLoud(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	snap := loadRepoTree(t)
+	raw := RunRaw(snap, []*Analyzer{HoldBlockAnalyzer})
+	found := false
+	for _, d := range raw {
+		if filepath.Base(d.Pos.Filename) == "persist.go" &&
+			strings.Contains(d.Message, "oms.Store.Snapshot") &&
+			strings.Contains(d.Message, "jcf.Framework.SaveTo") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("holdblock no longer detects the deliberate Snapshot-under-fw.mu in SaveTo; " +
+			"the //lint:allow there is suppressing nothing — the analyzer went blind")
+	}
+	for _, d := range Run(snap, []*Analyzer{HoldBlockAnalyzer}) {
+		t.Errorf("unsuppressed holdblock finding on clean tree: %s", d)
+	}
+}

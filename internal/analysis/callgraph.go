@@ -37,7 +37,10 @@ import (
 type CallGraph struct {
 	Nodes map[*types.Func]*FuncNode
 
-	lockSums map[*types.Func]*lockSummary
+	lockSums  map[*types.Func]*lockSummary
+	blockSums map[*types.Func]*blockSummary
+	relParams map[*types.Func]map[int]bool
+	sorted    []*FuncNode
 }
 
 // FuncNode is one declared function with its analyzer-relevant timeline.
@@ -62,13 +65,16 @@ const (
 	EvAcquire EventKind = iota // a named lock Lock/RLock
 	EvRelease                  // a named lock Unlock/RUnlock
 	EvCall                     // a call to a module-declared function
+	EvExtCall                  // a resolved call to a function declared OUTSIDE the module
+	EvBlock                    // a directly-blocking channel primitive (send/recv/select)
 )
 
 // Event is one timeline entry.
 type Event struct {
 	Kind     EventKind
 	Lock     string      // EvAcquire/EvRelease: the named-lock key
-	Callee   *types.Func // EvCall
+	Callee   *types.Func // EvCall/EvExtCall
+	Desc     string      // EvBlock: "chan-send", "chan-recv", "chan-recv (range)", "select"
 	Pos      token.Pos
 	Deferred bool // inside a defer statement or deferred literal
 	Returned bool // inside a func literal the function returns
@@ -208,11 +214,36 @@ func buildCallGraph(snap *Snapshot) *CallGraph {
 			collectEvents(g, node)
 		}
 	}
-	// Compute the lock summaries eagerly: the graph is built under the
-	// Snapshot's sync.Once, so everything memoized here is visible to
-	// the concurrent analyzer goroutines without further locking.
+	// Compute every whole-graph summary eagerly: the graph is built
+	// under the Snapshot's sync.Once, so everything memoized here is
+	// visible to the concurrent analyzer goroutines without further
+	// locking.
 	g.lockSummaries()
+	g.blockSummaries()
+	g.releaserParams()
 	return g
+}
+
+// sortedNodes returns the graph's nodes in a deterministic order
+// (label, then declaration position), so fixpoint witness selection and
+// per-function scans do not depend on map iteration order.
+func (g *CallGraph) sortedNodes() []*FuncNode {
+	if g.sorted != nil {
+		return g.sorted
+	}
+	nodes := make([]*FuncNode, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		li, lj := FuncLabel(nodes[i].Fn), FuncLabel(nodes[j].Fn)
+		if li != lj {
+			return li < lj
+		}
+		return nodes[i].Fn.Pos() < nodes[j].Fn.Pos()
+	})
+	g.sorted = nodes
+	return nodes
 }
 
 // collectEvents walks one declaration body building its timeline.
@@ -223,7 +254,11 @@ func buildCallGraph(snap *Snapshot) *CallGraph {
 // (the caller defers the closure), not to the helper's own body.
 func collectEvents(g *CallGraph, node *FuncNode) {
 	info := node.Pkg.Info
-	var walk func(n ast.Node, deferred, returned bool, loop int)
+	// noChan suppresses the channel-primitive events inside a select's
+	// comm clauses: the select itself is the blocking (or, with a
+	// default clause, non-blocking) operation, not the individual
+	// send/recv cases under it.
+	var walk func(n ast.Node, deferred, returned, noChan bool, loop int)
 	visitCall := func(call *ast.CallExpr, deferred, returned bool, loop int) {
 		if key, acquire, ok := classifyLockOp(info, call); ok {
 			kind := EvRelease
@@ -240,15 +275,19 @@ func collectEvents(g *CallGraph, node *FuncNode) {
 		if callee == nil {
 			return
 		}
+		kind := EvCall
 		if _, declared := g.Nodes[callee]; !declared {
-			return
+			// Interface methods (repl.Conn.Send, backend.Backend.Put)
+			// and out-of-module functions (time.Sleep, os.WriteFile):
+			// the dataflow layer classifies these as blocking or not.
+			kind = EvExtCall
 		}
 		node.Events = append(node.Events, Event{
-			Kind: EvCall, Callee: callee, Pos: call.Pos(),
+			Kind: kind, Callee: callee, Pos: call.Pos(),
 			Deferred: deferred, Returned: returned, InLoop: loop > 0,
 		})
 	}
-	walk = func(n ast.Node, deferred, returned bool, loop int) {
+	walk = func(n ast.Node, deferred, returned, noChan bool, loop int) {
 		ast.Inspect(n, func(m ast.Node) bool {
 			switch mm := m.(type) {
 			case *ast.GoStmt:
@@ -257,12 +296,12 @@ func collectEvents(g *CallGraph, node *FuncNode) {
 				collectAsync(g, node, mm.Call)
 				return false
 			case *ast.DeferStmt:
-				walk(mm.Call, true, returned, loop)
+				walk(mm.Call, true, returned, noChan, loop)
 				return false
 			case *ast.ReturnStmt:
 				for _, res := range mm.Results {
 					if lit, ok := ast.Unparen(res).(*ast.FuncLit); ok {
-						walk(lit.Body, deferred, true, loop)
+						walk(lit.Body, deferred, true, noChan, loop)
 						continue
 					}
 					// `return s.mu.Unlock` — a returned lock-method
@@ -280,25 +319,76 @@ func collectEvents(g *CallGraph, node *FuncNode) {
 							continue
 						}
 					}
-					walk(res, deferred, returned, loop)
+					walk(res, deferred, returned, noChan, loop)
 				}
 				return false
 			case *ast.ForStmt:
 				if mm.Init != nil {
-					walk(mm.Init, deferred, returned, loop)
+					walk(mm.Init, deferred, returned, noChan, loop)
 				}
 				if mm.Cond != nil {
-					walk(mm.Cond, deferred, returned, loop)
+					walk(mm.Cond, deferred, returned, noChan, loop)
 				}
 				if mm.Post != nil {
-					walk(mm.Post, deferred, returned, loop+1)
+					walk(mm.Post, deferred, returned, noChan, loop+1)
 				}
-				walk(mm.Body, deferred, returned, loop+1)
+				walk(mm.Body, deferred, returned, noChan, loop+1)
 				return false
 			case *ast.RangeStmt:
-				walk(mm.X, deferred, returned, loop)
-				walk(mm.Body, deferred, returned, loop+1)
+				walk(mm.X, deferred, returned, noChan, loop)
+				if t := typeOf(info, mm.X); t != nil && !noChan {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						// Ranging a channel blocks on every iteration.
+						node.Events = append(node.Events, Event{
+							Kind: EvBlock, Desc: "chan-recv (range)", Pos: mm.Pos(),
+							Deferred: deferred, Returned: returned, InLoop: true,
+						})
+					}
+				}
+				walk(mm.Body, deferred, returned, noChan, loop+1)
 				return false
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, c := range mm.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					node.Events = append(node.Events, Event{
+						Kind: EvBlock, Desc: "select", Pos: mm.Pos(),
+						Deferred: deferred, Returned: returned, InLoop: loop > 0,
+					})
+				}
+				for _, c := range mm.Body.List {
+					cc, ok := c.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if cc.Comm != nil {
+						walk(cc.Comm, deferred, returned, true, loop)
+					}
+					for _, s := range cc.Body {
+						walk(s, deferred, returned, noChan, loop)
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				if !noChan {
+					node.Events = append(node.Events, Event{
+						Kind: EvBlock, Desc: "chan-send", Pos: mm.Arrow,
+						Deferred: deferred, Returned: returned, InLoop: loop > 0,
+					})
+				}
+				return true
+			case *ast.UnaryExpr:
+				if mm.Op == token.ARROW && !noChan {
+					node.Events = append(node.Events, Event{
+						Kind: EvBlock, Desc: "chan-recv", Pos: mm.Pos(),
+						Deferred: deferred, Returned: returned, InLoop: loop > 0,
+					})
+				}
+				return true
 			case *ast.CallExpr:
 				visitCall(mm, deferred, returned, loop)
 				return true // arguments may contain nested calls/lits
@@ -306,7 +396,7 @@ func collectEvents(g *CallGraph, node *FuncNode) {
 			return true
 		})
 	}
-	walk(node.Decl.Body, false, false, 0)
+	walk(node.Decl.Body, false, false, false, 0)
 }
 
 // collectAsync records every module-internal call under a go statement.

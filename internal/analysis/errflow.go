@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// errflow enforces the wrap-safe error-flow contract: package-level
+// sentinel errors (oms.ErrFeedGap, repl.ErrReadOnlyReplica, io.EOF, …)
+// may only be tested with errors.Is — never == or != — and errors
+// wrapped into a new message with fmt.Errorf must use the %w verb, not
+// %v or %s. A == comparison breaks the moment any layer wraps the
+// sentinel for context, which is exactly what the service boundary in
+// cmd/jcfd will do; %v wrapping strips the chain so errors.Is on the
+// caller side stops matching. Both bugs are invisible at the site that
+// introduces them and surface as dead error-handling paths elsewhere.
+var ErrFlowAnalyzer = &Analyzer{
+	Name: "errflow",
+	Doc:  "sentinel errors compared only via errors.Is; error wrapping uses %w",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.BinaryExpr:
+					checkSentinelCompare(pass, nn)
+				case *ast.SwitchStmt:
+					checkSentinelSwitch(pass, nn)
+				case *ast.CallExpr:
+					checkErrorfWrap(pass, nn)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// sentinelVar reports whether the expression resolves to a
+// package-scope variable of type error — a sentinel.
+func sentinelVar(info *types.Info, x ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch xx := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		id = xx
+	case *ast.SelectorExpr:
+		id = xx.Sel
+	default:
+		return nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	s := sentinelVar(pass.Info, be.X)
+	if s == nil {
+		s = sentinelVar(pass.Info, be.Y)
+	}
+	if s == nil {
+		return
+	}
+	pass.Reportf(be.OpPos,
+		"sentinel error %s compared with %s; use errors.Is so the check survives wrapping",
+		s.Name(), be.Op)
+}
+
+func checkSentinelSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	t := typeOf(pass.Info, sw.Tag)
+	if t == nil || !isErrorType(t) {
+		return
+	}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, x := range cc.List {
+			if s := sentinelVar(pass.Info, x); s != nil {
+				pass.Reportf(x.Pos(),
+					"sentinel error %s matched by switch case (an == comparison); use errors.Is so the check survives wrapping",
+					s.Name())
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error value to a
+// verb other than %w. The scan is deliberately conservative: indexed
+// verbs ([1]s) or a spread argument make the verb/argument pairing
+// ambiguous, so the whole call is skipped rather than misattributed.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass.Info, call)
+	if callee == nil || callee.Pkg() == nil ||
+		callee.Pkg().Path() != "fmt" || callee.Name() != "Errorf" {
+		return
+	}
+	if call.Ellipsis.IsValid() || len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+
+	argIdx := 1
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(format) && (format[i] == '#' || format[i] == '+' ||
+			format[i] == '-' || format[i] == ' ' || format[i] == '0') {
+			i++
+		}
+		if i < len(format) && format[i] == '[' {
+			return // indexed verbs: pairing is ambiguous, skip the call
+		}
+		// Width, possibly '*' (consumes an argument).
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				argIdx++
+			}
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+				if format[i] == '*' {
+					argIdx++
+				}
+				i++
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if argIdx < len(call.Args) {
+			arg := call.Args[argIdx]
+			if verb != 'w' {
+				if t := typeOf(pass.Info, arg); t != nil && isErrorType(t) {
+					pass.Reportf(arg.Pos(),
+						"error wrapped with %%%c; use %%w so errors.Is/As can unwrap it", verb)
+				}
+			}
+		}
+		argIdx++
+	}
+}

@@ -6,9 +6,9 @@ import (
 	"strings"
 )
 
-// noerrdrop flags silently discarded errors in the internal packages:
-// `_ = f(...)` assignments and bare call statements where f returns an
-// error. Both of the bug classes earlier PRs fixed by hand (enact.go's
+// noerrdrop flags silently discarded errors in the internal packages
+// and the CLIs: `_ = f(...)` assignments and bare call statements where
+// f returns an error. Both of the bug classes earlier PRs fixed by hand (enact.go's
 // discarded Link error, StartActivity's dropped Finish) would have been
 // one jcflint run away. Deliberate discards take
 // //lint:allow noerrdrop <reason>.
@@ -23,7 +23,8 @@ var NoErrDropAnalyzer = &Analyzer{
 	Name: "noerrdrop",
 	Doc:  "errors must be handled, returned, or explicitly allowed — not discarded",
 	Match: func(p *Package) bool {
-		return strings.Contains(p.Path, "/internal/") || strings.HasPrefix(p.Path, "internal/")
+		return strings.Contains(p.Path, "/internal/") || strings.HasPrefix(p.Path, "internal/") ||
+			strings.Contains(p.Path, "/cmd/") || strings.HasPrefix(p.Path, "cmd/")
 	},
 	Run: runNoErrDrop,
 }

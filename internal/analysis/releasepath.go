@@ -1,0 +1,881 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// releasepath is the resource-leak analyzer: every value obtained from
+// an acquire-shaped call (a transport Dial/Accept connection, a feed
+// subscription, an os.File, a pooled batch builder) must reach its
+// release on EVERY path out of the function — including early error
+// returns — or demonstrably escape: be returned, stored into a field,
+// map, slice, or channel, captured by a closure or goroutine, or handed
+// to a function that releases that parameter (the releaserParams
+// fixpoint: closeConn, noteCloseErr, putBatch). A deferred release
+// covers every path at once, panics included.
+//
+// The walk is a structural abstract interpretation of the body: one
+// pass over the statement tree tracking, per acquired variable, whether
+// it is still held on the current path. Branches fork the state and
+// merge at the join (held on ANY live branch stays held); the
+// `v, err := acquire(); if err != nil` idiom is recognized so the
+// error branch does not count as holding a value that was never
+// produced. Constructs the walk cannot follow precisely — goto, labeled
+// break/continue — drop tracking for the function (conservative
+// silence, never a false positive).
+var ReleasePathAnalyzer = &Analyzer{
+	Name: "releasepath",
+	Doc:  "acquired resources (conns, subscriptions, files, pooled batches) released or escaped on every path",
+	RunModule: func(pass *ModulePass) {
+		g := pass.Snap.CallGraph()
+		rel := g.releaserParams()
+		for _, node := range g.sortedNodes() {
+			if node.Decl.Body == nil {
+				continue
+			}
+			runReleasePath(pass, g, rel, node.Pkg, node.Decl.Body)
+			// Function literals get their own independent walk:
+			// resources acquired inside a goroutine body or callback
+			// must balance within it.
+			ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					runReleasePath(pass, g, rel, node.Pkg, lit.Body)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// resource is one tracked acquired value.
+type resource struct {
+	obj    *types.Var
+	spec   acquireSpec
+	pos    token.Pos
+	src    string     // label of the acquiring call, e.g. "repl.Dialer.Dial"
+	errObj *types.Var // the paired error result of the acquire, if any
+	okObj  *types.Var // the paired bool ok-result of the acquire, if any
+}
+
+// rpWalker carries one body's walk state.
+type rpWalker struct {
+	pass     *ModulePass
+	g        *CallGraph
+	rel      map[*types.Func]map[int]bool
+	info     *types.Info
+	byVar    map[*types.Var]*resource
+	reported map[*types.Var]bool
+	bailed   bool // goto/labeled-branch seen: suppress all findings
+	loops    []*loopFrame
+}
+
+// env maps each live tracked resource to whether it is still held.
+// A resource leaves the env (or flips to false) once released or
+// escaped; merging keeps it held if ANY live branch still holds it.
+type env map[*types.Var]bool
+
+func cloneEnv(e env) env {
+	out := make(env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeEnv joins branch exits: held anywhere → held.
+func mergeEnv(envs ...env) env {
+	out := env{}
+	for _, e := range envs {
+		for k, v := range e {
+			if v {
+				out[k] = true
+			} else if _, ok := out[k]; !ok {
+				out[k] = false
+			}
+		}
+	}
+	return out
+}
+
+// loopFrame accumulates the envs flowing out of a loop via break and
+// back to its head via continue.
+type loopFrame struct {
+	breaks []env
+	conts  []env
+}
+
+func runReleasePath(pass *ModulePass, g *CallGraph, rel map[*types.Func]map[int]bool, pkg *Package, body *ast.BlockStmt) {
+	w := &rpWalker{
+		pass:     pass,
+		g:        g,
+		rel:      rel,
+		info:     pkg.Info,
+		byVar:    map[*types.Var]*resource{},
+		reported: map[*types.Var]bool{},
+	}
+	out, term := w.walkStmts(body.List, env{})
+	if !term {
+		w.reportHeld(out, body.End(), "falls off the end of the function")
+	}
+}
+
+// report flags every resource still held in e at an exit.
+func (w *rpWalker) reportHeld(e env, exit token.Pos, how string) {
+	if w.bailed {
+		return
+	}
+	for obj, held := range e {
+		if !held {
+			continue
+		}
+		res := w.byVar[obj]
+		if res == nil || w.reported[obj] {
+			continue
+		}
+		w.reported[obj] = true
+		exitPos := w.pass.Snap.Fset.Position(exit)
+		w.pass.Reportf(res.pos,
+			"%s %q from %s is not released on every path: the path that %s (%s:%d) still holds it — release it with %s, store/return it, or annotate //lint:allow releasepath",
+			res.spec.class, obj.Name(), res.src, how,
+			filepathBase(exitPos.Filename), exitPos.Line, res.spec.release)
+	}
+}
+
+func filepathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// escape drops a resource from tracking without a finding: ownership
+// moved somewhere the walk cannot follow, which is the safe direction.
+func escape(e env, obj *types.Var) {
+	if _, ok := e[obj]; ok {
+		e[obj] = false
+	}
+}
+
+// trackedIdent resolves an expression to a live tracked resource var.
+func (w *rpWalker) trackedIdent(e env, x ast.Expr) *types.Var {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := w.info.Uses[id].(*types.Var)
+	if !ok {
+		obj, ok = w.info.Defs[id].(*types.Var)
+		if !ok {
+			return nil
+		}
+	}
+	if _, live := e[obj]; !live {
+		return nil
+	}
+	return obj
+}
+
+// --- statement walk ----------------------------------------------------
+
+func (w *rpWalker) walkStmts(list []ast.Stmt, e env) (env, bool) {
+	for _, s := range list {
+		var term bool
+		e, term = w.walkStmt(s, e)
+		if term {
+			return e, true
+		}
+	}
+	return e, false
+}
+
+func (w *rpWalker) walkStmt(s ast.Stmt, e env) (env, bool) {
+	switch ss := s.(type) {
+	case *ast.AssignStmt:
+		return w.walkAssign(ss, e), false
+	case *ast.DeclStmt:
+		if gd, ok := ss.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Names) == 1 && len(vs.Values) == 1 {
+					if spec, ok := classifyAcquire(w.info, callOf(vs.Values[0])); ok {
+						w.track(e, vs.Names[0], nil, nil, callOf(vs.Values[0]), spec)
+						continue
+					}
+				}
+				for _, v := range vs.Values {
+					w.scanExpr(v, e)
+				}
+			}
+		}
+		return e, false
+	case *ast.ExprStmt:
+		if call := callOf(ss.X); call != nil {
+			if spec, ok := classifyAcquire(w.info, call); ok && !w.bailed {
+				w.pass.Reportf(call.Pos(),
+					"%s from %s is discarded: the result is never bound, so it can never be released with %s",
+					spec.class, acquireLabel(w.info, call), spec.release)
+				w.scanCallArgs(call, e)
+				return e, false
+			}
+			if isTerminalCall(w.info, call) {
+				w.scanExpr(ss.X, e)
+				return e, true
+			}
+		}
+		w.scanExpr(ss.X, e)
+		return e, false
+	case *ast.ReturnStmt:
+		// Release calls in the operands (`return c.Close()`) count,
+		// then returned resources escape, then what's left leaks.
+		for _, r := range ss.Results {
+			if obj := w.trackedIdent(e, r); obj != nil {
+				escape(e, obj)
+				continue
+			}
+			w.scanExpr(r, e)
+		}
+		w.reportHeld(e, ss.Pos(), "returns here")
+		return e, true
+	case *ast.DeferStmt:
+		// A deferred release covers every path out, panics included; a
+		// deferred closure or forwarded call that merely references the
+		// resource is an escape. Either way the value is covered.
+		w.escapeAllIn(ss.Call, e)
+		return e, false
+	case *ast.GoStmt:
+		w.escapeAllIn(ss.Call, e)
+		return e, false
+	case *ast.SendStmt:
+		if obj := w.trackedIdent(e, ss.Value); obj != nil {
+			escape(e, obj)
+		} else {
+			w.scanExpr(ss.Value, e)
+		}
+		w.scanExpr(ss.Chan, e)
+		return e, false
+	case *ast.IfStmt:
+		return w.walkIf(ss, e)
+	case *ast.ForStmt:
+		return w.walkFor(ss, e)
+	case *ast.RangeStmt:
+		return w.walkRange(ss, e)
+	case *ast.SwitchStmt:
+		var clauses []*ast.CaseClause
+		for _, c := range ss.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				clauses = append(clauses, cc)
+			}
+		}
+		pre := e
+		if ss.Init != nil {
+			pre, _ = w.walkStmt(ss.Init, cloneEnv(pre))
+		}
+		if ss.Tag != nil {
+			w.scanExpr(ss.Tag, pre)
+		}
+		var outs []env
+		hasDefault := false
+		allTerm := true
+		for _, cc := range clauses {
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, x := range cc.List {
+				w.scanExpr(x, pre)
+			}
+			ce, term := w.walkStmts(cc.Body, cloneEnv(pre))
+			if !term {
+				outs = append(outs, ce)
+				allTerm = false
+			}
+		}
+		if !hasDefault {
+			outs = append(outs, pre)
+			allTerm = false
+		}
+		return mergeEnv(outs...), allTerm && len(clauses) > 0
+	case *ast.TypeSwitchStmt:
+		pre := e
+		if ss.Init != nil {
+			pre, _ = w.walkStmt(ss.Init, cloneEnv(pre))
+		}
+		w.scanStmtExprs(ss.Assign, pre)
+		var outs []env
+		hasDefault := false
+		allTerm := true
+		for _, c := range ss.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			ce, term := w.walkStmts(cc.Body, cloneEnv(pre))
+			if !term {
+				outs = append(outs, ce)
+				allTerm = false
+			}
+		}
+		if !hasDefault {
+			outs = append(outs, pre)
+			allTerm = false
+		}
+		return mergeEnv(outs...), allTerm && len(ss.Body.List) > 0
+	case *ast.SelectStmt:
+		var outs []env
+		allTerm := true
+		hasClause := false
+		for _, c := range ss.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			hasClause = true
+			ce := cloneEnv(e)
+			if cc.Comm != nil {
+				ce, _ = w.walkStmt(cc.Comm, ce)
+			}
+			ce, term := w.walkStmts(cc.Body, ce)
+			if !term {
+				outs = append(outs, ce)
+				allTerm = false
+			}
+		}
+		if !hasClause {
+			return e, true // select{} blocks forever
+		}
+		return mergeEnv(outs...), allTerm
+	case *ast.BranchStmt:
+		if ss.Label != nil || ss.Tok == token.GOTO {
+			// Labeled control flow: give up on this body, silently.
+			w.bailed = true
+			return e, true
+		}
+		switch ss.Tok {
+		case token.BREAK:
+			if f := w.topLoop(); f != nil {
+				f.breaks = append(f.breaks, cloneEnv(e))
+			}
+			return e, true
+		case token.CONTINUE:
+			if f := w.topLoop(); f != nil {
+				f.conts = append(f.conts, cloneEnv(e))
+			}
+			return e, true
+		case token.FALLTHROUGH:
+			return e, false
+		}
+		return e, false
+	case *ast.BlockStmt:
+		return w.walkStmts(ss.List, e)
+	case *ast.LabeledStmt:
+		return w.walkStmt(ss.Stmt, e)
+	case *ast.IncDecStmt:
+		w.scanExpr(ss.X, e)
+		return e, false
+	case *ast.EmptyStmt:
+		return e, false
+	default:
+		w.scanStmtExprs(s, e)
+		return e, false
+	}
+}
+
+// walkAssign handles acquisition, overwrite, and generic escapes.
+func (w *rpWalker) walkAssign(a *ast.AssignStmt, e env) env {
+	if len(a.Rhs) == 1 {
+		if call := callOf(a.Rhs[0]); call != nil {
+			if spec, ok := classifyAcquire(w.info, call); ok {
+				w.scanCallArgs(call, e)
+				lhs0 := ast.Unparen(a.Lhs[0])
+				id, isIdent := lhs0.(*ast.Ident)
+				switch {
+				case isIdent && id.Name == "_":
+					if !w.bailed {
+						w.pass.Reportf(call.Pos(),
+							"%s from %s is discarded (assigned to _), so it can never be released with %s",
+							spec.class, acquireLabel(w.info, call), spec.release)
+					}
+				case isIdent:
+					// Pair the acquire's err / ok result variable so the
+					// failed-acquire branch of the following guard does
+					// not count as holding a value never produced. The
+					// LHS idents of := are definitions, absent from
+					// Info.Types — resolve the object's type instead.
+					var errId, okId *ast.Ident
+					for _, l := range a.Lhs[1:] {
+						eid, ok := ast.Unparen(l).(*ast.Ident)
+						if !ok || eid.Name == "_" {
+							continue
+						}
+						var obj types.Object = w.info.Defs[eid]
+						if obj == nil {
+							obj = w.info.Uses[eid]
+						}
+						if obj == nil {
+							continue
+						}
+						if errId == nil && isErrorType(obj.Type()) {
+							errId = eid
+						} else if okId == nil && isBoolType(obj.Type()) {
+							okId = eid
+						}
+					}
+					w.track(e, id, errId, okId, call, spec)
+				default:
+					// Stored straight into a field/map/slice: escaped.
+				}
+				// Remaining LHS (the err slot) cannot hold resources.
+				return e
+			}
+		}
+	}
+	// Generic assignment: anything tracked on the RHS escapes (aliased
+	// or stored); a tracked var OVERWRITTEN on the LHS stops being
+	// tracked (silently — the walk cannot prove the old value leaked).
+	for _, r := range a.Rhs {
+		if obj := w.trackedIdent(e, r); obj != nil {
+			escape(e, obj)
+		} else {
+			w.scanExpr(r, e)
+		}
+	}
+	for _, l := range a.Lhs {
+		if obj := w.trackedIdent(e, l); obj != nil {
+			delete(e, obj)
+			continue
+		}
+		// Reassigning an acquire's paired error variable invalidates
+		// the err-branch refinement for its resource.
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			if obj, ok := w.info.Uses[id].(*types.Var); ok {
+				for _, res := range w.byVar {
+					if res.errObj == obj {
+						res.errObj = nil
+					}
+				}
+			}
+			continue
+		}
+		w.scanExpr(l, e)
+	}
+	return e
+}
+
+// track begins tracking one acquired resource.
+func (w *rpWalker) track(e env, id *ast.Ident, errId, okId *ast.Ident, call *ast.CallExpr, spec acquireSpec) {
+	if id.Name == "_" {
+		if !w.bailed {
+			w.pass.Reportf(call.Pos(),
+				"%s from %s is discarded (assigned to _), so it can never be released with %s",
+				spec.class, acquireLabel(w.info, call), spec.release)
+		}
+		return
+	}
+	obj, ok := w.info.Defs[id].(*types.Var)
+	if !ok {
+		obj, ok = w.info.Uses[id].(*types.Var)
+		if !ok {
+			return
+		}
+	}
+	res := &resource{obj: obj, spec: spec, pos: call.Pos(), src: acquireLabel(w.info, call)}
+	res.errObj = identVar(w.info, errId)
+	res.okObj = identVar(w.info, okId)
+	w.byVar[obj] = res
+	e[obj] = true
+}
+
+func identVar(info *types.Info, id *ast.Ident) *types.Var {
+	if id == nil {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsBoolean != 0
+}
+
+// walkIf forks the env, refining on the `err != nil` guard of an
+// acquire when the condition tests a paired error variable.
+func (w *rpWalker) walkIf(s *ast.IfStmt, e env) (env, bool) {
+	pre := e
+	if s.Init != nil {
+		pre, _ = w.walkStmt(s.Init, cloneEnv(pre))
+	}
+	w.scanExpr(s.Cond, pre)
+	thenEnv, elseEnv := cloneEnv(pre), cloneEnv(pre)
+	if errVar, errIsNonNil, ok := w.errNilCond(s.Cond); ok {
+		// On the branch where err != nil the acquire failed: the
+		// resource was never produced there.
+		for obj, res := range w.byVar {
+			if res.errObj != errVar {
+				continue
+			}
+			if errIsNonNil {
+				delete(thenEnv, obj)
+			} else {
+				delete(elseEnv, obj)
+			}
+		}
+	}
+	if okVar, okIsTrue, ok := w.okCond(s.Cond); ok {
+		// `if v, ok := acquire(); ok { ... }`: the !ok branch never
+		// produced the resource.
+		for obj, res := range w.byVar {
+			if res.okObj != okVar {
+				continue
+			}
+			if okIsTrue {
+				delete(elseEnv, obj)
+			} else {
+				delete(thenEnv, obj)
+			}
+		}
+	}
+	thenOut, thenTerm := w.walkStmts(s.Body.List, thenEnv)
+	elseOut, elseTerm := elseEnv, false
+	if s.Else != nil {
+		elseOut, elseTerm = w.walkStmt(s.Else, elseEnv)
+	}
+	var outs []env
+	if !thenTerm {
+		outs = append(outs, thenOut)
+	}
+	if !elseTerm {
+		outs = append(outs, elseOut)
+	}
+	return mergeEnv(outs...), thenTerm && elseTerm
+}
+
+// errNilCond matches `err != nil` / `err == nil` over an error var.
+func (w *rpWalker) errNilCond(cond ast.Expr) (*types.Var, bool, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(y) {
+	} else if isNilIdent(x) {
+		x = y
+	} else {
+		return nil, false, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false, false
+	}
+	obj, ok := w.info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, false, false
+	}
+	return obj, be.Op == token.NEQ, true
+}
+
+func isNilIdent(x ast.Expr) bool {
+	id, ok := x.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// okCond matches a bare `ok` or `!ok` condition over a bool var,
+// returning the var and whether the then-branch is the ok==true side.
+func (w *rpWalker) okCond(cond ast.Expr) (*types.Var, bool, bool) {
+	okIsTrue := true
+	x := ast.Unparen(cond)
+	if ue, ok := x.(*ast.UnaryExpr); ok && ue.Op == token.NOT {
+		okIsTrue = false
+		x = ast.Unparen(ue.X)
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false, false
+	}
+	obj, ok := w.info.Uses[id].(*types.Var)
+	if !ok || !isBoolType(obj.Type()) {
+		return nil, false, false
+	}
+	return obj, okIsTrue, true
+}
+
+func (w *rpWalker) topLoop() *loopFrame {
+	if len(w.loops) == 0 {
+		return nil
+	}
+	return w.loops[len(w.loops)-1]
+}
+
+func (w *rpWalker) walkFor(s *ast.ForStmt, e env) (env, bool) {
+	pre := e
+	if s.Init != nil {
+		pre, _ = w.walkStmt(s.Init, cloneEnv(pre))
+	}
+	if s.Cond != nil {
+		w.scanExpr(s.Cond, pre)
+	}
+	frame := &loopFrame{}
+	w.loops = append(w.loops, frame)
+	bodyOut, bodyTerm := w.walkStmts(s.Body.List, cloneEnv(pre))
+	if s.Post != nil {
+		w.scanStmtExprs(s.Post, bodyOut)
+	}
+	w.loops = w.loops[:len(w.loops)-1]
+
+	// The loop's back edge: a resource acquired inside the body that is
+	// still held when the body finishes (or continues) leaks once per
+	// iteration.
+	backEdges := frame.conts
+	if !bodyTerm {
+		backEdges = append(backEdges, bodyOut)
+	}
+	for _, be := range backEdges {
+		iterLeaks := env{}
+		for obj, held := range be {
+			if held {
+				if _, preLive := pre[obj]; !preLive {
+					iterLeaks[obj] = true
+				}
+			}
+		}
+		w.reportHeld(iterLeaks, s.End(), "loops back for the next iteration")
+	}
+
+	if s.Cond == nil {
+		// `for {` only exits through break.
+		if len(frame.breaks) == 0 {
+			return pre, true
+		}
+		return mergeEnv(frame.breaks...), false
+	}
+	outs := append([]env{pre}, frame.breaks...)
+	if !bodyTerm {
+		outs = append(outs, bodyOut)
+	}
+	return mergeEnv(outs...), false
+}
+
+func (w *rpWalker) walkRange(s *ast.RangeStmt, e env) (env, bool) {
+	pre := cloneEnv(e)
+	w.scanExpr(s.X, pre)
+	frame := &loopFrame{}
+	w.loops = append(w.loops, frame)
+	bodyOut, bodyTerm := w.walkStmts(s.Body.List, cloneEnv(pre))
+	w.loops = w.loops[:len(w.loops)-1]
+
+	backEdges := frame.conts
+	if !bodyTerm {
+		backEdges = append(backEdges, bodyOut)
+	}
+	for _, be := range backEdges {
+		iterLeaks := env{}
+		for obj, held := range be {
+			if held {
+				if _, preLive := pre[obj]; !preLive {
+					iterLeaks[obj] = true
+				}
+			}
+		}
+		w.reportHeld(iterLeaks, s.End(), "loops back for the next iteration")
+	}
+
+	outs := append([]env{pre}, frame.breaks...)
+	if !bodyTerm {
+		outs = append(outs, bodyOut)
+	}
+	return mergeEnv(outs...), false
+}
+
+// --- expression scan ---------------------------------------------------
+
+// scanExpr applies the release/escape rules inside one expression tree.
+// Reads (comparisons, field selections, method calls other than the
+// release) keep the resource held; anything that could store the value
+// — composite literals, closures, address-of, untracked argument
+// positions — escapes it.
+func (w *rpWalker) scanExpr(x ast.Expr, e env) {
+	if x == nil {
+		return
+	}
+	switch xx := x.(type) {
+	case *ast.CallExpr:
+		w.scanCall(xx, e)
+	case *ast.BinaryExpr:
+		// Comparisons and arithmetic only read.
+		if w.trackedIdent(e, xx.X) == nil {
+			w.scanExpr(xx.X, e)
+		}
+		if w.trackedIdent(e, xx.Y) == nil {
+			w.scanExpr(xx.Y, e)
+		}
+	case *ast.SelectorExpr:
+		// Reading a field/method through the resource is a borrow.
+		if w.trackedIdent(e, xx.X) == nil {
+			w.scanExpr(xx.X, e)
+		}
+	case *ast.UnaryExpr:
+		if xx.Op == token.AND {
+			if obj := w.trackedIdent(e, xx.X); obj != nil {
+				escape(e, obj) // address taken
+				return
+			}
+		}
+		w.scanExpr(xx.X, e)
+	case *ast.ParenExpr:
+		w.scanExpr(xx.X, e)
+	case *ast.StarExpr:
+		w.scanExpr(xx.X, e)
+	case *ast.IndexExpr:
+		w.scanExpr(xx.X, e)
+		w.scanExpr(xx.Index, e)
+	case *ast.SliceExpr:
+		w.scanExpr(xx.X, e)
+	case *ast.TypeAssertExpr:
+		if w.trackedIdent(e, xx.X) == nil {
+			w.scanExpr(xx.X, e)
+		}
+	case *ast.FuncLit:
+		// Captured by a closure: escapes (the closure may release it
+		// later — either way this body's paths are off the hook).
+		w.escapeAllIn(xx, e)
+	case *ast.CompositeLit:
+		for _, elt := range xx.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if obj := w.trackedIdent(e, elt); obj != nil {
+				escape(e, obj)
+				continue
+			}
+			w.scanExpr(elt, e)
+		}
+	case *ast.Ident:
+		if obj := w.trackedIdent(e, xx); obj != nil {
+			escape(e, obj)
+		}
+	default:
+		w.escapeAllIn(x, e)
+	}
+}
+
+// scanCall applies the call rules: the release method clears the
+// resource; handing it to a releasing parameter or a sync.Pool releases
+// it; handing it anywhere else transfers ownership (escape) unless the
+// class is borrow-only, in which case the caller still owes the
+// release.
+func (w *rpWalker) scanCall(call *ast.CallExpr, e env) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := w.trackedIdent(e, sel.X); obj != nil {
+			res := w.byVar[obj]
+			if res != nil && sel.Sel.Name == "Close" && !res.spec.borrowOnly {
+				e[obj] = false // released
+			}
+			// Any other method on the resource is a borrow.
+			w.scanCallArgs(call, e)
+			return
+		}
+		w.scanExpr(sel.X, e)
+	} else {
+		w.scanExpr(call.Fun, e)
+	}
+	w.scanCallArgs(call, e)
+}
+
+func (w *rpWalker) scanCallArgs(call *ast.CallExpr, e env) {
+	callee := calleeFunc(w.info, call)
+	for argPos, arg := range call.Args {
+		obj := w.trackedIdent(e, arg)
+		if obj == nil {
+			w.scanExpr(arg, e)
+			continue
+		}
+		res := w.byVar[obj]
+		switch {
+		case callee != nil && isPoolPut(callee):
+			e[obj] = false // released to the pool
+		case callee != nil && w.rel[callee] != nil && w.rel[callee][calleeParamIndex(callee, argPos)]:
+			e[obj] = false // handed to its releaser
+		case res != nil && res.spec.borrowOnly:
+			// Borrowed (e.g. Store.Apply(b)): the caller still owns it.
+		default:
+			escape(e, obj) // ownership transferred
+		}
+	}
+}
+
+// scanStmtExprs conservatively scans any statement the walk has no
+// precise case for.
+func (w *rpWalker) scanStmtExprs(s ast.Stmt, e env) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if x, ok := n.(ast.Expr); ok {
+			w.scanExpr(x, e)
+			return false
+		}
+		return true
+	})
+}
+
+// escapeAllIn escapes every tracked resource referenced under n.
+func (w *rpWalker) escapeAllIn(n ast.Node, e env) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj, ok := w.info.Uses[id].(*types.Var); ok {
+				escape(e, obj)
+			}
+		}
+		return true
+	})
+}
+
+// callOf unwraps an expression to a call, or nil.
+func callOf(x ast.Expr) *ast.CallExpr {
+	call, _ := ast.Unparen(x).(*ast.CallExpr)
+	return call
+}
+
+// acquireLabel names the acquiring callee for messages.
+func acquireLabel(info *types.Info, call *ast.CallExpr) string {
+	if callee := calleeFunc(info, call); callee != nil {
+		return FuncLabel(callee)
+	}
+	return "the acquire call"
+}
+
+// isTerminalCall recognizes calls that never return: panic, os.Exit,
+// log.Fatal*. Paths ending in them are not leak reports — deferred
+// releases (panic) or process exit cover them.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+			return true
+		}
+	}
+	callee := calleeFunc(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	switch callee.Pkg().Path() {
+	case "os":
+		return callee.Name() == "Exit"
+	case "log":
+		switch callee.Name() {
+		case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// Package errflow seeds the errflow analyzer's shapes: sentinel errors
+// compared with == / != and matched by switch case (all of which break
+// under wrapping), an error wrapped with %v (which strips the chain),
+// and the clean errors.Is / %w / nil-check idioms.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrGap = errors.New("feed gap")
+
+func CompareEq(err error) bool {
+	return err == ErrGap // want errflow "use errors.Is"
+}
+
+func CompareNeq(err error) bool {
+	return err != io.EOF // want errflow "use errors.Is"
+}
+
+func SwitchCase(err error) int {
+	switch err {
+	case ErrGap: // want errflow "switch case"
+		return 1
+	}
+	return 0
+}
+
+func WrapOpaque(err error) error {
+	return fmt.Errorf("bootstrap: %v", err) // want errflow "use %w"
+}
+
+func CleanIs(err error) bool {
+	return errors.Is(err, ErrGap)
+}
+
+func CleanWrap(err error) error {
+	return fmt.Errorf("bootstrap: %w", err)
+}
+
+func CleanNilCheck(err error) bool {
+	return err == nil
+}

@@ -1,0 +1,119 @@
+// Package repl seeds the releasepath analyzer's shapes: a connection
+// leaked on one error return, a discarded acquire, a redial loop that
+// leaks once per iteration, and the clean idioms — deferred close,
+// close-on-every-path, escape by return, escape by store.
+package repl
+
+import (
+	"errors"
+	"os"
+)
+
+type Conn interface {
+	Close() error
+	Send(b []byte) error
+}
+
+type Dialer interface {
+	Dial(addr string) (Conn, error)
+}
+
+var errNoRoute = errors.New("no route")
+
+// LeakOnError closes the conn on the happy path but leaks it when the
+// hello frame fails — the classic mid-function early return.
+func LeakOnError(d Dialer) error {
+	c, err := d.Dial("primary") // want releasepath "not released on every path"
+	if err != nil {
+		return err
+	}
+	if err := c.Send([]byte("hello")); err != nil {
+		return errNoRoute // leaks c
+	}
+	return c.Close()
+}
+
+// Discard never binds the conn at all.
+func Discard(d Dialer) {
+	_, _ = d.Dial("primary") // want releasepath "discarded"
+}
+
+// RedialForever leaks the previous conn every time the send fails and
+// the loop comes back around for a fresh dial.
+func RedialForever(d Dialer) {
+	for {
+		c, err := d.Dial("primary") // want releasepath "loops back"
+		if err != nil {
+			continue
+		}
+		if c.Send([]byte("ping")) == nil {
+			_ = c.Close()
+			continue
+		}
+	}
+}
+
+// ReadHeader leaks the file when the read fails.
+func ReadHeader(path string) ([]byte, error) {
+	f, err := os.Open(path) // want releasepath "not released on every path"
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil {
+		return nil, err // leaks f
+	}
+	_ = f.Close()
+	return buf, nil
+}
+
+// DeferClose is the canonical clean shape: one deferred release covers
+// every path, panics included.
+func DeferClose(d Dialer) error {
+	c, err := d.Dial("primary")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.Send([]byte("hello"))
+}
+
+// CloseEveryPath releases explicitly on both exits.
+func CloseEveryPath(d Dialer) error {
+	c, err := d.Dial("primary")
+	if err != nil {
+		return err
+	}
+	if err := c.Send([]byte("hello")); err != nil {
+		_ = c.Close()
+		return err
+	}
+	return c.Close()
+}
+
+// Open transfers ownership to the caller — escape by return.
+func Open(d Dialer) (Conn, error) {
+	c, err := d.Dial("primary")
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Send([]byte("hello")); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+type pool struct {
+	conns []Conn
+}
+
+// add stores the conn — escape by store; the pool owns it now.
+func (p *pool) add(d Dialer) error {
+	c, err := d.Dial("primary")
+	if err != nil {
+		return err
+	}
+	p.conns = append(p.conns, c)
+	return nil
+}

@@ -203,6 +203,9 @@ func (fw *Framework) SaveTo(b backend.Backend) error {
 		}
 	}
 	if !wantDelta {
+		// The RLock-spanning Snapshot is the point of SaveTo: the cut
+		// must be consistent with the flow/config tables read above.
+		//lint:allow holdblock SaveTo needs a store cut consistent with the framework tables it read under the same RLock
 		snap = fw.store.Snapshot()
 	}
 	fw.mu.RUnlock()

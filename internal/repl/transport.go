@@ -138,7 +138,7 @@ func readFrame(r io.Reader) (Frame, error) {
 	if n > 0 {
 		f.Payload = make([]byte, n)
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				err = io.ErrUnexpectedEOF
 			}
 			return Frame{}, err
