@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint fuzz-seed test race stress-persist stress-atomic stress-feed stress-repl bench bench-contention bench-persist bench-batch bench-feed bench-repl clean
+.PHONY: check build vet lint fuzz-seed test race stress-persist stress-atomic stress-feed stress-repl stress-blob bench bench-contention bench-persist bench-batch bench-feed bench-repl bench-blob clean
 
 ## check is the CI gate: a fresh checkout must build, vet (go vet ./...),
 ## pass jcflint with zero unsuppressed findings, replay the decoder fuzz
@@ -10,7 +10,7 @@ GO ?= go
 ## races in the sharded OMS kernel, torn (oms, framework) snapshot
 ## pairs, diverging replicas, and unguarded replica writes from ever
 ## landing again.
-check: build vet lint fuzz-seed race stress-persist stress-atomic stress-feed stress-repl
+check: build vet lint fuzz-seed race stress-persist stress-atomic stress-feed stress-repl stress-blob
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,7 @@ lint:
 fuzz-seed:
 	$(GO) test -run FuzzDecodeChanges ./internal/oms/
 	$(GO) test -run FuzzReadFrame ./internal/repl/
+	$(GO) test -run FuzzDecodeBlobRef ./internal/oms/blobstore/
 
 test:
 	$(GO) test ./...
@@ -79,6 +80,16 @@ stress-feed:
 ## both the in-process pipe and real TCP.
 stress-repl:
 	$(GO) test -race -count=3 -run 'TestReplicationConvergenceUnderLoad|TestReplicaStreamRobustness|TestReplicaReadOnlyView|TestReplicaViewPromote' ./internal/repl/ ./internal/jcf/
+
+## stress-blob hammers the content-addressed checkin pipeline under the
+## race detector: concurrent identical-content checkins must dedup to
+## one physical copy without cross-wiring versions, Publish must gate on
+## async blob durability, and both crash windows (blob-without-metadata,
+## metadata-without-blob) must load into verifiable state with orphans
+## GC-swept (internal/jcf/blob_test.go); replicas must lazily fetch
+## missing blobs by digest (internal/repl/blob_test.go).
+stress-blob:
+	$(GO) test -race -count=3 -run 'TestStressBlob|TestReplicaBlobFetch' ./internal/jcf/ ./internal/repl/
 
 ## bench regenerates every paper table/figure benchmark.
 bench:
@@ -121,6 +132,15 @@ bench-feed:
 bench-repl:
 	$(GO) test -bench 'BenchmarkE40ReplicaReadScaling' -run '^$$' -benchtime 20000x -count 3 .
 	$(GO) test -bench 'BenchmarkE41ReplicationLag' -run '^$$' -benchtime 2000x -count 3 .
+
+## bench-blob runs the content-addressed checkin benchmarks behind
+## BENCH_6.json: checkin + metadata-commit (differential save) latency
+## p50/p99 at 4KiB/256KiB/4MiB, inline baseline vs CAS+async pipeline;
+## the dedup ratio on a re-checkin workload; and replication frame bytes
+## for a large checkin before/after. Record medians of the three counts.
+bench-blob:
+	$(GO) test -bench 'BenchmarkE42BlobCheckin' -run '^$$' -benchtime 30x -count 3 .
+	$(GO) test -bench 'BenchmarkE42BlobDedup|BenchmarkE42BlobReplFrames' -run '^$$' -benchtime 10x -count 3 .
 
 clean:
 	$(GO) clean ./...

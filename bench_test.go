@@ -1063,3 +1063,166 @@ func BenchmarkA1MenuLockAblation(b *testing.B) {
 		}
 	}
 }
+
+// pctNS returns the p-quantile of a latency sample in nanoseconds
+// (sorts ds in place).
+func pctNS(ds []time.Duration, p float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return float64(ds[int(p*float64(len(ds)-1))].Nanoseconds())
+}
+
+// BenchmarkE42BlobCheckin measures the two-stage content-addressed
+// checkin pipeline against the inline baseline (BENCH_6.json) at
+// 4KiB/256KiB/4MiB design sizes. Two latencies per iteration:
+//
+//   - checkin: CheckInData wall time. Inline pays hashing nothing but
+//     carries the bytes through the batch; cas hashes up front, hands
+//     the bytes to the async upload pool and commits only the ref.
+//   - commit: the differential SaveTo that follows — the metadata
+//     commit. Inline deltas drag the full design bytes (base64 in the
+//     feed payload), so commit latency grows with design size; cas
+//     deltas carry the ~40-byte ref and stay flat.
+//
+// Every iteration stamps fresh content (NextDesign, outside the timer)
+// so cas uploads are real, never dedup hits. The acceptance bar: cas
+// p99 commit at 4MiB within 2x of 4KiB.
+func BenchmarkE42BlobCheckin(b *testing.B) {
+	sizes := []struct {
+		name string
+		n    int
+	}{{"4KiB", 4 << 10}, {"256KiB", 256 << 10}, {"4MiB", 4 << 20}}
+	for _, mode := range []string{"inline", "cas"} {
+		for _, sz := range sizes {
+			b.Run(fmt.Sprintf("mode=%s/size=%s", mode, sz.name), func(b *testing.B) {
+				w, err := experiments.NewBlobWorld(mode == "cas", sz.n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+				// One unmeasured warmup: first-touch costs (pool fills,
+				// backend directory creation, base-delta setup) otherwise
+				// land in a single iteration's p99.
+				if _, err := w.CheckIn(); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Drain(); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Save(); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.NextDesign(); err != nil {
+					b.Fatal(err)
+				}
+				checkin := make([]time.Duration, 0, b.N)
+				commit := make([]time.Duration, 0, b.N)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t0 := time.Now()
+					if _, err := w.CheckIn(); err != nil {
+						b.Fatal(err)
+					}
+					checkin = append(checkin, time.Since(t0))
+					// Quiesce the async upload before timing the commit:
+					// the pipeline's contract is that METADATA latency is
+					// size-independent; overlapping the CAS upload's disk
+					// traffic would measure device contention instead.
+					b.StopTimer()
+					if err := w.Drain(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					t1 := time.Now()
+					if err := w.Save(); err != nil {
+						b.Fatal(err)
+					}
+					commit = append(commit, time.Since(t1))
+					b.StopTimer()
+					if err := w.NextDesign(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				b.StopTimer()
+				b.SetBytes(int64(sz.n))
+				b.ReportMetric(pctNS(checkin, 0.50), "p50-checkin-ns")
+				b.ReportMetric(pctNS(checkin, 0.99), "p99-checkin-ns")
+				b.ReportMetric(pctNS(commit, 0.50), "p50-commit-ns")
+				b.ReportMetric(pctNS(commit, 0.99), "p99-commit-ns")
+			})
+		}
+	}
+}
+
+// BenchmarkE42BlobDedup runs the re-checkin workload: every iteration
+// checks in the SAME 256KiB content (new version, same bytes — the
+// re-release pattern), so the CAS stores one physical copy however many
+// versions reference it. dedup-ratio = logical/physical ingest.
+func BenchmarkE42BlobDedup(b *testing.B) {
+	w, err := experiments.NewBlobWorld(true, 256<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.CheckIn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Publish drains the async uploads — every version durable.
+	if err := w.Publish(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(256 << 10)
+	b.ReportMetric(w.DedupRatio(), "dedup-ratio")
+}
+
+// BenchmarkE42BlobReplFrames measures the replication bytes one 4MiB
+// checkin ships to a converged follower: inline frames carry the design
+// bytes (base64-inflated), cas frames carry the ~40-byte ref — the
+// follower pulls bytes lazily only when a reader asks.
+func BenchmarkE42BlobReplFrames(b *testing.B) {
+	const size = 4 << 20
+	for _, mode := range []string{"inline", "cas"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			w, err := experiments.NewBlobWorld(mode == "cas", size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			if err := w.StartReplication(); err != nil {
+				b.Fatal(err)
+			}
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := w.NextDesign(); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.WaitReplica(30 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				before := w.FrameBytes()
+				b.StartTimer()
+				if _, err := w.CheckIn(); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.WaitReplica(30 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				total += w.FrameBytes() - before
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.SetBytes(size)
+			b.ReportMetric(float64(total)/float64(b.N), "frame-bytes-per-checkin")
+		})
+	}
+}

@@ -117,8 +117,10 @@ type lockSpec struct {
 var namedLockSpecs = []lockSpec{
 	{"jcf", "Framework", "mu", "jcf.Framework.mu"},
 	{"jcf", "Framework", "numMu", "jcf.Framework.numMu"},
+	{"jcf", "Framework", "upMu", "jcf.Framework.upMu"},
 	{"oms", "stripe", "mu", "oms.stripes"},
 	{"oms", "feed", "mu", "oms.feed.mu"},
+	{"blobstore", "Store", "mu", "blobstore.Store.mu"},
 	{"itc", "Bus", "mu", "itc.Bus.mu"},
 	{"repl", "Publisher", "mu", "repl.Publisher.mu"},
 	{"repl", "Replica", "mu", "repl.Replica.mu"},

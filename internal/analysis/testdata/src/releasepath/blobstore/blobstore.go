@@ -1,0 +1,80 @@
+// Package blobstore seeds the releasepath analyzer's CAS handle shapes:
+// a streaming writer leaked on an error return (its buffered bytes are
+// silently dropped), a discarded reader, and the clean idioms — the
+// defer-Close-then-Commit pattern (Close after Commit is a no-op) and
+// ownership transfer by return.
+package blobstore
+
+import "errors"
+
+type Ref struct {
+	Digest [32]byte
+	Size   int64
+}
+
+type Writer struct{}
+
+func (w *Writer) Write(p []byte) (int, error) { return len(p), nil }
+func (w *Writer) Commit() (Ref, error)        { return Ref{}, nil }
+func (w *Writer) Close() error                { return nil }
+
+type Reader struct{}
+
+func (r *Reader) Read(p []byte) (int, error) { return 0, nil }
+func (r *Reader) Close() error               { return nil }
+
+type Store struct{}
+
+func (s *Store) NewWriter() *Writer            { return &Writer{} }
+func (s *Store) Open(ref Ref) (*Reader, error) { return &Reader{}, nil }
+
+var errShort = errors.New("short design data")
+
+// LeakWriterOnError aborts without Close when the write fails — the
+// buffered upload is dropped on the floor with no abort accounting.
+func LeakWriterOnError(s *Store, data []byte) (Ref, error) {
+	w := s.NewWriter() // want releasepath "not released on every path"
+	if _, err := w.Write(data); err != nil {
+		return Ref{}, err // leaks w
+	}
+	return w.Commit()
+}
+
+// DiscardReader never binds the handle at all.
+func DiscardReader(s *Store, ref Ref) {
+	_, _ = s.Open(ref) // want releasepath "discarded"
+}
+
+// LeakReaderOnError closes on the happy path only.
+func LeakReaderOnError(s *Store, ref Ref) ([]byte, error) {
+	r, err := s.Open(ref) // want releasepath "not released on every path"
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 16)
+	if _, err := r.Read(buf); err != nil {
+		return nil, errShort // leaks r
+	}
+	_ = r.Close()
+	return buf, nil
+}
+
+// PutStream is the canonical clean shape: defer Close covers every
+// path (abort on error exits, no-op after the successful Commit).
+func PutStream(s *Store, data []byte) (Ref, error) {
+	w := s.NewWriter()
+	defer w.Close()
+	if _, err := w.Write(data); err != nil {
+		return Ref{}, err
+	}
+	return w.Commit()
+}
+
+// OpenStream transfers ownership of the reader to the caller.
+func OpenStream(s *Store, ref Ref) (*Reader, error) {
+	r, err := s.Open(ref)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}

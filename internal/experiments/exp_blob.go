@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/jcf"
+	"repro/internal/oms"
+	"repro/internal/oms/backend"
+	"repro/internal/otod"
+	"repro/internal/repl"
+)
+
+// Content-addressed checkin world (ISSUE 9, BENCH_6.json).
+//
+// One designer checks design data of a fixed size into a reserved cell
+// version, either inline (the pre-CAS baseline: the blob rides the
+// batch, the snapshot, every differential delta and every replication
+// frame) or through the content-addressed pipeline (the blob spills to
+// the CAS asynchronously and only a ~40-byte ref commits). The world
+// backs three benchmarks:
+//
+//   - BenchmarkE42BlobCheckin: checkin latency and metadata-commit
+//     (differential SaveTo) latency p50/p99 at 4KiB/256KiB/4MiB.
+//   - BenchmarkE42BlobDedup: logical/physical ratio on a re-checkin
+//     workload (every version same content).
+//   - BenchmarkE42BlobReplFrames: replication bytes shipped per large
+//     checkin, inline vs ref.
+
+// BlobWorld is one primary framework with a reserved cell version to
+// check data into, a segment backend for differential saves, and
+// (optionally) a replica following over a pipe.
+type BlobWorld struct {
+	FW *jcf.Framework
+	CV oms.OID
+	DO oms.OID
+
+	dir    string
+	src    string
+	buf    []byte
+	seq    uint64
+	saveBE backend.Backend
+
+	pub *repl.Publisher
+	rep *repl.Replica
+}
+
+// NewBlobWorld builds the world. size is the design-data payload size;
+// with cas set, a blob store (file backend, 1KiB spill threshold) is
+// enabled so every checkin takes the async two-stage pipeline.
+func NewBlobWorld(cas bool, size int) (*BlobWorld, error) {
+	fw, err := jcf.New(jcf.Release30)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.CreateUser("anna"); err != nil {
+		return nil, err
+	}
+	team, err := fw.CreateTeam("vlsi")
+	if err != nil {
+		return nil, err
+	}
+	anna, err := fw.User("anna")
+	if err != nil {
+		return nil, err
+	}
+	if err := fw.AddMember(team, anna); err != nil {
+		return nil, err
+	}
+	vt, err := fw.CreateViewType("layout")
+	if err != nil {
+		return nil, err
+	}
+	f := flow.New("blob-flow")
+	if err := f.AddActivity(flow.Activity{Name: "edit"}); err != nil {
+		return nil, err
+	}
+	if _, err := fw.RegisterFlow(f); err != nil {
+		return nil, err
+	}
+	project, err := fw.CreateProject("blobs", team)
+	if err != nil {
+		return nil, err
+	}
+	cell, err := fw.CreateCell(project, "macro")
+	if err != nil {
+		return nil, err
+	}
+	cv, err := fw.CreateCellVersion(cell, "blob-flow", team)
+	if err != nil {
+		return nil, err
+	}
+	if err := fw.Reserve("anna", cv); err != nil {
+		return nil, err
+	}
+	do, err := fw.CreateDesignObject(fw.Variants(cv)[0], "macro-lay", vt)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "blob-world")
+	if err != nil {
+		return nil, err
+	}
+	w := &BlobWorld{FW: fw, CV: cv, DO: do, dir: dir,
+		src: filepath.Join(dir, "design.lay"), buf: make([]byte, size)}
+	for i := range w.buf {
+		w.buf[i] = byte(i * 7)
+	}
+	if cas {
+		casBE, err := backend.OpenFile(filepath.Join(dir, "cas"))
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if err := fw.EnableBlobStore(casBE, 1<<10); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	// Differential saves need a delta-capable backend and a committed
+	// base; every later SaveTo ships only the feed suffix — the
+	// "metadata commit" the benchmark times.
+	if w.saveBE, err = backend.OpenSegment(filepath.Join(dir, "state")); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := fw.SaveTo(w.saveBE); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.NextDesign(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// NextDesign mutates the staged design file so the next CheckIn carries
+// content the CAS has never seen (a counter stamped into the payload) —
+// call it outside the measured region to force a real upload per
+// iteration instead of a dedup hit.
+func (w *BlobWorld) NextDesign() error {
+	w.seq++
+	binary.BigEndian.PutUint64(w.buf, w.seq)
+	return os.WriteFile(w.src, w.buf, 0o644)
+}
+
+// CheckIn runs one CheckInData of the staged design file.
+func (w *BlobWorld) CheckIn() (oms.OID, error) {
+	return w.FW.CheckInData("anna", w.DO, w.src)
+}
+
+// Save commits the metadata delta (differential SaveTo on the segment
+// backend). In inline mode the delta drags the full design bytes; in
+// cas mode it carries only the ref.
+func (w *BlobWorld) Save() error {
+	return w.FW.SaveTo(w.saveBE)
+}
+
+// Drain blocks until every async blob upload for the cell version is
+// durable (no-op in inline mode) — the benchmark's quiesce point, so
+// the measured metadata commit is not timed against the CAS upload's
+// disk traffic.
+func (w *BlobWorld) Drain() error {
+	return w.FW.WaitBlobDurable(w.CV)
+}
+
+// StartReplication attaches a publisher and one pipe replica and waits
+// for convergence.
+func (w *BlobWorld) StartReplication() error {
+	schema, err := otod.JCFModel().Schema()
+	if err != nil {
+		return err
+	}
+	w.pub = repl.NewPublisher(w.FW.ReplicationSource())
+	ln, d := repl.Pipe()
+	go func() { _ = w.pub.Serve(ln) }() //lint:allow noerrdrop Serve returns nil or ErrClosed at experiment teardown
+	w.rep = repl.NewReplica(schema, d, repl.WithReconnectBackoff(time.Millisecond))
+	w.rep.Start()
+	return w.WaitReplica(30 * time.Second)
+}
+
+// WaitReplica blocks until the replica has applied the primary's feed.
+func (w *BlobWorld) WaitReplica(timeout time.Duration) error {
+	return w.rep.WaitFor(w.FW.FeedLSN(), timeout)
+}
+
+// FrameBytes returns the publisher's cumulative streamed payload bytes.
+func (w *BlobWorld) FrameBytes() int64 {
+	return w.pub.Stats().BytesSent
+}
+
+// DedupRatio returns logical/physical ingest bytes — 1.0 means no
+// dedup, N means N copies collapsed onto one.
+func (w *BlobWorld) DedupRatio() float64 {
+	s := w.FW.BlobStats()
+	if s.PhysicalIn == 0 {
+		return 0
+	}
+	return float64(s.LogicalIn) / float64(s.PhysicalIn)
+}
+
+// Publish publishes the cell version — draining the async uploads —
+// and re-reserves it so checkins can continue.
+func (w *BlobWorld) Publish() error {
+	if err := w.FW.Publish("anna", w.CV); err != nil {
+		return err
+	}
+	return w.FW.Reserve("anna", w.CV)
+}
+
+// Close tears the world down and removes its on-disk state. Uploads
+// still in flight are drained first so they cannot race the removal.
+func (w *BlobWorld) Close() {
+	if w.rep != nil {
+		w.rep.Close()
+	}
+	if w.pub != nil {
+		w.pub.Close()
+	}
+	if err := w.Drain(); err != nil {
+		fmt.Fprintf(os.Stderr, "blob world drain: %v\n", err)
+	}
+	if err := os.RemoveAll(w.dir); err != nil {
+		fmt.Fprintf(os.Stderr, "blob world cleanup: %v\n", err)
+	}
+}

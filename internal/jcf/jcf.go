@@ -38,6 +38,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/oms"
 	"repro/internal/oms/backend"
+	"repro/internal/oms/blobstore"
 	"repro/internal/otod"
 )
 
@@ -165,6 +166,21 @@ type Framework struct {
 
 	rel relNames
 
+	// blobs is the optional content-addressed design-data store (see
+	// blobs.go); blobThreshold is the checkin spill threshold in bytes.
+	// Both are set once by EnableBlobStore, before concurrent use.
+	blobs         *blobstore.Store
+	blobThreshold int
+
+	// upMu guards the per-cell-version async-upload ledger behind the
+	// Publish durability gate: uploads counts blob uploads still in
+	// flight, upCond wakes publishers waiting for them to drain. Lock
+	// order: fw.mu (and numMu) may be held when upMu is taken — never the
+	// reverse; upMu is a leaf.
+	upMu    sync.Mutex
+	upCond  *sync.Cond
+	uploads map[oms.OID]*cvUploads
+
 	// statReserveConflicts counts rejected reservations (section 3.1).
 	statReserveConflicts int64
 }
@@ -191,7 +207,9 @@ func New(release Release) (*Framework, error) {
 		enactments:   map[oms.OID]*flow.Enactment{},
 		typedHier:    map[oms.OID]map[string][]oms.OID{},
 		shares:       map[oms.OID][]oms.OID{},
+		uploads:      map[oms.OID]*cvUploads{},
 	}
+	fw.upCond = sync.NewCond(&fw.upMu)
 	r := func(name, from, to string) string {
 		return model.SchemaRelName(otod.Relationship{Name: name, From: from, To: to})
 	}

@@ -399,9 +399,25 @@ func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.O
 	if err != nil {
 		return oms.InvalidOID, fmt.Errorf("jcf: check-in: %w", err)
 	}
+	// Stage 1 of the async pipeline (ISSUE 9): with a blob store enabled
+	// and the design at or above the spill threshold, hash now, upload on
+	// the store's bounded worker pool, and commit only the ~40-byte ref —
+	// the metadata batch below no longer scales with design size. The
+	// upload is registered on the cell version's ledger BEFORE the commit
+	// so Publish's durability gate can never miss it, and the blob stays
+	// pinned against the GC sweep until the batch has resolved.
+	var up *blobUpload
+	if fw.blobs != nil && len(data) >= fw.blobThreshold {
+		up = fw.startUpload(cv, data)
+		fw.blobs.Pin(up.ref)
+		defer fw.blobs.Unpin(up.ref)
+	}
 	fw.mu.RLock()
 	defer fw.mu.RUnlock()
 	if err := fw.requireReservationLocked(user, cv); err != nil {
+		if up != nil {
+			fw.abandonUpload(cv, up)
+		}
 		return oms.InvalidOID, err
 	}
 	fw.numMu.Lock()
@@ -414,12 +430,20 @@ func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.O
 	defer fw.putBatch(b)
 	dov := b.CreateOwned("DesignObjectVersion", map[string]oms.Value{"num": oms.I(num)})
 	b.Link(fw.rel.doHasVersion, do, dov)
-	b.CopyInBytes(dov, "data", data)
+	if up != nil {
+		// Stage 2: metadata only — the bytes are already on their way.
+		b.Set(dov, "data", oms.BlobRef(up.ref))
+	} else {
+		b.CopyInBytes(dov, "data", data)
+	}
 	if len(versions) > 0 {
 		b.Link(fw.rel.derived, versions[len(versions)-1], dov)
 	}
 	created, err := fw.store.Apply(b)
 	if err != nil {
+		if up != nil {
+			fw.abandonUpload(cv, up)
+		}
 		return oms.InvalidOID, err
 	}
 	return created[0], nil
@@ -509,6 +533,7 @@ func (fw *Framework) ExportVersionData(dov oms.OID, dstPath string) error {
 }
 
 // DataSize returns the stored size in bytes of a design object version.
+// A content-addressed version answers from its ref alone — no blob read.
 func (fw *Framework) DataSize(dov oms.OID) (int64, error) {
 	v, ok, err := fw.store.Get(dov, "data")
 	if err != nil {
@@ -516,6 +541,9 @@ func (fw *Framework) DataSize(dov oms.OID) (int64, error) {
 	}
 	if !ok {
 		return 0, nil
+	}
+	if v.Kind == oms.KindBlobRef {
+		return v.Int, nil
 	}
 	return int64(len(v.Blob)), nil
 }

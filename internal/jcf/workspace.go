@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/oms"
+	"repro/internal/oms/blobstore"
 )
 
 // The workspace concept (section 2.1): "the workspace concept of JCF
@@ -77,12 +78,40 @@ func (fw *Framework) Publish(user string, cv oms.OID) error {
 	if err := fw.guardWrite(); err != nil {
 		return err
 	}
+	// Durability gate (ISSUE 9): published data must be readable by the
+	// whole team, so every async blob upload for this cell version has to
+	// be durable first. Wait outside fw.mu (Wait would park holding it),
+	// then re-check under the lock — a checkin that raced in between
+	// registers its upload before fw.mu.RLock, so the re-check sees it.
+	for {
+		if err := fw.waitUploads(cv); err != nil {
+			return fmt.Errorf("jcf: publish %d: %w", cv, err)
+		}
+		fw.mu.Lock()
+		if fw.uploadsIdle(cv) {
+			break
+		}
+		fw.mu.Unlock()
+	}
+	// On a framework loaded from disk the ledger is empty; the refs
+	// themselves are the record. Presence in the CAS is the publishable
+	// bar (EnableBlobStore already digest-verified everything published).
+	if fw.blobs != nil {
+		if err := fw.forEachCVDataRef(cv, func(dov oms.OID, r blobstore.Ref) error {
+			if !fw.blobs.Has(r) {
+				return fmt.Errorf("jcf: publish %d: version %d references missing %s", cv, dov, r)
+			}
+			return nil
+		}); err != nil {
+			fw.mu.Unlock()
+			return err
+		}
+	}
 	// Check, publish and release under one write lock: a check-then-act
 	// window here could evict a reservation another user acquired in
 	// between. fw.mu may be held across store calls (the store never
 	// calls back into the framework, so the lock order fw.mu -> stripe
 	// is acyclic).
-	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	if fw.reservations[cv] != user {
 		return fmt.Errorf("%w (user %s)", ErrNotReserved, user)

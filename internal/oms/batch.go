@@ -60,6 +60,7 @@ type batchOp struct {
 	val   Value            // bSet (private copy)
 	oid   OID              // bSet, bDelete, bCopyIn; from of bLink/bUnlink
 	to    OID              // bLink, bUnlink
+	spill bool             // design-data op (CopyIn/CopyInBytes): blob may spill to the CAS
 }
 
 // Batch stages a group of mutations for Store.Apply. The zero value is
@@ -154,7 +155,7 @@ func (b *Batch) Delete(oid OID) {
 // phase, before any lock is taken — a read failure aborts the batch with
 // nothing applied, and no stripe lock is ever held across disk I/O.
 func (b *Batch) CopyIn(oid OID, attr, srcPath string) {
-	b.add(batchOp{kind: bCopyIn, oid: oid, s1: attr, s2: srcPath})
+	b.add(batchOp{kind: bCopyIn, oid: oid, s1: attr, s2: srcPath, spill: true})
 }
 
 // CopyInBytes stages already-read design bytes as the named blob
@@ -163,7 +164,7 @@ func (b *Batch) CopyIn(oid OID, attr, srcPath string) {
 // own locks (the checkin path). The caller must not retain or mutate
 // data afterwards; unlike Set, no defensive copy is made.
 func (b *Batch) CopyInBytes(oid OID, attr string, data []byte) {
-	b.add(batchOp{kind: bSet, oid: oid, s1: attr, val: Value{Kind: KindBlob, Blob: data}})
+	b.add(batchOp{kind: bSet, oid: oid, s1: attr, val: Value{Kind: KindBlob, Blob: data}, spill: true})
 }
 
 // Apply executes the batch atomically and returns the real OIDs of its
@@ -237,6 +238,41 @@ func (st *Store) Apply(b *Batch) ([]OID, error) {
 				staged = make(map[int]Value)
 			}
 			staged[i] = Value{Kind: KindBlob, Blob: data}
+		}
+	}
+
+	// Phase 1b — spill large design blobs to the content-addressed store,
+	// still lock-free: the CAS write happens here, before any stripe lock,
+	// and only the ~40-byte reference continues into the commit. Spilled
+	// blobs stay pinned against the GC sweep until the batch has committed
+	// (or failed — then the orphan is collectible, by design).
+	var unpins []func()
+	defer func() {
+		for _, unpin := range unpins {
+			unpin()
+		}
+	}()
+	for i := range b.ops {
+		op := &b.ops[i]
+		if !op.spill {
+			continue
+		}
+		v := op.val
+		if op.kind == bCopyIn {
+			v = staged[i]
+		}
+		if !st.shouldSpill(v) {
+			continue
+		}
+		ref, unpin, err := st.spill(v)
+		if err != nil {
+			return nil, err
+		}
+		unpins = append(unpins, unpin)
+		if op.kind == bCopyIn {
+			staged[i] = ref
+		} else {
+			op.val = ref
 		}
 	}
 

@@ -1,0 +1,405 @@
+package blobstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/oms/backend"
+)
+
+// ErrNotFound reports a ref whose blob is neither local nor fetchable.
+var ErrNotFound = errors.New("blobstore: blob not found")
+
+// Fetcher pulls a missing blob from elsewhere — a replica wires this to
+// a blobfetch round-trip on its replication connection. The returned
+// bytes are digest-verified by the store before being served or cached,
+// so a lying peer cannot poison the CAS.
+type Fetcher func(Ref) ([]byte, error)
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithUploadWorkers bounds the number of concurrent async uploads
+// (default defaultUploadWorkers). PutAsync callers never block on the
+// bound; queued uploads wait for a slot.
+func WithUploadWorkers(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.workers = make(chan struct{}, n)
+		}
+	}
+}
+
+const defaultUploadWorkers = 4
+
+// upload is one in-flight backend write of a digest; duplicate writers
+// of the same content wait on done instead of writing twice.
+type upload struct {
+	done chan struct{}
+	err  error // written before close(done), read only after <-done
+}
+
+// Store is a content-addressed blob store on a backend.Backend.
+//
+// Concurrency: mu guards only the in-memory maps and is a leaf — no
+// backend I/O, no other lock, and no channel operation happens under it.
+// Backend writes are serialized per digest through the inflight map, so
+// concurrent Puts of identical content store it exactly once.
+type Store struct {
+	be      backend.Backend
+	workers chan struct{} // async upload slots
+
+	mu       sync.Mutex // leaf: guards the maps below only
+	have     map[[32]byte]struct{}
+	inflight map[[32]byte]*upload
+	pinned   map[[32]byte]int
+	fetcher  Fetcher
+
+	statPhysical  atomic.Int64 // bytes actually written to the backend (post-dedup)
+	statDedupHits atomic.Int64 // puts satisfied by an existing or in-flight copy
+	statFetched   atomic.Int64 // bytes pulled through the fetcher
+	statSwept     atomic.Int64 // entries removed by Sweep
+}
+
+// New opens a store on be and rebuilds the in-memory index from the
+// backend listing — the only persistent state is the blobs themselves.
+func New(be backend.Backend, opts ...Option) (*Store, error) {
+	s := &Store{
+		be:       be,
+		workers:  make(chan struct{}, defaultUploadWorkers),
+		have:     make(map[[32]byte]struct{}),
+		inflight: make(map[[32]byte]*upload),
+		pinned:   make(map[[32]byte]int),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	names, err := be.List()
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: rebuilding index: %w", err)
+	}
+	for _, name := range names {
+		if d, ok := parseKey(name); ok {
+			s.have[d] = struct{}{}
+		}
+	}
+	return s, nil
+}
+
+// SetFetcher installs the lazy-fetch hook for misses. Set once, during
+// wiring, before concurrent readers exist.
+func (s *Store) SetFetcher(f Fetcher) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fetcher = f
+}
+
+// Has reports whether the blob is present locally (without fetching).
+func (s *Store) Has(r Ref) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.have[r.Digest]
+	return ok
+}
+
+// Count returns the number of locally stored blobs.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.have)
+}
+
+// Pin marks a digest live for Sweep regardless of the caller's live set,
+// covering the window between a blob landing in the CAS and its ref
+// committing to metadata. Pins nest; balance each Pin with one Unpin.
+func (s *Store) Pin(r Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pinned[r.Digest]++
+}
+
+// Unpin releases one Pin.
+func (s *Store) Unpin(r Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pinned[r.Digest]--; s.pinned[r.Digest] <= 0 {
+		delete(s.pinned, r.Digest)
+	}
+}
+
+// PutBytes stores data and returns its ref. Duplicate content is
+// detected before any backend write.
+func (s *Store) PutBytes(data []byte) (Ref, error) {
+	ref := RefOf(data)
+	if err := s.commit(ref, data); err != nil {
+		return Ref{}, err
+	}
+	return ref, nil
+}
+
+// Put streams r into the store, hashing while copying.
+func (s *Store) Put(r io.Reader) (Ref, error) {
+	w := s.NewWriter()
+	defer w.Close()
+	if _, err := io.Copy(w, r); err != nil {
+		return Ref{}, err
+	}
+	return w.Commit()
+}
+
+// PutAsync computes the ref synchronously — callers need it for the
+// metadata commit — and uploads on a bounded worker pool. The blob is
+// pinned against Sweep until cb has returned; cb receives the upload
+// outcome exactly once (nil on success, including dedup hits).
+func (s *Store) PutAsync(data []byte, cb func(error)) Ref {
+	ref := RefOf(data)
+	s.Pin(ref)
+	go func() {
+		defer s.Unpin(ref)
+		s.workers <- struct{}{}
+		defer func() { <-s.workers }()
+		err := s.commit(ref, data)
+		if cb != nil {
+			cb(err)
+		}
+	}()
+	return ref
+}
+
+// commit is the single write path: dedup against stored and in-flight
+// copies, then one backend.Put outside mu.
+func (s *Store) commit(ref Ref, data []byte) error {
+	if int64(len(data)) > MaxBlobSize {
+		return fmt.Errorf("blobstore: %d bytes exceeds %d-byte blob limit", len(data), MaxBlobSize)
+	}
+	for {
+		s.mu.Lock()
+		if _, ok := s.have[ref.Digest]; ok {
+			s.mu.Unlock()
+			s.statDedupHits.Add(1)
+			return nil
+		}
+		if up, ok := s.inflight[ref.Digest]; ok {
+			s.mu.Unlock()
+			<-up.done
+			if up.err == nil {
+				s.statDedupHits.Add(1)
+				return nil
+			}
+			continue // the racing writer failed; try to claim the slot
+		}
+		up := &upload{done: make(chan struct{})}
+		s.inflight[ref.Digest] = up
+		s.mu.Unlock()
+
+		err := s.be.Put(ref.Key(), data)
+		s.mu.Lock()
+		delete(s.inflight, ref.Digest)
+		if err == nil {
+			s.have[ref.Digest] = struct{}{}
+		}
+		s.mu.Unlock()
+		up.err = err
+		close(up.done)
+		if err == nil {
+			s.statPhysical.Add(ref.Size)
+		}
+		return err
+	}
+}
+
+// Get returns the blob for ref, fetching through the Fetcher on a local
+// miss. The digest and size are verified before the bytes are served.
+func (s *Store) Get(ref Ref) ([]byte, error) {
+	s.mu.Lock()
+	_, local := s.have[ref.Digest]
+	fetch := s.fetcher
+	s.mu.Unlock()
+	if local {
+		data, err := s.be.Get(ref.Key())
+		if err != nil {
+			return nil, fmt.Errorf("blobstore: reading %s: %w", ref, err)
+		}
+		if err := verify(ref, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+	if fetch == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, ref)
+	}
+	data, err := fetch(ref)
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: fetching %s: %w", ref, err)
+	}
+	if err := verify(ref, data); err != nil {
+		return nil, fmt.Errorf("blobstore: fetched %s: %w", ref, err)
+	}
+	s.statFetched.Add(ref.Size)
+	// Cache the verified copy so the next read is local. A commit failure
+	// only costs the cache, not the read.
+	if err := s.commit(ref, data); err != nil {
+		return data, nil //lint:allow noerrdrop fetched bytes are already verified; caching is best-effort
+	}
+	return data, nil
+}
+
+// Verify reads the blob back and checks its digest — the load-time proof
+// that a live ref resolves to the bytes it was committed with.
+func (s *Store) Verify(ref Ref) error {
+	_, err := s.Get(ref)
+	return err
+}
+
+func verify(ref Ref, data []byte) error {
+	if int64(len(data)) != ref.Size {
+		return fmt.Errorf("blobstore: %s resolved to %d bytes", ref, len(data))
+	}
+	if sha256.Sum256(data) != ref.Digest {
+		return fmt.Errorf("blobstore: digest mismatch reading %s", ref)
+	}
+	return nil
+}
+
+// Sweep removes every stored blob whose digest is neither in live nor
+// pinned nor mid-upload, and returns how many were removed. The caller
+// owns the liveness contract: every ref it intends to commit must be
+// pinned (or already reachable in its live set) before Sweep runs.
+func (s *Store) Sweep(live map[[32]byte]bool) (int, error) {
+	names, err := s.be.List()
+	if err != nil {
+		return 0, fmt.Errorf("blobstore: sweep listing: %w", err)
+	}
+	var victims [][32]byte
+	s.mu.Lock()
+	for _, name := range names {
+		d, ok := parseKey(name)
+		if !ok || live[d] {
+			continue
+		}
+		if _, ok := s.inflight[d]; ok {
+			continue
+		}
+		if s.pinned[d] > 0 {
+			continue
+		}
+		delete(s.have, d)
+		victims = append(victims, d)
+	}
+	s.mu.Unlock()
+	removed := 0
+	for _, d := range victims {
+		if err := s.be.Delete(Ref{Digest: d}.Key()); err != nil {
+			return removed, fmt.Errorf("blobstore: sweeping %x: %w", d[:6], err)
+		}
+		removed++
+	}
+	s.statSwept.Add(int64(removed))
+	return removed, nil
+}
+
+// Stats is the store's observability surface.
+type Stats struct {
+	PhysicalBytes int64 // bytes written to the backend (post-dedup)
+	DedupHits     int64 // puts satisfied without a write
+	FetchedBytes  int64 // bytes pulled through the fetcher
+	Swept         int64 // entries removed by Sweep
+}
+
+// Stats returns counters since construction.
+func (s *Store) Stats() Stats {
+	return Stats{
+		PhysicalBytes: s.statPhysical.Load(),
+		DedupHits:     s.statDedupHits.Load(),
+		FetchedBytes:  s.statFetched.Load(),
+		Swept:         s.statSwept.Load(),
+	}
+}
+
+// Writer is a streaming, hashing put handle: Write accumulates and
+// hashes, Commit stores under the computed digest, Close aborts an
+// uncommitted write (and is a no-op after Commit) — so `defer w.Close()`
+// is always correct, and releasepath enforces that no path leaks one.
+type Writer struct {
+	s    *Store
+	h    hash.Hash
+	buf  bytes.Buffer
+	done bool
+}
+
+// NewWriter opens a streaming put. The caller must Close it on every
+// path; Commit does not replace Close.
+func (s *Store) NewWriter() *Writer {
+	return &Writer{s: s, h: sha256.New()}
+}
+
+// Write hashes and buffers p.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, errors.New("blobstore: write on finished writer")
+	}
+	if int64(w.buf.Len())+int64(len(p)) > MaxBlobSize {
+		return 0, fmt.Errorf("blobstore: blob exceeds %d-byte limit", MaxBlobSize)
+	}
+	w.h.Write(p) //lint:allow noerrdrop hash.Hash.Write never returns an error (stdlib contract)
+	return w.buf.Write(p)
+}
+
+// Commit stores the accumulated bytes and returns their ref.
+func (w *Writer) Commit() (Ref, error) {
+	if w.done {
+		return Ref{}, errors.New("blobstore: commit on finished writer")
+	}
+	w.done = true
+	var ref Ref
+	w.h.Sum(ref.Digest[:0])
+	ref.Size = int64(w.buf.Len())
+	if err := w.s.commit(ref, w.buf.Bytes()); err != nil {
+		return Ref{}, err
+	}
+	return ref, nil
+}
+
+// Close aborts an uncommitted writer; after Commit it is a no-op.
+func (w *Writer) Close() error {
+	w.done = true
+	w.buf.Reset()
+	return nil
+}
+
+// Reader is a verified read handle: Open resolves and digest-checks the
+// whole blob, Read streams from the verified copy, Close releases it.
+type Reader struct {
+	r      *bytes.Reader
+	closed bool
+}
+
+// Open returns a reader over the blob, after fetching (if needed) and
+// verifying it. The caller must Close it on every path.
+func (s *Store) Open(ref Ref) (*Reader, error) {
+	data, err := s.Get(ref)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: bytes.NewReader(data)}, nil
+}
+
+// Read streams the verified blob bytes.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, errors.New("blobstore: read on closed reader")
+	}
+	return r.r.Read(p)
+}
+
+// Close releases the handle.
+func (r *Reader) Close() error {
+	r.closed = true
+	return nil
+}

@@ -1,0 +1,51 @@
+package blobstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeBlobRef hardens the 40-byte blob-ref wire format — the
+// payload of blobfetch frames and the smallest unit a hostile peer can
+// hand us. Seeds cover the satellite corpus: a valid ref, truncated
+// digests, and hostile size prefixes; the property is that every
+// accepted input round-trips byte-identically and never yields a
+// negative or over-limit size.
+func FuzzDecodeBlobRef(f *testing.F) {
+	valid := EncodeRef(RefOf([]byte("seed blob")))
+	f.Add(valid)
+	f.Add(valid[:31])             // truncated digest
+	f.Add(valid[:39])             // truncated size
+	f.Add([]byte{})               // empty
+	f.Add(bytes.Repeat(valid, 2)) // oversized
+
+	hostileSize := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint64(hostileSize[32:], 1<<63) // negative as int64
+	f.Add(hostileSize)
+	hugeSize := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint64(hugeSize[32:], MaxBlobSize+1)
+	f.Add(hugeSize)
+	zeroSize := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint64(zeroSize[32:], 0)
+	f.Add(zeroSize)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ref, err := DecodeRef(data)
+		if err != nil {
+			return
+		}
+		if ref.Size < 0 || ref.Size > MaxBlobSize {
+			t.Fatalf("decoder accepted hostile size %d", ref.Size)
+		}
+		// Round trip is byte-identical: the wire form is canonical.
+		if again := EncodeRef(ref); !bytes.Equal(again, data) {
+			t.Fatalf("re-encode differs:\n in %x\nout %x", data, again)
+		}
+		// And the hex path agrees with the binary path.
+		viaHex, err := ParseHexRef(ref.Hex(), ref.Size)
+		if err != nil || viaHex != ref {
+			t.Fatalf("hex path diverged: %v %v", viaHex, err)
+		}
+	})
+}

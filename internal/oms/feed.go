@@ -576,7 +576,7 @@ func (st *Store) replayOneLocked(c Change) error {
 			if !ok {
 				return fmt.Errorf("class %q has no attribute %q", c.Class, name)
 			}
-			if def.Kind != v.Kind {
+			if !kindCompatible(def.Kind, v.Kind) {
 				return fmt.Errorf("attribute %s.%s wants %s, got %s", c.Class, name, def.Kind, v.Kind)
 			}
 			obj.attrs[name] = v
@@ -602,7 +602,7 @@ func (st *Store) replayOneLocked(c Change) error {
 		if !ok {
 			return fmt.Errorf("class %q has no attribute %q", obj.class, c.Attr)
 		}
-		if def.Kind != c.Value.Kind {
+		if !kindCompatible(def.Kind, c.Value.Kind) {
 			return fmt.Errorf("attribute %s.%s wants %s, got %s", obj.class, c.Attr, def.Kind, c.Value.Kind)
 		}
 		obj.attrs[c.Attr] = c.Value

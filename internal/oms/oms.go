@@ -63,6 +63,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/oms/blobstore"
 )
 
 // OID identifies an object inside one Store. OIDs are never reused.
@@ -79,7 +81,8 @@ const (
 	KindString Kind = iota
 	KindInt
 	KindBool
-	KindBlob // arbitrary bytes, used for staged design data
+	KindBlob    // arbitrary bytes, used for staged design data
+	KindBlobRef // content-addressed reference to a blob (hex digest + size)
 )
 
 // String returns the OTO-D style name of the kind.
@@ -93,12 +96,17 @@ func (k Kind) String() string {
 		return "bool"
 	case KindBlob:
 		return "blob"
+	case KindBlobRef:
+		return "blobref"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // Value is a single attribute value. Exactly one field is meaningful,
-// selected by Kind.
+// selected by Kind — except KindBlobRef, which reuses Str for the hex
+// sha256 digest and Int for the blob size, so a reference costs nothing
+// beyond the struct every value already pays, and every existing
+// snapshot/feed encoding carries it unchanged.
 type Value struct {
 	Kind Kind
 	Str  string
@@ -121,6 +129,30 @@ func Bytes(p []byte) Value {
 	cp := make([]byte, len(p))
 	copy(cp, p)
 	return Value{Kind: KindBlob, Blob: cp}
+}
+
+// BlobRef returns a content-addressed reference Value for a blob in the
+// attached blobstore. A ref may be stored wherever the schema declares
+// KindBlob — see kindCompatible.
+func BlobRef(r blobstore.Ref) Value {
+	return Value{Kind: KindBlobRef, Str: r.Hex(), Int: r.Size}
+}
+
+// AsBlobRef decodes a KindBlobRef value back into a blobstore.Ref.
+func (v Value) AsBlobRef() (blobstore.Ref, error) {
+	if v.Kind != KindBlobRef {
+		return blobstore.Ref{}, fmt.Errorf("oms: %s value is not a blob ref", v.Kind)
+	}
+	return blobstore.ParseHexRef(v.Str, v.Int)
+}
+
+// kindCompatible reports whether a value of kind got may be stored in an
+// attribute declared as want: an exact match, or a content-addressed
+// reference standing in for a declared blob. The schema never declares
+// KindBlobRef — it is a storage representation of blob data, not a
+// distinct modeling type.
+func kindCompatible(want, got Kind) bool {
+	return want == got || (want == KindBlob && got == KindBlobRef)
 }
 
 // clone returns a deep copy of v so callers can never alias store internals.
@@ -153,6 +185,8 @@ func (v Value) Equal(w Value) bool {
 			}
 		}
 		return true
+	case KindBlobRef:
+		return v.Str == w.Str && v.Int == w.Int
 	}
 	return false
 }
@@ -168,6 +202,12 @@ func (v Value) String() string {
 		return fmt.Sprintf("%t", v.Bool)
 	case KindBlob:
 		return fmt.Sprintf("blob[%d]", len(v.Blob))
+	case KindBlobRef:
+		digest := v.Str
+		if len(digest) > 12 {
+			digest = digest[:12]
+		}
+		return fmt.Sprintf("blobref[%d @%s]", v.Int, digest)
 	}
 	return "?"
 }
@@ -424,10 +464,19 @@ type Store struct {
 	txGen  uint64 // guarded by logMu; last generation handed out
 	txOpen atomic.Uint64
 
-	// stats for the performance experiments (section 3.6).
+	// blobs is the optional content-addressed store large blob values
+	// spill into; spillAt is the threshold in bytes (see blobref.go).
+	// Both are set once at wire-up, before the store is shared.
+	blobs   *blobstore.Store
+	spillAt int
+
+	// stats for the performance experiments (section 3.6). Blob bytes are
+	// counted logically (what callers hand in/out); statBlobPhys counts
+	// only bytes written inline — the CAS counts its own physical writes.
 	statOps      atomic.Int64
-	statBlobIn   atomic.Int64 // bytes copied into the database
-	statBlobOut  atomic.Int64 // bytes copied out of the database
+	statBlobIn   atomic.Int64 // logical bytes copied into the database
+	statBlobOut  atomic.Int64 // logical bytes copied out of the database
+	statBlobPhys atomic.Int64 // bytes physically stored inline
 	statCommits  atomic.Int64
 	statRollback atomic.Int64
 }
@@ -450,8 +499,9 @@ func NewStore(schema *Schema) *Store {
 // Schema returns the schema the store enforces.
 func (st *Store) Schema() *Schema { return st.schema }
 
-// Stats reports cumulative operation counters (ops, blob bytes in, blob
-// bytes out). Used by the section 3.6 experiments.
+// Stats reports cumulative operation counters (ops, logical blob bytes
+// in, logical blob bytes out). Used by the section 3.6 experiments; the
+// logical/physical split behind the dedup ratio is BlobStatsNow.
 func (st *Store) Stats() (ops, blobIn, blobOut int64) {
 	return st.statOps.Load(), st.statBlobIn.Load(), st.statBlobOut.Load()
 }
@@ -688,7 +738,7 @@ func (st *Store) validateCreate(class string, attrs map[string]Value) error {
 		if !ok {
 			return fmt.Errorf("oms: class %q has no attribute %q", class, name)
 		}
-		if def.Kind != v.Kind {
+		if !kindCompatible(def.Kind, v.Kind) {
 			return fmt.Errorf("oms: attribute %s.%s wants %s, got %s", class, name, def.Kind, v.Kind)
 		}
 	}
@@ -728,9 +778,7 @@ func (st *Store) insertLocked(oid OID, class string, attrs map[string]Value) app
 		recAttrs = make(map[string]Value, len(attrs))
 		for name, v := range attrs {
 			recAttrs[name] = v
-			if v.Kind == KindBlob {
-				st.statBlobIn.Add(int64(len(v.Blob)))
-			}
+			st.noteBlobIn(v)
 		}
 	}
 	s := st.stripeOf(oid)
@@ -899,14 +947,12 @@ func (st *Store) setLockedU(oid OID, name string, v Value) (applied, error) {
 	if !ok {
 		return applied{}, fmt.Errorf("oms: class %q has no attribute %q", obj.class, name)
 	}
-	if def.Kind != v.Kind {
+	if !kindCompatible(def.Kind, v.Kind) {
 		return applied{}, fmt.Errorf("oms: attribute %s.%s wants %s, got %s", obj.class, name, def.Kind, v.Kind)
 	}
 	old, had := obj.attrs[name]
 	obj.attrs[name] = v
-	if v.Kind == KindBlob {
-		st.statBlobIn.Add(int64(len(v.Blob)))
-	}
+	st.noteBlobIn(v)
 	st.statOps.Add(1)
 	return applied{
 		change: Change{Kind: ChangeSet, OID: oid, Class: obj.class, Attr: name, Value: v},

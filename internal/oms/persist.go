@@ -157,7 +157,7 @@ func DecodeSnapshot(data []byte, schema *Schema) (*Store, error) {
 			if !ok {
 				return nil, fmt.Errorf("decode snapshot: class %q has no attribute %q", so.Class, name)
 			}
-			if def.Kind != sv.Kind {
+			if !kindCompatible(def.Kind, sv.Kind) {
 				return nil, fmt.Errorf("decode snapshot: attribute %s.%s wants %s, got %s", so.Class, name, def.Kind, sv.Kind)
 			}
 			obj.attrs[name] = Value{Kind: sv.Kind, Str: sv.Str, Int: sv.Int, Bool: sv.Bool, Blob: sv.Blob}
@@ -203,7 +203,16 @@ func (st *Store) CopyIn(oid OID, attr, srcPath string) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("oms: copy-in: %w", err)
 	}
-	if err := st.setOwned(oid, attr, Value{Kind: KindBlob, Blob: data}); err != nil {
+	v := Value{Kind: KindBlob, Blob: data}
+	if st.shouldSpill(v) {
+		ref, unpin, err := st.spill(v)
+		if err != nil {
+			return 0, err
+		}
+		defer unpin()
+		v = ref
+	}
+	if err := st.setOwned(oid, attr, v); err != nil {
 		return 0, err
 	}
 	return int64(len(data)), nil
@@ -221,14 +230,15 @@ func (st *Store) CopyOut(oid OID, attr, dstPath string) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("oms: copy-out: object %d has no attribute %q", oid, attr)
 	}
-	if v.Kind != KindBlob {
-		return 0, fmt.Errorf("oms: copy-out: attribute %q is %s, not blob", attr, v.Kind)
+	data, err := st.resolveBlob(v)
+	if err != nil {
+		return 0, fmt.Errorf("oms: copy-out: %w", err)
 	}
 	if err := os.MkdirAll(filepath.Dir(dstPath), 0o755); err != nil {
 		return 0, fmt.Errorf("oms: copy-out: %w", err)
 	}
-	if err := os.WriteFile(dstPath, v.Blob, 0o644); err != nil {
+	if err := os.WriteFile(dstPath, data, 0o644); err != nil {
 		return 0, fmt.Errorf("oms: copy-out: %w", err)
 	}
-	return int64(len(v.Blob)), nil
+	return int64(len(data)), nil
 }

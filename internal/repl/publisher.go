@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/oms"
 	"repro/internal/oms/backend"
+	"repro/internal/oms/blobstore"
 )
 
 // Publisher wraps a primary oms.Store and serves its change feed to
@@ -209,11 +210,21 @@ func (p *Publisher) session(c Conn) {
 	defer sub.Close()
 	// Watch the connection for peer departure so the stream loop (which
 	// may be parked in sub.C() with nothing to send) shuts down promptly.
+	// The same goroutine serves blob-fetch requests: the change feed
+	// carries only ~40-byte refs, so followers pull blob bytes on demand,
+	// and serving from here keeps fetches off the stream loop's back.
 	go func() {
 		for {
-			if _, err := c.Recv(); err != nil {
+			f, err := c.Recv()
+			if err != nil {
 				sub.Close()
 				return
+			}
+			if f.Type == FrameBlobFetch {
+				if !p.serveBlob(c, f) {
+					sub.Close()
+					return
+				}
 			}
 		}
 	}()
@@ -241,6 +252,27 @@ func (p *Publisher) session(c Conn) {
 	}
 	// sub closed: the session lagged out of the feed ring (the replica
 	// reconnects and re-bootstraps), or the publisher/conn is closing.
+}
+
+// serveBlob answers one FrameBlobFetch: look the ref up in the primary
+// store's blob store and reply FrameBlob with ref||bytes (or just the
+// echoed ref when the blob is unknown — the replica turns that into a
+// not-found error rather than hanging). Returns false only on a send
+// failure; a miss or a malformed request is the requester's problem,
+// not grounds to kill the session. Safe concurrently with the stream
+// loop: both transports serialize Send internally.
+func (p *Publisher) serveBlob(c Conn, req Frame) bool {
+	ref, err := blobstore.DecodeRef(req.Payload)
+	if err != nil {
+		return true
+	}
+	resp := Frame{Type: FrameBlob, Payload: blobstore.EncodeRef(ref)}
+	if bs := p.st.Blobs(); bs != nil {
+		if data, err := bs.Get(ref); err == nil {
+			resp.Payload = append(resp.Payload, data...)
+		}
+	}
+	return p.send(c, resp)
 }
 
 func (p *Publisher) send(c Conn, f Frame) bool {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/oms"
 	"repro/internal/oms/backend"
+	"repro/internal/oms/blobstore"
 )
 
 // Replica is one follower store: it dials a Publisher, bootstraps, and
@@ -39,6 +40,11 @@ type Replica struct {
 	closed    bool
 	done      chan struct{} // closed by Close; interrupts backoff sleeps
 	conn      Conn          // live connection, closed to interrupt follow()
+
+	// blobWaiters holds the readers parked in fetchBlob, keyed by the
+	// digest they asked the publisher for (guarded by mu). Each channel
+	// is buffered and receives exactly one result.
+	blobWaiters map[[32]byte][]chan blobResult
 
 	wg sync.WaitGroup
 
@@ -94,6 +100,19 @@ func WithLocalSeed(b backend.Backend) ReplicaOption {
 // 50ms). Dial errors and dropped connections both wait this long.
 func WithReconnectBackoff(d time.Duration) ReplicaOption {
 	return func(r *Replica) { r.backoff = d }
+}
+
+// WithBlobStore attaches a content-addressed blob store to the follower
+// store. The change feed replicates only ~40-byte refs for spilled
+// design data; the first read of a blob the replica does not hold
+// fetches it from the publisher by digest (FrameBlobFetch) and caches
+// it locally, digest-verified. Spilling is disabled on the follower
+// (threshold 0) — replicas never originate blobs.
+func WithBlobStore(bs *blobstore.Store) ReplicaOption {
+	return func(r *Replica) {
+		r.st.AttachBlobs(bs, 0)
+		bs.SetFetcher(r.fetchBlob)
+	}
 }
 
 // NewReplica returns a stopped replica with an empty follower store
@@ -240,6 +259,7 @@ func (r *Replica) run() {
 		err = r.follow(c)
 		r.noteCloseErr(c)
 		r.setConn(nil)
+		r.failBlobWaiters()
 		if r.isClosed() {
 			return
 		}
@@ -339,8 +359,114 @@ func (r *Replica) follow(c Conn) error {
 			}
 			r.advanceLocked(r.st.FeedLSN(), f.LSN)
 			r.mu.Unlock()
+		case FrameBlob:
+			if err := r.acceptBlob(f); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("repl: unexpected frame type %d", f.Type)
+		}
+	}
+}
+
+// blobResult delivers one fetched blob (or its failure) to a waiter.
+type blobResult struct {
+	data []byte
+	err  error
+}
+
+// fetchBlob is the blob store's miss handler: ask the current session's
+// publisher for ref and park until the FrameBlob answer is routed back
+// by follow(). The blob store digest-verifies whatever arrives before
+// caching or returning it, so a corrupt or lying peer cannot poison the
+// local CAS. Runs on reader goroutines, never under r.mu.
+func (r *Replica) fetchBlob(ref blobstore.Ref) ([]byte, error) {
+	ch := make(chan blobResult, 1)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("repl: fetch %s: replica closed", ref)
+	}
+	c := r.conn
+	if c == nil {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("repl: fetch %s: no publisher session", ref)
+	}
+	if r.blobWaiters == nil {
+		r.blobWaiters = map[[32]byte][]chan blobResult{}
+	}
+	r.blobWaiters[ref.Digest] = append(r.blobWaiters[ref.Digest], ch)
+	r.mu.Unlock()
+	if err := c.Send(Frame{Type: FrameBlobFetch, Payload: blobstore.EncodeRef(ref)}); err != nil {
+		r.dropBlobWaiter(ref.Digest, ch)
+		// The channel may have raced a delivery in before the drop; a
+		// buffered result is simply discarded with the channel.
+		return nil, fmt.Errorf("repl: fetch %s: %w", ref, err)
+	}
+	select {
+	case res := <-ch:
+		return res.data, res.err
+	case <-r.done:
+		r.dropBlobWaiter(ref.Digest, ch)
+		return nil, fmt.Errorf("repl: fetch %s: replica closed", ref)
+	}
+}
+
+// acceptBlob routes one FrameBlob to the waiters parked on its digest.
+// A payload of exactly the echoed ref means the publisher does not hold
+// the blob; that is an answer (not-found), not a protocol error.
+func (r *Replica) acceptBlob(f Frame) error {
+	if len(f.Payload) < blobstore.EncodedRefSize {
+		return fmt.Errorf("repl: short blob frame (%d bytes)", len(f.Payload))
+	}
+	ref, err := blobstore.DecodeRef(f.Payload[:blobstore.EncodedRefSize])
+	if err != nil {
+		return fmt.Errorf("repl: blob frame: %w", err)
+	}
+	res := blobResult{data: f.Payload[blobstore.EncodedRefSize:]}
+	if len(res.data) == 0 {
+		res = blobResult{err: fmt.Errorf("repl: publisher does not hold %s", ref)}
+	}
+	r.mu.Lock()
+	chs := r.blobWaiters[ref.Digest]
+	delete(r.blobWaiters, ref.Digest)
+	r.mu.Unlock()
+	for _, ch := range chs {
+		ch <- res // buffered; never blocks
+	}
+	return nil
+}
+
+// dropBlobWaiter unregisters one fetch channel (send failed or the
+// replica closed before the answer came).
+func (r *Replica) dropBlobWaiter(digest [32]byte, ch chan blobResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	chs := r.blobWaiters[digest]
+	for i, c := range chs {
+		if c == ch {
+			chs = append(chs[:i], chs[i+1:]...)
+			break
+		}
+	}
+	if len(chs) == 0 {
+		delete(r.blobWaiters, digest)
+	} else {
+		r.blobWaiters[digest] = chs
+	}
+}
+
+// failBlobWaiters ends every outstanding fetch: the session the requests
+// went out on is gone and its answers will never arrive. Readers retry
+// against the next session if they want to.
+func (r *Replica) failBlobWaiters() {
+	r.mu.Lock()
+	waiters := r.blobWaiters
+	r.blobWaiters = nil
+	r.mu.Unlock()
+	for _, chs := range waiters {
+		for _, ch := range chs {
+			ch <- blobResult{err: errors.New("repl: session ended before blob arrived")}
 		}
 	}
 }

@@ -57,6 +57,17 @@ const (
 	// whole commit groups; LSN is the publisher's committed watermark at
 	// send time (the replica's lag reference).
 	FrameChanges
+	// FrameBlobFetch asks the publisher for one content-addressed blob
+	// (replica → publisher). Payload is a 40-byte blobstore.EncodeRef;
+	// LSN is unused. Replicas send it lazily — the change feed carries
+	// only refs, so a blob crosses the wire the first time a follower
+	// actually reads it.
+	FrameBlobFetch
+	// FrameBlob answers a FrameBlobFetch (publisher → replica). Payload
+	// is the echoed 40-byte ref followed by the blob bytes; a payload of
+	// exactly the ref means the publisher does not hold the blob. LSN is
+	// unused. The replica verifies the digest before accepting.
+	FrameBlob
 )
 
 // helloNeedSnapshot asks the publisher for an unconditional bootstrap:
