@@ -121,6 +121,7 @@ var namedLockSpecs = []lockSpec{
 	{"oms", "stripe", "mu", "oms.stripes"},
 	{"oms", "feed", "mu", "oms.feed.mu"},
 	{"blobstore", "Store", "mu", "blobstore.Store.mu"},
+	{"blobstore", "Store", "sweepMu", "blobstore.Store.sweepMu"},
 	{"itc", "Bus", "mu", "itc.Bus.mu"},
 	{"repl", "Publisher", "mu", "repl.Publisher.mu"},
 	{"repl", "Replica", "mu", "repl.Replica.mu"},

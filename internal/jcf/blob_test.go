@@ -301,6 +301,104 @@ func TestStressBlobCrashBeforeBlobDurability(t *testing.T) {
 	}
 }
 
+// TestStressBlobSweepCheckinRace: the GC sweep races live checkins. A
+// checkin that spills its blob, commits the ref, and drops its pin while
+// a sweep is mid-flight must never lose the blob to that sweep (the
+// sweep-fence + pin-before-put contract); every committed version must
+// still resolve with a verified digest afterwards. Unique contents per
+// checkin keep every round a fresh blob, so a stale live set would be
+// fatal rather than masked by dedup.
+func TestStressBlobSweepCheckinRace(t *testing.T) {
+	w, _ := newBlobWorld(t)
+	fw := w.fw
+	v1 := fw.Variants(w.cv)[0]
+	if err := fw.Reserve("anna", w.cv); err != nil {
+		t.Fatal(err)
+	}
+	const designers = 4
+	const perDesigner = 12
+	dir := t.TempDir()
+	dos := make([]oms.OID, designers)
+	for i := range dos {
+		do, err := fw.CreateDesignObject(v1, fmt.Sprintf("alu-%d", i), w.layVT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dos[i] = do
+	}
+	want := sync.Map{} // dov -> expected content
+	stop := make(chan struct{})
+	var sweeper sync.WaitGroup
+	sweeper.Add(1)
+	go func() {
+		defer sweeper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := fw.SweepBlobs(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, designers)
+	for i := 0; i < designers; i++ {
+		wg.Add(1)
+		go func(i int, do oms.OID) {
+			defer wg.Done()
+			for j := 0; j < perDesigner; j++ {
+				content := bytes.Repeat([]byte(fmt.Sprintf("unique-%d-%d ", i, j)), 512)
+				src := filepath.Join(dir, fmt.Sprintf("d%d-%d", i, j))
+				if err := os.WriteFile(src, content, 0o644); err != nil {
+					errs <- err
+					return
+				}
+				dov, err := fw.CheckInData("anna", do, src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want.Store(dov, content)
+			}
+		}(i, dos[i])
+	}
+	wg.Wait()
+	close(stop)
+	sweeper.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := fw.WaitBlobDurable(w.cv); err != nil {
+		t.Fatal(err)
+	}
+	// One final sweep with everything quiesced, then every committed
+	// version must still resolve to exactly its content.
+	if _, err := fw.SweepBlobs(); err != nil {
+		t.Fatal(err)
+	}
+	resolved := 0
+	want.Range(func(k, v any) bool {
+		resolved++
+		dov, content := k.(oms.OID), v.([]byte)
+		got, err := fw.store.BlobBytes(dov, "data")
+		if err != nil {
+			t.Fatalf("version %d lost its blob to the sweep: %v", dov, err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("version %d resolved to wrong content", dov)
+		}
+		return true
+	})
+	if resolved != designers*perDesigner {
+		t.Fatalf("resolved %d versions, want %d", resolved, designers*perDesigner)
+	}
+}
+
 // TestStressBlobPublishWaitsForUploads: Publish must block on in-flight
 // uploads rather than racing them — checkins and publishes interleave
 // from separate goroutines and every successfully published state must

@@ -22,8 +22,13 @@ import (
 // liveness sweep collects the orphaned bytes.
 
 // blobUpload is one registered async upload (guarded by fw.upMu).
+// release drops the GC pin PutAsync took before any backend write; it is
+// set once at registration and called by CheckInData after the metadata
+// batch has resolved, so the blob is pinned for the whole durable-but-
+// uncommitted window.
 type blobUpload struct {
 	ref       blobstore.Ref
+	release   func()
 	err       error // valid once settled
 	settled   bool  // the store's completion callback has run
 	abandoned bool  // the checkin's metadata batch failed; outcome moot
@@ -109,8 +114,9 @@ func (fw *Framework) forEachCVDataRef(cv oms.OID, fn func(dov oms.OID, r blobsto
 // startUpload registers one pending upload on cv's ledger and hands the
 // bytes to the blob store's async pool. The returned token identifies
 // the upload for abandonUpload; its ref is ready for the metadata commit
-// immediately (the blob is additionally pinned by PutAsync until the
-// completion callback has run).
+// immediately, pinned against the GC sweep until the caller invokes
+// up.release (which it must, exactly once, after the metadata batch has
+// resolved either way).
 func (fw *Framework) startUpload(cv oms.OID, data []byte) *blobUpload {
 	up := &blobUpload{}
 	fw.upMu.Lock()
@@ -122,7 +128,7 @@ func (fw *Framework) startUpload(cv oms.OID, data []byte) *blobUpload {
 	u.pending++
 	u.ups = append(u.ups, up)
 	fw.upMu.Unlock()
-	up.ref = fw.blobs.PutAsync(data, func(err error) { fw.finishUpload(cv, up, err) })
+	up.ref, up.release = fw.blobs.PutAsync(data, func(err error) { fw.finishUpload(cv, up, err) })
 	return up
 }
 
@@ -232,19 +238,23 @@ func (fw *Framework) WaitBlobDurable(cv oms.OID) error {
 
 // SweepBlobs garbage-collects CAS entries no live ref reaches: the live
 // set is every KindBlobRef value in the store; blobs mid-upload or
-// pinned (committed to the CAS but their metadata batch still in flight)
-// are never collected. Returns the number of blobs removed. Refcount-
-// free by design: the sweep recomputes liveness from the store, so no
-// counter can drift.
+// pinned (headed for or through the CAS with their metadata batch still
+// in flight) are never collected. Returns the number of blobs removed.
+// Refcount-free by design: the sweep recomputes liveness from the store,
+// so no counter can drift — and it does so inside the blob store's sweep
+// fence, so a checkin that commits its ref and drops its pin while the
+// sweep is running can never be selected off a stale live set.
 func (fw *Framework) SweepBlobs() (int, error) {
 	if fw.blobs == nil {
 		return 0, nil
 	}
-	live := map[[32]byte]bool{}
-	fw.store.ForEachBlobRef(func(_ oms.OID, _ string, r blobstore.Ref) {
-		live[r.Digest] = true
+	return fw.blobs.Sweep(func() map[[32]byte]bool {
+		live := map[[32]byte]bool{}
+		fw.store.ForEachBlobRef(func(_ oms.OID, _ string, r blobstore.Ref) {
+			live[r.Digest] = true
+		})
+		return live
 	})
-	return fw.blobs.Sweep(live)
 }
 
 // BlobStats reports the design-data accounting split (logical vs

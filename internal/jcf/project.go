@@ -404,13 +404,13 @@ func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.O
 	// the store's bounded worker pool, and commit only the ~40-byte ref —
 	// the metadata batch below no longer scales with design size. The
 	// upload is registered on the cell version's ledger BEFORE the commit
-	// so Publish's durability gate can never miss it, and the blob stays
-	// pinned against the GC sweep until the batch has resolved.
+	// so Publish's durability gate can never miss it, and the blob is
+	// pinned against the GC sweep from before its backend write (inside
+	// startUpload) until the batch has resolved (the deferred release).
 	var up *blobUpload
 	if fw.blobs != nil && len(data) >= fw.blobThreshold {
 		up = fw.startUpload(cv, data)
-		fw.blobs.Pin(up.ref)
-		defer fw.blobs.Unpin(up.ref)
+		defer up.release()
 	}
 	fw.mu.RLock()
 	defer fw.mu.RUnlock()

@@ -30,16 +30,17 @@ func (st *Store) shouldSpill(v Value) bool {
 	return v.Kind == KindBlob && st.blobs != nil && st.spillAt > 0 && len(v.Blob) >= st.spillAt
 }
 
-// spill stores v's bytes in the CAS, pinned against Sweep until unpin is
-// called (after the ref has committed — or failed to commit — to
-// metadata), and returns the reference value.
+// spill stores v's bytes in the CAS, pinned against Sweep from before
+// the backend write until unpin is called (after the ref has committed —
+// or failed to commit — to metadata), and returns the reference value.
+// The pin-before-put ordering is the Sweep contract: there is never an
+// instant where the blob is durable but unpinned and unreachable.
 func (st *Store) spill(v Value) (ref Value, unpin func(), err error) {
-	r, err := st.blobs.PutBytes(v.Blob)
+	r, unpin, err := st.blobs.PutBytesPinned(v.Blob)
 	if err != nil {
 		return Value{}, nil, fmt.Errorf("oms: spilling %d-byte blob: %w", len(v.Blob), err)
 	}
-	st.blobs.Pin(r)
-	return BlobRef(r), func() { st.blobs.Unpin(r) }, nil
+	return BlobRef(r), unpin, nil
 }
 
 // resolveBlob returns the bytes behind a blob-valued attribute: inline

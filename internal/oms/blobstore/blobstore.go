@@ -50,16 +50,32 @@ type upload struct {
 // Concurrency: mu guards only the in-memory maps and is a leaf — no
 // backend I/O, no other lock, and no channel operation happens under it.
 // Backend writes are serialized per digest through the inflight map, so
-// concurrent Puts of identical content store it exactly once.
+// concurrent Puts of identical content store it exactly once. sweepMu is
+// the sweep fence (see Sweep); it is ordered strictly above mu.
 type Store struct {
 	be      backend.Backend
 	workers chan struct{} // async upload slots
+
+	// sweepMu fences pin releases against the GC. Sweep holds it
+	// exclusively from its live-set scan through victim selection; Unpin
+	// acquires it shared. Every ref is pinned from before its backend
+	// write until after its metadata commit, so fencing the unpin means a
+	// digest observed unpinned during selection had its metadata commit
+	// finish before the live scan started — the scan saw the ref, and the
+	// live set can never be stale for a committed blob.
+	sweepMu sync.RWMutex
 
 	mu       sync.Mutex // leaf: guards the maps below only
 	have     map[[32]byte]struct{}
 	inflight map[[32]byte]*upload
 	pinned   map[[32]byte]int
-	fetcher  Fetcher
+	// condemned holds the digests a running Sweep has selected and not
+	// yet deleted from the backend. A commit of a condemned digest waits
+	// on the sweep's gate channel and then rewrites, so a re-checkin of
+	// just-collected content can never have its fresh backend write
+	// destroyed by the sweep's trailing Delete.
+	condemned map[[32]byte]chan struct{}
+	fetcher   Fetcher
 
 	statPhysical  atomic.Int64 // bytes actually written to the backend (post-dedup)
 	statDedupHits atomic.Int64 // puts satisfied by an existing or in-flight copy
@@ -71,11 +87,12 @@ type Store struct {
 // backend listing — the only persistent state is the blobs themselves.
 func New(be backend.Backend, opts ...Option) (*Store, error) {
 	s := &Store{
-		be:       be,
-		workers:  make(chan struct{}, defaultUploadWorkers),
-		have:     make(map[[32]byte]struct{}),
-		inflight: make(map[[32]byte]*upload),
-		pinned:   make(map[[32]byte]int),
+		be:        be,
+		workers:   make(chan struct{}, defaultUploadWorkers),
+		have:      make(map[[32]byte]struct{}),
+		inflight:  make(map[[32]byte]*upload),
+		pinned:    make(map[[32]byte]int),
+		condemned: make(map[[32]byte]chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -116,16 +133,25 @@ func (s *Store) Count() int {
 }
 
 // Pin marks a digest live for Sweep regardless of the caller's live set,
-// covering the window between a blob landing in the CAS and its ref
-// committing to metadata. Pins nest; balance each Pin with one Unpin.
+// covering the window from before a blob lands in the CAS until its ref
+// has committed to metadata. Pins nest; balance each Pin with one Unpin.
+// The Sweep contract requires the pin to be taken BEFORE the backend
+// write (PutBytesPinned and PutAsync do this) and released only after
+// the metadata commit has resolved.
 func (s *Store) Pin(r Ref) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pinned[r.Digest]++
 }
 
-// Unpin releases one Pin.
+// Unpin releases one Pin. It passes through the sweep fence: an unpin
+// never lands between a running Sweep's live-set scan and its victim
+// selection, which is what makes the scan trustworthy (see sweepMu).
+// Callers must not hold the store's other locks, and a Sweep's scanLive
+// callback must not unpin (it would self-deadlock on the fence).
 func (s *Store) Unpin(r Ref) {
+	s.sweepMu.RLock()
+	defer s.sweepMu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.pinned[r.Digest]--; s.pinned[r.Digest] <= 0 {
@@ -134,13 +160,31 @@ func (s *Store) Unpin(r Ref) {
 }
 
 // PutBytes stores data and returns its ref. Duplicate content is
-// detected before any backend write.
+// detected before any backend write. The blob is NOT pinned — callers
+// that intend to commit the ref to metadata must use PutBytesPinned so
+// the liveness sweep cannot collect the blob before the ref is visible.
 func (s *Store) PutBytes(data []byte) (Ref, error) {
 	ref := RefOf(data)
 	if err := s.commit(ref, data); err != nil {
 		return Ref{}, err
 	}
 	return ref, nil
+}
+
+// PutBytesPinned stores data with its ref pinned BEFORE any backend
+// write — the ordering the Sweep contract demands, closing the window
+// where a blob is durable but neither pinned, in-flight, nor reachable.
+// The returned release func drops the pin; call it exactly once, after
+// the ref's metadata commit has resolved (either way — a failed commit
+// just leaves an orphan for the next sweep).
+func (s *Store) PutBytesPinned(data []byte) (Ref, func(), error) {
+	ref := RefOf(data)
+	s.Pin(ref)
+	if err := s.commit(ref, data); err != nil {
+		s.Unpin(ref)
+		return Ref{}, nil, err
+	}
+	return ref, func() { s.Unpin(ref) }, nil
 }
 
 // Put streams r into the store, hashing while copying.
@@ -155,13 +199,16 @@ func (s *Store) Put(r io.Reader) (Ref, error) {
 
 // PutAsync computes the ref synchronously — callers need it for the
 // metadata commit — and uploads on a bounded worker pool. The blob is
-// pinned against Sweep until cb has returned; cb receives the upload
-// outcome exactly once (nil on success, including dedup hits).
-func (s *Store) PutAsync(data []byte, cb func(error)) Ref {
+// pinned against Sweep before PutAsync returns; the caller owns that pin
+// and must call the returned release func exactly once, after its
+// metadata commit has resolved. (The store cannot release it itself:
+// the upload may finish before the caller's commit, and an unpinned,
+// uncommitted blob is exactly what Sweep is allowed to eat.) cb receives
+// the upload outcome exactly once (nil on success, including dedup hits).
+func (s *Store) PutAsync(data []byte, cb func(error)) (Ref, func()) {
 	ref := RefOf(data)
 	s.Pin(ref)
 	go func() {
-		defer s.Unpin(ref)
 		s.workers <- struct{}{}
 		defer func() { <-s.workers }()
 		err := s.commit(ref, data)
@@ -169,7 +216,7 @@ func (s *Store) PutAsync(data []byte, cb func(error)) Ref {
 			cb(err)
 		}
 	}()
-	return ref
+	return ref, func() { s.Unpin(ref) }
 }
 
 // commit is the single write path: dedup against stored and in-flight
@@ -180,6 +227,14 @@ func (s *Store) commit(ref Ref, data []byte) error {
 	}
 	for {
 		s.mu.Lock()
+		if gate, ok := s.condemned[ref.Digest]; ok {
+			// A sweep selected this digest and its backend Delete is still
+			// pending. Writing now could be destroyed by that Delete; wait
+			// it out and rewrite from scratch.
+			s.mu.Unlock()
+			<-gate
+			continue
+		}
 		if _, ok := s.have[ref.Digest]; ok {
 			s.mu.Unlock()
 			s.statDedupHits.Add(1)
@@ -267,15 +322,37 @@ func verify(ref Ref, data []byte) error {
 	return nil
 }
 
-// Sweep removes every stored blob whose digest is neither in live nor
-// pinned nor mid-upload, and returns how many were removed. The caller
-// owns the liveness contract: every ref it intends to commit must be
-// pinned (or already reachable in its live set) before Sweep runs.
-func (s *Store) Sweep(live map[[32]byte]bool) (int, error) {
+// Sweep removes every stored blob whose digest is neither reported live
+// by scanLive nor pinned nor mid-upload, and returns how many were
+// removed. scanLive recomputes the live set (every committed ref); nil
+// means nothing is live. The caller owns the liveness contract: every
+// ref it intends to commit must be pinned — from before the backend
+// write until after the metadata commit (PutBytesPinned / PutAsync do
+// this) — or already reachable via scanLive.
+//
+// Correctness of selection rests on the sweep fence: scanLive runs and
+// victims are selected under sweepMu held exclusively, and Unpin takes
+// sweepMu shared. So at selection time an unpinned digest had its last
+// unpin — and therefore, by the pin contract, its metadata commit —
+// happen before the scan started, meaning the scan saw the ref and the
+// digest is in live. A stale live set can only ever spare a blob, never
+// condemn a committed one. scanLive must not call back into the store's
+// pin management (Unpin would self-deadlock on the fence).
+//
+// Selected victims stay "condemned" until their backend Delete has run;
+// a racing commit of the same digest waits and then rewrites, so the
+// trailing Delete can never destroy a fresh re-checkin's bytes.
+func (s *Store) Sweep(scanLive func() map[[32]byte]bool) (int, error) {
 	names, err := s.be.List()
 	if err != nil {
 		return 0, fmt.Errorf("blobstore: sweep listing: %w", err)
 	}
+	s.sweepMu.Lock()
+	var live map[[32]byte]bool
+	if scanLive != nil {
+		live = scanLive()
+	}
+	gate := make(chan struct{})
 	var victims [][32]byte
 	s.mu.Lock()
 	for _, name := range names {
@@ -286,21 +363,37 @@ func (s *Store) Sweep(live map[[32]byte]bool) (int, error) {
 		if _, ok := s.inflight[d]; ok {
 			continue
 		}
+		if _, ok := s.condemned[d]; ok {
+			continue // a concurrent sweep already owns this victim
+		}
 		if s.pinned[d] > 0 {
 			continue
 		}
 		delete(s.have, d)
+		s.condemned[d] = gate
 		victims = append(victims, d)
 	}
 	s.mu.Unlock()
+	s.sweepMu.Unlock()
 	removed := 0
+	defer func() {
+		// Lift the condemnations (even on a failed Delete — the blob is
+		// garbage either way; a racing commit just rewrites it) and only
+		// then open the gate, so woken commits see a clean map.
+		s.mu.Lock()
+		for _, d := range victims {
+			delete(s.condemned, d)
+		}
+		s.mu.Unlock()
+		close(gate)
+		s.statSwept.Add(int64(removed))
+	}()
 	for _, d := range victims {
 		if err := s.be.Delete(Ref{Digest: d}.Key()); err != nil {
 			return removed, fmt.Errorf("blobstore: sweeping %x: %w", d[:6], err)
 		}
 		removed++
 	}
-	s.statSwept.Add(int64(removed))
 	return removed, nil
 }
 

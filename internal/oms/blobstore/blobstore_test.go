@@ -223,21 +223,46 @@ func TestPutAsyncDeliversAndDedups(t *testing.T) {
 	s, _ := openStore(t)
 	data := bytes.Repeat([]byte("async"), 2048)
 	done := make(chan error, 2)
-	ref := s.PutAsync(data, func(err error) { done <- err })
+	ref, release := s.PutAsync(data, func(err error) { done <- err })
 	if ref != RefOf(data) {
 		t.Fatal("PutAsync returned wrong ref")
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
+	// The upload is durable but the caller's pin is still held: a sweep
+	// with an empty live set must not touch it until release.
+	if n, err := s.Sweep(nil); err != nil || n != 0 {
+		t.Fatalf("sweep collected an unreleased async put: n=%d err=%v", n, err)
+	}
+	release()
 	// Second async put of the same content is a dedup hit.
-	s.PutAsync(append([]byte(nil), data...), func(err error) { done <- err })
+	_, release2 := s.PutAsync(append([]byte(nil), data...), func(err error) { done <- err })
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
+	release2()
 	st := s.Stats()
 	if st.PhysicalBytes != int64(len(data)) || st.DedupHits != 1 {
 		t.Fatalf("async stats: physical %d dedup %d", st.PhysicalBytes, st.DedupHits)
+	}
+}
+
+func TestPutBytesPinnedProtectsUntilRelease(t *testing.T) {
+	s, _ := openStore(t)
+	ref, release, err := s.PutBytesPinned([]byte("pinned before the backend write"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Sweep(nil); err != nil || n != 0 {
+		t.Fatalf("sweep collected a pinned put: n=%d err=%v", n, err)
+	}
+	if !s.Has(ref) {
+		t.Fatal("pinned blob missing")
+	}
+	release()
+	if n, err := s.Sweep(nil); err != nil || n != 1 {
+		t.Fatalf("post-release sweep: n=%d err=%v", n, err)
 	}
 }
 
@@ -257,7 +282,8 @@ func TestSweepRemovesOnlyDeadBlobs(t *testing.T) {
 	}
 	s.Pin(pinnedRef)
 
-	removed, err := s.Sweep(map[[32]byte]bool{live.Digest: true})
+	scan := func() map[[32]byte]bool { return map[[32]byte]bool{live.Digest: true} }
+	removed, err := s.Sweep(scan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,8 +298,45 @@ func TestSweepRemovesOnlyDeadBlobs(t *testing.T) {
 	}
 	// After the unpin the pinned blob is collectible like any other.
 	s.Unpin(pinnedRef)
-	if removed, err = s.Sweep(map[[32]byte]bool{live.Digest: true}); err != nil || removed != 1 {
+	if removed, err = s.Sweep(scan); err != nil || removed != 1 {
 		t.Fatalf("post-unpin sweep: removed=%d err=%v", removed, err)
+	}
+}
+
+// TestSweepCommitRace: a commit of content a concurrent sweep has
+// condemned must wait out the sweep's backend Delete and rewrite, so the
+// store can never report a blob present whose bytes the sweep destroyed.
+func TestSweepCommitRace(t *testing.T) {
+	s, be := openStore(t)
+	data := []byte("contended content")
+	ref := RefOf(data)
+	for i := 0; i < 100; i++ {
+		if _, err := s.PutBytes(data); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Sweep(nil); err != nil {
+				t.Error(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := s.PutBytes(data); err != nil {
+				t.Error(err)
+			}
+		}()
+		wg.Wait()
+		if s.Has(ref) {
+			if _, err := be.Get(ref.Key()); err != nil {
+				t.Fatalf("round %d: store reports %s present but the bytes are gone: %v", i, ref, err)
+			}
+		}
+		if _, err := s.Sweep(nil); err != nil { // reset for the next round
+			t.Fatal(err)
+		}
 	}
 }
 

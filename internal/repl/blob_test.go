@@ -105,8 +105,8 @@ func TestReplicaBlobFetch(t *testing.T) {
 }
 
 // TestReplicaBlobFetchMiss: asking for a digest the publisher does not
-// hold fails cleanly (not-found travels back as an empty-bodied
-// FrameBlob) and nothing gets cached.
+// hold fails cleanly (not-found travels back as a blobMissing status
+// byte in the FrameBlob answer) and nothing gets cached.
 func TestReplicaBlobFetchMiss(t *testing.T) {
 	_, rep, _, _ := blobWorld(t)
 	bogus := blobstore.Ref{Digest: sha256.Sum256([]byte("never stored")), Size: 12}
@@ -117,6 +117,37 @@ func TestReplicaBlobFetchMiss(t *testing.T) {
 	}
 	if rep.Store().Blobs().Has(bogus) {
 		t.Fatal("miss cached a blob")
+	}
+}
+
+// TestReplicaBlobFetchEmpty: a legitimate zero-length blob round-trips;
+// the status byte keeps it distinguishable from a not-found answer.
+func TestReplicaBlobFetchEmpty(t *testing.T) {
+	st, rep, _, _ := blobWorld(t)
+	ref, err := st.Blobs().PutBytes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.Store().Blobs().Get(ref)
+	if err != nil {
+		t.Fatalf("empty blob fetch: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty blob came back with %d bytes", len(got))
+	}
+	if !rep.Store().Blobs().Has(ref) {
+		t.Fatal("fetched empty blob was not cached")
+	}
+}
+
+// TestFrameFitsMaxBlob pins the framing invariant: the payload bound
+// must admit the largest legal FrameBlob answer (max-size blob behind
+// its ref and status byte), or such a blob becomes unservable and the
+// replica kills and redials the session forever.
+func TestFrameFitsMaxBlob(t *testing.T) {
+	if maxFramePayload < blobstore.MaxBlobSize+blobstore.EncodedRefSize+1 {
+		t.Fatalf("maxFramePayload %d cannot carry a max-size FrameBlob (%d)",
+			maxFramePayload, blobstore.MaxBlobSize+blobstore.EncodedRefSize+1)
 	}
 }
 

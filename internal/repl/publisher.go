@@ -255,20 +255,22 @@ func (p *Publisher) session(c Conn) {
 }
 
 // serveBlob answers one FrameBlobFetch: look the ref up in the primary
-// store's blob store and reply FrameBlob with ref||bytes (or just the
-// echoed ref when the blob is unknown — the replica turns that into a
-// not-found error rather than hanging). Returns false only on a send
-// failure; a miss or a malformed request is the requester's problem,
-// not grounds to kill the session. Safe concurrently with the stream
-// loop: both transports serialize Send internally.
+// store's blob store and reply FrameBlob with ref||status||bytes. An
+// explicit blobMissing status (rather than an empty bytes section) tells
+// the replica not-found without making a legitimate zero-length blob
+// unfetchable. Returns false only on a send failure; a miss or a
+// malformed request is the requester's problem, not grounds to kill the
+// session. Safe concurrently with the stream loop: both transports
+// serialize Send internally.
 func (p *Publisher) serveBlob(c Conn, req Frame) bool {
 	ref, err := blobstore.DecodeRef(req.Payload)
 	if err != nil {
 		return true
 	}
-	resp := Frame{Type: FrameBlob, Payload: blobstore.EncodeRef(ref)}
+	resp := Frame{Type: FrameBlob, Payload: append(blobstore.EncodeRef(ref), blobMissing)}
 	if bs := p.st.Blobs(); bs != nil {
 		if data, err := bs.Get(ref); err == nil {
+			resp.Payload[blobstore.EncodedRefSize] = blobFound
 			resp.Payload = append(resp.Payload, data...)
 		}
 	}

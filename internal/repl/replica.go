@@ -413,19 +413,25 @@ func (r *Replica) fetchBlob(ref blobstore.Ref) ([]byte, error) {
 }
 
 // acceptBlob routes one FrameBlob to the waiters parked on its digest.
-// A payload of exactly the echoed ref means the publisher does not hold
-// the blob; that is an answer (not-found), not a protocol error.
+// The status byte after the echoed ref distinguishes a not-found answer
+// from a found blob — including a legitimate zero-length one, which an
+// empty-payload convention could never deliver.
 func (r *Replica) acceptBlob(f Frame) error {
-	if len(f.Payload) < blobstore.EncodedRefSize {
+	if len(f.Payload) < blobstore.EncodedRefSize+1 {
 		return fmt.Errorf("repl: short blob frame (%d bytes)", len(f.Payload))
 	}
 	ref, err := blobstore.DecodeRef(f.Payload[:blobstore.EncodedRefSize])
 	if err != nil {
 		return fmt.Errorf("repl: blob frame: %w", err)
 	}
-	res := blobResult{data: f.Payload[blobstore.EncodedRefSize:]}
-	if len(res.data) == 0 {
-		res = blobResult{err: fmt.Errorf("repl: publisher does not hold %s", ref)}
+	var res blobResult
+	switch status := f.Payload[blobstore.EncodedRefSize]; status {
+	case blobFound:
+		res.data = f.Payload[blobstore.EncodedRefSize+1:]
+	case blobMissing:
+		res.err = fmt.Errorf("repl: publisher does not hold %s", ref)
+	default:
+		return fmt.Errorf("repl: blob frame with unknown status %d", status)
 	}
 	r.mu.Lock()
 	chs := r.blobWaiters[ref.Digest]

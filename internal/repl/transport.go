@@ -38,6 +38,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/oms/blobstore"
 )
 
 // FrameType tags one replication frame.
@@ -64,10 +66,17 @@ const (
 	// actually reads it.
 	FrameBlobFetch
 	// FrameBlob answers a FrameBlobFetch (publisher → replica). Payload
-	// is the echoed 40-byte ref followed by the blob bytes; a payload of
-	// exactly the ref means the publisher does not hold the blob. LSN is
-	// unused. The replica verifies the digest before accepting.
+	// is the echoed 40-byte ref, one status byte (blobFound/blobMissing),
+	// and — when found — the blob bytes, so a legitimate zero-length blob
+	// is distinguishable from a miss. LSN is unused. The replica verifies
+	// the digest before accepting.
 	FrameBlob
+)
+
+// FrameBlob status byte: does the publisher hold the requested blob?
+const (
+	blobMissing byte = 0
+	blobFound   byte = 1
 )
 
 // helloNeedSnapshot asks the publisher for an unconditional bootstrap:
@@ -109,8 +118,13 @@ type Dialer interface {
 var ErrClosed = errors.New("repl: transport closed")
 
 // maxFramePayload bounds a decoded frame's payload so a corrupt or
-// hostile length prefix cannot force an arbitrary allocation.
-const maxFramePayload = 1 << 30
+// hostile length prefix cannot force an arbitrary allocation. It is
+// derived from the blob limit so the largest legal frame — a FrameBlob
+// answer carrying a maximum-size blob behind its ref and status byte —
+// always fits; a hardcoded bound equal to MaxBlobSize would make such
+// blobs unservable (the send fails, the session dies, and the replica
+// re-fetches in a reconnect loop forever).
+const maxFramePayload = blobstore.MaxBlobSize + blobstore.EncodedRefSize + 1
 
 // frameHeaderSize is the wire header: type byte, 8-byte LSN, 4-byte
 // payload length, all big-endian.
