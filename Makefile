@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint fuzz-seed test race stress-persist stress-atomic stress-feed stress-repl stress-blob bench bench-contention bench-persist bench-batch bench-feed bench-repl bench-blob clean
+.PHONY: check build vet lint fuzz-seed test race stress-persist stress-atomic stress-feed stress-repl stress-blob bench bench-contention bench-persist bench-batch bench-feed bench-repl bench-blob bench-obs clean
 
 ## check is the CI gate: a fresh checkout must build, vet (go vet ./...),
 ## pass jcflint with zero unsuppressed findings, replay the decoder fuzz
@@ -10,7 +10,7 @@ GO ?= go
 ## races in the sharded OMS kernel, torn (oms, framework) snapshot
 ## pairs, diverging replicas, and unguarded replica writes from ever
 ## landing again.
-check: build vet lint fuzz-seed race stress-persist stress-atomic stress-feed stress-repl stress-blob
+check: build vet lint fuzz-seed race stress-persist stress-atomic stress-feed stress-repl stress-blob bench-obs
 
 build:
 	$(GO) build ./...
@@ -141,6 +141,15 @@ bench-repl:
 bench-blob:
 	$(GO) test -bench 'BenchmarkE42BlobCheckin' -run '^$$' -benchtime 30x -count 3 .
 	$(GO) test -bench 'BenchmarkE42BlobDedup|BenchmarkE42BlobReplFrames' -run '^$$' -benchtime 10x -count 3 .
+
+## bench-obs runs the observability overhead probe behind BENCH_7.json:
+## the BENCH_1 contention workload with instrumentation enabled (and a
+## live registry) vs stripped at runtime (obs.SetEnabled(false)). Part
+## of `make check` with a single short count as a smoke gate (the layer
+## must keep building AND keep its cost visibly bounded); record
+## medians of `-benchtime 2s -count 5` runs in BENCH_7.json.
+bench-obs:
+	$(GO) test -bench 'BenchmarkObsOverhead' -run '^$$' -benchtime 1s -count 1 .
 
 clean:
 	$(GO) clean ./...

@@ -37,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/jcf"
+	"repro/internal/obs"
 	"repro/internal/oms"
 	"repro/internal/oms/backend"
 	"repro/internal/otod"
@@ -220,6 +221,89 @@ func BenchmarkE31LockContentionOMS(b *testing.B) {
 								return
 							}
 							_ = st.Targets("reserves", user)
+							if err := st.Set(cv, "published", oms.B(s%2 == 0)); err != nil {
+								b.Errorf("set: %v", err)
+								return
+							}
+							_ = st.GetInt(cv, "num")
+							if err := st.Unlink("reserves", user, cv); err != nil {
+								b.Errorf("unlink: %v", err)
+								return
+							}
+						}
+					}(d)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead measures what the observability layer costs on
+// the hot path: the BENCH_1 lock-contention workload (16 designers,
+// disjoint cells, one shared store) with instrumentation enabled and
+// registered versus stripped at runtime (obs.SetEnabled(false) turns
+// every timer into a zero-value no-op). The enabled/stripped delta is
+// the registry's overhead budget, recorded in BENCH_7.json; the
+// acceptance bar is <= 5%.
+func BenchmarkObsOverhead(b *testing.B) {
+	defer obs.SetEnabled(true)
+	const designers = 16
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"enabled", true}, {"stripped", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			obs.SetEnabled(mode.enabled)
+			schema := oms.NewSchema()
+			if err := schema.AddClass("User",
+				oms.AttrDef{Name: "name", Kind: oms.KindString, Required: true}); err != nil {
+				b.Fatal(err)
+			}
+			if err := schema.AddClass("CellVersion",
+				oms.AttrDef{Name: "num", Kind: oms.KindInt, Required: true},
+				oms.AttrDef{Name: "published", Kind: oms.KindBool}); err != nil {
+				b.Fatal(err)
+			}
+			if err := schema.AddRel(oms.RelDef{Name: "reserves", From: "User", To: "CellVersion",
+				FromCard: oms.Many, ToCard: oms.Many}); err != nil {
+				b.Fatal(err)
+			}
+			st := oms.NewStore(schema)
+			if mode.enabled {
+				st.RegisterMetrics(obs.NewRegistry())
+			}
+			users := make([]oms.OID, designers)
+			cvs := make([]oms.OID, designers*4)
+			for d := range users {
+				u, err := st.Create("User", map[string]oms.Value{"name": oms.S(fmt.Sprintf("u%d", d))})
+				if err != nil {
+					b.Fatal(err)
+				}
+				users[d] = u
+			}
+			for i := range cvs {
+				cv, err := st.Create("CellVersion", map[string]oms.Value{"num": oms.I(int64(i))})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cvs[i] = cv
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for d := 0; d < designers; d++ {
+					wg.Add(1)
+					go func(d int) {
+						defer wg.Done()
+						user := users[d]
+						for s := 0; s < 20; s++ {
+							cv := cvs[d*4+s%4]
+							_ = st.GetBool(cv, "published")
+							if err := st.Link("reserves", user, cv); err != nil {
+								b.Errorf("link: %v", err)
+								return
+							}
 							if err := st.Set(cv, "published", oms.B(s%2 == 0)); err != nil {
 								b.Errorf("set: %v", err)
 								return

@@ -2,8 +2,8 @@
 // process serves a primary framework's change feed over TCP, others
 // follow it into read-only replica stores.
 //
-//	replicad serve  -state DIR [-segment] [-listen ADDR]
-//	replicad follow -connect ADDR [-interval DUR] [-once]
+//	replicad serve  -state DIR [-segment] [-listen ADDR] [-metrics ADDR]
+//	replicad follow -connect ADDR [-interval DUR] [-once] [-metrics ADDR]
 //
 // serve loads (or initializes) a JCF framework from a state directory,
 // publishes its change feed on the listen address, and — because the
@@ -16,6 +16,13 @@
 // applied LSN / lag, and runs the incremental consistency check after
 // each catch-up — the convergence self-check. With -once it exits after
 // the first converged check (useful for scripted smoke tests).
+//
+// Both modes take -metrics ADDR to serve the live introspection surface
+// (/metrics Prometheus text, /vars JSON, /debug/pprof) over the obs
+// registry, and -slowops DUR to log checkin-pipeline spans slower than
+// DUR with a per-stage breakdown. The follow status line is printed from
+// the same registry snapshot the HTTP endpoints serve, so the CLI and a
+// scraper can never disagree.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/jcf"
+	"repro/internal/obs"
 	"repro/internal/oms/backend"
 	"repro/internal/otod"
 	"repro/internal/repl"
@@ -54,8 +62,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  replicad serve  -state DIR [-segment] [-listen ADDR] [-save-interval DUR]
-  replicad follow -connect ADDR [-interval DUR] [-once]`)
+  replicad serve  -state DIR [-segment] [-listen ADDR] [-save-interval DUR] [-metrics ADDR] [-slowops DUR]
+  replicad follow -connect ADDR [-interval DUR] [-once] [-metrics ADDR] [-slowops DUR]`)
 }
 
 // openBackend opens the state directory as a file or segment backend.
@@ -75,6 +83,8 @@ func serve(args []string) error {
 	segment := fs.Bool("segment", false, "use the segment/WAL backend (enables differential saves)")
 	listen := fs.String("listen", "127.0.0.1:7070", "replication listen address")
 	saveEvery := fs.Duration("save-interval", 5*time.Second, "differential save cadence (0 disables)")
+	metricsAddr := fs.String("metrics", "", "introspection HTTP address (empty disables)")
+	slowOps := fs.Duration("slowops", 0, "log pipeline spans slower than this (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +110,13 @@ func serve(args []string) error {
 	}
 	pub := repl.NewPublisher(fw.ReplicationSource(), repl.WithSeedBackend(b))
 	defer pub.Close()
+	applySlowOps(*slowOps)
+	reg := obs.NewRegistry()
+	fw.RegisterMetrics(reg)
+	pub.RegisterMetrics(reg)
+	if err := startMetrics(*metricsAddr, reg); err != nil {
+		return err
+	}
 	ln, err := repl.ListenTCP(*listen)
 	if err != nil {
 		return err
@@ -122,6 +139,8 @@ func follow(args []string) error {
 	connect := fs.String("connect", "", "publisher address (required)")
 	interval := fs.Duration("interval", 2*time.Second, "status print cadence")
 	once := fs.Bool("once", false, "exit after the first converged consistency check")
+	metricsAddr := fs.String("metrics", "", "introspection HTTP address (empty disables)")
+	slowOps := fs.Duration("slowops", 0, "log pipeline spans slower than this (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,21 +158,38 @@ func follow(args []string) error {
 	if err != nil {
 		return err
 	}
+	applySlowOps(*slowOps)
+	reg := obs.NewRegistry()
+	rep.RegisterMetrics(reg)
+	rep.Store().RegisterMetrics(reg)
+	if err := startMetrics(*metricsAddr, reg); err != nil {
+		return err
+	}
 	fmt.Printf("following %s\n", *connect)
+	// The status line is a registry snapshot dump — the same cells the
+	// /metrics and /vars handlers read — so the CLI and a scraper always
+	// report identical numbers.
 	for range time.Tick(*interval) {
-		applied, lag := rep.AppliedLSN(), rep.Lag()
-		stats := rep.Stats()
+		snap := reg.Snapshot()
+		applied := snapInt(snap, "repl_replica_applied_lsn")
+		lag := snapInt(snap, "repl_replica_lag")
 		status := "catching up"
-		if lag == 0 && (stats.FramesApplied > 0 || stats.Bootstraps > 0) {
+		if lag == 0 && (snapInt(snap, "repl_replica_frames_applied_total") > 0 ||
+			snapInt(snap, "repl_replica_bootstraps_total") > 0) {
 			if probs := view.CheckConsistency(); len(probs) == 0 {
 				status = "converged, consistent"
 			} else {
 				status = fmt.Sprintf("converged, %d inconsistencies", len(probs))
 			}
 		}
-		fmt.Printf("applied=%d lag=%d bootstraps=%d reconnects=%d gaps=%d objects=%d  %s\n",
-			applied, lag, stats.Bootstraps, stats.Reconnects, stats.Gaps,
-			rep.Store().Count(""), status)
+		fmt.Printf("applied=%d lag=%d bootstraps=%d reconnects=%d gaps=%d frames_in=%d bytes_in=%d  %s\n",
+			applied, lag,
+			snapInt(snap, "repl_replica_bootstraps_total"),
+			snapInt(snap, "repl_replica_reconnects_total"),
+			snapInt(snap, "repl_replica_gaps_total"),
+			snapInt(snap, "repl_replica_frames_in_total"),
+			snapInt(snap, "repl_replica_bytes_in_total"),
+			status)
 		if err := rep.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, "replicad: last session error:", err)
 		}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metricsMux serves the live introspection surface over one registry:
+//
+//	/metrics      Prometheus-style text exposition
+//	/vars         JSON snapshot (same cells, machine-friendly)
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// Every handler reads pure atomics (plus the registry's leaf mutex for
+// the entry list), so a scrape never blocks an apply, an upload or a
+// replication frame.
+func metricsMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteProm(w); err != nil {
+			// The peer went away mid-scrape; nothing to answer on.
+			return
+		}
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startMetrics binds addr and serves the introspection mux from a
+// background goroutine. An empty addr is a no-op (the flag default).
+func startMetrics(addr string, reg *obs.Registry) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	fmt.Printf("metrics on http://%s/metrics (also /vars, /debug/pprof)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, metricsMux(reg)); err != nil {
+			fmt.Fprintln(os.Stderr, "replicad: metrics:", err)
+		}
+	}()
+	return nil
+}
+
+// applySlowOps arms the slow-op log: pipeline spans whose total meets
+// the threshold print a per-stage breakdown to stderr. 0 disables.
+func applySlowOps(threshold time.Duration) {
+	obs.SetSlowOpThreshold(threshold)
+}
+
+// snapInt reads one counter/gauge out of a registry snapshot, tolerating
+// absence (0) so the printing loop never panics on a renamed metric.
+func snapInt(snap map[string]any, name string) int64 {
+	v, _ := snap[name].(int64)
+	return v
+}

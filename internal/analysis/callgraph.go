@@ -125,6 +125,7 @@ var namedLockSpecs = []lockSpec{
 	{"itc", "Bus", "mu", "itc.Bus.mu"},
 	{"repl", "Publisher", "mu", "repl.Publisher.mu"},
 	{"repl", "Replica", "mu", "repl.Replica.mu"},
+	{"obs", "Registry", "mu", "obs.Registry.mu"},
 }
 
 // stripesKey is the collapsed stripe level.

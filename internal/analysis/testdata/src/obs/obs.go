@@ -1,0 +1,43 @@
+// Package obs (fixture) exercises the obs.Registry.mu tracking: the
+// registry lock is declared as a strict leaf, so blocking under it or
+// re-entering it must stay loud, while the copy-then-release shape the
+// real exposition path uses is clean.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Registry mirrors the metrics registry's lock by name.
+type Registry struct {
+	mu   sync.Mutex
+	list []int
+}
+
+// Snapshot copies the entry list under the leaf lock and evaluates
+// outside it — the clean shape exposition uses.
+func (r *Registry) Snapshot() []int {
+	r.mu.Lock()
+	out := append([]int(nil), r.list...)
+	r.mu.Unlock()
+	return out
+}
+
+// SleepUnderMu blocks while holding the registry lock — the leaf
+// contract forbids it.
+func (r *Registry) SleepUnderMu() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	time.Sleep(time.Millisecond) // want holdblock "blocking call (time.Sleep) while holding obs.Registry.mu"
+}
+
+// NestUnderMu acquires a second registry's lock under the first; the
+// lock is tracked by name, so this is a self-reacquisition.
+func NestUnderMu(a, b *Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want lockgraph "self-deadlock"
+	b.list = append(b.list, 1)
+	b.mu.Unlock()
+}

@@ -127,6 +127,7 @@ func (fw *Framework) startUpload(cv oms.OID, data []byte) *blobUpload {
 	}
 	u.pending++
 	u.ups = append(u.ups, up)
+	fw.metrics.ledgerDepth.Inc()
 	fw.upMu.Unlock()
 	up.ref, up.release = fw.blobs.PutAsync(data, func(err error) { fw.finishUpload(cv, up, err) })
 	return up
@@ -141,6 +142,7 @@ func (fw *Framework) finishUpload(cv oms.OID, up *blobUpload, err error) {
 		return
 	}
 	u.pending--
+	fw.metrics.ledgerDepth.Dec()
 	up.settled = true
 	up.err = err
 	if err == nil {

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/oms"
 	"repro/internal/oms/backend"
 	"repro/internal/oms/blobstore"
@@ -182,7 +183,12 @@ type Framework struct {
 	uploads map[oms.OID]*cvUploads
 
 	// statReserveConflicts counts rejected reservations (section 3.1).
-	statReserveConflicts int64
+	// An obs.Counter cell so ReserveConflicts and a /metrics scrape read
+	// it without touching fw.mu.
+	statReserveConflicts obs.Counter
+
+	// metrics holds the checkin-pipeline instruments (see metrics.go).
+	metrics fwMetrics
 }
 
 // New creates a framework instance of the given release with a fresh OMS
@@ -275,9 +281,7 @@ func (fw *Framework) BlobTraffic() (in, out int64) {
 
 // ReserveConflicts reports the number of rejected workspace reservations.
 func (fw *Framework) ReserveConflicts() int64 {
-	fw.mu.RLock()
-	defer fw.mu.RUnlock()
-	return fw.statReserveConflicts
+	return fw.statReserveConflicts.Load()
 }
 
 // --- resources (administrator API) ---------------------------------------

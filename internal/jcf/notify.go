@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/itc"
+	"repro/internal/obs"
 	"repro/internal/oms"
 )
 
@@ -57,8 +57,15 @@ type Notifier struct {
 	// handler refused the message — the event still happened (it is
 	// committed history), so the loss must be observable rather than
 	// silently discarded as it was before.
-	statPublished atomic.Int64
-	statVetoed    atomic.Int64
+	statPublished obs.Counter
+	statVetoed    obs.Counter
+}
+
+// RegisterMetrics exposes the bridge's delivery counters in reg — the
+// same cells Stats() reads.
+func (n *Notifier) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("jcf_notify_published_total", &n.statPublished)
+	reg.RegisterCounter("jcf_notify_vetoed_total", &n.statVetoed)
 }
 
 // NotifierStats reports how the feed→ITC bridge has fared.
@@ -113,10 +120,10 @@ func (n *Notifier) Stop() {
 // the bridge's loss accounting.
 func (n *Notifier) publish(msg itc.Message) {
 	if err := n.bus.Publish(msg); err != nil {
-		n.statVetoed.Add(1)
+		n.statVetoed.Inc()
 		return
 	}
-	n.statPublished.Add(1)
+	n.statPublished.Inc()
 }
 
 // Lagged reports whether the bridge lost its subscription because it

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/oms"
 )
 
@@ -395,10 +396,17 @@ func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.O
 	if err := fw.requireReservation(user, cv); err != nil {
 		return oms.InvalidOID, err
 	}
+	// The pipeline span: stage stamps land in the per-stage histograms
+	// and feed the slow-op log. Done is deferred BEFORE fw.mu.RLock, so
+	// its (possible) slow-op line is formatted and written only after
+	// every lock below has been released.
+	sp := obs.StartSpan("jcf.checkin")
+	defer sp.Done(&fw.metrics.checkinTotal)
 	data, err := os.ReadFile(srcPath)
 	if err != nil {
 		return oms.InvalidOID, fmt.Errorf("jcf: check-in: %w", err)
 	}
+	sp.Stage("read", &fw.metrics.checkinRead)
 	// Stage 1 of the async pipeline (ISSUE 9): with a blob store enabled
 	// and the design at or above the spill threshold, hash now, upload on
 	// the store's bounded worker pool, and commit only the ~40-byte ref —
@@ -410,6 +418,7 @@ func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.O
 	var up *blobUpload
 	if fw.blobs != nil && len(data) >= fw.blobThreshold {
 		up = fw.startUpload(cv, data)
+		sp.Stage("digest", &fw.metrics.checkinDigest)
 		defer up.release()
 	}
 	fw.mu.RLock()
@@ -439,7 +448,9 @@ func (fw *Framework) CheckInData(user string, do oms.OID, srcPath string) (oms.O
 	if len(versions) > 0 {
 		b.Link(fw.rel.derived, versions[len(versions)-1], dov)
 	}
+	sp.Stage("prepare", nil)
 	created, err := fw.store.Apply(b)
+	sp.Stage("apply", &fw.metrics.checkinApply)
 	if err != nil {
 		if up != nil {
 			fw.abandonUpload(cv, up)

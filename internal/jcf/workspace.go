@@ -3,6 +3,7 @@ package jcf
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/oms"
 	"repro/internal/oms/blobstore"
 )
@@ -37,7 +38,7 @@ func (fw *Framework) Reserve(user string, cv oms.OID) error {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	if holder, held := fw.reservations[cv]; held {
-		fw.statReserveConflicts++
+		fw.statReserveConflicts.Inc()
 		if holder == user {
 			return fmt.Errorf("%w (already in your workspace)", ErrReserved)
 		}
@@ -83,6 +84,7 @@ func (fw *Framework) Publish(user string, cv oms.OID) error {
 	// be durable first. Wait outside fw.mu (Wait would park holding it),
 	// then re-check under the lock — a checkin that raced in between
 	// registers its upload before fw.mu.RLock, so the re-check sees it.
+	gateWait := obs.Now()
 	for {
 		if err := fw.waitUploads(cv); err != nil {
 			return fmt.Errorf("jcf: publish %d: %w", cv, err)
@@ -93,6 +95,7 @@ func (fw *Framework) Publish(user string, cv oms.OID) error {
 		}
 		fw.mu.Unlock()
 	}
+	fw.metrics.publishGate.Since(gateWait)
 	// On a framework loaded from disk the ledger is empty; the refs
 	// themselves are the record. Presence in the CAS is the publishable
 	// bar (EnableBlobStore already digest-verified everything published).

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency buckets. Bucket i counts
+// observations with d <= 256ns<<i; the final bucket also absorbs all
+// overflow, so every observation lands somewhere. 40 doublings from
+// 256ns reach ~39h — far past any latency this module can produce.
+const histBuckets = 40
+
+// BucketBound returns the inclusive upper bound of bucket i.
+func BucketBound(i int) time.Duration { return time.Duration(256) << uint(i) }
+
+// bucketIdx maps a duration to its bucket: 0 for d <= 256ns, else the
+// unique i with 256ns<<(i-1) < d <= 256ns<<i, clamped to the overflow
+// bucket.
+func bucketIdx(d time.Duration) int {
+	if d <= 256 {
+		return 0
+	}
+	i := bits.Len64(uint64(d-1) >> 8)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is three
+// atomic adds — no locks, no allocation — so it is safe at any hot
+// path's call rate and from any number of goroutines. The zero value
+// is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIdx(d)].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Since records the time elapsed since start. A zero start — what
+// obs.Now returns while timing is disabled, and what Sampler.Sample
+// returns off-stride — is a no-op, so callers never branch themselves.
+func (h *Histogram) Since(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Concurrent
+// writers race the copy; each cell is individually consistent, which
+// is all a monitoring quantile needs. Count is re-derived from the
+// bucket cells so quantile ranks always stay inside the distribution.
+type HistSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets [histBuckets]int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	return s
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1), linearly
+// interpolated within the containing bucket. Returns 0 on an empty
+// histogram.
+func (s *HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = BucketBound(i - 1)
+			}
+			hi := BucketBound(i)
+			frac := float64(rank-seen) / float64(c)
+			return lo + time.Duration(float64(hi-lo)*frac)
+		}
+		seen += c
+	}
+	return BucketBound(histBuckets - 1)
+}
+
+// P50 returns the median.
+func (s *HistSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P90 returns the 90th percentile.
+func (s *HistSnapshot) P90() time.Duration { return s.Quantile(0.90) }
+
+// P99 returns the 99th percentile.
+func (s *HistSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// Mean returns the arithmetic mean, or 0 on an empty histogram.
+func (s *HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

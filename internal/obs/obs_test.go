@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIdxBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {256, 0},
+		{257, 1}, {512, 1},
+		{513, 2}, {1024, 2},
+		{BucketBound(10), 10}, {BucketBound(10) + 1, 11},
+		{1 << 62, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIdx(c.d); got != c.want {
+			t.Errorf("bucketIdx(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(100)  // bucket 0
+	h.Observe(300)  // bucket 1
+	h.Observe(300)  // bucket 1
+	h.Observe(1000) // bucket 2
+	h.Observe(-50)  // clamps to 0, bucket 0
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 100+300+300+1000 {
+		t.Fatalf("sum = %d, want 1700", s.Sum)
+	}
+	for i, want := range map[int]int64{0: 2, 1: 2, 2: 1} {
+		if s.Buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i], want)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	// One observation in bucket 1 (256, 512]: every quantile
+	// interpolates to the bucket's upper bound.
+	h.Observe(300)
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if got := s.Quantile(q); got != 512 {
+			t.Errorf("Quantile(%v) = %d, want 512", q, got)
+		}
+	}
+	// Two observations in the same bucket: the median's rank-1 position
+	// interpolates to the bucket midpoint (256 + 128 = 384).
+	h.Observe(400)
+	s = h.Snapshot()
+	if got := s.P50(); got != 384 {
+		t.Errorf("P50 of two same-bucket observations = %d, want 384", got)
+	}
+}
+
+func TestQuantileOrderingAndAccuracy(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	p50, p90, p99 := s.P50(), s.P90(), s.P99()
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles not ordered: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	// Exponential buckets guarantee factor-2 accuracy: each true value
+	// lies in (bound/2, bound] of its bucket.
+	check := func(name string, got, truth time.Duration) {
+		if got < truth/2 || got > truth*2 {
+			t.Errorf("%s = %v, want within 2x of %v", name, got, truth)
+		}
+	}
+	check("p50", p50, 500*time.Microsecond)
+	check("p90", p90, 900*time.Microsecond)
+	check("p99", p99, 990*time.Microsecond)
+	if m := s.Mean(); m < 400*time.Microsecond || m > 600*time.Microsecond {
+		t.Errorf("mean = %v, want ~500µs", m)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistSnapshot
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	if got := s.Mean(); got != 0 {
+		t.Fatalf("empty mean = %d, want 0", got)
+	}
+}
+
+func TestDisabledStripsTimers(t *testing.T) {
+	SetEnabled(false)
+	t.Cleanup(func() { SetEnabled(true) })
+	if !Now().IsZero() {
+		t.Fatal("Now() not zero while disabled")
+	}
+	var h Histogram
+	h.Since(Now())
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("Since(zero) recorded %d observations", s.Count)
+	}
+	sp := StartSpan("x")
+	sp.Stage("a", &h)
+	sp.Done(&h)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("disabled span recorded %d observations", s.Count)
+	}
+	var smp Sampler
+	if !smp.Sample(1).IsZero() {
+		t.Fatal("Sampler produced a start time while disabled")
+	}
+}
+
+func TestSamplerStride(t *testing.T) {
+	var s Sampler
+	hits := 0
+	for i := 0; i < 256; i++ {
+		if !s.Sample(64).IsZero() {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("sampler admitted %d of 256 at stride 64, want 4", hits)
+	}
+}
+
+func TestSpanStagesAndSlowOp(t *testing.T) {
+	var lines []string
+	var mu sync.Mutex
+	SetSlowOpThreshold(1) // everything is slow
+	SetSlowOpLogger(func(line string) {
+		mu.Lock()
+		lines = append(lines, line)
+		mu.Unlock()
+	})
+	t.Cleanup(func() {
+		SetSlowOpThreshold(0)
+		SetSlowOpLogger(nil)
+	})
+	var digest, total Histogram
+	sp := StartSpan("jcf.checkin")
+	sp.Stage("read", nil)
+	sp.Stage("digest", &digest)
+	sp.Done(&total)
+	if s := digest.Snapshot(); s.Count != 1 {
+		t.Fatalf("digest stage recorded %d observations, want 1", s.Count)
+	}
+	if s := total.Snapshot(); s.Count != 1 {
+		t.Fatalf("total recorded %d observations, want 1", s.Count)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("slow-op lines = %d, want 1", len(lines))
+	}
+	for _, frag := range []string{"slow op jcf.checkin", "total=", "read=", "digest="} {
+		if !strings.Contains(lines[0], frag) {
+			t.Errorf("slow-op line %q missing %q", lines[0], frag)
+		}
+	}
+}
+
+func TestRegistryGoldenProm(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(42)
+	var g Gauge
+	g.Update(7)
+	var h Histogram
+	h.Observe(300)
+	r.RegisterCounter("test_events_total", &c)
+	r.RegisterGauge("test_depth", &g)
+	r.RegisterGaugeFunc("test_lag", func() int64 { return 3 })
+	r.RegisterHistogram("test_latency_ns", &h)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE test_depth gauge
+test_depth 7
+# TYPE test_events_total counter
+test_events_total 42
+# TYPE test_lag gauge
+test_lag 3
+# TYPE test_latency_ns histogram
+test_latency_ns_bucket{le="512"} 1
+test_latency_ns_bucket{le="+Inf"} 1
+test_latency_ns_sum 300
+test_latency_ns_count 1
+`
+	if b.String() != want {
+		t.Errorf("prom exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestRegistryGoldenJSON(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(42)
+	var g Gauge
+	g.Update(7)
+	var h Histogram
+	h.Observe(300)
+	r.RegisterCounter("test_events_total", &c)
+	r.RegisterGauge("test_depth", &g)
+	r.RegisterGaugeFunc("test_lag", func() int64 { return 3 })
+	r.RegisterHistogram("test_latency_ns", &h)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "test_depth": 7,
+  "test_events_total": 42,
+  "test_lag": 3,
+  "test_latency_ns": {
+    "count": 1,
+    "p50_ns": 512,
+    "p90_ns": 512,
+    "p99_ns": 512,
+    "sum_ns": 300
+  }
+}
+`
+	if b.String() != want {
+		t.Errorf("json exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestRegistryReRegistrationWins(t *testing.T) {
+	r := NewRegistry()
+	var a, b Counter
+	a.Add(1)
+	b.Add(2)
+	r.RegisterCounter("x", &a)
+	r.RegisterCounter("x", &b)
+	if v := r.Snapshot()["x"]; v != int64(2) {
+		t.Fatalf("re-registered metric reads %v, want 2", v)
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "x" {
+		t.Fatalf("names = %v, want [x]", names)
+	}
+}
+
+// TestConcurrentWritersVsReaders drives every cell type from many
+// goroutines while snapshot/exposition readers run; -race is the
+// assertion, plus final counts.
+func TestConcurrentWritersVsReaders(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	var g Gauge
+	var h Histogram
+	r.RegisterCounter("c_total", &c)
+	r.RegisterGauge("g", &g)
+	r.RegisterHistogram("h_ns", &h)
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(time.Duration(i))
+				g.Dec()
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		var b strings.Builder
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b.Reset()
+			if err := r.WriteProm(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = r.Snapshot()
+			// Concurrent registration races the scrape too.
+			r.RegisterGaugeFunc("live", func() int64 { return g.Load() })
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if got := c.Load(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if s := h.Snapshot(); s.Count != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", s.Count, writers*perWriter)
+	}
+	if g.Load() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Load())
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// spanStages caps the per-op stage breakdown; later stages still count
+// in the total but drop out of the slow-op line.
+const spanStages = 8
+
+type stageStamp struct {
+	label string
+	d     time.Duration
+}
+
+// Span stamps stage durations along one operation — the checkin
+// pipeline's digest → spill/PutAsync → Apply → upload-durable →
+// publish-gate sequence is the motivating client. It is a plain value
+// (no allocation on the hot path) and every method is a no-op on the
+// zero Span, which is what StartSpan returns while timing is disabled.
+//
+// Typical use:
+//
+//	sp := obs.StartSpan("jcf.checkin")
+//	defer sp.Done(&m.checkinTotal)
+//	... read the design file ...
+//	sp.Stage("read", nil)
+//	... digest + enqueue upload ...
+//	sp.Stage("digest", &m.checkinDigest)
+//
+// Done records the total and, when the op exceeds the configured
+// slow-op threshold, emits one structured line with the stage
+// breakdown. Register Done (via defer) BEFORE taking any named lock:
+// deferred calls run LIFO, so the line is formatted and written only
+// after the later-deferred unlocks have released everything.
+type Span struct {
+	name   string
+	start  time.Time
+	mark   time.Time
+	n      int
+	stages [spanStages]stageStamp
+}
+
+// StartSpan begins a span. Returns the inert zero Span while timing is
+// disabled.
+func StartSpan(name string) Span {
+	if disabled.Load() {
+		return Span{}
+	}
+	t := time.Now()
+	return Span{name: name, start: t, mark: t}
+}
+
+// Stage closes the stage running since the previous stamp, recording
+// it under label and — when h is non-nil — into h. Returns the stage
+// duration (zero on an inert span).
+func (sp *Span) Stage(label string, h *Histogram) time.Duration {
+	if sp.start.IsZero() {
+		return 0
+	}
+	now := time.Now()
+	d := now.Sub(sp.mark)
+	sp.mark = now
+	if h != nil {
+		h.Observe(d)
+	}
+	if sp.n < spanStages {
+		sp.stages[sp.n] = stageStamp{label: label, d: d}
+		sp.n++
+	}
+	return d
+}
+
+// Done closes the span: the total duration is recorded into total (if
+// non-nil) and a slow-op line is emitted when the total meets the
+// configured threshold.
+func (sp *Span) Done(total *Histogram) {
+	if sp.start.IsZero() {
+		return
+	}
+	d := time.Since(sp.start)
+	if total != nil {
+		total.Observe(d)
+	}
+	if thr := slowNanos.Load(); thr > 0 && int64(d) >= thr {
+		sp.emitSlow(d)
+	}
+}
+
+// slowNanos arms the slow-op log; 0 (the default) disables it.
+var slowNanos atomic.Int64
+
+// slowFn holds the slow-op line sink as a func(string).
+var slowFn atomic.Value
+
+// SetSlowOpThreshold arms the slow-op log: spans whose total duration
+// meets or exceeds d emit one line. Zero disables (the default).
+func SetSlowOpThreshold(d time.Duration) { slowNanos.Store(int64(d)) }
+
+// SetSlowOpLogger routes slow-op lines; the default sink is standard
+// error. fn runs outside all locks (see Span) but on the operation's
+// own goroutine, so it should be cheap or hand off.
+func SetSlowOpLogger(fn func(line string)) { slowFn.Store(fn) }
+
+func (sp *Span) emitSlow(total time.Duration) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "obs: slow op %s total=%s", sp.name, total)
+	for i := 0; i < sp.n; i++ {
+		fmt.Fprintf(&b, " %s=%s", sp.stages[i].label, sp.stages[i].d)
+	}
+	if fn, ok := slowFn.Load().(func(string)); ok && fn != nil {
+		fn(b.String())
+		return
+	}
+	fmt.Fprintln(os.Stderr, b.String())
+}

@@ -3,6 +3,8 @@ package oms
 import (
 	"fmt"
 	"os"
+
+	"repro/internal/obs"
 )
 
 // Grouped operations.
@@ -185,6 +187,10 @@ func (st *Store) Apply(b *Batch) ([]OID, error) {
 		return nil, fmt.Errorf("oms: batch already applied")
 	}
 	b.applied = true
+	// Whole-Apply latency, all five phases; the deferred Since runs after
+	// unlock (it is registered before the locks are taken) and is atomics
+	// only. A zero start (timing disabled) records nothing.
+	defer st.metrics.applyLatency.Since(obs.Now())
 
 	// Phase 1 — lock-free validation and staging. Everything that can fail
 	// without looking at live objects fails here, before any lock: schema
@@ -315,11 +321,13 @@ func (st *Store) Apply(b *Batch) ([]OID, error) {
 	if needAll {
 		mask = 1<<numStripes - 1
 	}
+	wait := st.metrics.stripeSampler.Sample(stripeWaitStride)
 	for i := 0; i < numStripes; i++ {
 		if mask&(1<<i) != 0 {
 			st.stripes[i].mu.Lock()
 		}
 	}
+	st.metrics.stripeWait.Since(wait)
 	unlock := func() {
 		for i := numStripes - 1; i >= 0; i-- {
 			if mask&(1<<i) != 0 {

@@ -8,8 +8,8 @@ import (
 	"hash"
 	"io"
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/oms/backend"
 )
 
@@ -77,10 +77,19 @@ type Store struct {
 	condemned map[[32]byte]chan struct{}
 	fetcher   Fetcher
 
-	statPhysical  atomic.Int64 // bytes actually written to the backend (post-dedup)
-	statDedupHits atomic.Int64 // puts satisfied by an existing or in-flight copy
-	statFetched   atomic.Int64 // bytes pulled through the fetcher
-	statSwept     atomic.Int64 // entries removed by Sweep
+	// Counters and gauges are obs cells — pure atomics, so Stats() and a
+	// /metrics scrape read them without touching mu (a scrape can never
+	// block an upload), and RegisterMetrics exposes the same cells.
+	statPhysical  obs.Counter // bytes actually written to the backend (post-dedup)
+	statLogical   obs.Counter // bytes handed to the put paths (pre-dedup)
+	statDedupHits obs.Counter // puts satisfied by an existing or in-flight copy
+	statFetched   obs.Counter // bytes pulled through the fetcher
+	statSwept     obs.Counter // entries removed by Sweep
+	haveCount     obs.Gauge   // mirrors len(have); maintained under mu
+	queueDepth    obs.Gauge   // PutAsync uploads registered and not yet settled
+	inflightUp    obs.Gauge   // uploads holding a worker slot right now
+	uploadNs      obs.Histogram
+	sweepNs       obs.Histogram
 }
 
 // New opens a store on be and rebuilds the in-memory index from the
@@ -106,6 +115,7 @@ func New(be backend.Backend, opts ...Option) (*Store, error) {
 			s.have[d] = struct{}{}
 		}
 	}
+	s.haveCount.Update(int64(len(s.have)))
 	return s, nil
 }
 
@@ -125,11 +135,11 @@ func (s *Store) Has(r Ref) bool {
 	return ok
 }
 
-// Count returns the number of locally stored blobs.
+// Count returns the number of locally stored blobs. It reads the
+// atomic mirror of the index size, so callers (scrapes, the follow
+// loop) never contend on the hot path's mutex.
 func (s *Store) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.have)
+	return int(s.haveCount.Load())
 }
 
 // Pin marks a digest live for Sweep regardless of the caller's live set,
@@ -165,6 +175,7 @@ func (s *Store) Unpin(r Ref) {
 // the liveness sweep cannot collect the blob before the ref is visible.
 func (s *Store) PutBytes(data []byte) (Ref, error) {
 	ref := RefOf(data)
+	s.statLogical.Add(int64(len(data)))
 	if err := s.commit(ref, data); err != nil {
 		return Ref{}, err
 	}
@@ -179,6 +190,7 @@ func (s *Store) PutBytes(data []byte) (Ref, error) {
 // just leaves an orphan for the next sweep).
 func (s *Store) PutBytesPinned(data []byte) (Ref, func(), error) {
 	ref := RefOf(data)
+	s.statLogical.Add(int64(len(data)))
 	s.Pin(ref)
 	if err := s.commit(ref, data); err != nil {
 		s.Unpin(ref)
@@ -207,10 +219,17 @@ func (s *Store) Put(r io.Reader) (Ref, error) {
 // the upload outcome exactly once (nil on success, including dedup hits).
 func (s *Store) PutAsync(data []byte, cb func(error)) (Ref, func()) {
 	ref := RefOf(data)
+	s.statLogical.Add(int64(len(data)))
 	s.Pin(ref)
+	s.queueDepth.Inc()
 	go func() {
 		s.workers <- struct{}{}
-		defer func() { <-s.workers }()
+		s.inflightUp.Inc()
+		defer func() {
+			s.inflightUp.Dec()
+			s.queueDepth.Dec()
+			<-s.workers
+		}()
 		err := s.commit(ref, data)
 		if cb != nil {
 			cb(err)
@@ -253,11 +272,14 @@ func (s *Store) commit(ref Ref, data []byte) error {
 		s.inflight[ref.Digest] = up
 		s.mu.Unlock()
 
+		upStart := obs.Now()
 		err := s.be.Put(ref.Key(), data)
+		s.uploadNs.Since(upStart)
 		s.mu.Lock()
 		delete(s.inflight, ref.Digest)
 		if err == nil {
 			s.have[ref.Digest] = struct{}{}
+			s.haveCount.Inc()
 		}
 		s.mu.Unlock()
 		up.err = err
@@ -343,6 +365,7 @@ func verify(ref Ref, data []byte) error {
 // a racing commit of the same digest waits and then rewrites, so the
 // trailing Delete can never destroy a fresh re-checkin's bytes.
 func (s *Store) Sweep(scanLive func() map[[32]byte]bool) (int, error) {
+	defer s.sweepNs.Since(obs.Now())
 	names, err := s.be.List()
 	if err != nil {
 		return 0, fmt.Errorf("blobstore: sweep listing: %w", err)
@@ -370,6 +393,7 @@ func (s *Store) Sweep(scanLive func() map[[32]byte]bool) (int, error) {
 			continue
 		}
 		delete(s.have, d)
+		s.haveCount.Dec()
 		s.condemned[d] = gate
 		victims = append(victims, d)
 	}
@@ -405,7 +429,8 @@ type Stats struct {
 	Swept         int64 // entries removed by Sweep
 }
 
-// Stats returns counters since construction.
+// Stats returns counters since construction. Pure atomic loads — no
+// lock shared with the put/get paths.
 func (s *Store) Stats() Stats {
 	return Stats{
 		PhysicalBytes: s.statPhysical.Load(),
@@ -413,6 +438,22 @@ func (s *Store) Stats() Stats {
 		FetchedBytes:  s.statFetched.Load(),
 		Swept:         s.statSwept.Load(),
 	}
+}
+
+// RegisterMetrics exposes the CAS's instrument cells in reg — the same
+// cells Stats reads, so the two views can never disagree. The dedup
+// ratio is blob_logical_bytes_total / blob_physical_bytes_total.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("blob_logical_bytes_total", &s.statLogical)
+	reg.RegisterCounter("blob_physical_bytes_total", &s.statPhysical)
+	reg.RegisterCounter("blob_dedup_hits_total", &s.statDedupHits)
+	reg.RegisterCounter("blob_fetched_bytes_total", &s.statFetched)
+	reg.RegisterCounter("blob_swept_total", &s.statSwept)
+	reg.RegisterGauge("blob_count", &s.haveCount)
+	reg.RegisterGauge("blob_queue_depth", &s.queueDepth)
+	reg.RegisterGauge("blob_inflight_uploads", &s.inflightUp)
+	reg.RegisterHistogram("blob_upload_ns", &s.uploadNs)
+	reg.RegisterHistogram("blob_sweep_ns", &s.sweepNs)
 }
 
 // Writer is a streaming, hashing put handle: Write accumulates and

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // ErrFeedGap reports that a replicated change sequence does not attach
@@ -158,10 +161,21 @@ type feed struct {
 	// blobBytes tracks the blob payload currently pinned by retained
 	// records, for the feedMaxBlobBytes eviction bound.
 	blobBytes int
+
+	// Atomic mirrors of start/last/subs, stored under f.mu wherever the
+	// guarded fields move, plus eviction/lag counters — the lock-free
+	// source for FeedStats and /metrics, so a scrape never touches the
+	// feed lock a commit is holding.
+	startA    atomic.Uint64
+	lastA     atomic.Uint64
+	subsA     atomic.Int64
+	evictions obs.Counter
+	lagTrips  obs.Counter
 }
 
 func newFeed() *feed {
 	f := &feed{start: 1}
+	f.startA.Store(1)
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }
@@ -201,6 +215,7 @@ func (f *feed) publish(group []Change) {
 	for f.blobBytes > feedMaxBlobBytes && f.start <= f.last {
 		f.evictOldest()
 	}
+	f.lastA.Store(f.last)
 	f.cond.Broadcast()
 	f.mu.Unlock()
 }
@@ -244,6 +259,7 @@ func (f *feed) publishAt(group []Change) error {
 	for f.blobBytes > feedMaxBlobBytes && f.start <= f.last {
 		f.evictOldest()
 	}
+	f.lastA.Store(f.last)
 	f.cond.Broadcast()
 	return nil
 }
@@ -260,6 +276,8 @@ func (f *feed) rebase(lsn uint64) {
 	}
 	f.blobBytes = 0
 	f.start, f.last = lsn+1, lsn
+	f.startA.Store(f.start)
+	f.lastA.Store(f.last)
 	f.cond.Broadcast()
 	f.mu.Unlock()
 }
@@ -270,6 +288,8 @@ func (f *feed) evictOldest() {
 	f.blobBytes -= changeBlobBytes(f.buf[(f.start-1)%uint64(len(f.buf))])
 	f.buf[(f.start-1)%uint64(len(f.buf))] = Change{} // unpin
 	f.start++
+	f.startA.Store(f.start)
+	f.evictions.Inc()
 }
 
 // grow doubles the ring, re-laying the retained records out in the new
@@ -364,6 +384,7 @@ func (st *Store) Watch(since uint64, buf int) (*Subscription, error) {
 		return nil, fmt.Errorf("oms: watch from %d: records before %d already evicted", since, start)
 	}
 	f.subs++
+	f.subsA.Add(1)
 	f.mu.Unlock()
 	if buf < 1 {
 		buf = 1
@@ -423,6 +444,7 @@ func (s *Subscription) run() {
 	defer func() {
 		f.mu.Lock()
 		f.subs--
+		f.subsA.Add(-1)
 		f.mu.Unlock()
 		close(s.ch)
 	}()
@@ -441,6 +463,7 @@ func (s *Subscription) run() {
 			s.mu.Lock()
 			s.lagged = true
 			s.mu.Unlock()
+			f.lagTrips.Inc()
 			return
 		}
 		s.next = pending[len(pending)-1].LSN + 1

@@ -64,6 +64,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/oms/blobstore"
 )
 
@@ -473,12 +474,17 @@ type Store struct {
 	// stats for the performance experiments (section 3.6). Blob bytes are
 	// counted logically (what callers hand in/out); statBlobPhys counts
 	// only bytes written inline — the CAS counts its own physical writes.
-	statOps      atomic.Int64
-	statBlobIn   atomic.Int64 // logical bytes copied into the database
-	statBlobOut  atomic.Int64 // logical bytes copied out of the database
-	statBlobPhys atomic.Int64 // bytes physically stored inline
-	statCommits  atomic.Int64
-	statRollback atomic.Int64
+	// obs.Counter cells so RegisterMetrics can expose the same cells the
+	// Stats() view reads (see metrics.go).
+	statOps      obs.Counter
+	statBlobIn   obs.Counter // logical bytes copied into the database
+	statBlobOut  obs.Counter // logical bytes copied out of the database
+	statBlobPhys obs.Counter // bytes physically stored inline
+	statCommits  obs.Counter
+	statRollback obs.Counter
+
+	// metrics holds the store's latency instruments (see metrics.go).
+	metrics storeMetrics
 }
 
 // NewStore returns an empty store enforcing schema.
@@ -518,12 +524,16 @@ func stripeIdx(oid OID) int {
 func (st *Store) stripeOf(oid OID) *stripe { return &st.stripes[stripeIdx(oid)] }
 
 // lockPair write-locks the stripes of two OIDs in ascending stripe order
-// (once when they collide) and returns the matching unlock.
+// (once when they collide) and returns the matching unlock. Acquisition
+// wall time feeds the sampled stripe-wait histogram (a zero start — the
+// off-stride and disabled cases — records nothing).
 func (st *Store) lockPair(a, b OID) func() {
+	wait := st.metrics.stripeSampler.Sample(stripeWaitStride)
 	i, j := stripeIdx(a), stripeIdx(b)
 	if i == j {
 		s := &st.stripes[i]
 		s.mu.Lock()
+		st.metrics.stripeWait.Since(wait)
 		return s.mu.Unlock
 	}
 	if i > j {
@@ -532,6 +542,7 @@ func (st *Store) lockPair(a, b OID) func() {
 	si, sj := &st.stripes[i], &st.stripes[j]
 	si.mu.Lock()
 	sj.mu.Lock()
+	st.metrics.stripeWait.Since(wait)
 	return func() { sj.mu.Unlock(); si.mu.Unlock() }
 }
 

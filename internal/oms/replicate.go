@@ -2,6 +2,8 @@ package oms
 
 import (
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Follower-store surface: the two operations a replication layer needs to
@@ -74,6 +76,7 @@ func (st *Store) ApplyReplicated(recs []Change) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	defer st.metrics.applyReplicated.Since(obs.Now())
 	st.lockAll()
 	defer st.unlockAll()
 	at := st.feed.lsn()

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Consistent-cut snapshots.
@@ -51,6 +53,9 @@ type Snapshot struct {
 // allocMu before touching any stripe, so the stripes→allocMu order is
 // acyclic.
 func (st *Store) Snapshot() *Snapshot {
+	// Time the capture hold — how long every stripe stays read-locked —
+	// not the sort below, which runs after the cut is released.
+	hold := obs.Now()
 	st.rlockAll()
 	st.allocMu.Lock()
 	sn := &Snapshot{nextOID: st.nextOID}
@@ -84,6 +89,7 @@ func (st *Store) Snapshot() *Snapshot {
 		}
 	}
 	st.runlockAll()
+	st.metrics.snapshotHold.Since(hold)
 	// Deterministic order is established outside the cut — sorting is not
 	// the writers' problem.
 	sort.Slice(sn.objs, func(i, j int) bool { return sn.objs[i].oid < sn.objs[j].oid })

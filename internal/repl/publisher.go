@@ -3,8 +3,8 @@ package repl
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/oms"
 	"repro/internal/oms/backend"
 	"repro/internal/oms/blobstore"
@@ -26,12 +26,23 @@ type Publisher struct {
 	conns     map[Conn]struct{}
 	wg        sync.WaitGroup
 
-	statSessions    atomic.Int64
-	statSnapshots   atomic.Int64
-	statChainBoots  atomic.Int64
-	statFrames      atomic.Int64
-	statBytes       atomic.Int64
-	statCloseErrors atomic.Int64
+	statSessions    obs.Counter
+	statSnapshots   obs.Counter
+	statChainBoots  obs.Counter
+	statFrames      obs.Counter
+	statBytes       obs.Counter
+	statCloseErrors obs.Counter
+}
+
+// RegisterMetrics exposes the publisher's counters in reg; they are the
+// same cells Stats() reads, so both views always agree.
+func (p *Publisher) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("repl_pub_sessions_total", &p.statSessions)
+	reg.RegisterCounter("repl_pub_snapshot_bootstraps_total", &p.statSnapshots)
+	reg.RegisterCounter("repl_pub_chain_bootstraps_total", &p.statChainBoots)
+	reg.RegisterCounter("repl_pub_frames_out_total", &p.statFrames)
+	reg.RegisterCounter("repl_pub_bytes_out_total", &p.statBytes)
+	reg.RegisterCounter("repl_pub_close_errors_total", &p.statCloseErrors)
 }
 
 // closeConn tears a connection or listener down. Teardown failures
@@ -40,7 +51,7 @@ type Publisher struct {
 // in the making, so the failure is counted and surfaced in Stats.
 func (p *Publisher) closeConn(c interface{ Close() error }) {
 	if err := c.Close(); err != nil {
-		p.statCloseErrors.Add(1)
+		p.statCloseErrors.Inc()
 	}
 }
 
@@ -129,7 +140,7 @@ func (p *Publisher) Serve(ln Listener) error {
 		p.conns[c] = struct{}{}
 		p.wg.Add(1)
 		p.mu.Unlock()
-		p.statSessions.Add(1)
+		p.statSessions.Inc()
 		go p.session(c)
 	}
 }
@@ -281,7 +292,7 @@ func (p *Publisher) send(c Conn, f Frame) bool {
 	if err := c.Send(f); err != nil {
 		return false
 	}
-	p.statFrames.Add(1)
+	p.statFrames.Inc()
 	p.statBytes.Add(int64(len(f.Payload)))
 	return true
 }
@@ -297,7 +308,7 @@ func (p *Publisher) attach(resume uint64, needSnap bool) (*oms.Subscription, []F
 		}
 	}
 	if sub, frames, ok := p.chainBootstrap(); ok {
-		p.statChainBoots.Add(1)
+		p.statChainBoots.Inc()
 		return sub, frames, nil
 	}
 	// Live snapshot. Between the cut and the Watch the ring would have to
@@ -315,7 +326,7 @@ func (p *Publisher) attach(resume uint64, needSnap bool) (*oms.Subscription, []F
 			lastErr = err
 			continue
 		}
-		p.statSnapshots.Add(1)
+		p.statSnapshots.Inc()
 		return sub, []Frame{{Type: FrameSnapshot, LSN: snap.LSN(), Payload: data}}, nil
 	}
 	return nil, nil, lastErr

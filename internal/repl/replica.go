@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/oms"
 	"repro/internal/oms/backend"
 	"repro/internal/oms/blobstore"
@@ -32,14 +34,21 @@ type Replica struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	applied   uint64 // == st.FeedLSN(); cached under mu for WaitFor
-	watermark uint64 // publisher's last reported committed LSN
-	poisoned  bool   // store state suspect; next hello demands a snapshot
-	gapStreak int    // consecutive gap-failed sessions; escalates to bootstrap
+	poisoned  bool // store state suspect; next hello demands a snapshot
+	gapStreak int  // consecutive gap-failed sessions; escalates to bootstrap
 	lastErr   error
 	closed    bool
 	done      chan struct{} // closed by Close; interrupts backoff sleeps
 	conn      Conn          // live connection, closed to interrupt follow()
+
+	// applied (== st.FeedLSN()) and watermark (publisher's last reported
+	// committed LSN) are written only by the follow goroutine, inside
+	// advanceLocked under r.mu — the store-then-Broadcast order is what
+	// keeps WaitFor's cond loop free of lost wakeups. Reads (AppliedLSN,
+	// Lag, WaitFor's fast path, the /metrics gauges) are lock-free, so a
+	// scrape never contends with an apply.
+	applied   atomic.Uint64
+	watermark atomic.Uint64
 
 	// blobWaiters holds the readers parked in fetchBlob, keyed by the
 	// digest they asked the publisher for (guarded by mu). Each channel
@@ -48,11 +57,26 @@ type Replica struct {
 
 	wg sync.WaitGroup
 
-	stats ReplicaStats
+	metrics replicaMetrics
 }
 
-// ReplicaStats counts a replica's lifecycle events (guarded by r.mu; read
-// via Stats).
+// replicaMetrics holds the replica's instrument cells: pure atomics, so
+// Stats() and a /metrics scrape never take r.mu (satellite: scraping
+// must not block an apply).
+type replicaMetrics struct {
+	bootstraps  obs.Counter
+	reconnects  obs.Counter
+	gaps        obs.Counter
+	framesIn    obs.Counter
+	bytesIn     obs.Counter
+	applied     obs.Counter // change frames applied
+	closeErrors obs.Counter
+	waitFor     obs.Histogram // WaitFor latency (fast path included)
+	blobFetch   obs.Histogram // lazy blob fetch round-trip
+}
+
+// ReplicaStats counts a replica's lifecycle events (a point-in-time view
+// over the atomic cells; read via Stats).
 type ReplicaStats struct {
 	// Bootstraps counts snapshot installs (initial and re-bootstraps).
 	Bootstraps int64
@@ -72,16 +96,7 @@ type ReplicaStats struct {
 // over, so there is no error path left to return it on.
 func (r *Replica) noteCloseErr(c Conn) {
 	if err := c.Close(); err != nil {
-		r.mu.Lock()
-		r.stats.CloseErrors++
-		r.mu.Unlock()
-	}
-}
-
-// noteCloseErrLocked is noteCloseErr for callers already holding r.mu.
-func (r *Replica) noteCloseErrLocked(c Conn) {
-	if err := c.Close(); err != nil {
-		r.stats.CloseErrors++
+		r.metrics.closeErrors.Inc()
 	}
 }
 
@@ -144,24 +159,22 @@ func (r *Replica) Start() {
 }
 
 // AppliedLSN returns the highest primary LSN applied to the follower
-// store (0 before the first bootstrap).
+// store (0 before the first bootstrap). Lock-free.
 func (r *Replica) AppliedLSN() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.applied
+	return r.applied.Load()
 }
 
 // Lag returns how many committed records the replica is known to be
 // behind the primary: the publisher's last reported watermark minus the
 // applied LSN. It is a lower bound — the primary may have committed more
-// since the last frame arrived.
+// since the last frame arrived. Lock-free; the two loads may straddle an
+// advance, which only shrinks the reported lag (applied reads newer).
 func (r *Replica) Lag() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.watermark <= r.applied {
+	watermark, applied := r.watermark.Load(), r.applied.Load()
+	if watermark <= applied {
 		return 0
 	}
-	return r.watermark - r.applied
+	return watermark - applied
 }
 
 // Err returns the error that ended the most recent session (nil after a
@@ -172,11 +185,33 @@ func (r *Replica) Err() error {
 	return r.lastErr
 }
 
-// Stats returns cumulative replica counters.
+// Stats returns cumulative replica counters. Lock-free: each field is an
+// independent atomic load, so the view may straddle a concurrent frame.
 func (r *Replica) Stats() ReplicaStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return ReplicaStats{
+		Bootstraps:    r.metrics.bootstraps.Load(),
+		Reconnects:    r.metrics.reconnects.Load(),
+		Gaps:          r.metrics.gaps.Load(),
+		FramesApplied: r.metrics.applied.Load(),
+		CloseErrors:   r.metrics.closeErrors.Load(),
+	}
+}
+
+// RegisterMetrics exposes the replica's instrument cells in reg. The
+// applied/lag gauges read the same atomics AppliedLSN and Lag do, so the
+// HTTP endpoint and the CLI report identical numbers.
+func (r *Replica) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("repl_replica_bootstraps_total", &r.metrics.bootstraps)
+	reg.RegisterCounter("repl_replica_reconnects_total", &r.metrics.reconnects)
+	reg.RegisterCounter("repl_replica_gaps_total", &r.metrics.gaps)
+	reg.RegisterCounter("repl_replica_frames_in_total", &r.metrics.framesIn)
+	reg.RegisterCounter("repl_replica_bytes_in_total", &r.metrics.bytesIn)
+	reg.RegisterCounter("repl_replica_frames_applied_total", &r.metrics.applied)
+	reg.RegisterCounter("repl_replica_close_errors_total", &r.metrics.closeErrors)
+	reg.RegisterGaugeFunc("repl_replica_applied_lsn", func() int64 { return int64(r.applied.Load()) })
+	reg.RegisterGaugeFunc("repl_replica_lag", func() int64 { return int64(r.Lag()) })
+	reg.RegisterHistogram("repl_waitfor_ns", &r.metrics.waitFor)
+	reg.RegisterHistogram("repl_blob_fetch_ns", &r.metrics.blobFetch)
 }
 
 // WaitFor blocks until the replica has applied every record up to and
@@ -185,6 +220,15 @@ func (r *Replica) Stats() ReplicaStats {
 // reads its own write. It fails after timeout, or immediately once the
 // replica is closed or promoted.
 func (r *Replica) WaitFor(lsn uint64, timeout time.Duration) error {
+	start := obs.Now()
+	// Already-applied fast path: no lock, no timer allocation. applied is
+	// monotonic, and the slow path below returns nil for a satisfied wait
+	// even on a closed replica, so answering from the atomic alone is
+	// exactly the behavior the lock would produce.
+	if r.applied.Load() >= lsn {
+		r.metrics.waitFor.Since(start)
+		return nil
+	}
 	deadline := time.Now().Add(timeout)
 	timer := time.AfterFunc(timeout, func() {
 		r.mu.Lock()
@@ -192,14 +236,15 @@ func (r *Replica) WaitFor(lsn uint64, timeout time.Duration) error {
 		r.mu.Unlock()
 	})
 	defer timer.Stop()
+	defer r.metrics.waitFor.Since(start)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for r.applied < lsn {
+	for r.applied.Load() < lsn {
 		if r.closed {
 			return fmt.Errorf("repl: wait for lsn %d: replica closed", lsn)
 		}
 		if !time.Now().Before(deadline) {
-			return fmt.Errorf("repl: wait for lsn %d: timeout at %d", lsn, r.applied)
+			return fmt.Errorf("repl: wait for lsn %d: timeout at %d", lsn, r.applied.Load())
 		}
 		r.cond.Wait()
 	}
@@ -213,7 +258,7 @@ func (r *Replica) Close() {
 		r.closed = true
 		close(r.done)
 		if r.conn != nil {
-			r.noteCloseErrLocked(r.conn)
+			r.noteCloseErr(r.conn)
 		}
 		r.cond.Broadcast()
 	}
@@ -244,9 +289,7 @@ func (r *Replica) run() {
 			return
 		}
 		if !first {
-			r.mu.Lock()
-			r.stats.Reconnects++
-			r.mu.Unlock()
+			r.metrics.reconnects.Inc()
 		}
 		first = false
 		c, err := r.dial.Dial()
@@ -279,8 +322,8 @@ func (r *Replica) follow(c Conn) error {
 	if r.poisoned {
 		flags |= helloNeedSnapshot
 	}
-	resume := r.applied
 	r.mu.Unlock()
+	resume := r.applied.Load()
 	if err := c.Send(Frame{Type: FrameHello, LSN: resume, Payload: []byte{flags}}); err != nil {
 		return err
 	}
@@ -292,6 +335,8 @@ func (r *Replica) follow(c Conn) error {
 			}
 			return err
 		}
+		r.metrics.framesIn.Inc()
+		r.metrics.bytesIn.Add(int64(len(f.Payload)))
 		switch f.Type {
 		case FrameSnapshot:
 			// A healthy replica at or past the bootstrap base skips the
@@ -302,7 +347,7 @@ func (r *Replica) follow(c Conn) error {
 			// store takes the snapshot unconditionally — that is the
 			// point of demanding it.
 			r.mu.Lock()
-			skip := !r.poisoned && f.LSN <= r.applied
+			skip := !r.poisoned && f.LSN <= r.applied.Load()
 			r.mu.Unlock()
 			if skip {
 				continue
@@ -311,10 +356,10 @@ func (r *Replica) follow(c Conn) error {
 				// Nothing was installed; the store is whatever it was.
 				return err
 			}
+			r.metrics.bootstraps.Inc()
 			r.mu.Lock()
 			r.poisoned = false
 			r.gapStreak = 0
-			r.stats.Bootstraps++
 			r.advanceLocked(f.LSN, f.LSN)
 			r.mu.Unlock()
 		case FrameChanges:
@@ -337,7 +382,7 @@ func (r *Replica) follow(c Conn) error {
 					// cannot converge (e.g. the replica's history has
 					// diverged from this primary's) — escalate to a
 					// forced bootstrap instead of reconnecting forever.
-					r.stats.Gaps++
+					r.metrics.gaps.Inc()
 					if r.gapStreak++; r.gapStreak >= 3 {
 						r.poisoned = true
 					}
@@ -349,8 +394,8 @@ func (r *Replica) follow(c Conn) error {
 				r.mu.Unlock()
 				return err
 			}
+			r.metrics.applied.Inc()
 			r.mu.Lock()
-			r.stats.FramesApplied++
 			if len(recs) > 0 {
 				// Real records attached — resume is converging. (Empty
 				// position frames don't count: they would reset the
@@ -381,6 +426,7 @@ type blobResult struct {
 // caching or returning it, so a corrupt or lying peer cannot poison the
 // local CAS. Runs on reader goroutines, never under r.mu.
 func (r *Replica) fetchBlob(ref blobstore.Ref) ([]byte, error) {
+	start := obs.Now()
 	ch := make(chan blobResult, 1)
 	r.mu.Lock()
 	if r.closed {
@@ -405,6 +451,7 @@ func (r *Replica) fetchBlob(ref blobstore.Ref) ([]byte, error) {
 	}
 	select {
 	case res := <-ch:
+		r.metrics.blobFetch.Since(start)
 		return res.data, res.err
 	case <-r.done:
 		r.dropBlobWaiter(ref.Digest, ch)
@@ -477,15 +524,16 @@ func (r *Replica) failBlobWaiters() {
 	}
 }
 
-// advanceLocked moves the applied/watermark positions and wakes WaitFor;
-// caller holds r.mu.
+// advanceLocked moves the applied/watermark positions and wakes WaitFor.
+// Caller holds r.mu: the atomics are stored before the Broadcast and
+// WaitFor re-checks them under the same mu, so no wakeup is lost.
 func (r *Replica) advanceLocked(applied, watermark uint64) {
-	r.applied = applied
-	if watermark > r.watermark {
-		r.watermark = watermark
+	r.applied.Store(applied)
+	if watermark < applied {
+		watermark = applied
 	}
-	if r.applied > r.watermark {
-		r.watermark = r.applied
+	if watermark > r.watermark.Load() {
+		r.watermark.Store(watermark)
 	}
 	r.cond.Broadcast()
 }
@@ -519,8 +567,8 @@ func (r *Replica) seedLocal() {
 			break
 		}
 	}
+	r.metrics.bootstraps.Inc()
 	r.mu.Lock()
-	r.stats.Bootstraps++
 	r.advanceLocked(r.st.FeedLSN(), r.st.FeedLSN())
 	r.mu.Unlock()
 }
@@ -535,7 +583,7 @@ func (r *Replica) setConn(c Conn) {
 	r.mu.Lock()
 	r.conn = c
 	if r.closed && c != nil {
-		r.noteCloseErrLocked(c)
+		r.noteCloseErr(c)
 	}
 	r.mu.Unlock()
 }
